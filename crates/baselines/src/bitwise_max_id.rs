@@ -1,0 +1,279 @@
+//! `BitwiseMaxId`: deterministic beeping leader election with unique
+//! identifiers, in the spirit of Förster–Seidel–Wattenhofer (DISC
+//! 2014).
+//!
+//! Candidates transmit their identifiers bit by bit, most significant
+//! first. Each bit occupies a *phase* of `phase_len = D_bound + 2`
+//! rounds: candidates whose current bit is 1 beep in the first round of
+//! the phase, and every node relays the first beep it hears (a one-shot
+//! flood), so by the end of the phase every node knows whether *some*
+//! candidate had a 1. Candidates holding a 0-bit that learn of a 1-bit
+//! drop out. After `bit_width` phases only the maximum identifier's
+//! owner remains: `O(D · log n)` rounds, deterministic, but `Ω(n)`
+//! states and non-uniform (needs a bound on `D` and, for the identifier
+//! width, on `n`).
+//!
+//! This is the representative of Table 1's "unique IDs, deterministic,
+//! `O(D log n)`" row (\[14\]).
+
+use bfw_sim::{BeepingProtocol, LeaderElection, NodeCtx};
+use rand::RngCore;
+
+/// The bitwise max-identifier protocol (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitwiseMaxId {
+    diameter_bound: u32,
+}
+
+impl BitwiseMaxId {
+    /// Creates the protocol with an upper bound on the network diameter
+    /// (the paper's Table 1 marks this knowledge requirement; a constant
+    /// factor overestimate only stretches phases proportionally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameter_bound == 0`; use 1 for single-hop networks.
+    pub fn new(diameter_bound: u32) -> Self {
+        assert!(diameter_bound > 0, "diameter bound must be positive");
+        BitwiseMaxId { diameter_bound }
+    }
+
+    /// Rounds per bit-phase: enough for a one-shot flood to cover the
+    /// graph (`D_bound` relay steps) plus the emission round and one
+    /// round of slack.
+    pub fn phase_len(&self) -> u32 {
+        self.diameter_bound + 2
+    }
+
+    /// Identifier width in bits for an `n`-node network (the number of
+    /// bits needed to write the largest identifier, `n − 1`).
+    pub fn bit_width(n: usize) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        }
+    }
+
+    /// Total rounds needed: `bit_width(n) · phase_len` (the
+    /// deterministic completion time).
+    pub fn total_rounds(&self, n: usize) -> u64 {
+        u64::from(Self::bit_width(n)) * u64::from(self.phase_len())
+    }
+}
+
+/// Per-node state of [`BitwiseMaxId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitwiseState {
+    /// The node's unique identifier.
+    pub id: u64,
+    /// Bits still to transmit (MSB first); `bits_left == 0` means done.
+    pub bits_left: u32,
+    /// Still a candidate (leader set membership).
+    pub candidate: bool,
+    /// Round index within the current phase.
+    pub phase_round: u32,
+    /// Whether this node beeps right now.
+    pub beeping: bool,
+    /// Whether this node already relayed a beep in this phase.
+    pub relayed: bool,
+    /// Whether a beep was heard (directly or via relay) in this phase.
+    pub one_seen: bool,
+}
+
+impl BitwiseState {
+    /// Returns the bit the node transmits in the current phase (the
+    /// `bits_left`-th most significant of the width-`w` identifier).
+    fn current_bit(&self) -> bool {
+        if self.bits_left == 0 {
+            return false;
+        }
+        (self.id >> (self.bits_left - 1)) & 1 == 1
+    }
+}
+
+impl BeepingProtocol for BitwiseMaxId {
+    type State = BitwiseState;
+
+    fn initial_state(&self, ctx: NodeCtx) -> BitwiseState {
+        let width = Self::bit_width(ctx.node_count);
+        let id = ctx.node.index() as u64;
+        let mut s = BitwiseState {
+            id,
+            bits_left: width,
+            candidate: true,
+            phase_round: 0,
+            beeping: false,
+            relayed: false,
+            one_seen: false,
+        };
+        // A candidate with a 1 in the most significant bit beeps in the
+        // first round of the first phase.
+        s.beeping = s.candidate && s.current_bit();
+        s.relayed = s.beeping;
+        s.one_seen = s.beeping;
+        s
+    }
+
+    fn beeps(&self, state: &BitwiseState) -> bool {
+        state.beeping
+    }
+
+    fn transition(
+        &self,
+        state: &BitwiseState,
+        heard: bool,
+        _rng: &mut dyn RngCore,
+    ) -> BitwiseState {
+        let mut next = *state;
+        next.beeping = false;
+        if heard {
+            next.one_seen = true;
+        }
+        next.phase_round += 1;
+        if next.phase_round >= self.phase_len() {
+            // Phase boundary: 0-bit candidates drop out if a 1 was
+            // announced; everyone advances to the next bit.
+            if next.candidate && next.bits_left > 0 && !state.current_bit() && next.one_seen {
+                next.candidate = false;
+            }
+            next.bits_left = next.bits_left.saturating_sub(1);
+            next.phase_round = 0;
+            next.relayed = false;
+            next.one_seen = false;
+            // Emission round of the new phase.
+            if next.candidate && next.bits_left > 0 && next.current_bit() {
+                next.beeping = true;
+                next.relayed = true;
+                next.one_seen = true;
+            }
+        } else if heard && !next.relayed {
+            // One-shot relay of the wave.
+            next.beeping = true;
+            next.relayed = true;
+        }
+        next
+    }
+}
+
+impl LeaderElection for BitwiseMaxId {
+    fn is_leader(&self, state: &BitwiseState) -> bool {
+        state.candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::{algo, generators, NodeId};
+    use bfw_sim::{Network, Topology};
+
+    fn elect(g: bfw_graph::Graph) -> (Option<u64>, Option<NodeId>, u64) {
+        let d = algo::diameter(&g).unwrap().max(1);
+        let n = g.node_count();
+        let proto = BitwiseMaxId::new(d);
+        let budget = proto.total_rounds(n) + 10;
+        let mut net = Network::new(proto, g.into(), 0);
+        let round = net.run_until(budget, |v| v.leader_count() == 1);
+        (round, net.unique_leader(), budget)
+    }
+
+    #[test]
+    fn bit_width_values() {
+        assert_eq!(BitwiseMaxId::bit_width(1), 0);
+        assert_eq!(BitwiseMaxId::bit_width(2), 1);
+        assert_eq!(BitwiseMaxId::bit_width(3), 2);
+        assert_eq!(BitwiseMaxId::bit_width(4), 2);
+        assert_eq!(BitwiseMaxId::bit_width(5), 3);
+        assert_eq!(BitwiseMaxId::bit_width(1024), 10);
+        assert_eq!(BitwiseMaxId::bit_width(1025), 11);
+    }
+
+    #[test]
+    fn elects_max_id_on_path() {
+        let n = 9;
+        let (round, leader, budget) = elect(generators::path(n));
+        assert!(round.is_some(), "no convergence within {budget}");
+        assert_eq!(leader, Some(NodeId::new(n - 1)));
+    }
+
+    #[test]
+    fn elects_max_id_on_families() {
+        for g in [
+            generators::cycle(12),
+            generators::grid(3, 5),
+            generators::star(8),
+            generators::complete(10),
+            generators::balanced_tree(2, 3),
+        ] {
+            let n = g.node_count();
+            let (round, leader, budget) = elect(g);
+            assert!(round.is_some(), "n={n}: no convergence within {budget}");
+            assert_eq!(leader, Some(NodeId::new(n - 1)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_completion_bound_holds() {
+        let g = generators::grid(4, 4);
+        let d = algo::diameter(&g).unwrap();
+        let proto = BitwiseMaxId::new(d);
+        let (round, _, _) = elect(g);
+        assert!(round.unwrap() <= proto.total_rounds(16));
+    }
+
+    #[test]
+    fn overestimated_diameter_still_correct() {
+        let g = generators::path(7);
+        let proto = BitwiseMaxId::new(20); // true D = 6
+        let budget = proto.total_rounds(7) + 10;
+        let mut net = Network::new(proto, g.into(), 0);
+        let round = net.run_until(budget, |v| v.leader_count() == 1);
+        assert!(round.is_some());
+        assert_eq!(net.unique_leader(), Some(NodeId::new(6)));
+    }
+
+    #[test]
+    fn leader_stable_after_done() {
+        let g = generators::cycle(6);
+        let d = algo::diameter(&g).unwrap();
+        let proto = BitwiseMaxId::new(d);
+        let budget = proto.total_rounds(6) + 10;
+        let mut net = Network::new(proto, g.into(), 0);
+        net.run_until(budget, |v| v.leader_count() == 1).unwrap();
+        let leader = net.unique_leader();
+        for _ in 0..30 {
+            net.step();
+            assert_eq!(net.unique_leader(), leader);
+        }
+    }
+
+    #[test]
+    fn works_on_clique_topology() {
+        let proto = BitwiseMaxId::new(1);
+        let budget = proto.total_rounds(16) + 10;
+        let mut net = Network::new(proto, Topology::Clique(16), 0);
+        let round = net.run_until(budget, |v| v.leader_count() == 1);
+        assert!(round.is_some());
+        assert_eq!(net.unique_leader(), Some(NodeId::new(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_diameter_bound_panics() {
+        let _ = BitwiseMaxId::new(0);
+    }
+
+    #[test]
+    fn protocol_is_deterministic() {
+        let run = |seed| {
+            let g = generators::grid(3, 4);
+            let proto = BitwiseMaxId::new(5);
+            let mut net = Network::new(proto, g.into(), seed);
+            net.run(60);
+            net.states().to_vec()
+        };
+        // Different seeds, identical executions: no randomness consumed.
+        assert_eq!(run(1), run(999));
+    }
+}

@@ -1,0 +1,189 @@
+//! `FloodMax`: max-identifier flooding in the message-passing model.
+//!
+//! The strongest-model baseline: nodes have unique identifiers and may
+//! exchange `Θ(log n)`-bit messages every round. Each node repeatedly
+//! broadcasts the largest identifier it has seen; after `ecc(u_max) ≤ D`
+//! rounds every node knows the global maximum, and the unique node whose
+//! own identifier equals it is the leader. This realizes the `Ω(D)`
+//! lower-bound curve of the paper's Table 1 discussion (every
+//! leader-election algorithm needs `Ω(D)` rounds).
+
+use bfw_sim::message_passing::{MessageLeaderElection, MessageProtocol};
+use bfw_sim::NodeCtx;
+use rand::RngCore;
+
+/// The FloodMax protocol (see module docs).
+///
+/// Two convergence notions apply:
+///
+/// * *Definition 1* (a unique node in the leader set) is reached almost
+///   immediately — any node with a larger-identified neighbor stops
+///   being a leader after one round;
+/// * *full agreement* ([`FloodMax::all_agree`]) — every node knows the
+///   global maximum, i.e. the elected leader's identity — takes exactly
+///   `ecc(u_max) ≤ D` rounds. This is the number the Table 1 harness
+///   reports, because it is the guarantee the classical algorithm (and
+///   the termination-detecting algorithms the paper compares against)
+///   actually provides.
+///
+/// # Example
+///
+/// ```
+/// use bfw_baselines::FloodMax;
+/// use bfw_sim::message_passing::MessagePassingNetwork;
+/// use bfw_graph::generators;
+///
+/// let mut net = MessagePassingNetwork::new(FloodMax::new(), generators::path(6).into(), 0);
+/// let round = net.run_until(1_000, |n| FloodMax::all_agree(n.states()));
+/// assert_eq!(round, Some(5)); // exactly D rounds: the max sits at one end
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloodMax {}
+
+impl FloodMax {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        FloodMax {}
+    }
+
+    /// Returns `true` once every node's `max_seen` equals the global
+    /// maximum identifier — all nodes know who the leader is.
+    pub fn all_agree(states: &[FloodMaxState]) -> bool {
+        let global = states.iter().map(|s| s.id).max();
+        match global {
+            Some(g) => states.iter().all(|s| s.max_seen == g),
+            None => true,
+        }
+    }
+}
+
+/// Per-node state of [`FloodMax`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodMaxState {
+    /// This node's own (unique) identifier.
+    pub id: u64,
+    /// Largest identifier heard so far (including the node's own).
+    pub max_seen: u64,
+}
+
+impl MessageProtocol for FloodMax {
+    type State = FloodMaxState;
+    type Msg = u64;
+
+    fn initial_state(&self, ctx: NodeCtx) -> FloodMaxState {
+        let id = ctx.node.index() as u64;
+        FloodMaxState { id, max_seen: id }
+    }
+
+    fn send(&self, state: &FloodMaxState) -> Option<u64> {
+        Some(state.max_seen)
+    }
+
+    fn receive(
+        &self,
+        state: &FloodMaxState,
+        inbox: &[u64],
+        _rng: &mut dyn RngCore,
+    ) -> FloodMaxState {
+        let max_seen = inbox.iter().copied().fold(state.max_seen, u64::max);
+        FloodMaxState {
+            id: state.id,
+            max_seen,
+        }
+    }
+}
+
+impl MessageLeaderElection for FloodMax {
+    fn is_leader(&self, state: &FloodMaxState) -> bool {
+        state.id == state.max_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::{algo, generators, NodeId};
+    use bfw_sim::message_passing::MessagePassingNetwork;
+    use bfw_sim::Topology;
+
+    #[test]
+    fn elects_max_id_on_path() {
+        let n = 12;
+        let mut net = MessagePassingNetwork::new(FloodMax::new(), generators::path(n).into(), 0);
+        // Definition-1 convergence is almost immediate: after one round
+        // every internal node has seen a larger neighbor id.
+        let unique = net.run_until(100, |net| net.leader_count() == 1).unwrap();
+        assert_eq!(unique, 1);
+        assert_eq!(net.unique_leader(), Some(NodeId::new(n - 1)));
+        // Full agreement needs the max to reach the far end: D rounds.
+        let agree = net
+            .run_until(100, |net| FloodMax::all_agree(net.states()))
+            .unwrap();
+        assert_eq!(agree, (n - 1) as u64);
+    }
+
+    #[test]
+    fn agreement_within_diameter_on_families() {
+        for g in [
+            generators::cycle(11),
+            generators::grid(4, 5),
+            generators::star(9),
+            generators::balanced_tree(2, 4),
+            generators::barbell(4, 3),
+        ] {
+            let d = algo::diameter(&g).unwrap() as u64;
+            let n = g.node_count();
+            let mut net = MessagePassingNetwork::new(FloodMax::new(), g.into(), 0);
+            let round = net
+                .run_until(10 * d + 10, |net| FloodMax::all_agree(net.states()))
+                .unwrap();
+            assert!(round <= d, "round {round} > D {d}");
+            assert_eq!(net.unique_leader(), Some(NodeId::new(n - 1)));
+        }
+    }
+
+    #[test]
+    fn single_round_on_clique() {
+        let mut net = MessagePassingNetwork::new(FloodMax::new(), Topology::Clique(50), 0);
+        let round = net
+            .run_until(10, |net| FloodMax::all_agree(net.states()))
+            .unwrap();
+        assert_eq!(round, 1);
+    }
+
+    #[test]
+    fn all_agree_on_empty_and_single() {
+        assert!(FloodMax::all_agree(&[]));
+        assert!(FloodMax::all_agree(&[FloodMaxState { id: 0, max_seen: 0 }]));
+        assert!(!FloodMax::all_agree(&[
+            FloodMaxState { id: 0, max_seen: 0 },
+            FloodMaxState { id: 1, max_seen: 1 },
+        ]));
+    }
+
+    #[test]
+    fn single_node_is_leader_at_round_zero() {
+        let net = MessagePassingNetwork::new(FloodMax::new(), generators::path(1).into(), 0);
+        assert_eq!(net.leader_count(), 1);
+    }
+
+    #[test]
+    fn leader_is_stable_after_convergence() {
+        let mut net = MessagePassingNetwork::new(FloodMax::new(), generators::cycle(8).into(), 0);
+        net.run_until(100, |net| net.leader_count() == 1).unwrap();
+        let leader = net.unique_leader();
+        for _ in 0..20 {
+            net.step();
+            assert_eq!(net.unique_leader(), leader);
+        }
+    }
+
+    #[test]
+    fn initial_leader_count_counts_local_maxima() {
+        // On a path, only node n−1 is a local maximum of the id order
+        // among itself... actually every node starts with max_seen =
+        // own id, so every node is initially a "leader".
+        let net = MessagePassingNetwork::new(FloodMax::new(), generators::path(5).into(), 0);
+        assert_eq!(net.leader_count(), 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline leader-election protocols for the paper's Table 1
+//! comparison.
+//!
+//! The paper positions BFW against prior algorithms that trade
+//! simplicity for speed: they assume unique identifiers, knowledge of
+//! `n` or `D`, or a stronger communication model. We implement one
+//! representative per assumption class and measure them in the same
+//! harness (experiment E2):
+//!
+//! | type | model | IDs | knowledge | complexity class it represents |
+//! |------|-------|-----|-----------|-------------------------------|
+//! | [`FloodMax`] | message passing | yes | none | `Θ(D)` — the strong-model reference / Ω(D) lower-bound curve |
+//! | [`BitwiseMaxId`] | beeping | yes | `n`, bound on `D` | `O(D log n)` deterministic, in the spirit of Förster–Seidel–Wattenhofer (DISC 2014) |
+//! | [`KnockoutClique`] | beeping (single-hop) | no | none | `O(log n)` w.h.p. with `O(1)` states on the clique, in the spirit of Gilbert–Newport (DISC 2015) |
+//!
+//! BFW itself (uniform and known-`D`) completes the comparison; the
+//! [`suite`] module packages all five behind one interface so the
+//! Table 1 harness can sweep them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitwise_max_id;
+mod flood_max;
+mod knockout;
+pub mod suite;
+
+pub use bitwise_max_id::{BitwiseMaxId, BitwiseState};
+pub use flood_max::{FloodMax, FloodMaxState};
+pub use knockout::{KnockoutClique, KnockoutState};
+pub use suite::{standard_suite, AlgorithmInfo, CandidateAlgorithm, Model, RunStats};

@@ -1,0 +1,91 @@
+//! Property-based tests: the baselines must be *correct*, not just
+//! fast, on randomized topologies — otherwise the Table 1 comparison
+//! is meaningless.
+
+use bfw_baselines::{BitwiseMaxId, FloodMax, KnockoutClique};
+use bfw_graph::{algo, generators, NodeId};
+use bfw_sim::message_passing::MessagePassingNetwork;
+use bfw_sim::{Network, Topology};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// FloodMax: full agreement in exactly ecc(u_max) rounds on random
+    /// trees, and the max identifier wins.
+    #[test]
+    fn flood_max_agreement_time_is_eccentricity(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let max_node = NodeId::new(n - 1);
+        let ecc = algo::eccentricity(&g, max_node).expect("trees are connected");
+        let mut net = MessagePassingNetwork::new(FloodMax::new(), g.into(), 0);
+        let round = net
+            .run_until(10 * n as u64 + 10, |net| FloodMax::all_agree(net.states()))
+            .expect("flooding terminates");
+        prop_assert_eq!(round, u64::from(ecc));
+        prop_assert_eq!(net.unique_leader(), Some(max_node));
+    }
+
+    /// BitwiseMaxId elects the max identifier on random trees, within
+    /// its deterministic round bound.
+    #[test]
+    fn bitwise_elects_max_on_random_trees(n in 2usize..32, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let d = algo::diameter(&g).expect("connected").max(1);
+        let proto = BitwiseMaxId::new(d);
+        let budget = proto.total_rounds(n) + 5;
+        let mut net = Network::new(proto, g.into(), 0);
+        let round = net.run_until(budget, |v| v.leader_count() == 1);
+        prop_assert!(round.is_some(), "no convergence within {budget}");
+        prop_assert_eq!(net.unique_leader(), Some(NodeId::new(n - 1)));
+    }
+
+    /// BitwiseMaxId stays correct when the diameter bound overshoots.
+    #[test]
+    fn bitwise_tolerates_diameter_overestimates(
+        n in 2usize..20,
+        slack in 1u32..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let d = algo::diameter(&g).expect("connected").max(1);
+        let proto = BitwiseMaxId::new(d + slack);
+        let budget = proto.total_rounds(n) + 5;
+        let mut net = Network::new(proto, g.into(), 0);
+        prop_assert!(net.run_until(budget, |v| v.leader_count() == 1).is_some());
+        prop_assert_eq!(net.unique_leader(), Some(NodeId::new(n - 1)));
+    }
+
+    /// Knockout on the clique: never zero candidates, converges, and
+    /// the winner is stable.
+    #[test]
+    fn knockout_safety_and_liveness_on_clique(n in 2usize..64, seed in any::<u64>()) {
+        let mut net = Network::new(KnockoutClique::new(), Topology::Clique(n), seed);
+        let round = net.run_until(100_000, |v| v.leader_count() == 1);
+        prop_assert!(round.is_some());
+        let winner = net.unique_leader().expect("converged");
+        for _ in 0..100 {
+            net.step();
+            prop_assert_eq!(net.unique_leader(), Some(winner));
+        }
+    }
+
+    /// Knockout's leader count never increases and never hits zero.
+    #[test]
+    fn knockout_leader_count_monotone(n in 2usize..32, seed in any::<u64>()) {
+        let mut net = Network::new(KnockoutClique::new(), Topology::Clique(n), seed);
+        let mut prev = net.leader_count();
+        for _ in 0..500 {
+            net.step();
+            let count = net.leader_count();
+            prop_assert!(count >= 1);
+            prop_assert!(count <= prev);
+            prev = count;
+        }
+    }
+}

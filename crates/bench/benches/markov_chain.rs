@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E9 (Eq. (15)/(16)): chain simulation
+//! throughput and stationary-distribution computation.
+
+use bfw_markov::{bfw_chain, BFW_CHAIN_W};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_chain");
+    let chain = bfw_chain(0.5);
+
+    group.bench_function("visit_counts_10k", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut s = chain.sampler(BFW_CHAIN_W);
+            black_box(s.visit_counts(10_000, &mut rng))
+        });
+    });
+
+    group.bench_function("stationary_exact", |b| {
+        b.iter(|| black_box(chain.stationary_distribution_exact().expect("solvable")));
+    });
+
+    group.bench_function("stationary_power_iteration", |b| {
+        b.iter(|| {
+            black_box(
+                chain
+                    .stationary_distribution(1e-12, 100_000)
+                    .expect("converges"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

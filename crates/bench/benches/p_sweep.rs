@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E8 (p ablation): election wall-clock
+//! across the p sweep on a fixed cycle.
+
+use bfw_core::Bfw;
+use bfw_graph::generators;
+use bfw_sim::{run_election, ElectionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_p_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p_sweep");
+    group.sample_size(10);
+    let graph = generators::cycle(16);
+    for p in [0.1f64, 0.3, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::new("cycle16", format!("p{p}")), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_election(
+                    Bfw::new(p),
+                    graph.clone().into(),
+                    seed,
+                    ElectionConfig::new(10_000_000),
+                )
+                .expect("cycle elections converge");
+                black_box(out.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p_sweep);
+criterion_main!(benches);

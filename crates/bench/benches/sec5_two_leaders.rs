@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E7 (§5 conjecture): the two-leader
+//! duel on paths of growing diameter — wall-clock grows like `D³`
+//! (Θ(D²) rounds × O(D) nodes).
+
+use bfw_core::{Bfw, InitialConfig};
+use bfw_graph::{generators, NodeId};
+use bfw_sim::{run_election, ElectionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sec5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec5_two_leaders");
+    group.sample_size(10);
+    for d in [8usize, 16, 32] {
+        let n = d + 1;
+        let graph = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("duel", d), &d, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let protocol = Bfw::new(0.5).with_initial_config(InitialConfig::Nodes(vec![
+                    NodeId::new(0),
+                    NodeId::new(n - 1),
+                ]));
+                let out = run_election(
+                    protocol,
+                    graph.clone().into(),
+                    seed,
+                    ElectionConfig::new(10_000_000),
+                )
+                .expect("duels resolve");
+                black_box(out.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sec5);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Simulator micro-benchmarks (DESIGN.md ablation #3): rounds/sec of
+//! the beeping executor per topology, including the clique fast path vs
+//! the materialized complete graph.
+
+use bfw_core::Bfw;
+use bfw_graph::generators;
+use bfw_sim::{Network, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const ROUNDS: u64 = 256;
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    let n = 1024usize;
+    group.throughput(Throughput::Elements(ROUNDS * n as u64));
+
+    let cases: Vec<(&str, Topology)> = vec![
+        ("cycle", generators::cycle(n).into()),
+        ("grid32x32", generators::grid(32, 32).into()),
+        ("clique_fast_path", Topology::Clique(n)),
+        ("clique_materialized", generators::complete(n).into()),
+        ("star", generators::star(n).into()),
+    ];
+    for (name, topology) in cases {
+        group.bench_with_input(BenchmarkId::new("bfw_rounds", name), &topology, |b, t| {
+            b.iter(|| {
+                let mut net = Network::new(Bfw::new(0.5), t.clone(), 7);
+                net.run(ROUNDS);
+                black_box(net.beeping_node_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stone_age(c: &mut Criterion) {
+    use bfw_sim::stone_age::{BeepingAsStoneAge, StoneAgeNetwork};
+    let mut group = c.benchmark_group("sim_throughput_stone_age");
+    let n = 1024usize;
+    group.throughput(Throughput::Elements(ROUNDS * n as u64));
+    let graph = generators::cycle(n);
+    group.bench_function("bfw_in_stone_age_cycle", |b| {
+        b.iter(|| {
+            let mut net = StoneAgeNetwork::new(
+                BeepingAsStoneAge::new(Bfw::new(0.5)),
+                graph.clone().into(),
+                7,
+            );
+            net.run(ROUNDS);
+            black_box(net.states().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies, bench_stone_age);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E2 (Table 1): times one election per
+//! algorithm on a fixed comparison workload, so algorithm-level
+//! regressions show up in `cargo bench`.
+
+use bfw_baselines::standard_suite;
+use bfw_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let graph = generators::complete(16);
+    for algorithm in standard_suite(0.5) {
+        let info = algorithm.info();
+        group.bench_function(info.name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let stats = algorithm
+                    .run(black_box(&graph), seed, 1_000_000)
+                    .expect("clique elections converge");
+                black_box(stats.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E4 (Theorem 2, D factor): one BFW
+//! election per path length — wall-clock grows like `n · D² log n`.
+
+use bfw_core::Bfw;
+use bfw_graph::generators;
+use bfw_sim::{run_election, ElectionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_thm2_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_d_scaling");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let graph = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("path", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_election(
+                    Bfw::new(0.5),
+                    graph.clone().into(),
+                    seed,
+                    ElectionConfig::new(10_000_000),
+                )
+                .expect("path elections converge");
+                black_box(out.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm2_d);
+criterion_main!(benches);

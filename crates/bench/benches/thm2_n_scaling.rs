@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E3 (Theorem 2, log n factor): one BFW
+//! election per clique size — wall-clock should grow roughly like
+//! `n · log n` (rounds ~ log n, O(n) work per round on the clique fast
+//! path).
+
+use bfw_core::Bfw;
+use bfw_sim::{run_election, ElectionConfig, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_thm2_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_n_scaling");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("clique", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_election(
+                    Bfw::new(0.5),
+                    Topology::Clique(n),
+                    seed,
+                    ElectionConfig::new(1_000_000),
+                )
+                .expect("clique elections converge");
+                black_box(out.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm2_n);
+criterion_main!(benches);

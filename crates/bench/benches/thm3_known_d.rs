@@ -1,0 +1,41 @@
+//! Criterion bench for experiment E5 (Theorem 3): uniform `p = 1/2`
+//! vs `p = 1/(D+1)` on the same path — the known-D variant should be
+//! visibly faster end-to-end.
+
+use bfw_core::Bfw;
+use bfw_graph::{algo, generators};
+use bfw_sim::{run_election, ElectionConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_thm3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_known_d");
+    group.sample_size(10);
+    let n = 32;
+    let graph = generators::path(n);
+    let d = algo::diameter(&graph).expect("path is connected");
+    for (name, protocol) in [
+        ("uniform_p_half", Bfw::new(0.5)),
+        ("known_d", Bfw::with_known_diameter(d)),
+    ] {
+        let graph = graph.clone();
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_election(
+                    protocol.clone(),
+                    graph.clone().into(),
+                    seed,
+                    ElectionConfig::new(10_000_000),
+                )
+                .expect("path elections converge");
+                black_box(out.converged_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm3);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Experiment runner: regenerates every table/figure of the paper
+//! reproduction.
+//!
+//! ```text
+//! experiments [--quick] [--trials N] [--seed S] [--threads T]
+//!             [--out DIR] [NAME ...]
+//! ```
+//!
+//! With no names, runs every experiment in the DESIGN.md index. Each
+//! result is printed as Markdown and, when `--out` is given, written as
+//! one CSV per table.
+
+use bfw_bench::{experiments, ExpConfig, ExperimentResult};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: ExpConfig,
+    out_dir: Option<PathBuf>,
+    names: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = ExpConfig::full();
+    let mut out_dir = None;
+    let mut names = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let trials = cfg.trials;
+                cfg = ExpConfig::quick();
+                // --trials before --quick should still win.
+                if trials != ExpConfig::full().trials {
+                    cfg.trials = trials;
+                }
+            }
+            "--trials" => {
+                cfg.trials = it
+                    .next()
+                    .ok_or("--trials needs a value")?
+                    .parse()
+                    .map_err(|_| "--trials needs an integer")?;
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer")?;
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    Ok(Args {
+        cfg,
+        out_dir,
+        names,
+    })
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = experiments::all().iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out DIR] [NAME ...]\n\
+         experiments: {}",
+        names.join(", ")
+    )
+}
+
+fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, table) in &result.tables {
+        let slug: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{}_{slug}.csv", result.id));
+        std::fs::write(&path, table.to_csv())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = experiments::all();
+    let selected: Vec<_> = if args.names.is_empty() {
+        registry.clone()
+    } else {
+        let mut sel = Vec::new();
+        for name in &args.names {
+            match registry.iter().find(|(n, _)| n == name) {
+                Some(&entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{name}'\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    println!(
+        "# BFW experiments ({} mode, {} trials, seed {:#x})\n",
+        if args.cfg.quick { "quick" } else { "full" },
+        args.cfg.trials,
+        args.cfg.seed
+    );
+    for (name, runner) in selected {
+        eprintln!("running {name} ...");
+        let start = std::time::Instant::now();
+        let result = runner(&args.cfg);
+        println!("{}", result.to_markdown());
+        eprintln!("{name} finished in {:.1?}", start.elapsed());
+        if let Some(dir) = &args.out_dir {
+            if let Err(e) = write_csvs(dir, &result) {
+                eprintln!("failed writing CSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

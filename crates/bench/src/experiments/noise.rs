@@ -1,0 +1,146 @@
+//! **E14 (extension) — unreliable hearing.**
+//!
+//! Beyond the paper: the beeping model assumes perfect hearing, and
+//! Section 3's wave directionality silently depends on it. With each
+//! listener missing a beep independently with probability `q`, a wave
+//! can pass *through* a node (the node misses it, its neighbor does
+//! not), after which the wave's echo can hit the originating leader
+//! from behind — self-elimination becomes possible and Lemma 9 can
+//! fail. This experiment measures, as a function of `q`: the
+//! probability of losing *all* leaders (safety collapse), and the
+//! convergence rate of the runs that survive.
+//!
+//! Expected shape: graceful degradation for small `q` (waves are short
+//! and local; missing one beep usually just delays elimination) and
+//! increasing wipeouts as `q` grows — quantifying how far the paper's
+//! model assumptions can be stretched.
+
+use crate::{ExpConfig, ExperimentResult, GraphSpec};
+use bfw_core::Bfw;
+use bfw_sim::{run_trials, Network};
+use bfw_stats::{Summary, Table};
+
+const QS: [f64; 6] = [0.0, 0.01, 0.05, 0.1, 0.2, 0.4];
+
+enum NoisyOutcome {
+    Wipeout(u64),
+    Converged(u64),
+    StillRunning,
+}
+
+fn one_noisy_run(spec: &GraphSpec, q: f64, seed: u64, horizon: u64) -> NoisyOutcome {
+    let mut net = Network::new(Bfw::new(0.5), spec.topology(), seed).with_hearing_noise(q);
+    for round in 1..=horizon {
+        net.step();
+        match net.leader_count() {
+            0 => return NoisyOutcome::Wipeout(round),
+            1 => return NoisyOutcome::Converged(round),
+            _ => {}
+        }
+    }
+    NoisyOutcome::StillRunning
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> ExperimentResult {
+    let trials = (4 * cfg.trials).max(40);
+    let horizon: u64 = if cfg.quick { 20_000 } else { 200_000 };
+    let workloads = if cfg.quick {
+        vec![GraphSpec::Cycle(16)]
+    } else {
+        vec![GraphSpec::Cycle(32), GraphSpec::Grid(5, 5)]
+    };
+    let mut table = Table::with_columns(&[
+        "graph",
+        "q (miss prob)",
+        "wipeouts (all leaders lost)",
+        "converged",
+        "undecided",
+        "rounds to 1 leader (mean)",
+    ]);
+    let mut notes = Vec::new();
+
+    for spec in &workloads {
+        let mut q0_wipeouts = 0usize;
+        let mut worst_wipeout_rate = 0.0f64;
+        for &q in &QS {
+            let outcomes =
+                run_trials(
+                    trials,
+                    cfg.threads,
+                    cfg.seed ^ 0x401,
+                    |seed| match one_noisy_run(spec, q, seed, horizon) {
+                        NoisyOutcome::Wipeout(r) => (1u8, r),
+                        NoisyOutcome::Converged(r) => (2u8, r),
+                        NoisyOutcome::StillRunning => (0u8, 0),
+                    },
+                );
+            let wipeouts = outcomes.iter().filter(|o| o.0 == 1).count();
+            let converged: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.0 == 2)
+                .map(|o| o.1 as f64)
+                .collect();
+            let undecided = outcomes.iter().filter(|o| o.0 == 0).count();
+            let mean = Summary::from_values(converged.clone());
+            if q == 0.0 {
+                q0_wipeouts = wipeouts;
+            }
+            worst_wipeout_rate = worst_wipeout_rate.max(wipeouts as f64 / trials as f64);
+            table.push_row(vec![
+                spec.to_string(),
+                format!("{q}"),
+                format!("{wipeouts}/{trials}"),
+                format!("{}/{trials}", converged.len()),
+                undecided.to_string(),
+                if mean.is_empty() {
+                    "—".into()
+                } else {
+                    format!("{:.0}", mean.mean())
+                },
+            ]);
+        }
+        if worst_wipeout_rate > 0.0 {
+            notes.push(format!(
+                "{spec}: q = 0 reproduces the exact model ({q0_wipeouts} wipeouts — Lemma 9); \
+                 with noise the deterministic guarantee is genuinely lost (worst wipeout \
+                 rate {:.0}% in the sweep) — the freeze protects against echoes only \
+                 under reliable hearing",
+                100.0 * worst_wipeout_rate
+            ));
+        } else {
+            notes.push(format!(
+                "{spec}: no wipeout observed before convergence in this sweep \
+                 ({q0_wipeouts} at q = 0, per Lemma 9); on this topology noise mainly \
+                 slows (or on dense graphs even speeds up) elimination — the wipeout \
+                 risk is topology-dependent (cf. the grid rows)"
+            ));
+        }
+    }
+
+    ExperimentResult {
+        id: "E14-noise",
+        reproduces: "extension beyond the paper: sensitivity of Section 3's guarantees to \
+                     unreliable hearing",
+        tables: vec![("noise sweep".to_owned(), table)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_contrasts_clean_and_noisy() {
+        let mut cfg = ExpConfig::quick();
+        cfg.trials = 8;
+        let result = run(&cfg);
+        let table = &result.tables[0].1;
+        assert_eq!(table.row_count(), QS.len());
+        // q = 0 row: zero wipeouts (Lemma 9).
+        let clean = &table.rows()[0];
+        assert_eq!(clean[1], "0");
+        assert!(clean[2].starts_with("0/"), "{clean:?}");
+    }
+}

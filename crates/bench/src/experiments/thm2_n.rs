@@ -1,0 +1,102 @@
+//! **E3 — Theorem 2, `log n` scaling at fixed diameter.**
+//!
+//! Theorem 2 bounds convergence by `O(D² log n)` w.h.p. Holding `D`
+//! fixed and growing `n` isolates the `log n` factor: on cliques
+//! (`D = 1`) and stars (`D = 2`), mean convergence rounds should grow
+//! *linearly in `ln n`* — a straight line with positive slope and high
+//! `R²` when regressing rounds on `ln n`, and a flat `rounds / ln n`
+//! ratio column.
+
+use crate::{election_summary, ExpConfig, ExperimentResult, GraphSpec};
+use bfw_core::InitialConfig;
+use bfw_stats::{linear_fit, Table};
+
+fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8, 16, 32, 64, 128]
+    } else {
+        vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> ExperimentResult {
+    let mut table = Table::with_columns(&[
+        "family",
+        "n",
+        "D",
+        "rounds (mean ± ci95)",
+        "p95",
+        "rounds / ln n",
+        "failed",
+    ]);
+    let mut notes = Vec::new();
+
+    for family in ["clique", "star"] {
+        let mut lnn = Vec::new();
+        let mut means = Vec::new();
+        for &n in &sizes(cfg.quick) {
+            let spec = match family {
+                "clique" => GraphSpec::Clique(n),
+                _ => GraphSpec::Star(n),
+            };
+            let d = spec.diameter();
+            let budget = 10_000 * (n.max(2) as f64).ln().ceil() as u64;
+            let s = election_summary(
+                0.5,
+                &InitialConfig::AllLeaders,
+                &spec.topology(),
+                cfg.trials,
+                cfg.threads,
+                cfg.seed,
+                budget,
+            );
+            let ln_n = (n as f64).ln();
+            table.push_row(vec![
+                family.to_owned(),
+                n.to_string(),
+                d.to_string(),
+                s.display_rounds(),
+                format!("{:.0}", s.rounds.quantile(0.95)),
+                format!("{:.2}", s.rounds.mean() / ln_n),
+                s.failures.to_string(),
+            ]);
+            if !s.rounds.is_empty() {
+                lnn.push(ln_n);
+                means.push(s.rounds.mean());
+            }
+        }
+        if lnn.len() >= 2 {
+            let fit = linear_fit(&lnn, &means);
+            notes.push(format!(
+                "{family}: rounds ≈ {:.2}·ln n + {:.2} (R² = {:.3}) — linear in ln n as \
+                 Theorem 2 predicts at fixed D",
+                fit.slope, fit.intercept, fit.r_squared
+            ));
+        }
+    }
+
+    ExperimentResult {
+        id: "E3-thm2-n-scaling",
+        reproduces: "Theorem 2's log n factor (fixed-D families: clique D=1, star D=2)",
+        tables: vec![("rounds vs n at fixed D".to_owned(), table)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_fits_lines() {
+        let mut cfg = ExpConfig::quick();
+        cfg.trials = 5;
+        let result = run(&cfg);
+        assert_eq!(result.tables[0].1.row_count(), 10); // 2 families × 5 sizes
+        assert_eq!(result.notes.len(), 2);
+        for note in &result.notes {
+            assert!(note.contains("R²"), "{note}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Experiment harness: regenerates every table and figure of the BFW
+//! paper reproduction.
+//!
+//! The paper (PODC 2025) is a theory paper; its "evaluation" consists of
+//! Figure 1 (the protocol), Table 1 (comparison against prior work) and
+//! the Theorems. This crate turns each into a measured artifact — see
+//! DESIGN.md's experiment index (E1–E12) for the mapping. Each
+//! experiment lives in [`experiments`] and returns paper-style
+//! [`bfw_stats::Table`]s; the `experiments` binary prints them
+//! and writes CSVs, and one Criterion bench per experiment keeps the
+//! workloads timed.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bfw_bench::{ExpConfig, experiments};
+//!
+//! let cfg = ExpConfig::quick();
+//! let result = experiments::thm2_d::run(&cfg);
+//! for (name, table) in &result.tables {
+//!     println!("## {name}\n{}", table.to_markdown());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod runner;
+mod workloads;
+
+pub use runner::{election_summary, ElectionSummary};
+pub use workloads::{GraphSpec, WorkloadError};
+
+use bfw_stats::Table;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Monte-Carlo trials per configuration point.
+    pub trials: usize,
+    /// Worker threads for trial parallelism.
+    pub threads: usize,
+    /// Base RNG seed; trial `i` of each point uses derived seeds.
+    pub seed: u64,
+    /// Reduce workload sizes (used by CI and the Criterion benches).
+    pub quick: bool,
+}
+
+impl ExpConfig {
+    /// Full-size configuration used to produce EXPERIMENTS.md.
+    pub fn full() -> Self {
+        ExpConfig {
+            trials: 30,
+            threads: default_threads(),
+            seed: 0xBF_2025,
+            quick: false,
+        }
+    }
+
+    /// Reduced configuration for smoke tests and benches.
+    pub fn quick() -> Self {
+        ExpConfig {
+            trials: 8,
+            threads: default_threads(),
+            seed: 0xBF_2025,
+            quick: true,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Output of one experiment: named tables plus free-form observations
+/// (the "measured vs. paper" notes that feed EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment identifier (e.g. `"E4-thm2-d-scaling"`).
+    pub id: &'static str,
+    /// What the experiment reproduces.
+    pub reproduces: &'static str,
+    /// Named result tables.
+    pub tables: Vec<(String, Table)>,
+    /// Headline observations (one per line in the report).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Renders the full result as Markdown (used by the binary and by
+    /// EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.reproduces);
+        for (name, table) in &self.tables {
+            out.push_str(&format!("### {name}\n\n{}\n", table.to_markdown()));
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Observations:\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+}

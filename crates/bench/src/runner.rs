@@ -1,0 +1,129 @@
+use bfw_core::{Bfw, InitialConfig};
+use bfw_sim::{run_election, run_trials, ElectionConfig, Topology};
+use bfw_stats::Summary;
+
+/// Aggregated convergence statistics of repeated BFW elections on one
+/// workload.
+#[derive(Debug, Clone)]
+pub struct ElectionSummary {
+    /// Convergence rounds across trials.
+    pub rounds: Summary,
+    /// Total beeps (energy) across trials.
+    pub beeps: Summary,
+    /// Trials that exhausted the round budget.
+    pub failures: usize,
+}
+
+impl ElectionSummary {
+    /// Formats `mean ± ci95 (p95)` of the convergence rounds.
+    pub fn display_rounds(&self) -> String {
+        if self.rounds.is_empty() {
+            return "n/a".to_owned();
+        }
+        format!(
+            "{:.0} ± {:.0} (p95 {:.0})",
+            self.rounds.mean(),
+            self.rounds.ci95_half_width(),
+            self.rounds.quantile(0.95)
+        )
+    }
+}
+
+/// Runs `trials` independent BFW elections in parallel and aggregates
+/// them.
+///
+/// Failed trials (budget exhausted) are counted in
+/// [`ElectionSummary::failures`] and excluded from the summaries;
+/// experiments size their budgets so that failures indicate a real
+/// anomaly.
+///
+/// # Panics
+///
+/// Panics if the topology is empty or disconnected (workloads are
+/// validated upstream).
+pub fn election_summary(
+    p: f64,
+    init: &InitialConfig,
+    topology: &Topology,
+    trials: usize,
+    threads: usize,
+    base_seed: u64,
+    max_rounds: u64,
+) -> ElectionSummary {
+    let results = run_trials(trials, threads, base_seed, |seed| {
+        let bfw = Bfw::new(p).with_initial_config(init.clone());
+        match run_election(bfw, topology.clone(), seed, ElectionConfig::new(max_rounds)) {
+            Ok(out) => Some((out.converged_round, out.total_beeps)),
+            Err(bfw_sim::SimError::RoundBudgetExhausted { .. }) => None,
+            Err(e) => panic!("workload must be a valid election topology: {e}"),
+        }
+    });
+    let mut rounds = Vec::with_capacity(trials);
+    let mut beeps = Vec::with_capacity(trials);
+    let mut failures = 0;
+    for r in results {
+        match r {
+            Some((round, beep)) => {
+                rounds.push(round as f64);
+                beeps.push(beep as f64);
+            }
+            None => failures += 1,
+        }
+    }
+    ElectionSummary {
+        rounds: Summary::from_values(rounds),
+        beeps: Summary::from_values(beeps),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+
+    #[test]
+    fn summary_on_small_cycle() {
+        let g: Topology = generators::cycle(8).into();
+        let s = election_summary(0.5, &InitialConfig::AllLeaders, &g, 10, 2, 42, 100_000);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.rounds.len(), 10);
+        assert!(s.rounds.mean() > 0.0);
+        assert!(s.beeps.mean() > 0.0);
+        assert!(s.display_rounds().contains('±'));
+    }
+
+    #[test]
+    fn failures_counted() {
+        let g: Topology = generators::path(32).into();
+        // A 2-round budget cannot elect a leader among 32.
+        let s = election_summary(0.5, &InitialConfig::AllLeaders, &g, 5, 2, 0, 2);
+        assert_eq!(s.failures, 5);
+        assert!(s.rounds.is_empty());
+        assert_eq!(s.display_rounds(), "n/a");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g: Topology = generators::cycle(10).into();
+        let a = election_summary(0.5, &InitialConfig::AllLeaders, &g, 6, 3, 9, 100_000);
+        let b = election_summary(0.5, &InitialConfig::AllLeaders, &g, 6, 1, 9, 100_000);
+        assert_eq!(a.rounds.sorted_values(), b.rounds.sorted_values());
+    }
+
+    #[test]
+    fn clique_fast_path_agrees_with_graph_topology() {
+        let fast = election_summary(
+            0.5,
+            &InitialConfig::AllLeaders,
+            &Topology::Clique(12),
+            6,
+            2,
+            5,
+            100_000,
+        );
+        let slow: Topology = generators::complete(12).into();
+        let slow = election_summary(0.5, &InitialConfig::AllLeaders, &slow, 6, 2, 5, 100_000);
+        assert_eq!(fast.rounds.sorted_values(), slow.rounds.sorted_values());
+    }
+}

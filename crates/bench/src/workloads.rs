@@ -1,0 +1,330 @@
+use bfw_graph::{algo, generators, Graph};
+use bfw_sim::Topology;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A named, reproducible graph workload.
+///
+/// Specs parse from compact strings (`"path:64"`, `"grid:8x8"`,
+/// `"er:100:0.1:7"`), which the CLI and the experiment index use to
+/// identify workloads unambiguously.
+///
+/// # Example
+///
+/// ```
+/// use bfw_bench::GraphSpec;
+///
+/// let spec: GraphSpec = "cycle:12".parse()?;
+/// let g = spec.build();
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(spec.to_string(), "cycle:12");
+/// # Ok::<(), bfw_bench::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// `path:n`
+    Path(usize),
+    /// `cycle:n`
+    Cycle(usize),
+    /// `clique:n`
+    Clique(usize),
+    /// `star:n`
+    Star(usize),
+    /// `grid:r x c`
+    Grid(usize, usize),
+    /// `torus:r x c`
+    Torus(usize, usize),
+    /// `hypercube:dim`
+    Hypercube(u32),
+    /// `tree:arity:depth`
+    Tree(usize, u32),
+    /// `randtree:n:seed`
+    RandomTree(usize, u64),
+    /// `er:n:p(milli):seed` — connected Erdős–Rényi via rejection.
+    ErdosRenyi(usize, u32, u64),
+    /// `barbell:k:bridge`
+    Barbell(usize, usize),
+}
+
+impl GraphSpec {
+    /// Builds the graph (deterministic: randomized families embed their
+    /// seed in the spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a randomized family fails to produce a connected graph
+    /// after many attempts (pick a denser parameterization).
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSpec::Path(n) => generators::path(n),
+            GraphSpec::Cycle(n) => generators::cycle(n),
+            GraphSpec::Clique(n) => generators::complete(n),
+            GraphSpec::Star(n) => generators::star(n),
+            GraphSpec::Grid(r, c) => generators::grid(r, c),
+            GraphSpec::Torus(r, c) => generators::torus(r, c),
+            GraphSpec::Hypercube(d) => generators::hypercube(d),
+            GraphSpec::Tree(a, d) => generators::balanced_tree(a, d),
+            GraphSpec::RandomTree(n, seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                generators::random_tree(n, &mut rng)
+            }
+            GraphSpec::ErdosRenyi(n, p_milli, seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                generators::erdos_renyi_connected(n, f64::from(p_milli) / 1000.0, 1000, &mut rng)
+                    .expect("could not sample a connected G(n, p); increase p")
+            }
+            GraphSpec::Barbell(k, b) => generators::barbell(k, b),
+        }
+    }
+
+    /// Returns the workload as a simulation [`Topology`], using the
+    /// `O(n)`-per-round clique fast path where applicable (a `clique:n`
+    /// spec never materializes its `Θ(n²)` edges).
+    pub fn topology(&self) -> Topology {
+        match *self {
+            GraphSpec::Clique(n) => Topology::Clique(n),
+            _ => Topology::Graph(self.build()),
+        }
+    }
+
+    /// Returns the exact diameter of the built graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (specs always produce
+    /// connected graphs).
+    pub fn diameter(&self) -> u32 {
+        match *self {
+            // Avoid materializing large cliques.
+            GraphSpec::Clique(0) => panic!("empty clique has no diameter"),
+            GraphSpec::Clique(1) => 0,
+            GraphSpec::Clique(_) => 1,
+            _ => algo::diameter(&self.build()).expect("workload graphs are connected"),
+        }
+    }
+
+    /// The standard small suite used by Table 1 and the convergence
+    /// experiments.
+    pub fn standard_suite(quick: bool) -> Vec<GraphSpec> {
+        let mut suite = vec![
+            GraphSpec::Clique(16),
+            GraphSpec::Star(16),
+            GraphSpec::Cycle(16),
+            GraphSpec::Path(16),
+            GraphSpec::Grid(4, 4),
+            GraphSpec::Tree(2, 3),
+            GraphSpec::ErdosRenyi(16, 300, 7),
+        ];
+        if !quick {
+            suite.extend([
+                GraphSpec::Clique(64),
+                GraphSpec::Cycle(64),
+                GraphSpec::Path(64),
+                GraphSpec::Grid(8, 8),
+                GraphSpec::Hypercube(6),
+                GraphSpec::RandomTree(64, 11),
+                GraphSpec::Barbell(16, 8),
+                GraphSpec::ErdosRenyi(64, 120, 7),
+            ]);
+        }
+        suite
+    }
+}
+
+impl fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphSpec::Path(n) => write!(f, "path:{n}"),
+            GraphSpec::Cycle(n) => write!(f, "cycle:{n}"),
+            GraphSpec::Clique(n) => write!(f, "clique:{n}"),
+            GraphSpec::Star(n) => write!(f, "star:{n}"),
+            GraphSpec::Grid(r, c) => write!(f, "grid:{r}x{c}"),
+            GraphSpec::Torus(r, c) => write!(f, "torus:{r}x{c}"),
+            GraphSpec::Hypercube(d) => write!(f, "hypercube:{d}"),
+            GraphSpec::Tree(a, d) => write!(f, "tree:{a}:{d}"),
+            GraphSpec::RandomTree(n, s) => write!(f, "randtree:{n}:{s}"),
+            GraphSpec::ErdosRenyi(n, p, s) => write!(f, "er:{n}:{p}:{s}"),
+            GraphSpec::Barbell(k, b) => write!(f, "barbell:{k}:{b}"),
+        }
+    }
+}
+
+/// Error parsing a [`GraphSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    message: String,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid graph spec: {}", self.message)
+    }
+}
+
+impl Error for WorkloadError {}
+
+impl WorkloadError {
+    fn new(message: impl Into<String>) -> Self {
+        WorkloadError {
+            message: message.into(),
+        }
+    }
+}
+
+impl FromStr for GraphSpec {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, WorkloadError> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let usize_arg = |i: usize| -> Result<usize, WorkloadError> {
+            rest.get(i)
+                .ok_or_else(|| WorkloadError::new(format!("{kind}: missing argument {i}")))?
+                .parse()
+                .map_err(|_| WorkloadError::new(format!("{kind}: bad integer '{}'", rest[i])))
+        };
+        let u64_arg = |i: usize| -> Result<u64, WorkloadError> {
+            rest.get(i)
+                .ok_or_else(|| WorkloadError::new(format!("{kind}: missing argument {i}")))?
+                .parse()
+                .map_err(|_| WorkloadError::new(format!("{kind}: bad integer '{}'", rest[i])))
+        };
+        let expect_args = |n: usize| -> Result<(), WorkloadError> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(WorkloadError::new(format!(
+                    "{kind}: expected {n} argument(s), got {}",
+                    rest.len()
+                )))
+            }
+        };
+        match kind {
+            "path" => {
+                expect_args(1)?;
+                Ok(GraphSpec::Path(usize_arg(0)?))
+            }
+            "cycle" => {
+                expect_args(1)?;
+                Ok(GraphSpec::Cycle(usize_arg(0)?))
+            }
+            "clique" => {
+                expect_args(1)?;
+                Ok(GraphSpec::Clique(usize_arg(0)?))
+            }
+            "star" => {
+                expect_args(1)?;
+                Ok(GraphSpec::Star(usize_arg(0)?))
+            }
+            "grid" | "torus" => {
+                expect_args(1)?;
+                let dims = rest[0]
+                    .split_once('x')
+                    .ok_or_else(|| WorkloadError::new(format!("{kind}: expected RxC")))?;
+                let r = dims.0.parse().map_err(|_| WorkloadError::new("bad rows"))?;
+                let c = dims.1.parse().map_err(|_| WorkloadError::new("bad cols"))?;
+                Ok(if kind == "grid" {
+                    GraphSpec::Grid(r, c)
+                } else {
+                    GraphSpec::Torus(r, c)
+                })
+            }
+            "hypercube" => {
+                expect_args(1)?;
+                Ok(GraphSpec::Hypercube(usize_arg(0)? as u32))
+            }
+            "tree" => {
+                expect_args(2)?;
+                Ok(GraphSpec::Tree(usize_arg(0)?, usize_arg(1)? as u32))
+            }
+            "randtree" => {
+                expect_args(2)?;
+                Ok(GraphSpec::RandomTree(usize_arg(0)?, u64_arg(1)?))
+            }
+            "er" => {
+                expect_args(3)?;
+                Ok(GraphSpec::ErdosRenyi(
+                    usize_arg(0)?,
+                    usize_arg(1)? as u32,
+                    u64_arg(2)?,
+                ))
+            }
+            "barbell" => {
+                expect_args(2)?;
+                Ok(GraphSpec::Barbell(usize_arg(0)?, usize_arg(1)?))
+            }
+            other => Err(WorkloadError::new(format!("unknown graph kind '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [
+            "path:10",
+            "cycle:12",
+            "clique:8",
+            "star:9",
+            "grid:3x4",
+            "torus:3x5",
+            "hypercube:4",
+            "tree:2:3",
+            "randtree:20:7",
+            "er:16:300:7",
+            "barbell:4:2",
+        ] {
+            let spec: GraphSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s);
+            let g = spec.build();
+            assert!(g.node_count() > 0);
+            assert!(algo::is_connected(&g), "{s} must be connected");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for s in [
+            "", "wat:3", "path", "path:x", "grid:3", "grid:ax4", "path:1:2",
+        ] {
+            assert!(s.parse::<GraphSpec>().is_err(), "{s} should fail");
+        }
+        let e = "wat:3".parse::<GraphSpec>().unwrap_err();
+        assert!(e.to_string().contains("unknown graph kind"));
+    }
+
+    #[test]
+    fn diameters_match_families() {
+        assert_eq!(GraphSpec::Path(10).diameter(), 9);
+        assert_eq!(GraphSpec::Clique(10).diameter(), 1);
+        assert_eq!(GraphSpec::Grid(3, 4).diameter(), 5);
+    }
+
+    #[test]
+    fn standard_suite_is_connected_and_ordered() {
+        for quick in [true, false] {
+            let suite = GraphSpec::standard_suite(quick);
+            assert!(!suite.is_empty());
+            for spec in suite {
+                assert!(algo::is_connected(&spec.build()), "{spec}");
+            }
+        }
+        assert!(GraphSpec::standard_suite(false).len() > GraphSpec::standard_suite(true).len());
+    }
+
+    #[test]
+    fn random_specs_are_reproducible() {
+        let a = GraphSpec::RandomTree(30, 5).build();
+        let b = GraphSpec::RandomTree(30, 5).build();
+        assert_eq!(a, b);
+        let c = GraphSpec::RandomTree(30, 6).build();
+        assert_ne!(a, c);
+    }
+}

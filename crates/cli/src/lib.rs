@@ -1,0 +1,685 @@
+//! Implementation of the `bfw` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `bfw run --graph <spec>` — run one leader election and report the
+//!   outcome;
+//! * `bfw trace --graph <spec>` — print the ASCII beep-wave trace of an
+//!   execution (see [`bfw_core::viz`]);
+//! * `bfw graph <spec>` — print topology facts (n, m, diameter, degree
+//!   stats);
+//! * `bfw experiment <name> ...` — run one of the paper-reproduction
+//!   experiments (same registry as the `experiments` binary).
+//!
+//! Graph specs use the compact [`GraphSpec`] syntax, e.g. `path:64`,
+//! `grid:8x8`, `er:100:120:7`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bfw_bench::{experiments, ExpConfig, GraphSpec};
+use bfw_core::{theory, viz, Bfw, InitialConfig};
+use bfw_graph::{algo, NodeId};
+use bfw_sim::{observe_run, run_election, ElectionConfig, Network, TraceRecorder};
+use std::fmt::Write as _;
+
+/// A parsed command, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bfw run`
+    Run {
+        /// Workload.
+        spec: GraphSpec,
+        /// Beep probability; `None` means "use 1/(D+1)" (Theorem 3).
+        p: Option<f64>,
+        /// RNG seed.
+        seed: u64,
+        /// Round budget.
+        max_rounds: u64,
+        /// Post-convergence stability rounds.
+        stability: u64,
+    },
+    /// `bfw trace`
+    Trace {
+        /// Workload (paths/cycles render best).
+        spec: GraphSpec,
+        /// Beep probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Rounds to render.
+        rounds: u64,
+        /// Start with leaders only at the path ends (§5 duel).
+        duel: bool,
+    },
+    /// `bfw graph`
+    Graph {
+        /// Workload to describe.
+        spec: GraphSpec,
+    },
+    /// `bfw invariants`
+    Invariants {
+        /// Workload to audit.
+        spec: GraphSpec,
+        /// Beep probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Rounds to audit.
+        rounds: u64,
+    },
+    /// `bfw experiment`
+    Experiment {
+        /// Experiment names (empty = all).
+        names: Vec<String>,
+        /// Reduced sizes.
+        quick: bool,
+        /// Trials per point.
+        trials: Option<usize>,
+        /// Base seed.
+        seed: Option<u64>,
+    },
+    /// `bfw help`
+    Help,
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    let names: Vec<&str> = experiments::all().iter().map(|(n, _)| *n).collect();
+    format!(
+        "bfw — Minimalist Leader Election Under Weak Communication (PODC 2025) reproduction
+
+usage:
+  bfw run --graph SPEC [--p P | --known-d] [--seed S] [--max-rounds N] [--stability N]
+  bfw trace --graph SPEC [--p P] [--seed S] [--rounds N] [--duel]
+  bfw graph SPEC
+  bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
+  bfw experiment [NAME ...] [--quick] [--trials N] [--seed S]
+  bfw help
+
+graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
+             tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
+experiments: {}",
+        names.join(", ")
+    )
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, flags or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => parse_run(rest),
+        "trace" => parse_trace(rest),
+        "graph" => {
+            let [spec] = rest else {
+                return Err("graph takes exactly one SPEC argument".to_owned());
+            };
+            Ok(Command::Graph {
+                spec: spec.parse().map_err(|e| format!("{e}"))?,
+            })
+        }
+        "invariants" => parse_invariants(rest),
+        "experiment" => parse_experiment(rest),
+        other => Err(format!("unknown command '{other}'; try 'bfw help'")),
+    }
+}
+
+fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_run(args: &[String]) -> Result<Command, String> {
+    let mut spec = None;
+    let mut p = Some(0.5);
+    let mut seed = 0;
+    let mut max_rounds = 10_000_000;
+    let mut stability = 1_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graph" => {
+                spec = Some(
+                    take_value("--graph", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--p" => {
+                p = Some(
+                    take_value("--p", &mut it)?
+                        .parse()
+                        .map_err(|_| "--p needs a number in (0, 1)".to_owned())?,
+                )
+            }
+            "--known-d" => p = None,
+            "--seed" => seed = parse_int(take_value("--seed", &mut it)?, "--seed")?,
+            "--max-rounds" => {
+                max_rounds = parse_int(take_value("--max-rounds", &mut it)?, "--max-rounds")?
+            }
+            "--stability" => {
+                stability = parse_int(take_value("--stability", &mut it)?, "--stability")?
+            }
+            other => return Err(format!("run: unknown flag {other}")),
+        }
+    }
+    let spec = spec.ok_or("run: --graph SPEC is required")?;
+    Ok(Command::Run {
+        spec,
+        p,
+        seed,
+        max_rounds,
+        stability,
+    })
+}
+
+fn parse_trace(args: &[String]) -> Result<Command, String> {
+    let mut spec = None;
+    let mut p = 0.5;
+    let mut seed = 0;
+    let mut rounds = 40;
+    let mut duel = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graph" => {
+                spec = Some(
+                    take_value("--graph", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--p" => {
+                p = take_value("--p", &mut it)?
+                    .parse()
+                    .map_err(|_| "--p needs a number in (0, 1)".to_owned())?
+            }
+            "--seed" => seed = parse_int(take_value("--seed", &mut it)?, "--seed")?,
+            "--rounds" => rounds = parse_int(take_value("--rounds", &mut it)?, "--rounds")?,
+            "--duel" => duel = true,
+            other => return Err(format!("trace: unknown flag {other}")),
+        }
+    }
+    let spec = spec.ok_or("trace: --graph SPEC is required")?;
+    Ok(Command::Trace {
+        spec,
+        p,
+        seed,
+        rounds,
+        duel,
+    })
+}
+
+fn parse_invariants(args: &[String]) -> Result<Command, String> {
+    let mut spec = None;
+    let mut p = 0.5;
+    let mut seed = 0;
+    let mut rounds = 1_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graph" => {
+                spec = Some(
+                    take_value("--graph", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--p" => {
+                p = take_value("--p", &mut it)?
+                    .parse()
+                    .map_err(|_| "--p needs a number in (0, 1)".to_owned())?
+            }
+            "--seed" => seed = parse_int(take_value("--seed", &mut it)?, "--seed")?,
+            "--rounds" => rounds = parse_int(take_value("--rounds", &mut it)?, "--rounds")?,
+            other => return Err(format!("invariants: unknown flag {other}")),
+        }
+    }
+    let spec = spec.ok_or("invariants: --graph SPEC is required")?;
+    Ok(Command::Invariants {
+        spec,
+        p,
+        seed,
+        rounds,
+    })
+}
+
+fn parse_experiment(args: &[String]) -> Result<Command, String> {
+    let mut names = Vec::new();
+    let mut quick = false;
+    let mut trials = None;
+    let mut seed = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trials" => {
+                trials = Some(parse_int(take_value("--trials", &mut it)?, "--trials")? as usize)
+            }
+            "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            flag if flag.starts_with('-') => {
+                return Err(format!("experiment: unknown flag {flag}"))
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    Ok(Command::Experiment {
+        names,
+        quick,
+        trials,
+        seed,
+    })
+}
+
+fn parse_int(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs an integer, got '{s}'"))
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message when the underlying election or experiment fails
+/// (e.g. budget exhausted, unknown experiment name).
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::Graph { spec } => Ok(describe_graph(&spec)),
+        Command::Run {
+            spec,
+            p,
+            seed,
+            max_rounds,
+            stability,
+        } => run_one(&spec, p, seed, max_rounds, stability),
+        Command::Trace {
+            spec,
+            p,
+            seed,
+            rounds,
+            duel,
+        } => trace_one(&spec, p, seed, rounds, duel),
+        Command::Invariants {
+            spec,
+            p,
+            seed,
+            rounds,
+        } => audit_one(&spec, p, seed, rounds),
+        Command::Experiment {
+            names,
+            quick,
+            trials,
+            seed,
+        } => {
+            let mut cfg = if quick {
+                ExpConfig::quick()
+            } else {
+                ExpConfig::full()
+            };
+            if let Some(t) = trials {
+                cfg.trials = t;
+            }
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let registry = experiments::all();
+            let selected: Vec<_> = if names.is_empty() {
+                registry
+            } else {
+                names
+                    .iter()
+                    .map(|n| {
+                        registry
+                            .iter()
+                            .find(|(name, _)| name == n)
+                            .copied()
+                            .ok_or(format!("unknown experiment '{n}'"))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            let mut out = String::new();
+            for (_, runner) in selected {
+                let _ = writeln!(out, "{}", runner(&cfg).to_markdown());
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn describe_graph(spec: &GraphSpec) -> String {
+    let g = spec.build();
+    let mut out = String::new();
+    let _ = writeln!(out, "spec:      {spec}");
+    let _ = writeln!(out, "nodes:     {}", g.node_count());
+    let _ = writeln!(out, "edges:     {}", g.edge_count());
+    let _ = writeln!(out, "connected: {}", algo::is_connected(&g));
+    match algo::diameter(&g) {
+        Some(d) => {
+            let _ = writeln!(out, "diameter:  {d}");
+            let _ = writeln!(
+                out,
+                "thm2 ref:  D²·ln n = {:.1} rounds",
+                theory::BfwChainTheory::theorem2_reference(d, g.node_count())
+            );
+        }
+        None => {
+            let _ = writeln!(out, "diameter:  n/a (disconnected)");
+        }
+    }
+    if let Some(ds) = algo::degree_stats(&g) {
+        let _ = writeln!(
+            out,
+            "degrees:   min {} / mean {:.2} / max {}",
+            ds.min, ds.mean, ds.max
+        );
+    }
+    out
+}
+
+fn run_one(
+    spec: &GraphSpec,
+    p: Option<f64>,
+    seed: u64,
+    max_rounds: u64,
+    stability: u64,
+) -> Result<String, String> {
+    let topology = spec.topology();
+    let p = match p {
+        Some(p) => p,
+        None => {
+            let d = spec.diameter();
+            1.0 / (f64::from(d) + 1.0)
+        }
+    };
+    if !(p > 0.0 && p < 1.0) {
+        return Err(format!("p must be in (0, 1), got {p}"));
+    }
+    let outcome = run_election(
+        Bfw::new(p),
+        topology,
+        seed,
+        ElectionConfig::new(max_rounds).with_stability_check(stability),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "graph:            {spec}");
+    let _ = writeln!(out, "p:                {p}");
+    let _ = writeln!(out, "seed:             {seed}");
+    let _ = writeln!(out, "leader:           node {}", outcome.leader);
+    let _ = writeln!(out, "converged round:  {}", outcome.converged_round);
+    let _ = writeln!(out, "total beeps:      {}", outcome.total_beeps);
+    let _ = writeln!(
+        out,
+        "stability:        {}",
+        if stability == 0 {
+            "not checked".to_owned()
+        } else if outcome.stable {
+            format!("leader unchanged for {stability} extra rounds")
+        } else {
+            "VIOLATED".to_owned()
+        }
+    );
+    Ok(out)
+}
+
+fn audit_one(spec: &GraphSpec, p: f64, seed: u64, rounds: u64) -> Result<String, String> {
+    use bfw_core::{flow, FlowAuditor, InvariantChecker};
+    use bfw_sim::ObserverSet;
+    use rand::SeedableRng as _;
+
+    if !(p > 0.0 && p < 1.0) {
+        return Err(format!("p must be in (0, 1), got {p}"));
+    }
+    let graph = spec.build();
+    let n = graph.node_count();
+    if n == 0 {
+        return Err("cannot audit an empty graph".to_owned());
+    }
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xA0D1);
+    let mut auditor = FlowAuditor::new(n);
+    for _ in 0..6 {
+        let start = NodeId::new(rand::Rng::random_range(&mut rng, 0..n));
+        if let Some(path) = flow::random_walk_path(&graph, start, 12, &mut rng) {
+            auditor.register_path(path);
+        }
+    }
+    let checker = InvariantChecker::new(&graph).with_lemma11(n <= 64);
+    let mut combo = ObserverSet::new(auditor, checker);
+    let mut net = Network::new(Bfw::new(p), graph.into(), seed);
+    observe_run(&mut net, &mut combo, rounds, |_| false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "audited {spec} for {rounds} rounds (p = {p}, seed = {seed}):"
+    );
+    let _ = writeln!(
+        out,
+        "  flow theory (Ohm's law / Lemma 7 / Lemma 11): {} checks, {} violation(s)",
+        combo.first.checks_performed(),
+        combo.first.violations().len()
+    );
+    let _ = writeln!(
+        out,
+        "  invariants (Claim 6 / Lemma 9 / monotonicity): {} rounds, {} violation(s)",
+        combo.second.report().rounds_checked(),
+        combo.second.report().violations().len()
+    );
+    for v in combo
+        .first
+        .violations()
+        .iter()
+        .chain(combo.second.report().violations())
+    {
+        let _ = writeln!(out, "  !! {v}");
+    }
+    if combo.first.violations().is_empty() && combo.second.report().is_clean() {
+        let _ = writeln!(out, "  all clean — Section 3 holds on this execution.");
+    }
+    Ok(out)
+}
+
+fn trace_one(
+    spec: &GraphSpec,
+    p: f64,
+    seed: u64,
+    rounds: u64,
+    duel: bool,
+) -> Result<String, String> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(format!("p must be in (0, 1), got {p}"));
+    }
+    let topology = spec.topology();
+    let n = topology.node_count();
+    if n == 0 {
+        return Err("cannot trace an empty graph".to_owned());
+    }
+    let mut protocol = Bfw::new(p);
+    if duel {
+        protocol = protocol.with_initial_config(InitialConfig::Nodes(vec![
+            NodeId::new(0),
+            NodeId::new(n - 1),
+        ]));
+    }
+    let mut net = Network::new(protocol, topology, seed);
+    let mut trace = TraceRecorder::new();
+    observe_run(&mut net, &mut trace, rounds, |_| false);
+    let mut out = String::new();
+    let _ = writeln!(out, "{spec}, p = {p}, seed = {seed} (legend below)\n");
+    out.push_str(&viz::render_trace(&trace));
+    let _ = writeln!(out, "\n{}", viz::legend());
+    let _ = writeln!(
+        out,
+        "\nleaders remaining after round {}: {}",
+        net.round(),
+        net.leader_count()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(&argv("")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_run_defaults_and_flags() {
+        let cmd = parse(&argv("run --graph cycle:8")).unwrap();
+        match cmd {
+            Command::Run { spec, p, seed, .. } => {
+                assert_eq!(spec, GraphSpec::Cycle(8));
+                assert_eq!(p, Some(0.5));
+                assert_eq!(seed, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "run --graph path:9 --known-d --seed 7 --max-rounds 100",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                p,
+                seed,
+                max_rounds,
+                ..
+            } => {
+                assert_eq!(p, None);
+                assert_eq!(seed, 7);
+                assert_eq!(max_rounds, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse(&argv("run")).unwrap_err().contains("--graph"));
+        assert!(parse(&argv("run --graph nope:1"))
+            .unwrap_err()
+            .contains("unknown graph kind"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&argv("run --p"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&argv("graph a b"))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&argv("experiment --bogus"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn execute_run_on_small_cycle() {
+        let out = execute(Command::Run {
+            spec: GraphSpec::Cycle(8),
+            p: Some(0.5),
+            seed: 1,
+            max_rounds: 100_000,
+            stability: 100,
+        })
+        .unwrap();
+        assert!(out.contains("leader:"), "{out}");
+        assert!(out.contains("converged round:"), "{out}");
+        assert!(out.contains("unchanged"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_known_d() {
+        let out = execute(Command::Run {
+            spec: GraphSpec::Path(9),
+            p: None,
+            seed: 1,
+            max_rounds: 1_000_000,
+            stability: 0,
+        })
+        .unwrap();
+        assert!(out.contains("p:                0.1111"), "{out}");
+    }
+
+    #[test]
+    fn execute_trace_duel() {
+        let out = execute(Command::Trace {
+            spec: GraphSpec::Path(9),
+            p: 0.5,
+            seed: 3,
+            rounds: 10,
+            duel: true,
+        })
+        .unwrap();
+        assert!(out.contains("L.......L"), "{out}"); // 9 nodes: ends + 7 waiting
+        assert!(out.contains("W•"), "{out}");
+    }
+
+    #[test]
+    fn execute_graph_describes_topology() {
+        let out = execute(Command::Graph {
+            spec: GraphSpec::Grid(3, 4),
+        })
+        .unwrap();
+        assert!(out.contains("nodes:     12"), "{out}");
+        assert!(out.contains("diameter:  5"), "{out}");
+    }
+
+    #[test]
+    fn execute_unknown_experiment_fails() {
+        let err = execute(Command::Experiment {
+            names: vec!["nope".into()],
+            quick: true,
+            trials: Some(1),
+            seed: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn usage_lists_experiments() {
+        let u = usage();
+        assert!(u.contains("table1"));
+        assert!(u.contains("bfw run"));
+        assert!(u.contains("bfw invariants"));
+    }
+
+    #[test]
+    fn parse_and_execute_invariants() {
+        let cmd = parse(&argv("invariants --graph cycle:10 --rounds 200 --seed 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Invariants {
+                spec: GraphSpec::Cycle(10),
+                p: 0.5,
+                seed: 4,
+                rounds: 200
+            }
+        );
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("all clean"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
+    }
+
+    #[test]
+    fn invariants_requires_graph() {
+        assert!(parse(&argv("invariants")).unwrap_err().contains("--graph"));
+    }
+}

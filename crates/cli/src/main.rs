@@ -1,0 +1,18 @@
+//! `bfw` — command-line front-end for the BFW reproduction. See
+//! `bfw help` or the crate docs of [`bfw_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bfw_cli::parse(&args).and_then(bfw_cli::execute) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

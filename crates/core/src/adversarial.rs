@@ -1,0 +1,202 @@
+//! The Section 5 robustness obstacle, made executable.
+//!
+//! The paper's discussion explains why BFW is **not** self-stabilizing:
+//! if the initial configuration were arbitrary (instead of Eq. (2)'s
+//! all-waiting-with-a-leader), it "could include persistent and
+//! deterministic beep waves traveling along cycles of the graph, while
+//! no leader would be present in the network", and such waves are
+//! locally indistinguishable from legitimate leader-emitted ones.
+//!
+//! This module constructs exactly those configurations:
+//!
+//! * [`leaderless_wave_cycle`] — `k` co-directional phantom waves on a
+//!   cycle, which circulate **forever** with period `n` and zero
+//!   leaders (verified in tests for thousands of rounds);
+//! * [`dead_configuration`] — the all-`W◦` configuration: perfectly
+//!   silent, perfectly stable, and leaderless — the other absorbing
+//!   failure mode an arbitrary start can reach.
+//!
+//! Together they witness that Eq. (2) is not a proof convenience but a
+//! real assumption: relaxing it breaks eventual leader election, which
+//! is why the paper leaves a "simple but more robust rule" as an open
+//! question.
+
+use crate::state::BfwState;
+
+/// Builds a leaderless configuration of `wave_count` co-directional
+/// phantom beep waves, equally spaced on a cycle of `n` nodes
+/// (node `i` adjacent to `i±1 mod n`).
+///
+/// Each wave is the two-node pattern `F◦ B◦` (trailing frozen node,
+/// beeping front) followed by waiting nodes. Under BFW's transitions
+/// the front advances one node per round; the frozen tail prevents
+/// backward propagation — exactly like a legitimate wave, except no
+/// leader emitted it and none exists.
+///
+/// # Panics
+///
+/// Panics if `wave_count == 0`, if `n < 3 · wave_count` (waves need
+/// `≥ 3` nodes of spacing to avoid annihilating), or if `n` is not a
+/// multiple of `wave_count` (equal spacing keeps the configuration
+/// periodic).
+///
+/// # Example
+///
+/// ```
+/// use bfw_core::adversarial::leaderless_wave_cycle;
+/// use bfw_core::BfwState;
+///
+/// let config = leaderless_wave_cycle(6, 1);
+/// assert_eq!(config[0], BfwState::Frozen);
+/// assert_eq!(config[1], BfwState::Beeping);
+/// assert!(config.iter().all(|s| !s.is_leader()));
+/// ```
+pub fn leaderless_wave_cycle(n: usize, wave_count: usize) -> Vec<BfwState> {
+    assert!(wave_count > 0, "at least one wave is required");
+    assert!(
+        n >= 3 * wave_count,
+        "waves need at least 3 nodes of spacing (n = {n}, waves = {wave_count})"
+    );
+    assert!(
+        n.is_multiple_of(wave_count),
+        "n = {n} must be a multiple of wave_count = {wave_count} for equal spacing"
+    );
+    let spacing = n / wave_count;
+    let mut config = vec![BfwState::Waiting; n];
+    for w in 0..wave_count {
+        let base = w * spacing;
+        config[base] = BfwState::Frozen;
+        config[base + 1] = BfwState::Beeping;
+    }
+    config
+}
+
+/// The all-`W◦` configuration: no leader, no beep, ever — the silent
+/// absorbing failure state reachable from arbitrary starts (e.g. after
+/// two phantom waves annihilate on a path).
+pub fn dead_configuration(n: usize) -> Vec<BfwState> {
+    vec![BfwState::Waiting; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Bfw;
+    use bfw_graph::generators;
+    use bfw_sim::Network;
+
+    #[test]
+    fn single_phantom_wave_circulates_forever() {
+        let n = 9;
+        let config = leaderless_wave_cycle(n, 1);
+        let mut net = Network::with_states(
+            Bfw::new(0.5),
+            generators::cycle(n).into(),
+            7,
+            config.clone(),
+        );
+        for round in 1..=(10 * n as u64) {
+            net.step();
+            assert_eq!(
+                net.states().iter().filter(|s| s.is_leader()).count(),
+                0,
+                "round {round}: a leader appeared from nowhere"
+            );
+            assert_eq!(
+                net.beeping_node_count(),
+                1,
+                "round {round}: the wave should persist as exactly one beeping node"
+            );
+        }
+        // The configuration is periodic with period n.
+        let mut replay =
+            Network::with_states(Bfw::new(0.5), generators::cycle(n).into(), 7, config);
+        let start = replay.states().to_vec();
+        replay.run(n as u64);
+        assert_eq!(replay.states(), &start[..], "period must be exactly n");
+    }
+
+    #[test]
+    fn wave_advances_one_node_per_round() {
+        let n = 12;
+        let mut net = Network::with_states(
+            Bfw::new(0.5),
+            generators::cycle(n).into(),
+            0,
+            leaderless_wave_cycle(n, 1),
+        );
+        // Beeping front starts at node 1 and advances by one per round.
+        for round in 0..(2 * n) {
+            let front = net
+                .beep_flags()
+                .iter()
+                .position(|&b| b)
+                .expect("the wave front is always beeping");
+            assert_eq!(front, (1 + round) % n, "round {round}");
+            net.step();
+        }
+    }
+
+    #[test]
+    fn multiple_phantom_waves_coexist() {
+        let n = 12;
+        for waves in [2usize, 3, 4] {
+            let mut net = Network::with_states(
+                Bfw::new(0.5),
+                generators::cycle(n).into(),
+                3,
+                leaderless_wave_cycle(n, waves),
+            );
+            for _ in 0..(5 * n as u64) {
+                net.step();
+                assert_eq!(net.beeping_node_count(), waves);
+                assert_eq!(net.leader_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_configuration_is_absorbing() {
+        let n = 8;
+        let mut net = Network::with_states(
+            Bfw::new(0.5),
+            generators::cycle(n).into(),
+            5,
+            dead_configuration(n),
+        );
+        for _ in 0..500 {
+            net.step();
+            assert_eq!(net.beeping_node_count(), 0);
+            assert_eq!(net.leader_count(), 0);
+        }
+    }
+
+    #[test]
+    fn legitimate_start_is_immune() {
+        // Contrast: from Eq. (2) configurations Lemma 9 applies and
+        // phantom behaviour is impossible (leaders exist forever).
+        let mut net = Network::new(Bfw::new(0.5), generators::cycle(9).into(), 5);
+        for _ in 0..500 {
+            net.step();
+            assert!(net.leader_count() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn wave_spacing_validated() {
+        let _ = leaderless_wave_cycle(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn wave_divisibility_validated() {
+        let _ = leaderless_wave_cycle(10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wave")]
+    fn zero_waves_rejected() {
+        let _ = leaderless_wave_cycle(6, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The **BFW** leader-election protocol of *"Minimalist Leader Election
+//! Under Weak Communication"* (Robin Vacus & Isabella Ziccardi,
+//! PODC 2025), together with the paper's flow theory as executable
+//! checks.
+//!
+//! BFW (Beep / Frozen / Waiting) solves *Eventual Leader Election*
+//! (Definition 1) in the beeping model on any connected graph, using
+//! only **six states**, no identifiers, and no knowledge of the network:
+//!
+//! * every node starts as a leader in state `W•`;
+//! * an undisturbed leader beeps with probability `p` each round;
+//! * hearing a beep turns a waiting node into a beeping non-leader
+//!   (`B◦`) — this both *eliminates* waiting leaders and *propagates*
+//!   the wave;
+//! * after beeping, a node is *frozen* (`F`) for exactly one round, which
+//!   makes waves directional: they never reflect back toward their
+//!   origin.
+//!
+//! The paper proves (Theorem 2) that a single leader remains within
+//! `O(D² log n)` rounds w.h.p., improved to `O(D log n)` when the
+//! diameter is known (Theorem 3, `p = 1/(D+1)`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bfw_core::Bfw;
+//! use bfw_sim::{run_election, ElectionConfig};
+//! use bfw_graph::generators;
+//!
+//! let outcome = run_election(
+//!     Bfw::new(0.5),
+//!     generators::cycle(32).into(),
+//!     42,
+//!     ElectionConfig::new(100_000).with_stability_check(1_000),
+//! )?;
+//! println!("leader {} elected in {} rounds", outcome.leader, outcome.converged_round);
+//! assert!(outcome.stable);
+//! # Ok::<(), bfw_sim::SimError>(())
+//! ```
+//!
+//! # Module map
+//!
+//! | module | paper section |
+//! |--------|---------------|
+//! | [`state`] | Figure 1 (the six states and `δ⊥`/`δ⊤`) |
+//! | [`protocol`] | Section 1.2 (algorithm), Theorem 3 variant, ablations |
+//! | [`flow`] | Section 3 (Definition 5, Lemma 7, Corollary 8) |
+//! | [`invariants`] | Claim 6, Lemma 9, Lemma 11, Lemma 12 as runtime checks |
+//! | [`theory`] | Eq. (15)/(16) closed forms, Theorem 2/3 reference curves |
+//! | [`viz`] | beep-wave rendering for path topologies |
+//! | [`adversarial`] | Section 5's leaderless phantom waves (why BFW is not self-stabilizing) |
+//! | [`termination`] | footnote 4: termination detection from known `n`, `D` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod flow;
+pub mod invariants;
+pub mod protocol;
+pub mod state;
+pub mod termination;
+pub mod theory;
+pub mod viz;
+
+pub use flow::{edge_flow, path_flow, random_walk_path, FlowAuditor};
+pub use invariants::{InvariantChecker, InvariantReport};
+pub use protocol::{Bfw, BfwNoFreeze, InitialConfig, NoFreezeState};
+pub use state::{delta, BfwState};
+pub use termination::{BfwWithTermination, TerminationState};

@@ -1,0 +1,280 @@
+//! The six states of Figure 1 and the pure transition function.
+
+use std::fmt;
+
+/// One of the six states of the BFW state machine (Figure 1).
+///
+/// Leader states carry a filled bullet in the paper (`W•`, `B•`, `F•`);
+/// non-leader states an empty one (`W◦`, `B◦`, `F◦`). `B` stands for
+/// *Beeping*, `F` for *Frozen*, `W` for *Waiting*. The beeping set is
+/// `Q_b = {B•, B◦}`; the leader set of Definition 1 is
+/// `L = {W•, B•, F•}`. The starting state is `W•`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BfwState {
+    /// `W•` — waiting leader (the initial state `q_s`).
+    LeaderWaiting,
+    /// `B•` — beeping leader.
+    LeaderBeeping,
+    /// `F•` — frozen leader (one round after a beep).
+    LeaderFrozen,
+    /// `W◦` — waiting non-leader.
+    Waiting,
+    /// `B◦` — beeping non-leader (wave propagation / fresh elimination).
+    Beeping,
+    /// `F◦` — frozen non-leader.
+    Frozen,
+}
+
+impl BfwState {
+    /// All six states, leaders first (useful for exhaustive tests).
+    pub const ALL: [BfwState; 6] = [
+        BfwState::LeaderWaiting,
+        BfwState::LeaderBeeping,
+        BfwState::LeaderFrozen,
+        BfwState::Waiting,
+        BfwState::Beeping,
+        BfwState::Frozen,
+    ];
+
+    /// Returns `true` if the state belongs to the leader set
+    /// `L = {W•, B•, F•}`.
+    #[inline]
+    pub const fn is_leader(self) -> bool {
+        matches!(
+            self,
+            BfwState::LeaderWaiting | BfwState::LeaderBeeping | BfwState::LeaderFrozen
+        )
+    }
+
+    /// Returns `true` if the state belongs to the beeping set
+    /// `Q_b = {B•, B◦}`.
+    #[inline]
+    pub const fn beeps(self) -> bool {
+        matches!(self, BfwState::LeaderBeeping | BfwState::Beeping)
+    }
+
+    /// Returns `true` for the waiting states `{W•, W◦}` (the set `W_t`
+    /// of Section 2).
+    #[inline]
+    pub const fn is_waiting(self) -> bool {
+        matches!(self, BfwState::LeaderWaiting | BfwState::Waiting)
+    }
+
+    /// Returns `true` for the frozen states `{F•, F◦}` (the set `F_t`).
+    #[inline]
+    pub const fn is_frozen(self) -> bool {
+        matches!(self, BfwState::LeaderFrozen | BfwState::Frozen)
+    }
+
+    /// Returns the paper's symbol for the state (`W•`, `B◦`, …).
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            BfwState::LeaderWaiting => "W•",
+            BfwState::LeaderBeeping => "B•",
+            BfwState::LeaderFrozen => "F•",
+            BfwState::Waiting => "W◦",
+            BfwState::Beeping => "B◦",
+            BfwState::Frozen => "F◦",
+        }
+    }
+}
+
+impl fmt::Display for BfwState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The transition function of Figure 1 as a pure function.
+///
+/// `heard` selects between `δ⊤` (`true`) and `δ⊥` (`false`); `coin` is
+/// the outcome of the Bernoulli(`p`) draw, consulted **only** for the
+/// single randomized transition `δ⊥(W•)`.
+///
+/// The transitions, exactly as drawn in Figure 1:
+///
+/// | state | `δ⊥` (silence)            | `δ⊤` (beep heard) |
+/// |-------|---------------------------|-------------------|
+/// | `W•`  | `B•` w.p. `p`, else `W•`  | `B◦` (eliminated) |
+/// | `B•`  | — (always hears itself)   | `F•`              |
+/// | `F•`  | `W•`                      | `W•` (frozen: ignores environment) |
+/// | `W◦`  | `W◦`                      | `B◦`              |
+/// | `B◦`  | — (always hears itself)   | `F◦`              |
+/// | `F◦`  | `W◦`                      | `W◦`              |
+///
+/// Beeping states only ever see `heard = true` under the model's
+/// semantics (a beeping node hears its own beep); this function still
+/// totalizes them to the `δ⊤` outcome so it is safe on any input.
+#[inline]
+pub const fn delta(state: BfwState, heard: bool, coin: bool) -> BfwState {
+    match (state, heard) {
+        // δ⊥(W•): the only randomized transition.
+        (BfwState::LeaderWaiting, false) => {
+            if coin {
+                BfwState::LeaderBeeping
+            } else {
+                BfwState::LeaderWaiting
+            }
+        }
+        // δ⊤(W•): a non-frozen leader hearing a beep is eliminated and
+        // relays the wave.
+        (BfwState::LeaderWaiting, true) => BfwState::Beeping,
+        // After any beep the node freezes for one round.
+        (BfwState::LeaderBeeping, _) => BfwState::LeaderFrozen,
+        (BfwState::Beeping, _) => BfwState::Frozen,
+        // Frozen nodes ignore their environment entirely.
+        (BfwState::LeaderFrozen, _) => BfwState::LeaderWaiting,
+        (BfwState::Frozen, _) => BfwState::Waiting,
+        // Waiting non-leaders relay waves.
+        (BfwState::Waiting, true) => BfwState::Beeping,
+        (BfwState::Waiting, false) => BfwState::Waiting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// E1: the exhaustive transition table of Figure 1 — all 6 states ×
+    /// {heard, silent} × {coin, no-coin}.
+    #[test]
+    fn figure1_transition_table() {
+        use BfwState::*;
+        let table: [(BfwState, bool, bool, BfwState); 24] = [
+            // (state, heard, coin, expected)
+            (LeaderWaiting, false, false, LeaderWaiting),
+            (LeaderWaiting, false, true, LeaderBeeping),
+            (LeaderWaiting, true, false, Beeping),
+            (LeaderWaiting, true, true, Beeping),
+            (LeaderBeeping, true, false, LeaderFrozen),
+            (LeaderBeeping, true, true, LeaderFrozen),
+            (LeaderBeeping, false, false, LeaderFrozen), // defensive totalization
+            (LeaderBeeping, false, true, LeaderFrozen),
+            (LeaderFrozen, false, false, LeaderWaiting),
+            (LeaderFrozen, false, true, LeaderWaiting),
+            (LeaderFrozen, true, false, LeaderWaiting),
+            (LeaderFrozen, true, true, LeaderWaiting),
+            (Waiting, false, false, Waiting),
+            (Waiting, false, true, Waiting),
+            (Waiting, true, false, Beeping),
+            (Waiting, true, true, Beeping),
+            (Beeping, true, false, Frozen),
+            (Beeping, true, true, Frozen),
+            (Beeping, false, false, Frozen),
+            (Beeping, false, true, Frozen),
+            (Frozen, false, false, Waiting),
+            (Frozen, false, true, Waiting),
+            (Frozen, true, false, Waiting),
+            (Frozen, true, true, Waiting),
+        ];
+        for (s, heard, coin, expected) in table {
+            assert_eq!(
+                delta(s, heard, coin),
+                expected,
+                "delta({s}, {heard}, {coin})"
+            );
+        }
+    }
+
+    #[test]
+    fn state_predicates_partition() {
+        for s in BfwState::ALL {
+            // Exactly one of waiting / beeping / frozen.
+            let flags = [s.is_waiting(), s.beeps(), s.is_frozen()]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            assert_eq!(flags, 1, "{s} must be in exactly one of W/B/F");
+        }
+        assert_eq!(BfwState::ALL.iter().filter(|s| s.is_leader()).count(), 3);
+    }
+
+    #[test]
+    fn leader_set_matches_figure() {
+        use BfwState::*;
+        assert!(LeaderWaiting.is_leader());
+        assert!(LeaderBeeping.is_leader());
+        assert!(LeaderFrozen.is_leader());
+        assert!(!Waiting.is_leader());
+        assert!(!Beeping.is_leader());
+        assert!(!Frozen.is_leader());
+    }
+
+    #[test]
+    fn no_transition_creates_a_leader() {
+        // The protocol never turns a non-leader into a leader: leader
+        // count is monotone non-increasing (used by Lemma 9's proof and
+        // by our convergence detection).
+        for s in BfwState::ALL.iter().filter(|s| !s.is_leader()) {
+            for heard in [false, true] {
+                for coin in [false, true] {
+                    assert!(!delta(*s, heard, coin).is_leader());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_only_from_waiting_leader_hearing() {
+        // A leader leaves the leader set only via δ⊤(W•).
+        for s in BfwState::ALL.iter().filter(|s| s.is_leader()) {
+            for heard in [false, true] {
+                for coin in [false, true] {
+                    let next = delta(*s, heard, coin);
+                    if !next.is_leader() {
+                        assert_eq!(*s, BfwState::LeaderWaiting);
+                        assert!(heard);
+                        // And the eliminated leader relays the wave.
+                        assert_eq!(next, BfwState::Beeping);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beep_always_followed_by_freeze() {
+        // Claim 6 Eq. (4): u ∈ B_t ⇒ u ∈ F_{t+1}.
+        for s in BfwState::ALL.iter().filter(|s| s.beeps()) {
+            for heard in [false, true] {
+                for coin in [false, true] {
+                    assert!(delta(*s, heard, coin).is_frozen());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_always_followed_by_wait() {
+        // Claim 6 Eq. (5): u ∈ F_t ⇒ u ∈ W_{t+1}.
+        for s in BfwState::ALL.iter().filter(|s| s.is_frozen()) {
+            for heard in [false, true] {
+                for coin in [false, true] {
+                    assert!(delta(*s, heard, coin).is_waiting());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waiting_never_freezes_immediately() {
+        // Claim 6 Eq. (3): u ∈ W_t ⇒ u ∉ F_{t+1}.
+        for s in BfwState::ALL.iter().filter(|s| s.is_waiting()) {
+            for heard in [false, true] {
+                for coin in [false, true] {
+                    assert!(!delta(*s, heard, coin).is_frozen());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_and_display() {
+        assert_eq!(BfwState::LeaderWaiting.symbol(), "W•");
+        assert_eq!(BfwState::Beeping.to_string(), "B◦");
+        // Debug is non-empty for every state.
+        for s in BfwState::ALL {
+            assert!(!format!("{s:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The footnote 4 extension: termination detection from known `n`
+//! and `D`.
+//!
+//! Table 1's footnote observes that BFW with `p = 1/(D+1)` could,
+//! "assuming the additional knowledge of n, stop after Ω(D log n)
+//! rounds to achieve termination detection w.h.p.". This module
+//! implements that wrapper: every node counts rounds (which costs
+//! `Θ(D log n)` states — the uniform six-state property is
+//! deliberately given up, exactly as the footnote implies) and
+//! *commits* at a common deadline `⌈C · (2D+1) · ln n⌉`, freezing its
+//! leader/non-leader verdict and going permanently silent.
+//!
+//! Because all nodes start synchronously, they commit in the same
+//! round, so the commitment cannot disturb the election. The deadline
+//! constant `C` trades time for error probability (Theorem 3's proof
+//! gives exponential decay in `C`); the `termination` experiment
+//! measures that curve.
+
+use crate::protocol::{Bfw, InitialConfig};
+use crate::state::BfwState;
+use bfw_sim::{BeepingProtocol, LeaderElection, NodeCtx};
+use rand::RngCore;
+
+/// BFW wrapped with a deadline-commit rule (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfwWithTermination {
+    inner: Bfw,
+    deadline: u64,
+}
+
+/// Per-node state of [`BfwWithTermination`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationState {
+    /// Still executing BFW; counts elapsed rounds.
+    Running {
+        /// Current BFW state.
+        bfw: BfwState,
+        /// Rounds elapsed since the start.
+        round: u64,
+    },
+    /// Committed as the leader (final).
+    DoneLeader,
+    /// Committed as a non-leader (final).
+    DoneFollower,
+}
+
+impl BfwWithTermination {
+    /// Creates the wrapper for a graph with diameter `diameter` and
+    /// `n = node_count` nodes, committing at round
+    /// `⌈c · (2·diameter + 1) · ln n⌉` (Theorem 3's time scale times
+    /// the safety factor `c`). Uses `p = 1/(D+1)` internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not positive and finite, or `node_count == 0`.
+    pub fn new(diameter: u32, node_count: usize, c: f64) -> Self {
+        assert!(c > 0.0 && c.is_finite(), "safety factor must be positive");
+        assert!(node_count > 0, "network must have at least one node");
+        let ln_n = (node_count.max(2) as f64).ln();
+        let deadline = (c * f64::from(2 * diameter + 1) * ln_n).ceil() as u64;
+        BfwWithTermination {
+            inner: Bfw::with_known_diameter(diameter),
+            deadline: deadline.max(1),
+        }
+    }
+
+    /// Returns the commit deadline in rounds.
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// Replaces the wrapped protocol's initial configuration.
+    pub fn with_initial_config(mut self, init: InitialConfig) -> Self {
+        self.inner = self.inner.with_initial_config(init);
+        self
+    }
+
+    /// Returns `true` if the node has committed (terminated).
+    pub fn is_done(state: &TerminationState) -> bool {
+        !matches!(state, TerminationState::Running { .. })
+    }
+}
+
+impl BeepingProtocol for BfwWithTermination {
+    type State = TerminationState;
+
+    fn initial_state(&self, ctx: NodeCtx) -> TerminationState {
+        TerminationState::Running {
+            bfw: self.inner.initial_state(ctx),
+            round: 0,
+        }
+    }
+
+    fn beeps(&self, state: &TerminationState) -> bool {
+        match state {
+            TerminationState::Running { bfw, .. } => bfw.beeps(),
+            _ => false,
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &TerminationState,
+        heard: bool,
+        rng: &mut dyn RngCore,
+    ) -> TerminationState {
+        match *state {
+            TerminationState::Running { bfw, round } => {
+                let next = self.inner.transition(&bfw, heard, rng);
+                let round = round + 1;
+                if round >= self.deadline {
+                    if next.is_leader() {
+                        TerminationState::DoneLeader
+                    } else {
+                        TerminationState::DoneFollower
+                    }
+                } else {
+                    TerminationState::Running { bfw: next, round }
+                }
+            }
+            done => done,
+        }
+    }
+}
+
+impl LeaderElection for BfwWithTermination {
+    fn is_leader(&self, state: &TerminationState) -> bool {
+        match state {
+            TerminationState::Running { bfw, .. } => bfw.is_leader(),
+            TerminationState::DoneLeader => true,
+            TerminationState::DoneFollower => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+    use bfw_sim::Network;
+
+    #[test]
+    fn deadline_scales_with_d_and_n() {
+        let small = BfwWithTermination::new(4, 16, 1.0).deadline();
+        let bigger_d = BfwWithTermination::new(8, 16, 1.0).deadline();
+        let bigger_n = BfwWithTermination::new(4, 256, 1.0).deadline();
+        let bigger_c = BfwWithTermination::new(4, 16, 3.0).deadline();
+        assert!(bigger_d > small);
+        assert!(bigger_n > small);
+        assert!((bigger_c as f64 / small as f64 - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn all_nodes_commit_at_the_deadline() {
+        let n = 12;
+        let proto = BfwWithTermination::new(6, n, 2.0);
+        let deadline = proto.deadline();
+        let mut net = Network::new(proto, generators::cycle(n).into(), 3);
+        net.run(deadline - 1);
+        assert!(net.states().iter().all(|s| !BfwWithTermination::is_done(s)));
+        net.step();
+        assert!(net.states().iter().all(BfwWithTermination::is_done));
+    }
+
+    #[test]
+    fn committed_configuration_is_final_and_silent() {
+        let n = 10;
+        let proto = BfwWithTermination::new(5, n, 2.0);
+        let deadline = proto.deadline();
+        let mut net = Network::new(proto, generators::cycle(n).into(), 9);
+        net.run(deadline);
+        let committed = net.states().to_vec();
+        for _ in 0..100 {
+            net.step();
+            assert_eq!(
+                net.states(),
+                &committed[..],
+                "done states must never change"
+            );
+            assert_eq!(net.beeping_node_count(), 0, "done nodes are silent");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_commits_exactly_one_leader() {
+        let n = 12;
+        for seed in 0..20u64 {
+            let proto = BfwWithTermination::new(6, n, 4.0);
+            let deadline = proto.deadline();
+            let mut net = Network::new(proto, generators::cycle(n).into(), seed);
+            net.run(deadline + 1);
+            let leaders = net
+                .states()
+                .iter()
+                .filter(|s| matches!(s, TerminationState::DoneLeader))
+                .count();
+            assert_eq!(leaders, 1, "seed {seed}: {leaders} committed leaders");
+        }
+    }
+
+    #[test]
+    fn tiny_deadline_can_commit_multiple_leaders() {
+        // The error probability is the point of the experiment: with a
+        // deadline far below the Theorem 3 scale, several leaders must
+        // survive to the commit on some seed.
+        let n = 32;
+        let mut witnessed = false;
+        for seed in 0..50u64 {
+            let proto = BfwWithTermination::new(16, n, 0.05);
+            let deadline = proto.deadline();
+            let mut net = Network::new(proto, generators::cycle(n).into(), seed);
+            net.run(deadline + 1);
+            let leaders = net
+                .states()
+                .iter()
+                .filter(|s| matches!(s, TerminationState::DoneLeader))
+                .count();
+            if leaders > 1 {
+                witnessed = true;
+                break;
+            }
+        }
+        assert!(
+            witnessed,
+            "a far-too-early deadline should produce split commits"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn safety_factor_validated() {
+        let _ = BfwWithTermination::new(4, 16, 0.0);
+    }
+}

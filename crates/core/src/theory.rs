@@ -1,0 +1,73 @@
+//! Closed-form predictions used to judge the experiments.
+//!
+//! Re-exports the chain analysis of [`bfw_markov`] (Eq. (15)/(16)) and
+//! adds normalization helpers that turn measured convergence rounds into
+//! the dimensionless ratios reported in EXPERIMENTS.md: if Theorem 2 is
+//! right, `rounds / (D² ln n)` stays bounded as graphs grow; if
+//! Theorem 3 is right, `rounds / (D ln n)` does, for `p = 1/(D+1)`.
+
+pub use bfw_markov::{bfw_chain, BfwChainTheory};
+
+/// Normalizes a measured convergence time by the Theorem 2 bound
+/// `D² ln n`.
+///
+/// Bounded values across a growing family empirically support
+/// `T = O(D² log n)`.
+///
+/// # Example
+///
+/// ```
+/// use bfw_core::theory::theorem2_ratio;
+///
+/// let r = theorem2_ratio(1_000.0, 10, 128);
+/// assert!((r - 1_000.0 / (100.0 * (128f64).ln())).abs() < 1e-12);
+/// ```
+pub fn theorem2_ratio(rounds: f64, diameter: u32, n: usize) -> f64 {
+    rounds / BfwChainTheory::theorem2_reference(diameter, n)
+}
+
+/// Normalizes a measured convergence time by the Theorem 3 bound
+/// `D ln n`.
+pub fn theorem3_ratio(rounds: f64, diameter: u32, n: usize) -> f64 {
+    rounds / BfwChainTheory::theorem3_reference(diameter, n)
+}
+
+/// Fraction of rounds a surviving leader is expected to beep once the
+/// process has settled: `π_B = p/(2p+1)` (Eq. (16)).
+pub fn stationary_beep_rate(p: f64) -> f64 {
+    BfwChainTheory::new(p).stationary_beep_rate()
+}
+
+/// The §5 tightness heuristic: with two leaders at the ends of a path
+/// of length `D`, the wave meeting point behaves like a ±1 random walk,
+/// predicting elimination in `Θ(D²)` rounds. This returns the reference
+/// curve `D²`.
+pub fn section5_reference(diameter: u32) -> f64 {
+    let d = f64::from(diameter.max(1));
+    d * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_invert_references() {
+        let rounds = 1234.5;
+        let r2 = theorem2_ratio(rounds, 7, 200);
+        assert!((r2 * BfwChainTheory::theorem2_reference(7, 200) - rounds).abs() < 1e-9);
+        let r3 = theorem3_ratio(rounds, 7, 200);
+        assert!((r3 * BfwChainTheory::theorem3_reference(7, 200) - rounds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beep_rate_half() {
+        assert!((stationary_beep_rate(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section5_is_quadratic() {
+        assert_eq!(section5_reference(10), 100.0);
+        assert_eq!(section5_reference(0), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value reported by [`bfs_distances`] for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Computes BFS distances from `source` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`]. Runs in `O(n + m)`.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, algo, NodeId};
+///
+/// let g = generators::path(4);
+/// let d = algo::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d, [0, 1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(source.index() < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns the hop distance `dis(u, v)`, or `None` if `v` is unreachable
+/// from `u`.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, algo, NodeId};
+///
+/// let g = generators::cycle(6);
+/// assert_eq!(algo::distance(&g, NodeId::new(0), NodeId::new(3)), Some(3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of range.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    assert!(v.index() < g.node_count(), "target out of range");
+    let d = bfs_distances(g, u)[v.index()];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// Returns the eccentricity of `u` (the largest distance from `u` to any
+/// node), or `None` if some node is unreachable.
+///
+/// # Panics
+///
+/// Panics if `u` is out of range.
+pub fn eccentricity(g: &Graph, u: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, u);
+    let mut ecc = 0;
+    for d in dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, NodeId::new(2)), [2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn distance_symmetric_on_grid() {
+        let g = generators::grid(3, 3);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(distance(&g, u, v), distance(&g, v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_none_when_disconnected() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn eccentricity_of_star() {
+        let g = generators::star(6);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(1));
+        assert_eq!(eccentricity(&g, NodeId::new(3)), Some(2));
+    }
+
+    #[test]
+    fn eccentricity_none_when_disconnected() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(eccentricity(&g, NodeId::new(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bfs_source_out_of_range_panics() {
+        let g = generators::path(2);
+        let _ = bfs_distances(&g, NodeId::new(5));
+    }
+
+    #[test]
+    fn single_node_distances() {
+        let g = generators::path(1);
+        assert_eq!(bfs_distances(&g, NodeId::new(0)), [0]);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(0));
+    }
+}

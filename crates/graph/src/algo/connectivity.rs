@@ -1,0 +1,124 @@
+use super::union_find::UnionFind;
+use crate::Graph;
+
+/// Per-node connected-component labels, as returned by
+/// [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Returns the number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Returns the component label of node `u` (labels are dense,
+    /// `0..count`, assigned in order of first appearance by node index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn label(&self, u: usize) -> u32 {
+        self.labels[u]
+    }
+
+    /// Returns the labels as a slice indexed by node.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+}
+
+/// Computes connected components via union–find.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{Graph, algo};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (2, 3)])?;
+/// let cc = algo::connected_components(&g);
+/// assert_eq!(cc.count(), 2);
+/// assert_eq!(cc.label(0), cc.label(1));
+/// assert_ne!(cc.label(0), cc.label(2));
+/// # Ok::<(), bfw_graph::GraphError>(())
+/// ```
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u.index(), v.index());
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n {
+        let root = uf.find(u);
+        if labels[root] == u32::MAX {
+            labels[root] = next;
+            next += 1;
+        }
+        labels[u] = labels[root];
+    }
+    ComponentLabels {
+        labels,
+        count: next as usize,
+    }
+}
+
+/// Returns `true` if the graph is connected.
+///
+/// The empty graph is vacuously connected; a single node is connected.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, algo};
+///
+/// assert!(algo::is_connected(&generators::cycle(8)));
+/// ```
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connected_families() {
+        assert!(is_connected(&generators::path(10)));
+        assert!(is_connected(&generators::complete(5)));
+        assert!(is_connected(&generators::star(7)));
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&g));
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert_eq!(cc.label(0), cc.label(1));
+        assert_eq!(cc.label(2), cc.label(3));
+        assert_ne!(cc.label(0), cc.label(2));
+        assert_ne!(cc.label(4), cc.label(0));
+        assert_ne!(cc.label(4), cc.label(2));
+    }
+
+    #[test]
+    fn labels_are_dense_and_ordered() {
+        let g = Graph::from_edges(4, [(1, 3)]).unwrap();
+        let cc = connected_components(&g);
+        // First-appearance order: node 0 -> 0, node 1 -> 1, node 2 -> 2.
+        assert_eq!(cc.as_slice(), &[0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn trivial_graphs_connected() {
+        assert!(is_connected(&Graph::from_edges(0, []).unwrap()));
+        assert!(is_connected(&Graph::from_edges(1, []).unwrap()));
+        assert!(!is_connected(&Graph::from_edges(2, []).unwrap()));
+    }
+}

@@ -1,0 +1,77 @@
+use crate::Graph;
+
+/// Degree summary of a graph, as returned by [`degree_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Average degree (`2m / n`).
+    pub mean: f64,
+}
+
+/// Computes min / max / mean degree.
+///
+/// Returns `None` for the empty graph.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, algo};
+///
+/// let s = algo::degree_stats(&generators::star(5)).unwrap();
+/// assert_eq!(s.min, 1);
+/// assert_eq!(s.max, 4);
+/// assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+/// ```
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for u in g.nodes() {
+        let d = g.degree(u);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+    Some(DegreeStats { min, max, mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn regular_graphs() {
+        let s = degree_stats(&generators::cycle(7)).unwrap();
+        assert_eq!((s.min, s.max), (2, 2));
+        assert!((s.mean - 2.0).abs() < 1e-12);
+
+        let s = degree_stats(&generators::complete(5)).unwrap();
+        assert_eq!((s.min, s.max), (4, 4));
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let s = degree_stats(&generators::path(4)).unwrap();
+        assert_eq!((s.min, s.max), (1, 2));
+    }
+
+    #[test]
+    fn empty_graph_none() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(degree_stats(&g), None);
+    }
+
+    #[test]
+    fn isolated_node() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!((s.min, s.max), (0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+}

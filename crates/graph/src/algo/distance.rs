@@ -1,0 +1,166 @@
+use super::bfs::{bfs_distances, UNREACHABLE};
+use crate::{Graph, NodeId};
+
+/// All-pairs shortest-path oracle built by `n` BFS sweeps.
+///
+/// The flow experiments (Ohm's law, Lemma 11, Lemma 12) repeatedly query
+/// `dis(u, v)` for many pairs; precomputing the full matrix makes those
+/// checks `O(1)` per query. Memory is `n²·4` bytes — intended for the
+/// experiment-scale graphs (n ≤ a few thousand).
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, algo::DistanceMatrix, NodeId};
+///
+/// let g = generators::cycle(6);
+/// let dm = DistanceMatrix::new(&g);
+/// assert_eq!(dm.get(NodeId::new(0), NodeId::new(3)), Some(3));
+/// assert_eq!(dm.eccentricity(NodeId::new(0)), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix with one BFS per node (`O(n·(n + m))`).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = Vec::with_capacity(n * n);
+        for u in g.nodes() {
+            dist.extend(bfs_distances(g, u));
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Returns the number of nodes covered by the oracle.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `dis(u, v)`, or `None` if `v` is unreachable from `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "node out of range"
+        );
+        let d = self.dist[u.index() * self.n + v.index()];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Returns the full BFS distance row of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn row(&self, u: NodeId) -> &[u32] {
+        assert!(u.index() < self.n, "node out of range");
+        &self.dist[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// Returns the eccentricity of `u`, or `None` if some node is
+    /// unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn eccentricity(&self, u: NodeId) -> Option<u32> {
+        let mut ecc = 0;
+        for &d in self.row(u) {
+            if d == UNREACHABLE {
+                return None;
+            }
+            ecc = ecc.max(d);
+        }
+        Some(ecc)
+    }
+
+    /// Returns the diameter implied by the matrix, or `None` if the graph
+    /// is disconnected or empty.
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for &d in &self.dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            best = best.max(d);
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, generators};
+
+    #[test]
+    fn matches_bfs_everywhere() {
+        let g = generators::grid(3, 4);
+        let dm = DistanceMatrix::new(&g);
+        for u in g.nodes() {
+            assert_eq!(dm.row(u), bfs_distances(&g, u).as_slice());
+        }
+    }
+
+    #[test]
+    fn diameter_matches_algo() {
+        for g in [
+            generators::path(9),
+            generators::cycle(8),
+            generators::star(6),
+        ] {
+            assert_eq!(DistanceMatrix::new(&g).diameter(), algo::diameter(&g));
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = generators::barbell(3, 2);
+        let dm = DistanceMatrix::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(dm.get(u, v), dm.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_reports_none() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.get(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(dm.diameter(), None);
+        assert_eq!(dm.eccentricity(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_tree() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_tree(20, &mut rng);
+        let dm = DistanceMatrix::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for w in g.nodes() {
+                    let (duv, duw, dwv) = (
+                        dm.get(u, v).unwrap(),
+                        dm.get(u, w).unwrap(),
+                        dm.get(w, v).unwrap(),
+                    );
+                    assert!(duv <= duw + dwv);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Graph algorithms: BFS, distances, diameter, connectivity, degrees.
+//!
+//! The flow theory of the paper (Section 3) constantly reasons about
+//! `dis(u, v)` and the diameter `D`; this module supplies exact
+//! single-source BFS, all-pairs distance oracles, exact and estimated
+//! diameters, and connectivity checks used to validate workloads.
+
+mod bfs;
+mod connectivity;
+mod degree;
+mod diameter;
+mod distance;
+mod union_find;
+
+pub use bfs::{bfs_distances, distance, eccentricity, UNREACHABLE};
+pub use connectivity::{connected_components, is_connected, ComponentLabels};
+pub use degree::{degree_stats, DegreeStats};
+pub use diameter::{diameter, diameter_two_sweep_lower_bound, radius};
+pub use distance::DistanceMatrix;
+pub use union_find::UnionFind;

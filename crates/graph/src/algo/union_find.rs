@@ -1,0 +1,160 @@
+/// Disjoint-set forest (union–find) with path halving and union by size.
+///
+/// Used for connectivity checks and as a general substrate for
+/// incremental-connectivity experiments.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::algo::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert_eq!(uf.component_count(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Returns the canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Returns the current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Returns the size of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_chain() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..4 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(0), 5);
+        assert!(uf.connected(0, 4));
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    fn sizes_merge() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(0, 2);
+        assert_eq!(uf.component_size(3), 4);
+        assert_eq!(uf.component_size(4), 1);
+        assert_eq!(uf.component_count(), 3);
+    }
+}

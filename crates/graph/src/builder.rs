@@ -1,0 +1,164 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental constructor for [`Graph`].
+///
+/// Unlike [`Graph::from_edges`], the builder tolerates duplicate edge
+/// insertions (they are merged), which is convenient for generators that
+/// may produce the same edge twice (e.g. random geometric graphs built
+/// from both endpoints). Self-loops are still rejected.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 0)?; // duplicate, merged silently
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), bfw_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity reserved for `edge_capacity` edges.
+    pub fn with_edge_capacity(node_count: usize, edge_capacity: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Returns the number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Returns the number of edge insertions so far (duplicates included;
+    /// they are merged only at [`build`](Self::build) time).
+    pub fn pending_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`];
+    /// duplicates are accepted and merged at build time.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<&mut Self, GraphError> {
+        if u as usize >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count,
+            });
+        }
+        if v as usize >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Records the undirected edge between two [`NodeId`]s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_edge`](Self::add_edge).
+    pub fn add_edge_ids(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        self.add_edge(u.as_u32(), v.as_u32())
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`], merging
+    /// duplicate edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_sorted_unique_edges(self.node_count, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicates() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        assert_eq!(b.pending_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(1, 1),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn chaining_works() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.build().edge_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_ids_matches_raw() {
+        let mut a = GraphBuilder::new(3);
+        a.add_edge_ids(NodeId::new(0), NodeId::new(2)).unwrap();
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2).unwrap();
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn empty_builder_builds_edgeless_graph() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let b = GraphBuilder::with_edge_capacity(3, 16);
+        assert_eq!(b.node_count(), 3);
+        assert_eq!(b.pending_edge_count(), 0);
+    }
+}

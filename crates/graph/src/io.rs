@@ -1,0 +1,188 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format:
+//!
+//! ```text
+//! # optional comments
+//! <node_count> <edge_count>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored. Node indices are
+//! zero-based. The header's `edge_count` must match the number of edge
+//! lines.
+//!
+//! # Example
+//!
+//! ```
+//! use bfw_graph::{generators, io};
+//!
+//! let g = generators::cycle(4);
+//! let text = io::to_edge_list(&g);
+//! let parsed = io::parse_edge_list(&text)?;
+//! assert_eq!(parsed, g);
+//! # Ok::<(), bfw_graph::GraphError>(())
+//! ```
+
+use crate::{Graph, GraphError};
+use std::fmt::Write as _;
+
+/// Serializes a graph as an edge-list document (see module docs).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.node_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+/// Parses an edge-list document (see module docs) into a [`Graph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and the usual
+/// construction errors ([`GraphError::SelfLoop`],
+/// [`GraphError::DuplicateEdge`], [`GraphError::NodeOutOfRange`]) if the
+/// edge data is invalid.
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut meaningful = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (header_line, header) = meaningful.next().ok_or_else(|| GraphError::Parse {
+        line: 1,
+        message: "missing header line \"<node_count> <edge_count>\"".to_owned(),
+    })?;
+    let (n, m) = parse_pair::<usize>(header, header_line, "header")?;
+
+    let mut edges = Vec::with_capacity(m);
+    for (line_no, line) in meaningful {
+        if edges.len() == m {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("more than the {m} edges announced in the header"),
+            });
+        }
+        let (u, v) = parse_pair::<u32>(line, line_no, "edge")?;
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(GraphError::Parse {
+            line: text.lines().count().max(1),
+            message: format!("expected {m} edges, found {}", edges.len()),
+        });
+    }
+    Graph::from_edges(n, edges)
+}
+
+fn parse_pair<T: std::str::FromStr>(
+    line: &str,
+    line_no: usize,
+    what: &str,
+) -> Result<(T, T), GraphError> {
+    let mut it = line.split_whitespace();
+    let parse = |tok: Option<&str>| -> Result<T, GraphError> {
+        tok.ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            message: format!("{what} line needs two integers, got \"{line}\""),
+        })?
+        .parse::<T>()
+        .map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid integer in {what} line \"{line}\""),
+        })
+    };
+    let a = parse(it.next())?;
+    let b = parse(it.next())?;
+    if it.next().is_some() {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("trailing tokens in {what} line \"{line}\""),
+        });
+    }
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_families() {
+        for g in [
+            generators::path(6),
+            generators::cycle(5),
+            generators::complete(4),
+            generators::star(7),
+            Graph::from_edges(3, []).unwrap(),
+        ] {
+            let text = to_edge_list(&g);
+            assert_eq!(parse_edge_list(&text).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n3 2\n0 1\n# middle\n1 2\n\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn missing_header() {
+        let err = parse_edge_list("# only comments\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_integer() {
+        let err = parse_edge_list("2 1\n0 x\n").unwrap_err();
+        assert!(err.to_string().contains("invalid integer"));
+    }
+
+    #[test]
+    fn wrong_edge_count_too_few() {
+        let err = parse_edge_list("3 2\n0 1\n").unwrap_err();
+        assert!(err.to_string().contains("expected 2 edges"));
+    }
+
+    #[test]
+    fn wrong_edge_count_too_many() {
+        let err = parse_edge_list("3 1\n0 1\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("more than the 1 edges"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse_edge_list("2 1\n0 1 9\n").unwrap_err();
+        assert!(err.to_string().contains("trailing tokens"));
+    }
+
+    #[test]
+    fn construction_errors_propagate() {
+        assert!(matches!(
+            parse_edge_list("2 1\n0 0\n").unwrap_err(),
+            GraphError::SelfLoop { node: 0 }
+        ));
+        assert!(matches!(
+            parse_edge_list("2 2\n0 1\n1 0\n").unwrap_err(),
+            GraphError::DuplicateEdge { .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("2 1\n0 5\n").unwrap_err(),
+            GraphError::NodeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn single_node_round_trip() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node identifiers are dense: a graph with `n` nodes uses exactly the
+/// identifiers `0..n`. The type is a thin newtype over `u32` (graphs with
+/// more than `u32::MAX` nodes are far beyond what the synchronous
+/// simulators in this workspace can process), kept separate from plain
+/// integers so that node indices, round numbers and counters cannot be
+/// mixed up.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::NodeId;
+///
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Creates a node identifier from a raw `u32` index.
+    #[inline]
+    pub const fn from_u32(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the index as a `usize`, suitable for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 7, 1024, u32::MAX as usize] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn new_rejects_oversized_index() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let u = NodeId::from(5u32);
+        assert_eq!(u32::from(u), 5);
+        assert_eq!(usize::from(u), 5);
+        assert_eq!(NodeId::from_u32(5), u);
+        assert_eq!(u.as_u32(), 5);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(3), NodeId::new(3));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId::new(9)), "NodeId(9)");
+        assert_eq!(format!("{}", NodeId::new(9)), "9");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for graph construction, generators and
+//! algorithms.
+
+use bfw_graph::{algo, generators, io, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a small random simple graph as (n, unique normalized edges).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n)
+        .prop_flat_map(|n| {
+            let pairs = proptest::collection::vec((0..n as u32, 0..n as u32), 0..4 * n);
+            (Just(n), pairs)
+        })
+        .prop_map(|(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).expect("in-range edge");
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sum_is_twice_edges(g in arb_graph(24)) {
+        let total: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+        prop_assert_eq!(total, g.adjacency_len());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(24)) {
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_agrees_with_has_edge(g in arb_graph(16)) {
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        for (u, v) in listed {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip(g in arb_graph(20)) {
+        let text = io::to_edge_list(&g);
+        let back = io::parse_edge_list(&text).expect("serialized graph must parse");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn bfs_distances_respect_edges(g in arb_graph(20)) {
+        // Every edge endpoint pair differs by at most 1 in BFS distance
+        // from any source (the 1-Lipschitz property Lemma 11 relies on).
+        let src = NodeId::new(0);
+        let dist = algo::bfs_distances(&g, src);
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u.index()], dist[v.index()]);
+            if du != algo::UNREACHABLE && dv != algo::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // If one endpoint is reachable, its neighbor must be too.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn component_labels_consistent_with_bfs(g in arb_graph(20)) {
+        let cc = algo::connected_components(&g);
+        let dist = algo::bfs_distances(&g, NodeId::new(0));
+        for u in g.nodes() {
+            let reachable = dist[u.index()] != algo::UNREACHABLE;
+            prop_assert_eq!(reachable, cc.label(u.index()) == cc.label(0));
+        }
+    }
+
+    #[test]
+    fn distance_matrix_matches_single_bfs(g in arb_graph(14)) {
+        let dm = algo::DistanceMatrix::new(&g);
+        for u in g.nodes() {
+            let bfs = algo::bfs_distances(&g, u);
+            prop_assert_eq!(dm.row(u), bfs.as_slice());
+        }
+    }
+
+    #[test]
+    fn two_sweep_never_exceeds_diameter(g in arb_graph(16)) {
+        if let Some(d) = algo::diameter(&g) {
+            let lb = algo::diameter_two_sweep_lower_bound(&g, NodeId::new(0))
+                .expect("connected graph must give a bound");
+            prop_assert!(lb <= d);
+        }
+    }
+
+    #[test]
+    fn random_tree_always_tree(n in 1usize..60, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n.saturating_sub(1));
+        prop_assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_in_range(n in 2usize..24, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, &mut rng);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+        prop_assert_eq!(g.node_count(), n);
+    }
+
+    #[test]
+    fn generator_diameter_formulas(n in 3usize..24) {
+        prop_assert_eq!(algo::diameter(&generators::path(n)), Some(n as u32 - 1));
+        prop_assert_eq!(algo::diameter(&generators::cycle(n)), Some(n as u32 / 2));
+        prop_assert_eq!(algo::diameter(&generators::complete(n)), Some(1));
+        prop_assert_eq!(algo::diameter(&generators::star(n)), Some(2));
+    }
+
+    #[test]
+    fn grid_diameter_formula(r in 1usize..7, c in 1usize..7) {
+        prop_assert_eq!(
+            algo::diameter(&generators::grid(r, c)),
+            Some((r + c - 2) as u32)
+        );
+    }
+
+    #[test]
+    fn builder_result_matches_from_edges(n in 2usize..16, seed in any::<u64>()) {
+        // Generate unique edges, feed them through both construction
+        // paths, expect identical graphs.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, 0.4, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.as_u32(), v.as_u32())).collect();
+        let via_from = Graph::from_edges(n, edges.iter().copied()).expect("unique edges");
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(v, u).expect("in range"); // reversed on purpose
+        }
+        prop_assert_eq!(via_from, b.build());
+    }
+}

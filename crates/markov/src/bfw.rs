@@ -1,0 +1,277 @@
+//! The paper's specific three-state chain (Eq. (15)) and its closed
+//! forms.
+
+use crate::{DenseMatrix, MarkovChain};
+
+/// Index of state `W` in [`bfw_chain`].
+pub const BFW_CHAIN_W: usize = 0;
+/// Index of state `B` in [`bfw_chain`].
+pub const BFW_CHAIN_B: usize = 1;
+/// Index of state `F` in [`bfw_chain`].
+pub const BFW_CHAIN_F: usize = 2;
+
+/// Builds the three-state chain of Eq. (15): a leader that is never
+/// disturbed cycles `W → B → F → W`, leaving `W` with probability `p`.
+///
+/// ```text
+///        ⎡ 1−p  p  0 ⎤   W
+///  P  =  ⎢  0   0  1 ⎥   B
+///        ⎣  1   0  0 ⎦   F
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is not in the open interval `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use bfw_markov::{bfw_chain, BFW_CHAIN_W, BFW_CHAIN_B};
+///
+/// let chain = bfw_chain(0.25);
+/// assert_eq!(chain.prob(BFW_CHAIN_W, BFW_CHAIN_B), 0.25);
+/// assert!(chain.is_irreducible());
+/// assert!(chain.is_aperiodic());
+/// ```
+pub fn bfw_chain(p: f64) -> MarkovChain {
+    assert!(p > 0.0 && p < 1.0, "p must lie in the open interval (0, 1)");
+    let transition =
+        DenseMatrix::from_rows(&[&[1.0 - p, p, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]);
+    MarkovChain::new(transition).expect("Eq. (15) matrix is stochastic by construction")
+}
+
+/// Closed-form quantities of the BFW chain used throughout the paper's
+/// Section 4 analysis, plus the reference convergence curves of
+/// Theorems 2 and 3.
+///
+/// # Example
+///
+/// ```
+/// use bfw_markov::BfwChainTheory;
+///
+/// let th = BfwChainTheory::new(0.5);
+/// // Eq. (16): π_B = p / (2p + 1).
+/// assert!((th.stationary_beep_rate() - 0.25).abs() < 1e-12);
+/// // τ ~ 2 + Geom(p): E[τ] = 2 + 1/p.
+/// assert!((th.expected_return_time() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfwChainTheory {
+    p: f64,
+}
+
+impl BfwChainTheory {
+    /// Creates the theory helper for beep probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in the open interval `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must lie in the open interval (0, 1)");
+        BfwChainTheory { p }
+    }
+
+    /// Returns the beep probability `p`.
+    pub fn p(self) -> f64 {
+        self.p
+    }
+
+    /// The stationary distribution `π = (π_W, π_B, π_F)` of Eq. (16):
+    /// `(1, p, p) / (2p + 1)`.
+    pub fn stationary(self) -> [f64; 3] {
+        let z = 2.0 * self.p + 1.0;
+        [1.0 / z, self.p / z, self.p / z]
+    }
+
+    /// `π_B = p / (2p + 1)`: the long-run fraction of rounds in which an
+    /// undisturbed leader beeps.
+    pub fn stationary_beep_rate(self) -> f64 {
+        self.p / (2.0 * self.p + 1.0)
+    }
+
+    /// Expected number of beeps in `t` rounds for an undisturbed leader
+    /// started from stationarity: `π_B · t` (used in Lemma 14).
+    pub fn expected_beeps(self, t: u64) -> f64 {
+        self.stationary_beep_rate() * t as f64
+    }
+
+    /// Expected first return time to `B`: `E[2 + Geom(p)] = 2 + 1/p`
+    /// (the `τ` of Lemma 14's renewal argument).
+    pub fn expected_return_time(self) -> f64 {
+        2.0 + 1.0 / self.p
+    }
+
+    /// The variance lower bound constant from Lemma 14's proof:
+    /// `Var(N_t) ≥ (δ²/4)·t` for some `δ(p) > 0`. We report the renewal
+    /// process asymptotic `Var(N_t)/t → σ²_τ / E[τ]³` with
+    /// `σ²_τ = (1−p)/p²`, which is the exact CLT variance rate for the
+    /// renewal counting process.
+    pub fn visit_count_variance_rate(self) -> f64 {
+        let mean = self.expected_return_time();
+        let var = (1.0 - self.p) / (self.p * self.p);
+        var / (mean * mean * mean)
+    }
+
+    /// Theorem 2 reference curve: `D² · ln n` (the w.h.p. convergence
+    /// bound up to the constant `A`).
+    ///
+    /// Useful for plotting measured convergence rounds against the
+    /// theory's shape; the absolute constant is not specified by the
+    /// paper.
+    pub fn theorem2_reference(diameter: u32, n: usize) -> f64 {
+        let d = diameter.max(1) as f64;
+        d * d * (n.max(2) as f64).ln()
+    }
+
+    /// Theorem 3 reference curve: `D · ln n`, achieved with
+    /// `p = 1/(D+1)`.
+    pub fn theorem3_reference(diameter: u32, n: usize) -> f64 {
+        let d = diameter.max(1) as f64;
+        d * (n.max(2) as f64).ln()
+    }
+
+    /// The non-uniform parameter of Theorem 3: `p = 1/(D+1)`.
+    pub fn theorem3_p(diameter: u32) -> f64 {
+        1.0 / (diameter as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BFW_CHAIN_B, BFW_CHAIN_F, BFW_CHAIN_W};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn chain_matches_eq_15() {
+        let p = 0.3;
+        let chain = bfw_chain(p);
+        assert_eq!(chain.prob(BFW_CHAIN_W, BFW_CHAIN_W), 1.0 - p);
+        assert_eq!(chain.prob(BFW_CHAIN_W, BFW_CHAIN_B), p);
+        assert_eq!(chain.prob(BFW_CHAIN_W, BFW_CHAIN_F), 0.0);
+        assert_eq!(chain.prob(BFW_CHAIN_B, BFW_CHAIN_F), 1.0);
+        assert_eq!(chain.prob(BFW_CHAIN_F, BFW_CHAIN_W), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn chain_rejects_p_zero() {
+        let _ = bfw_chain(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn chain_rejects_p_one() {
+        let _ = bfw_chain(1.0);
+    }
+
+    #[test]
+    fn stationary_matches_eq_16() {
+        for p in [0.1, 0.25, 0.5, 0.9] {
+            let chain = bfw_chain(p);
+            let pi_exact = chain.stationary_distribution_exact().unwrap();
+            let pi_theory = BfwChainTheory::new(p).stationary();
+            for (a, b) in pi_exact.iter().zip(pi_theory.iter()) {
+                assert!((a - b).abs() < 1e-10, "p={p}: {a} vs {b}");
+            }
+            // Power iteration agrees too.
+            let pi_iter = chain.stationary_distribution(1e-13, 1_000_000).unwrap();
+            for (a, b) in pi_iter.iter().zip(pi_theory.iter()) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_irreducible_and_aperiodic() {
+        let chain = bfw_chain(0.5);
+        assert!(chain.is_irreducible());
+        assert!(chain.is_aperiodic());
+    }
+
+    #[test]
+    fn return_time_matches_hitting_analysis() {
+        // Expected return to B = 1/pi_B (Kac's formula).
+        for p in [0.2, 0.5, 0.8] {
+            let th = BfwChainTheory::new(p);
+            let kac = 1.0 / th.stationary_beep_rate();
+            assert!((kac - th.expected_return_time()).abs() < 1e-9);
+            // And the generic chain-level Kac agrees with the closed form.
+            let chain_kac = bfw_chain(p).kac_return_time(BFW_CHAIN_B).unwrap();
+            assert!((chain_kac - th.expected_return_time()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hitting_time_w_to_b_is_geometric_mean() {
+        // From W the chain enters B after Geom(p) failures + 1 success
+        // step: expected 1/p.
+        let chain = bfw_chain(0.25);
+        let h = chain.hitting_times(BFW_CHAIN_B).unwrap();
+        assert!((h[BFW_CHAIN_W] - 4.0).abs() < 1e-9);
+        // From F: 1 step to W, then 1/p.
+        assert!((h[BFW_CHAIN_F] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_beep_rate_matches_pi_b() {
+        let p = 0.4;
+        let chain = bfw_chain(p);
+        let th = BfwChainTheory::new(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let mut sampler = chain.sampler(BFW_CHAIN_W);
+        let t = 300_000;
+        let counts = sampler.visit_counts(t, &mut rng);
+        let rate = counts[BFW_CHAIN_B] as f64 / t as f64;
+        assert!(
+            (rate - th.stationary_beep_rate()).abs() < 0.005,
+            "rate={rate}"
+        );
+    }
+
+    #[test]
+    fn variance_rate_is_positive_and_finite() {
+        for p in [0.05, 0.5, 0.95] {
+            let r = BfwChainTheory::new(p).visit_count_variance_rate();
+            assert!(r.is_finite() && r > 0.0, "p={p}: rate={r}");
+        }
+    }
+
+    #[test]
+    fn empirical_visit_variance_near_theory() {
+        // Lemma 14 needs Var(N_t) = Θ(t); check the renewal-theory rate.
+        let p = 0.5;
+        let chain = bfw_chain(p);
+        let th = BfwChainTheory::new(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = 4_000;
+        let trials = 600;
+        let mut beeps = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut s = chain.sampler(BFW_CHAIN_W);
+            beeps.push(s.visit_counts(t, &mut rng)[BFW_CHAIN_B] as f64);
+        }
+        let mean = beeps.iter().sum::<f64>() / trials as f64;
+        let var = beeps.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (trials - 1) as f64;
+        let predicted = th.visit_count_variance_rate() * t as f64;
+        // Loose statistical check: same order of magnitude.
+        assert!(
+            var > 0.4 * predicted && var < 2.5 * predicted,
+            "var={var} predicted={predicted}"
+        );
+    }
+
+    #[test]
+    fn reference_curves_monotone() {
+        assert!(
+            BfwChainTheory::theorem2_reference(10, 100)
+                > BfwChainTheory::theorem2_reference(5, 100)
+        );
+        assert!(
+            BfwChainTheory::theorem2_reference(10, 100)
+                > BfwChainTheory::theorem3_reference(10, 100)
+        );
+        assert!((BfwChainTheory::theorem3_p(9) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,513 @@
+use crate::{DenseMatrix, MarkovError};
+use rand::Rng;
+
+/// A finite Markov chain with a validated row-stochastic transition
+/// matrix.
+///
+/// `P[i][j]` is the probability of moving from state `i` to state `j` in
+/// one step, exactly as in Eq. (15) of the paper.
+///
+/// # Example
+///
+/// ```
+/// use bfw_markov::{MarkovChain, DenseMatrix};
+///
+/// // A lazy two-state chain.
+/// let p = DenseMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]);
+/// let chain = MarkovChain::new(p)?;
+/// let pi = chain.stationary_distribution(1e-12, 10_000)?;
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+/// # Ok::<(), bfw_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    transition: DenseMatrix,
+}
+
+impl MarkovChain {
+    /// Validates and wraps a transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] for a 0×0 matrix,
+    /// [`MarkovError::NotSquare`] for non-square input and
+    /// [`MarkovError::NotStochastic`] if any row has a negative or
+    /// non-finite entry or does not sum to 1 within `1e-9`.
+    pub fn new(transition: DenseMatrix) -> Result<Self, MarkovError> {
+        if transition.rows() == 0 {
+            return Err(MarkovError::Empty);
+        }
+        if transition.rows() != transition.cols() {
+            return Err(MarkovError::NotSquare {
+                rows: transition.rows(),
+                cols: transition.cols(),
+            });
+        }
+        for r in 0..transition.rows() {
+            let row = transition.row(r);
+            if row.iter().any(|&x| !x.is_finite() || x < 0.0) {
+                return Err(MarkovError::NotStochastic {
+                    row: r,
+                    sum: f64::NAN,
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(MarkovError::NotStochastic { row: r, sum });
+            }
+        }
+        Ok(MarkovChain { transition })
+    }
+
+    /// Returns the number of states.
+    pub fn state_count(&self) -> usize {
+        self.transition.rows()
+    }
+
+    /// Returns the transition matrix.
+    pub fn transition_matrix(&self) -> &DenseMatrix {
+        &self.transition
+    }
+
+    /// Returns the transition probability `P(i → j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.transition.get(i, j)
+    }
+
+    /// Tests irreducibility: every state reaches every other state
+    /// through positive-probability transitions.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.state_count();
+        // Floyd–Warshall style reachability on the support.
+        let mut reach = vec![false; n * n];
+        for i in 0..n {
+            reach[i * n + i] = true;
+            for j in 0..n {
+                if self.transition.get(i, j) > 0.0 {
+                    reach[i * n + j] = true;
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i * n + k] {
+                    for j in 0..n {
+                        if reach[k * n + j] {
+                            reach[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        reach.iter().all(|&r| r)
+    }
+
+    /// Tests aperiodicity for an irreducible chain by computing the gcd
+    /// of cycle lengths through state 0 (up to length `n²`).
+    ///
+    /// For reducible chains the result is meaningful only per-class.
+    pub fn is_aperiodic(&self) -> bool {
+        let n = self.state_count();
+        // Compute the period of state 0: gcd of all t with P^t(0,0) > 0.
+        let mut power = DenseMatrix::identity(n);
+        let mut gcd = 0u64;
+        for t in 1..=(n * n).max(2) {
+            power = power.matmul(&self.transition);
+            if power.get(0, 0) > 0.0 {
+                gcd = gcd_u64(gcd, t as u64);
+                if gcd == 1 {
+                    return true;
+                }
+            }
+        }
+        gcd == 1
+    }
+
+    /// Computes the stationary distribution by power iteration from the
+    /// uniform distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NoConvergence`] if the total-variation
+    /// change between successive iterates stays above `tol` for
+    /// `max_iters` iterations. Periodic chains will typically fail this
+    /// way; use [`stationary_distribution_exact`](Self::stationary_distribution_exact)
+    /// for those.
+    pub fn stationary_distribution(
+        &self,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<Vec<f64>, MarkovError> {
+        let n = self.state_count();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let next = self.transition.vecmul_left(&pi);
+            let diff = total_variation(&pi, &next);
+            pi = next;
+            if diff < tol {
+                return Ok(pi);
+            }
+        }
+        let last = self.transition.vecmul_left(&pi);
+        Err(MarkovError::NoConvergence {
+            iterations: max_iters,
+            residual: total_variation(&pi, &last),
+        })
+    }
+
+    /// Computes the stationary distribution exactly by solving the
+    /// linear system `π(P − I) = 0, Σπ = 1`.
+    ///
+    /// Works for periodic chains too (stationarity does not require
+    /// aperiodicity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Singular`] if the system is degenerate
+    /// (e.g. reducible chains with several stationary distributions).
+    pub fn stationary_distribution_exact(&self) -> Result<Vec<f64>, MarkovError> {
+        let n = self.state_count();
+        // Transpose(P) - I with the last row replaced by the
+        // normalization constraint.
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(
+                    i,
+                    j,
+                    self.transition.get(j, i) - if i == j { 1.0 } else { 0.0 },
+                );
+            }
+        }
+        for j in 0..n {
+            a.set(n - 1, j, 1.0);
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let pi = a.solve(&b)?;
+        Ok(pi)
+    }
+
+    /// Returns the distribution after `t` steps starting from `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the state count.
+    pub fn distribution_after(&self, initial: &[f64], t: usize) -> Vec<f64> {
+        let mut d = initial.to_vec();
+        for _ in 0..t {
+            d = self.transition.vecmul_left(&d);
+        }
+        d
+    }
+
+    /// Estimates the ε-mixing time: the smallest `t ≤ max_t` such that
+    /// the worst-case (over deterministic starts) total-variation
+    /// distance to `pi` is at most `epsilon`. Returns `None` if not
+    /// reached by `max_t`.
+    pub fn mixing_time(&self, pi: &[f64], epsilon: f64, max_t: usize) -> Option<usize> {
+        let n = self.state_count();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut e = vec![0.0; n];
+                e[i] = 1.0;
+                e
+            })
+            .collect();
+        for t in 0..=max_t {
+            let worst = rows
+                .iter()
+                .map(|row| total_variation(row, pi))
+                .fold(0.0, f64::max);
+            if worst <= epsilon {
+                return Some(t);
+            }
+            for row in &mut rows {
+                *row = self.transition.vecmul_left(row);
+            }
+        }
+        None
+    }
+
+    /// Computes expected hitting times `E[T_target | X_0 = i]` for every
+    /// start state `i`, where `T_target` is the first time the chain is
+    /// in `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Singular`] if some state cannot reach the
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn hitting_times(&self, target: usize) -> Result<Vec<f64>, MarkovError> {
+        let n = self.state_count();
+        assert!(target < n, "target out of range");
+        // Solve (I - Q) h = 1 on non-target states.
+        let others: Vec<usize> = (0..n).filter(|&i| i != target).collect();
+        let m = others.len();
+        let mut a = DenseMatrix::zeros(m, m);
+        for (ri, &i) in others.iter().enumerate() {
+            for (ci, &j) in others.iter().enumerate() {
+                let q = self.transition.get(i, j);
+                a.set(ri, ci, if ri == ci { 1.0 - q } else { -q });
+            }
+        }
+        let h = a.solve(&vec![1.0; m])?;
+        let mut out = vec![0.0; n];
+        for (ri, &i) in others.iter().enumerate() {
+            out[i] = h[ri];
+        }
+        Ok(out)
+    }
+
+    /// Expected return time to `state` via Kac's formula, `1/π_state`,
+    /// computed from the exact stationary distribution.
+    ///
+    /// For the BFW chain this recovers Lemma 14's `E[τ] = 2 + 1/p`
+    /// without renewal arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MarkovError::Singular`] from the stationary solve;
+    /// also returns it when `π_state = 0` (state not recurrent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn kac_return_time(&self, state: usize) -> Result<f64, MarkovError> {
+        assert!(state < self.state_count(), "state out of range");
+        let pi = self.stationary_distribution_exact()?;
+        if pi[state] <= 0.0 {
+            return Err(MarkovError::Singular);
+        }
+        Ok(1.0 / pi[state])
+    }
+
+    /// Creates a sampler that draws a trajectory using `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    pub fn sampler(&self, start: usize) -> ChainSampler<'_> {
+        assert!(start < self.state_count(), "start out of range");
+        ChainSampler {
+            chain: self,
+            current: start,
+        }
+    }
+}
+
+/// Step-by-step trajectory sampler created by [`MarkovChain::sampler`].
+#[derive(Debug, Clone)]
+pub struct ChainSampler<'a> {
+    chain: &'a MarkovChain,
+    current: usize,
+}
+
+impl ChainSampler<'_> {
+    /// Returns the current state.
+    pub fn state(&self) -> usize {
+        self.current
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let row = self.chain.transition.row(self.current);
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        let mut next = row.len() - 1;
+        for (j, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                next = j;
+                break;
+            }
+        }
+        self.current = next;
+        next
+    }
+
+    /// Draws `t` steps and returns the number of visits to each state
+    /// (the paper's `N_t(x)`, counting rounds `1..=t`).
+    pub fn visit_counts<R: Rng + ?Sized>(&mut self, t: usize, rng: &mut R) -> Vec<u64> {
+        let mut counts = vec![0u64; self.chain.state_count()];
+        for _ in 0..t {
+            let s = self.step(rng);
+            counts[s] += 1;
+        }
+        counts
+    }
+}
+
+/// Total-variation distance `½ Σ |a_i − b_i|` between two distributions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub(crate) fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distributions must have equal length");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+fn gcd_u64(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd_u64(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn lazy_two_state() -> MarkovChain {
+        MarkovChain::new(DenseMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]])).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let bad = DenseMatrix::from_rows(&[&[0.5, 0.4], &[0.5, 0.5]]);
+        assert!(matches!(
+            MarkovChain::new(bad),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        let neg = DenseMatrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]]);
+        assert!(matches!(
+            MarkovChain::new(neg),
+            Err(MarkovError::NotStochastic { .. })
+        ));
+        assert!(matches!(
+            MarkovChain::new(DenseMatrix::zeros(0, 0)),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            MarkovChain::new(DenseMatrix::zeros(1, 2)),
+            Err(MarkovError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_two_state_closed_form() {
+        // pi = (beta, alpha) / (alpha + beta) for alpha = 0.1, beta = 0.2.
+        let chain = lazy_two_state();
+        let pi = chain.stationary_distribution(1e-13, 100_000).unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-9);
+        let exact = chain.stationary_distribution_exact().unwrap();
+        assert!((exact[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_stationary_handles_periodic() {
+        // Two-cycle: period 2, power iteration from uniform actually
+        // stays uniform, but from a point mass it would oscillate.
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])).unwrap();
+        let pi = chain.stationary_distribution_exact().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        assert!(!chain.is_aperiodic());
+        assert!(chain.is_irreducible());
+    }
+
+    #[test]
+    fn irreducibility_detects_absorbing() {
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]])).unwrap();
+        assert!(!chain.is_irreducible());
+    }
+
+    #[test]
+    fn aperiodic_with_self_loop() {
+        assert!(lazy_two_state().is_aperiodic());
+    }
+
+    #[test]
+    fn distribution_after_converges_to_pi() {
+        let chain = lazy_two_state();
+        let d = chain.distribution_after(&[1.0, 0.0], 1_000);
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixing_time_monotone_in_epsilon() {
+        let chain = lazy_two_state();
+        let pi = chain.stationary_distribution_exact().unwrap();
+        let loose = chain.mixing_time(&pi, 0.25, 10_000).unwrap();
+        let tight = chain.mixing_time(&pi, 0.01, 10_000).unwrap();
+        assert!(loose <= tight);
+    }
+
+    #[test]
+    fn mixing_time_unreached_is_none() {
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])).unwrap();
+        let pi = chain.stationary_distribution_exact().unwrap();
+        assert_eq!(chain.mixing_time(&pi, 0.01, 100), None);
+    }
+
+    #[test]
+    fn hitting_times_two_state() {
+        // From state 0, T_1 ~ Geom(0.1): expectation 10.
+        let chain = lazy_two_state();
+        let h = chain.hitting_times(1).unwrap();
+        assert!((h[0] - 10.0).abs() < 1e-9);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn hitting_times_unreachable_is_singular() {
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]])).unwrap();
+        assert_eq!(chain.hitting_times(1).unwrap_err(), MarkovError::Singular);
+    }
+
+    #[test]
+    fn sampler_visit_frequencies_near_pi() {
+        let chain = lazy_two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut sampler = chain.sampler(0);
+        let t = 200_000;
+        let counts = sampler.visit_counts(t, &mut rng);
+        let freq0 = counts[0] as f64 / t as f64;
+        assert!((freq0 - 2.0 / 3.0).abs() < 0.01, "freq0 = {freq0}");
+    }
+
+    #[test]
+    fn sampler_tracks_state() {
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut s = chain.sampler(0);
+        assert_eq!(s.state(), 0);
+        assert_eq!(s.step(&mut rng), 1);
+        assert_eq!(s.step(&mut rng), 0);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn kac_return_time_two_state() {
+        // pi = (2/3, 1/3): return time to state 1 is 3.
+        let chain = lazy_two_state();
+        assert!((chain.kac_return_time(1).unwrap() - 3.0).abs() < 1e-9);
+        assert!((chain.kac_return_time(0).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kac_return_time_transient_state_errors() {
+        // State 1 is transient (absorbing chain at 0): the stationary
+        // solve puts zero mass on it... the linear system is actually
+        // solvable with pi = (1, 0), so Kac must reject the zero-mass
+        // state.
+        let chain = MarkovChain::new(DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]])).unwrap();
+        assert_eq!(chain.kac_return_time(1).unwrap_err(), MarkovError::Singular);
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Markov chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A transition matrix row does not sum to 1 (within tolerance) or
+    /// contains a negative/non-finite entry.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The row sum that was observed.
+        sum: f64,
+    },
+    /// An iterative method failed to reach the requested tolerance.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// A linear system was singular (up to numerical tolerance).
+    Singular,
+    /// The chain has no state (zero-dimensional matrix).
+    Empty,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not a probability distribution (sum {sum})")
+            }
+            MarkovError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
+            }
+            MarkovError::Singular => write!(f, "linear system is singular"),
+            MarkovError::Empty => write!(f, "chain has no states"),
+        }
+    }
+}
+
+impl Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MarkovError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(MarkovError::NotStochastic { row: 1, sum: 0.5 }
+            .to_string()
+            .contains("row 1"));
+        assert!(MarkovError::NoConvergence {
+            iterations: 10,
+            residual: 0.1
+        }
+        .to_string()
+        .contains("10 iterations"));
+        assert_eq!(
+            MarkovError::Singular.to_string(),
+            "linear system is singular"
+        );
+        assert_eq!(MarkovError::Empty.to_string(), "chain has no states");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<MarkovError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Finite Markov chain analysis utilities.
+//!
+//! The probabilistic analysis of the BFW protocol (Section 4 of Vacus &
+//! Ziccardi, PODC 2025) couples each live leader with an i.i.d. copy of
+//! the three-state chain `W → B → F → W` of Eq. (15), whose stationary
+//! distribution is `π = (1, p, p) / (2p + 1)` (Eq. (16)). This crate
+//! provides:
+//!
+//! * [`DenseMatrix`] — a small row-major matrix with the linear algebra
+//!   the chain analysis needs (products, Gaussian elimination),
+//! * [`MarkovChain`] — validated row-stochastic chains with stationary
+//!   distributions, irreducibility/aperiodicity checks, total-variation
+//!   distance, mixing-time estimates, hitting times and simulation,
+//! * [`bfw_chain`] and [`BfwChainTheory`] — the paper's specific chain
+//!   with its closed forms (Eq. (15), Eq. (16), the `τ ~ 2 + Geom(p)`
+//!   return time of Lemma 14, and the reference convergence curves of
+//!   Theorems 2 and 3).
+//!
+//! # Example
+//!
+//! ```
+//! use bfw_markov::{bfw_chain, BfwChainTheory};
+//!
+//! let chain = bfw_chain(0.5);
+//! let pi = chain.stationary_distribution(1e-12, 100_000).unwrap();
+//! let theory = BfwChainTheory::new(0.5);
+//! assert!((pi[1] - theory.stationary_beep_rate()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfw;
+mod chain;
+mod error;
+mod matrix;
+
+pub use bfw::{bfw_chain, BfwChainTheory, BFW_CHAIN_B, BFW_CHAIN_F, BFW_CHAIN_W};
+pub use chain::{ChainSampler, MarkovChain};
+pub use error::MarkovError;
+pub use matrix::DenseMatrix;

@@ -1,0 +1,341 @@
+use crate::MarkovError;
+use std::fmt;
+
+/// A small, row-major dense matrix of `f64`.
+///
+/// Sized for chain analysis (state spaces of at most a few hundred
+/// states), not for numerical heavy lifting: operations are simple
+/// `O(n³)` textbook implementations with partial pivoting where it
+/// matters.
+///
+/// # Example
+///
+/// ```
+/// use bfw_markov::DenseMatrix;
+///
+/// let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// let m2 = m.matmul(&m);
+/// assert_eq!(m2.get(0, 0), 7.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch in matmul");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-vector times matrix: `v · self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vecmul_left(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot += vi * self.get(i, j);
+            }
+        }
+        out
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting,
+    /// where `A` is `self` (consumed as a copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Singular`] if a pivot is (numerically)
+    /// zero, and [`MarkovError::NotSquare`] if the matrix is not square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if self.rows != self.cols {
+            return Err(MarkovError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        assert_eq!(b.len(), self.rows, "rhs length must equal matrix size");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot * n + col].abs() < 1e-12 {
+                return Err(MarkovError::Singular);
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            let p = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / p;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Returns the max-norm difference between two matrices of the same
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix({}x{}) [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn vecmul_left_matches_matmul() {
+        let a = DenseMatrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]);
+        let v = [0.3, 0.7];
+        let out = a.vecmul_left(&v);
+        assert!((out[0] - (0.3 * 0.5 + 0.7 * 0.25)).abs() < 1e-15);
+        assert!((out[1] - (0.3 * 0.5 + 0.7 * 0.75)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // x + y = 3 ; 2x - y = 0 -> x = 1, y = 2.
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[2.0, -1.0]]);
+        let x = a.solve(&[3.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), MarkovError::Singular);
+    }
+
+    #[test]
+    fn solve_rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[0.0, 0.0]),
+            Err(MarkovError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = DenseMatrix::identity(2);
+        let mut b = DenseMatrix::identity(2);
+        b.set(0, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_checks_len() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let s = format!("{:?}", DenseMatrix::identity(1));
+        assert!(s.contains("DenseMatrix"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the Markov chain substrate.
+
+use bfw_markov::{bfw_chain, BfwChainTheory, DenseMatrix, MarkovChain};
+use proptest::prelude::*;
+
+/// Strategy: a random row-stochastic matrix of size 2..=5 with strictly
+/// positive entries (hence irreducible and aperiodic).
+fn arb_positive_stochastic() -> impl Strategy<Value = MarkovChain> {
+    (2usize..=5)
+        .prop_flat_map(|n| proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n))
+        .prop_map(|rows| {
+            let n = rows.len();
+            let mut m = DenseMatrix::zeros(n, n);
+            for (i, row) in rows.iter().enumerate() {
+                let sum: f64 = row.iter().sum();
+                for (j, &v) in row.iter().enumerate() {
+                    m.set(i, j, v / sum);
+                }
+            }
+            MarkovChain::new(m).expect("normalized rows are stochastic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact and iterative stationary distributions agree, sum to one,
+    /// and are non-negative.
+    #[test]
+    fn stationary_methods_agree(chain in arb_positive_stochastic()) {
+        let exact = chain.stationary_distribution_exact().expect("positive chain");
+        let iter = chain.stationary_distribution(1e-12, 1_000_000).expect("aperiodic");
+        prop_assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (a, b) in exact.iter().zip(&iter) {
+            prop_assert!(*a >= -1e-12);
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    /// The stationary distribution is a fixed point: π·P = π.
+    #[test]
+    fn stationary_is_fixed_point(chain in arb_positive_stochastic()) {
+        let pi = chain.stationary_distribution_exact().expect("positive chain");
+        let next = chain.transition_matrix().vecmul_left(&pi);
+        for (a, b) in pi.iter().zip(&next) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Positive chains are irreducible and aperiodic.
+    #[test]
+    fn positive_chains_are_ergodic(chain in arb_positive_stochastic()) {
+        prop_assert!(chain.is_irreducible());
+        prop_assert!(chain.is_aperiodic());
+    }
+
+    /// Kac's formula inverts the stationary mass for every state.
+    #[test]
+    fn kac_inverts_stationary(chain in arb_positive_stochastic()) {
+        let pi = chain.stationary_distribution_exact().expect("positive chain");
+        for (s, &mass) in pi.iter().enumerate() {
+            let kac = chain.kac_return_time(s).expect("recurrent state");
+            prop_assert!((kac - 1.0 / mass).abs() < 1e-6);
+        }
+    }
+
+    /// Hitting times satisfy the one-step recurrence
+    /// `h(i) = 1 + Σ_j P(i,j)·h(j)` for `i ≠ target`.
+    #[test]
+    fn hitting_times_satisfy_recurrence(chain in arb_positive_stochastic(), target_raw in 0usize..5) {
+        let n = chain.state_count();
+        let target = target_raw % n;
+        let h = chain.hitting_times(target).expect("positive chain");
+        for i in (0..n).filter(|&i| i != target) {
+            let rhs: f64 = 1.0
+                + (0..n).map(|j| chain.prob(i, j) * h[j]).sum::<f64>();
+            prop_assert!((h[i] - rhs).abs() < 1e-7, "state {i}: {} vs {}", h[i], rhs);
+        }
+        prop_assert_eq!(h[target], 0.0);
+    }
+
+    /// The BFW chain's closed forms hold for arbitrary p.
+    #[test]
+    fn bfw_closed_forms(p in 0.01f64..0.99) {
+        let chain = bfw_chain(p);
+        let th = BfwChainTheory::new(p);
+        let pi = chain.stationary_distribution_exact().expect("ergodic");
+        let expected = th.stationary();
+        for (a, b) in pi.iter().zip(expected.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let kac = chain.kac_return_time(bfw_markov::BFW_CHAIN_B).expect("recurrent");
+        prop_assert!((kac - th.expected_return_time()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the simulation runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The topology has no nodes; no election can take place.
+    EmptyTopology,
+    /// The topology is disconnected; eventual leader election is defined
+    /// on connected graphs (several components would each keep a
+    /// leader).
+    Disconnected,
+    /// The run exhausted its round budget before converging.
+    RoundBudgetExhausted {
+        /// The budget that was exhausted.
+        max_rounds: u64,
+        /// Leaders still present when the run stopped.
+        leaders_remaining: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyTopology => write!(f, "topology has no nodes"),
+            SimError::Disconnected => write!(f, "topology is disconnected"),
+            SimError::RoundBudgetExhausted {
+                max_rounds,
+                leaders_remaining,
+            } => write!(
+                f,
+                "no convergence within {max_rounds} rounds ({leaders_remaining} leaders remaining)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SimError::EmptyTopology.to_string(), "topology has no nodes");
+        assert_eq!(
+            SimError::Disconnected.to_string(),
+            "topology is disconnected"
+        );
+        let s = SimError::RoundBudgetExhausted {
+            max_rounds: 10,
+            leaders_remaining: 3,
+        }
+        .to_string();
+        assert!(s.contains("10 rounds") && s.contains("3 leaders"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Synchronous simulators for weak communication models.
+//!
+//! This crate implements the execution environments of the reproduction
+//! of *"Minimalist Leader Election Under Weak Communication"* (Vacus &
+//! Ziccardi, PODC 2025):
+//!
+//! * the **beeping model** (Cornejo & Kuhn): per round each node beeps or
+//!   listens; a node's next state is drawn from `δ⊤` when it beeps or any
+//!   neighbor beeps, from `δ⊥` otherwise — see [`BeepingProtocol`] and
+//!   [`Network`];
+//! * a synchronous **stone-age model** (Emek & Wattenhofer): nodes
+//!   display symbols from a finite alphabet and count neighbors per
+//!   symbol only up to a threshold `b` — see [`stone_age`];
+//! * a synchronous **message-passing model** used by the strong-model
+//!   baseline (`FloodMax`) — see [`message_passing`].
+//!
+//! Executions are fully deterministic given a seed: every node owns an
+//! independent ChaCha stream derived from the run seed, so the same
+//! protocol replayed in two runtimes (e.g. beeping vs stone-age) produces
+//! bit-identical traces.
+//!
+//! # Example
+//!
+//! The paper's protocol lives in the `bfw-core` crate; here is a tiny
+//! custom protocol (every node beeps forever) driving the executor:
+//!
+//! ```
+//! use bfw_sim::{BeepingProtocol, Network, NodeCtx, Topology};
+//! use bfw_graph::generators;
+//!
+//! #[derive(Debug, Clone)]
+//! struct AlwaysBeep;
+//!
+//! impl BeepingProtocol for AlwaysBeep {
+//!     type State = ();
+//!     fn initial_state(&self, _ctx: NodeCtx) {}
+//!     fn beeps(&self, _state: &()) -> bool { true }
+//!     fn transition(&self, _s: &(), heard: bool, _rng: &mut dyn rand::RngCore) {
+//!         assert!(heard); // everyone hears themselves beep
+//!     }
+//! }
+//!
+//! let mut net = Network::new(AlwaysBeep, generators::cycle(8).into(), 42);
+//! net.step();
+//! assert_eq!(net.round(), 1);
+//! assert_eq!(net.beeping_node_count(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod message_passing;
+mod monte_carlo;
+mod network;
+mod observers;
+mod protocol;
+mod runner;
+pub mod stone_age;
+mod topology;
+
+pub use error::SimError;
+pub use monte_carlo::{run_trials, run_trials_sequential};
+pub use network::{Network, RoundView};
+pub use observers::{
+    observe_run, BeepCounter, ConvergenceDetector, Observer, ObserverSet, StateHistogram,
+    TraceRecorder,
+};
+pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
+pub use runner::{run_election, ElectionConfig, ElectionOutcome};
+pub use topology::Topology;

@@ -1,0 +1,342 @@
+//! A synchronous message-passing runtime (LOCAL-style, `Θ(log n)`-bit
+//! messages).
+//!
+//! The paper's Table 1 compares BFW against algorithms in *stronger*
+//! models. This module provides the strongest reasonable reference
+//! point: per round each node may broadcast one small message to all
+//! neighbors and reads all received messages. `FloodMax` (in
+//! `bfw-baselines`) uses it to realize the `Θ(D)` lower-bound curve
+//! against which the weak-model protocols are measured.
+//!
+//! # Example
+//!
+//! ```
+//! use bfw_sim::message_passing::{MessagePassingNetwork, MessageProtocol};
+//! use bfw_sim::NodeCtx;
+//! use bfw_graph::generators;
+//!
+//! /// Every node repeats the largest value it has seen.
+//! #[derive(Debug, Clone)]
+//! struct Max;
+//! impl MessageProtocol for Max {
+//!     type State = u64;
+//!     type Msg = u64;
+//!     fn initial_state(&self, ctx: NodeCtx) -> u64 { ctx.node.index() as u64 }
+//!     fn send(&self, s: &u64) -> Option<u64> { Some(*s) }
+//!     fn receive(&self, s: &u64, inbox: &[u64], _rng: &mut dyn rand::RngCore) -> u64 {
+//!         inbox.iter().copied().fold(*s, u64::max)
+//!     }
+//! }
+//!
+//! let mut net = MessagePassingNetwork::new(Max, generators::path(5).into(), 0);
+//! net.run(4); // diameter rounds suffice
+//! assert!(net.states().iter().all(|&s| s == 4));
+//! ```
+
+use crate::{NodeCtx, Topology};
+use bfw_graph::NodeId;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A protocol for the synchronous message-passing model.
+pub trait MessageProtocol {
+    /// Per-node state.
+    type State: Clone + PartialEq + std::fmt::Debug;
+    /// Message type; a faithful LOCAL-with-small-messages model keeps
+    /// this within `O(log n)` bits (e.g. `u64`).
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Returns the initial state of a node.
+    fn initial_state(&self, ctx: NodeCtx) -> Self::State;
+
+    /// Returns the message broadcast to all neighbors this round, or
+    /// `None` to stay silent.
+    fn send(&self, state: &Self::State) -> Option<Self::Msg>;
+
+    /// Computes the next state from the received messages (arbitrary
+    /// neighbor order; protocols must not rely on it).
+    fn receive(
+        &self,
+        state: &Self::State,
+        inbox: &[Self::Msg],
+        rng: &mut dyn RngCore,
+    ) -> Self::State;
+}
+
+/// Leader designation for message-passing protocols.
+pub trait MessageLeaderElection: MessageProtocol {
+    /// Returns `true` if `state` belongs to the leader set.
+    fn is_leader(&self, state: &Self::State) -> bool;
+}
+
+/// Synchronous executor of a [`MessageProtocol`] on a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct MessagePassingNetwork<P: MessageProtocol> {
+    protocol: P,
+    topology: Topology,
+    states: Vec<P::State>,
+    rngs: Vec<ChaCha8Rng>,
+    round: u64,
+}
+
+impl<P: MessageProtocol> MessagePassingNetwork<P> {
+    /// Creates a network in round 0 (same seeding scheme as
+    /// [`Network`](crate::Network)).
+    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count();
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let rngs: Vec<ChaCha8Rng> = (0..n).map(|_| ChaCha8Rng::from_rng(&mut master)).collect();
+        let states: Vec<P::State> = (0..n)
+            .map(|i| {
+                protocol.initial_state(NodeCtx {
+                    node: NodeId::new(i),
+                    node_count: n,
+                })
+            })
+            .collect();
+        MessagePassingNetwork {
+            protocol,
+            topology,
+            states,
+            rngs,
+            round: 0,
+        }
+    }
+
+    /// Returns the current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns the protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Returns all node states.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Returns the state of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn state(&self, u: NodeId) -> &P::State {
+        &self.states[u.index()]
+    }
+
+    /// Advances one synchronous round: all sends happen against the
+    /// round-`t` states, then all receives apply simultaneously.
+    pub fn step(&mut self) {
+        let n = self.states.len();
+        let outbox: Vec<Option<P::Msg>> =
+            self.states.iter().map(|s| self.protocol.send(s)).collect();
+        let mut next = Vec::with_capacity(n);
+        let mut inbox: Vec<P::Msg> = Vec::new();
+        match &self.topology {
+            Topology::Graph(g) => {
+                for u in 0..n {
+                    inbox.clear();
+                    for &v in g.neighbors(NodeId::new(u)) {
+                        if let Some(m) = &outbox[v.index()] {
+                            inbox.push(m.clone());
+                        }
+                    }
+                    next.push(
+                        self.protocol
+                            .receive(&self.states[u], &inbox, &mut self.rngs[u]),
+                    );
+                }
+            }
+            Topology::Clique(_) => {
+                let all: Vec<(usize, P::Msg)> = outbox
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| m.clone().map(|m| (i, m)))
+                    .collect();
+                for u in 0..n {
+                    inbox.clear();
+                    inbox.extend(all.iter().filter(|(i, _)| *i != u).map(|(_, m)| m.clone()));
+                    next.push(
+                        self.protocol
+                            .receive(&self.states[u], &inbox, &mut self.rngs[u]),
+                    );
+                }
+            }
+        }
+        self.states = next;
+        self.round += 1;
+    }
+
+    /// Advances `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Advances until `stop` returns `true` (checked before each step,
+    /// including round 0) or the budget runs out; returns the round at
+    /// which the predicate fired.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut stop: F) -> Option<u64>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        loop {
+            if stop(self) {
+                return Some(self.round);
+            }
+            if self.round >= max_rounds {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+impl<P: MessageLeaderElection> MessagePassingNetwork<P> {
+    /// Returns the number of nodes in the leader set.
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.is_leader(s))
+            .count()
+    }
+
+    /// Returns the unique leader, or `None` if there are zero or several
+    /// leaders.
+    pub fn unique_leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if self.protocol.is_leader(s) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(NodeId::new(i));
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+
+    #[derive(Debug, Clone)]
+    struct MaxFlood;
+
+    impl MessageProtocol for MaxFlood {
+        type State = u64;
+        type Msg = u64;
+
+        fn initial_state(&self, ctx: NodeCtx) -> u64 {
+            ctx.node.index() as u64
+        }
+
+        fn send(&self, s: &u64) -> Option<u64> {
+            Some(*s)
+        }
+
+        fn receive(&self, s: &u64, inbox: &[u64], _rng: &mut dyn RngCore) -> u64 {
+            inbox.iter().copied().fold(*s, u64::max)
+        }
+    }
+
+    impl MessageLeaderElection for MaxFlood {
+        fn is_leader(&self, s: &u64) -> bool {
+            // Not meaningful here; used only to exercise the trait.
+            *s == 0
+        }
+    }
+
+    #[test]
+    fn max_floods_in_diameter_rounds_on_path() {
+        let n = 9;
+        let mut net = MessagePassingNetwork::new(MaxFlood, generators::path(n).into(), 0);
+        net.run((n - 1) as u64);
+        assert!(net.states().iter().all(|&s| s == (n - 1) as u64));
+    }
+
+    #[test]
+    fn max_floods_in_one_round_on_clique() {
+        let mut net = MessagePassingNetwork::new(MaxFlood, Topology::Clique(20), 0);
+        net.step();
+        assert!(net.states().iter().all(|&s| s == 19));
+    }
+
+    #[test]
+    fn flood_needs_full_diameter() {
+        let n = 9;
+        let mut net = MessagePassingNetwork::new(MaxFlood, generators::path(n).into(), 0);
+        net.run((n - 2) as u64);
+        // Node 0 is at distance n-1 from the max; one round short.
+        assert_eq!(*net.state(NodeId::new(0)), (n - 2) as u64);
+    }
+
+    #[test]
+    fn silent_nodes_send_nothing() {
+        #[derive(Debug, Clone)]
+        struct Mute;
+        impl MessageProtocol for Mute {
+            type State = usize; // messages received so far
+            type Msg = ();
+            fn initial_state(&self, _ctx: NodeCtx) -> usize {
+                0
+            }
+            fn send(&self, _s: &usize) -> Option<()> {
+                None
+            }
+            fn receive(&self, s: &usize, inbox: &[()], _rng: &mut dyn RngCore) -> usize {
+                s + inbox.len()
+            }
+        }
+        let mut net = MessagePassingNetwork::new(Mute, generators::complete(5).into(), 0);
+        net.run(3);
+        assert!(net.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut net = MessagePassingNetwork::new(MaxFlood, generators::path(6).into(), 0);
+        let r = net.run_until(100, |n| n.states().iter().all(|&s| s == 5));
+        assert_eq!(r, Some(5));
+    }
+
+    #[test]
+    fn leader_helpers() {
+        let net = MessagePassingNetwork::new(MaxFlood, generators::path(4).into(), 0);
+        assert_eq!(net.leader_count(), 1);
+        assert_eq!(net.unique_leader(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn clique_excludes_own_message() {
+        #[derive(Debug, Clone)]
+        struct CountInbox;
+        impl MessageProtocol for CountInbox {
+            type State = usize;
+            type Msg = ();
+            fn initial_state(&self, _ctx: NodeCtx) -> usize {
+                0
+            }
+            fn send(&self, _s: &usize) -> Option<()> {
+                Some(())
+            }
+            fn receive(&self, _s: &usize, inbox: &[()], _rng: &mut dyn RngCore) -> usize {
+                inbox.len()
+            }
+        }
+        let mut net = MessagePassingNetwork::new(CountInbox, Topology::Clique(7), 0);
+        net.step();
+        assert!(net.states().iter().all(|&s| s == 6));
+    }
+}

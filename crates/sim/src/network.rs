@@ -1,0 +1,529 @@
+use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
+use bfw_graph::NodeId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Synchronous executor of a [`BeepingProtocol`] on a [`Topology`].
+///
+/// The executor implements the beeping model exactly as defined in
+/// Section 1.1 of the paper: in round `t`, the set of beeping nodes is
+/// `B_t = {u : state(u) ∈ Q_b}`; node `u`'s next state is sampled from
+/// `δ⊤` iff `u ∈ B_t` or some neighbor of `u` is in `B_t`, and from `δ⊥`
+/// otherwise. All nodes update simultaneously.
+///
+/// Every node draws from its own ChaCha stream derived deterministically
+/// from the run seed, so executions are reproducible and independent of
+/// iteration order.
+///
+/// # Example
+///
+/// ```
+/// use bfw_sim::{Network, Topology};
+/// use bfw_graph::generators;
+/// # use bfw_sim::{BeepingProtocol, NodeCtx};
+/// # #[derive(Debug, Clone)]
+/// # struct Silent;
+/// # impl BeepingProtocol for Silent {
+/// #     type State = u8;
+/// #     fn initial_state(&self, _ctx: NodeCtx) -> u8 { 0 }
+/// #     fn beeps(&self, _s: &u8) -> bool { false }
+/// #     fn transition(&self, s: &u8, _h: bool, _r: &mut dyn rand::RngCore) -> u8 { s + 1 }
+/// # }
+///
+/// let mut net = Network::new(Silent, generators::path(5).into(), 7);
+/// net.run(10);
+/// assert_eq!(net.round(), 10);
+/// assert!(net.states().iter().all(|&s| s == 10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network<P: BeepingProtocol> {
+    protocol: P,
+    topology: Topology,
+    states: Vec<P::State>,
+    beeps: Vec<bool>,
+    heard: Vec<bool>,
+    rngs: Vec<ChaCha8Rng>,
+    round: u64,
+    hearing_failure_prob: f64,
+}
+
+impl<P: BeepingProtocol> Network<P> {
+    /// Creates a network in round 0 with every node in its initial
+    /// state.
+    ///
+    /// `seed` determines the entire execution: node `i` draws from a
+    /// ChaCha8 stream carved deterministically out of `seed`.
+    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count();
+        let states = (0..n)
+            .map(|i| {
+                protocol.initial_state(NodeCtx {
+                    node: NodeId::new(i),
+                    node_count: n,
+                })
+            })
+            .collect::<Vec<_>>();
+        Self::with_states(protocol, topology, seed, states)
+    }
+
+    /// Creates a network in round 0 from an **explicit** configuration,
+    /// bypassing the protocol's initial state.
+    ///
+    /// This is the entry point for self-stabilization studies: the
+    /// paper's Section 5 discusses why BFW cannot recover from
+    /// *arbitrary* configurations (leaderless persistent waves exist —
+    /// see `bfw_core::adversarial`), and this constructor lets those
+    /// configurations be built and executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the topology's node count.
+    pub fn with_states(protocol: P, topology: Topology, seed: u64, states: Vec<P::State>) -> Self {
+        let n = topology.node_count();
+        assert_eq!(states.len(), n, "one state per node is required");
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let rngs = (0..n)
+            .map(|_| ChaCha8Rng::from_rng(&mut master))
+            .collect::<Vec<_>>();
+        let mut net = Network {
+            protocol,
+            topology,
+            states,
+            beeps: vec![false; n],
+            heard: vec![false; n],
+            rngs,
+            round: 0,
+            hearing_failure_prob: 0.0,
+        };
+        net.refresh_beeps();
+        net
+    }
+
+    /// Enables **unreliable hearing** — an extension beyond the paper's
+    /// model: each round, a *listening* node that would hear a beep
+    /// misses it independently with probability `q` (a node always
+    /// registers its own beep). `q = 0` restores the exact beeping
+    /// model, including bit-identical RNG streams.
+    ///
+    /// The paper's Section 3 guarantees (wave directionality, Lemma 9)
+    /// assume reliable hearing; the `noise` experiment measures how
+    /// they degrade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1)`.
+    pub fn with_hearing_noise(mut self, q: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&q),
+            "hearing-failure probability must be in [0, 1)"
+        );
+        self.hearing_failure_prob = q;
+        self
+    }
+
+    /// Returns the hearing-failure probability (0 for the exact model).
+    pub fn hearing_failure_prob(&self) -> f64 {
+        self.hearing_failure_prob
+    }
+
+    fn refresh_beeps(&mut self) {
+        for (i, s) in self.states.iter().enumerate() {
+            self.beeps[i] = self.protocol.beeps(s);
+        }
+    }
+
+    /// Returns the protocol driving this network.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns the current round number (0 before any step).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Returns the current state of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn state(&self, u: NodeId) -> &P::State {
+        &self.states[u.index()]
+    }
+
+    /// Returns all node states, indexed by node.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Returns the beep flags of the current round (`u ∈ B_t`), indexed
+    /// by node.
+    pub fn beep_flags(&self) -> &[bool] {
+        &self.beeps
+    }
+
+    /// Returns how many nodes beep in the current round (`|B_t|`).
+    pub fn beeping_node_count(&self) -> usize {
+        self.beeps.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns a borrowed snapshot of the current round, as handed to
+    /// [`Observer`](crate::Observer)s.
+    pub fn view(&self) -> RoundView<'_, P> {
+        RoundView {
+            round: self.round,
+            protocol: &self.protocol,
+            states: &self.states,
+            beeps: &self.beeps,
+        }
+    }
+
+    /// Advances one synchronous round.
+    pub fn step(&mut self) {
+        self.topology.compute_heard(&self.beeps, &mut self.heard);
+        if self.hearing_failure_prob > 0.0 {
+            // Unreliable hearing (extension): listeners miss the beep
+            // independently; a beeping node always registers its own.
+            use rand::Rng as _;
+            for i in 0..self.heard.len() {
+                if self.heard[i]
+                    && !self.beeps[i]
+                    && self.rngs[i].random_bool(self.hearing_failure_prob)
+                {
+                    self.heard[i] = false;
+                }
+            }
+        }
+        for i in 0..self.states.len() {
+            self.states[i] =
+                self.protocol
+                    .transition(&self.states[i], self.heard[i], &mut self.rngs[i]);
+        }
+        self.refresh_beeps();
+        self.round += 1;
+    }
+
+    /// Advances `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Advances until `stop(&view)` returns `true` (checked *before*
+    /// each step, including round 0) or until `max_rounds` is reached.
+    ///
+    /// Returns the round at which the predicate fired, or `None` if the
+    /// budget ran out.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut stop: F) -> Option<u64>
+    where
+        F: FnMut(&RoundView<'_, P>) -> bool,
+    {
+        loop {
+            if stop(&self.view()) {
+                return Some(self.round);
+            }
+            if self.round >= max_rounds {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+impl<P: LeaderElection> Network<P> {
+    /// Returns the number of nodes whose state lies in the leader set
+    /// `L`.
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.is_leader(s))
+            .count()
+    }
+
+    /// Returns the identifiers of all current leaders.
+    pub fn leaders(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.protocol.is_leader(s))
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Returns the unique leader, or `None` if there are zero or several
+    /// leaders.
+    pub fn unique_leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if self.protocol.is_leader(s) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(NodeId::new(i));
+            }
+        }
+        found
+    }
+}
+
+/// Immutable snapshot of a round, handed to observers and stop
+/// predicates.
+#[derive(Debug)]
+pub struct RoundView<'a, P: BeepingProtocol> {
+    /// The round number `t`.
+    pub round: u64,
+    /// The protocol (for interpreting states).
+    pub protocol: &'a P,
+    /// Per-node states in round `t`.
+    pub states: &'a [P::State],
+    /// Per-node beep flags: `beeps[u] ⇔ u ∈ B_t`.
+    pub beeps: &'a [bool],
+}
+
+impl<P: LeaderElection> RoundView<'_, P> {
+    /// Returns the number of leaders in this round.
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.is_leader(s))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+    use rand::Rng;
+
+    /// Deterministic "wave" protocol: state counts rounds since a beep
+    /// was heard; node 0 beeps once at round 0.
+    #[derive(Debug, Clone)]
+    struct OneShot;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum OneShotState {
+        Origin,
+        Idle,
+        Beeped,
+    }
+
+    impl BeepingProtocol for OneShot {
+        type State = OneShotState;
+
+        fn initial_state(&self, ctx: NodeCtx) -> OneShotState {
+            if ctx.node.index() == 0 {
+                OneShotState::Origin
+            } else {
+                OneShotState::Idle
+            }
+        }
+
+        fn beeps(&self, s: &OneShotState) -> bool {
+            matches!(s, OneShotState::Origin)
+        }
+
+        fn transition(
+            &self,
+            s: &OneShotState,
+            heard: bool,
+            _rng: &mut dyn rand::RngCore,
+        ) -> OneShotState {
+            match (s, heard) {
+                (OneShotState::Origin, _) => OneShotState::Beeped,
+                (OneShotState::Idle, true) => OneShotState::Beeped,
+                (s, _) => s.clone(),
+            }
+        }
+    }
+
+    impl LeaderElection for OneShot {
+        fn is_leader(&self, s: &OneShotState) -> bool {
+            matches!(s, OneShotState::Origin)
+        }
+    }
+
+    #[test]
+    fn round_zero_state() {
+        let net = Network::new(OneShot, generators::path(4).into(), 0);
+        assert_eq!(net.round(), 0);
+        assert_eq!(net.beeping_node_count(), 1);
+        assert_eq!(net.leader_count(), 1);
+        assert_eq!(net.unique_leader(), Some(NodeId::new(0)));
+        assert_eq!(net.leaders(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn beep_reaches_neighbors_only() {
+        let mut net = Network::new(OneShot, generators::path(4).into(), 0);
+        net.step();
+        // Node 0 transitioned out; node 1 heard and became Beeped; nodes
+        // 2, 3 heard nothing.
+        assert_eq!(*net.state(NodeId::new(0)), OneShotState::Beeped);
+        assert_eq!(*net.state(NodeId::new(1)), OneShotState::Beeped);
+        assert_eq!(*net.state(NodeId::new(2)), OneShotState::Idle);
+        assert_eq!(*net.state(NodeId::new(3)), OneShotState::Idle);
+        assert_eq!(net.leader_count(), 0);
+        assert_eq!(net.unique_leader(), None);
+    }
+
+    #[test]
+    fn run_until_fires_at_round_zero() {
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        let r = net.run_until(100, |v| v.leader_count() == 1);
+        assert_eq!(r, Some(0));
+        assert_eq!(net.round(), 0);
+    }
+
+    #[test]
+    fn run_until_exhausts_budget() {
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        let r = net.run_until(5, |_| false);
+        assert_eq!(r, None);
+        assert_eq!(net.round(), 5);
+    }
+
+    #[test]
+    fn clique_topology_runs() {
+        let mut net = Network::new(OneShot, Topology::Clique(64), 1);
+        net.step();
+        // Every node heard node 0 and became Beeped.
+        assert!(net.states().iter().all(|s| *s == OneShotState::Beeped));
+    }
+
+    /// Randomized protocol used to check determinism and stream
+    /// independence.
+    #[derive(Debug, Clone)]
+    struct CoinFlipper;
+
+    impl BeepingProtocol for CoinFlipper {
+        type State = u32;
+
+        fn initial_state(&self, _ctx: NodeCtx) -> u32 {
+            0
+        }
+
+        fn beeps(&self, _s: &u32) -> bool {
+            false
+        }
+
+        fn transition(&self, s: &u32, _heard: bool, rng: &mut dyn rand::RngCore) -> u32 {
+            s.wrapping_mul(31).wrapping_add(rng.random_range(0..1000))
+        }
+    }
+
+    #[test]
+    fn same_seed_same_execution() {
+        let mk = || {
+            let mut net = Network::new(CoinFlipper, generators::cycle(10).into(), 99);
+            net.run(50);
+            net.states().to_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut net = Network::new(CoinFlipper, generators::cycle(10).into(), seed);
+            net.run(10);
+            net.states().to_vec()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn node_streams_are_independent() {
+        // With one shared stream, two nodes would draw identical values
+        // in lockstep only if the iteration interleaves perfectly; with
+        // per-node streams the sequences must differ between nodes.
+        let mut net = Network::new(CoinFlipper, generators::path(2).into(), 5);
+        net.run(20);
+        assert_ne!(net.state(NodeId::new(0)), net.state(NodeId::new(1)));
+    }
+
+    #[test]
+    fn view_exposes_round_data() {
+        let net = Network::new(OneShot, generators::path(3).into(), 0);
+        let view = net.view();
+        assert_eq!(view.round, 0);
+        assert_eq!(view.states.len(), 3);
+        assert_eq!(view.beeps, &[true, false, false]);
+    }
+
+    #[test]
+    fn with_states_overrides_initial_configuration() {
+        let states = vec![OneShotState::Idle, OneShotState::Origin, OneShotState::Idle];
+        let net = Network::with_states(OneShot, generators::path(3).into(), 0, states);
+        assert_eq!(*net.state(NodeId::new(1)), OneShotState::Origin);
+        assert_eq!(net.beeping_node_count(), 1);
+        assert_eq!(net.unique_leader(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per node")]
+    fn with_states_validates_length() {
+        let _ = Network::with_states(OneShot, generators::path(3).into(), 0, vec![]);
+    }
+
+    #[test]
+    fn zero_noise_preserves_exact_model() {
+        let run = |noisy: bool| {
+            let mut net = Network::new(CoinFlipper, generators::cycle(8).into(), 3);
+            if noisy {
+                net = net.with_hearing_noise(0.0);
+            }
+            net.run(50);
+            net.states().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn noise_changes_hearing() {
+        // With q close to 1, the wave from node 0 almost never
+        // propagates on a path; with q = 0 it always reaches node 1.
+        let mut missed = 0;
+        for seed in 0..50u64 {
+            let mut net =
+                Network::new(OneShot, generators::path(3).into(), seed).with_hearing_noise(0.95);
+            net.step();
+            if *net.state(NodeId::new(1)) == OneShotState::Idle {
+                missed += 1;
+            }
+        }
+        assert!(
+            missed > 30,
+            "only {missed} of 50 beeps were dropped at q = 0.95"
+        );
+    }
+
+    #[test]
+    fn beeping_node_always_hears_itself_under_noise() {
+        // AlwaysBeep-like check: Origin transitions via δ⊤ regardless of
+        // noise because its own beep cannot be missed.
+        for seed in 0..20u64 {
+            let mut net =
+                Network::new(OneShot, generators::path(2).into(), seed).with_hearing_noise(0.99);
+            net.step();
+            assert_eq!(*net.state(NodeId::new(0)), OneShotState::Beeped);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn noise_probability_validated() {
+        let _ = Network::new(OneShot, generators::path(2).into(), 0).with_hearing_noise(1.0);
+    }
+}

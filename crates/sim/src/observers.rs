@@ -1,0 +1,394 @@
+use crate::{BeepingProtocol, LeaderElection, RoundView};
+use std::collections::HashMap;
+
+/// A hook that inspects every round of an execution.
+///
+/// Observers receive the [`RoundView`] of round 0 once (via
+/// [`Observer::on_round`]) and then the view of each subsequent round.
+/// They power the metrics, invariant checkers and trace recorders used
+/// by the experiments.
+pub trait Observer<P: BeepingProtocol> {
+    /// Called with the snapshot of each round, starting at round 0.
+    fn on_round(&mut self, view: &RoundView<'_, P>);
+}
+
+/// Runs a network while feeding every round to an observer.
+///
+/// This free function is the composition point between
+/// [`Network`](crate::Network) and [`Observer`]s; it steps the network
+/// `max_rounds` times (observing round 0 first) unless `stop` fires.
+pub fn observe_run<P, O, F>(
+    net: &mut crate::Network<P>,
+    observer: &mut O,
+    max_rounds: u64,
+    mut stop: F,
+) -> Option<u64>
+where
+    P: BeepingProtocol,
+    O: Observer<P>,
+    F: FnMut(&RoundView<'_, P>) -> bool,
+{
+    loop {
+        let view = net.view();
+        observer.on_round(&view);
+        if stop(&view) {
+            return Some(view.round);
+        }
+        if net.round() >= max_rounds {
+            return None;
+        }
+        net.step();
+    }
+}
+
+/// Detects the convergence round of a leader-election execution: the
+/// first round in which exactly one node is in the leader set.
+///
+/// For protocols whose leader count never increases (BFW: no transition
+/// re-enters the leader half of the state machine) this is exactly the
+/// `T` of Definition 1.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceDetector {
+    first_single: Option<u64>,
+    leaders_ever_increased: bool,
+    last_count: Option<usize>,
+    min_count: usize,
+}
+
+impl ConvergenceDetector {
+    /// Creates a fresh detector.
+    pub fn new() -> Self {
+        ConvergenceDetector {
+            first_single: None,
+            leaders_ever_increased: false,
+            last_count: None,
+            min_count: usize::MAX,
+        }
+    }
+
+    /// Returns the first round with exactly one leader, if seen.
+    pub fn converged_round(&self) -> Option<u64> {
+        self.first_single
+    }
+
+    /// Returns `true` if the leader count ever grew between consecutive
+    /// observed rounds (a violation for monotone protocols like BFW).
+    pub fn leader_count_increased(&self) -> bool {
+        self.leaders_ever_increased
+    }
+
+    /// Returns the smallest leader count observed so far (`usize::MAX`
+    /// before any observation).
+    pub fn min_leader_count(&self) -> usize {
+        self.min_count
+    }
+}
+
+impl<P: LeaderElection> Observer<P> for ConvergenceDetector {
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        let count = view.leader_count();
+        if let Some(prev) = self.last_count {
+            if count > prev {
+                self.leaders_ever_increased = true;
+            }
+        }
+        self.last_count = Some(count);
+        self.min_count = self.min_count.min(count);
+        if count == 1 && self.first_single.is_none() {
+            self.first_single = Some(view.round);
+        }
+    }
+}
+
+/// Tracks `N_beep_t(u)`: the number of rounds `s ≤ t` with `u ∈ B_s`
+/// (the central bookkeeping of the paper's Section 2).
+#[derive(Debug, Clone)]
+pub struct BeepCounter {
+    counts: Vec<u64>,
+    rounds_observed: u64,
+}
+
+impl BeepCounter {
+    /// Creates a counter for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BeepCounter {
+            counts: vec![0; n],
+            rounds_observed: 0,
+        }
+    }
+
+    /// Returns `N_beep_t(u)` for the last observed round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn count(&self, u: usize) -> u64 {
+        self.counts[u]
+    }
+
+    /// Returns all counts, indexed by node.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Returns the number of observed rounds (including round 0).
+    pub fn rounds_observed(&self) -> u64 {
+        self.rounds_observed
+    }
+
+    /// Returns the total number of beeps across all nodes and rounds —
+    /// the "energy" consumed by the execution.
+    pub fn total_beeps(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl<P: BeepingProtocol> Observer<P> for BeepCounter {
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        debug_assert_eq!(view.beeps.len(), self.counts.len());
+        for (c, &b) in self.counts.iter_mut().zip(view.beeps) {
+            *c += u64::from(b);
+        }
+        self.rounds_observed += 1;
+    }
+}
+
+/// Counts how many distinct protocol states each node has visited, and
+/// how many distinct states appeared anywhere in the execution.
+///
+/// This measures the "States" column of the paper's Table 1 empirically
+/// (BFW must never exceed 6; ID-based baselines grow with `n`).
+#[derive(Debug, Clone, Default)]
+pub struct StateHistogram {
+    /// Debug-format key → number of node-rounds spent in that state.
+    by_state: HashMap<String, u64>,
+}
+
+impl StateHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of distinct states observed.
+    pub fn distinct_states(&self) -> usize {
+        self.by_state.len()
+    }
+
+    /// Returns the number of node-rounds spent in `state_key`
+    /// (the `Debug` rendering of the state).
+    pub fn occupancy(&self, state_key: &str) -> u64 {
+        self.by_state.get(state_key).copied().unwrap_or(0)
+    }
+
+    /// Returns `(state, node-rounds)` pairs sorted by descending
+    /// occupancy.
+    pub fn sorted(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.by_state.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl<P: BeepingProtocol> Observer<P> for StateHistogram {
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        for s in view.states {
+            *self.by_state.entry(format!("{s:?}")).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Records the full execution: per round, the states and beep flags.
+///
+/// Memory is `O(rounds · n)`; intended for visualization and for the
+/// beeping ↔ stone-age equivalence tests, not for long Monte-Carlo
+/// sweeps.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<S> {
+    states: Vec<Vec<S>>,
+    beeps: Vec<Vec<bool>>,
+}
+
+impl<S: Clone> TraceRecorder<S> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            states: Vec::new(),
+            beeps: Vec::new(),
+        }
+    }
+
+    /// Returns the number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Returns the states of recorded round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` rounds have not been recorded.
+    pub fn states_at(&self, t: usize) -> &[S] {
+        &self.states[t]
+    }
+
+    /// Returns the beep flags of recorded round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` rounds have not been recorded.
+    pub fn beeps_at(&self, t: usize) -> &[bool] {
+        &self.beeps[t]
+    }
+
+    /// Returns all recorded rounds of states.
+    pub fn all_states(&self) -> &[Vec<S>] {
+        &self.states
+    }
+}
+
+impl<S: Clone> Default for TraceRecorder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: BeepingProtocol> Observer<P> for TraceRecorder<P::State> {
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        self.states.push(view.states.to_vec());
+        self.beeps.push(view.beeps.to_vec());
+    }
+}
+
+/// Combines two observers into one (build trees of `ObserverSet` for
+/// more).
+#[derive(Debug, Clone, Default)]
+pub struct ObserverSet<A, B> {
+    /// First observer.
+    pub first: A,
+    /// Second observer.
+    pub second: B,
+}
+
+impl<A, B> ObserverSet<A, B> {
+    /// Pairs two observers.
+    pub fn new(first: A, second: B) -> Self {
+        ObserverSet { first, second }
+    }
+}
+
+impl<P, A, B> Observer<P> for ObserverSet<A, B>
+where
+    P: BeepingProtocol,
+    A: Observer<P>,
+    B: Observer<P>,
+{
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        self.first.on_round(view);
+        self.second.on_round(view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NodeCtx, Topology};
+    use bfw_graph::generators;
+
+    /// n-round countdown: node u is a "leader" for u+1 rounds, beeping
+    /// on even rounds.
+    #[derive(Debug, Clone)]
+    struct Countdown;
+
+    impl BeepingProtocol for Countdown {
+        type State = (u32, u32); // (remaining, age)
+
+        fn initial_state(&self, ctx: NodeCtx) -> (u32, u32) {
+            (ctx.node.index() as u32, 0)
+        }
+
+        fn beeps(&self, s: &(u32, u32)) -> bool {
+            s.0 > 0 && s.1.is_multiple_of(2)
+        }
+
+        fn transition(&self, s: &(u32, u32), _h: bool, _r: &mut dyn rand::RngCore) -> (u32, u32) {
+            (s.0.saturating_sub(1), s.1 + 1)
+        }
+    }
+
+    impl LeaderElection for Countdown {
+        fn is_leader(&self, s: &(u32, u32)) -> bool {
+            s.0 > 0
+        }
+    }
+
+    #[test]
+    fn convergence_detector_finds_single_leader_round() {
+        // Leaders at round t: nodes with id > t. Single leader once only
+        // node 3 remains, i.e. at round 2 (nodes 0..=2 have 0 remaining
+        // at rounds 0, 1, 2 resp.).
+        let mut net = Network::new(Countdown, Topology::Graph(generators::path(4)), 0);
+        let mut det = ConvergenceDetector::new();
+        let r = observe_run(&mut net, &mut det, 100, |v| v.leader_count() <= 1);
+        assert_eq!(r, Some(2));
+        assert_eq!(det.converged_round(), Some(2));
+        assert!(!det.leader_count_increased());
+        assert_eq!(det.min_leader_count(), 1);
+    }
+
+    #[test]
+    fn beep_counter_counts_rounds_in_beep_state() {
+        let mut net = Network::new(Countdown, Topology::Graph(generators::path(3)), 0);
+        let mut counter = BeepCounter::new(3);
+        observe_run(&mut net, &mut counter, 5, |_| false);
+        // Node 0 never beeps; node 1 beeps at round 0 only; node 2 beeps
+        // at rounds 0 (age 0) — age 1 is odd — so 1 beep... wait: node 2
+        // has remaining=2, so it can beep at ages 0 and... age must be
+        // even and remaining > 0: round 0 (rem 2, age 0) beeps; round 1
+        // (rem 1, age 1) no; round 2 (rem 0) no. So 1 beep.
+        assert_eq!(counter.counts(), &[0, 1, 1]);
+        assert_eq!(counter.rounds_observed(), 6); // rounds 0..=5
+        assert_eq!(counter.total_beeps(), 2);
+        assert_eq!(counter.count(2), 1);
+    }
+
+    #[test]
+    fn state_histogram_counts_distinct_states() {
+        let mut net = Network::new(Countdown, Topology::Graph(generators::path(2)), 0);
+        let mut hist = StateHistogram::new();
+        observe_run(&mut net, &mut hist, 2, |_| false);
+        // Rounds 0,1,2 × 2 nodes = 6 node-rounds.
+        let total: u64 = hist.sorted().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+        assert!(hist.distinct_states() >= 3);
+        assert_eq!(hist.occupancy("(0, 0)"), 1);
+        assert_eq!(hist.occupancy("missing"), 0);
+    }
+
+    #[test]
+    fn trace_recorder_replays_execution() {
+        let mut net = Network::new(Countdown, Topology::Graph(generators::path(2)), 0);
+        let mut trace = TraceRecorder::new();
+        assert!(trace.is_empty());
+        observe_run(&mut net, &mut trace, 3, |_| false);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.states_at(0), &[(0, 0), (1, 0)]);
+        assert_eq!(trace.beeps_at(0), &[false, true]);
+        assert_eq!(trace.states_at(1), &[(0, 1), (0, 1)]);
+        assert_eq!(trace.all_states().len(), 4);
+    }
+
+    #[test]
+    fn observer_set_feeds_both() {
+        let mut net = Network::new(Countdown, Topology::Graph(generators::path(3)), 0);
+        let mut set = ObserverSet::new(BeepCounter::new(3), ConvergenceDetector::new());
+        observe_run(&mut net, &mut set, 10, |_| false);
+        assert!(set.first.total_beeps() > 0);
+        assert!(set.second.converged_round().is_some());
+    }
+}

@@ -1,0 +1,186 @@
+use bfw_graph::{algo, Graph, NodeId};
+
+/// The communication structure a [`Network`](crate::Network) runs on.
+///
+/// The general case wraps a CSR [`Graph`]; `Clique(n)` is a fast path
+/// for the complete graph that computes hearing in `O(n)` per round
+/// instead of materializing `Θ(n²)` edges (the n-scaling experiments run
+/// cliques with thousands of nodes).
+///
+/// # Example
+///
+/// ```
+/// use bfw_sim::Topology;
+/// use bfw_graph::generators;
+///
+/// let t: Topology = generators::path(10).into();
+/// assert_eq!(t.node_count(), 10);
+/// assert_eq!(Topology::Clique(100).node_count(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// An arbitrary simple undirected graph.
+    Graph(Graph),
+    /// The complete graph on `n` nodes, with `O(n)`-per-round hearing.
+    Clique(usize),
+}
+
+impl Topology {
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Topology::Graph(g) => g.node_count(),
+            Topology::Clique(n) => *n,
+        }
+    }
+
+    /// Returns `true` if the topology is connected (a prerequisite for
+    /// leader election).
+    pub fn is_connected(&self) -> bool {
+        match self {
+            Topology::Graph(g) => algo::is_connected(g),
+            Topology::Clique(n) => *n >= 1,
+        }
+    }
+
+    /// Returns the diameter, computing it exactly for graph topologies.
+    ///
+    /// Returns `None` for disconnected or empty topologies.
+    pub fn diameter(&self) -> Option<u32> {
+        match self {
+            Topology::Graph(g) => algo::diameter(g),
+            Topology::Clique(0) => None,
+            Topology::Clique(1) => Some(0),
+            Topology::Clique(_) => Some(1),
+        }
+    }
+
+    /// Fills `heard[u] = beeps[u] ∨ ∃v ∈ N(u): beeps[v]` — the hearing
+    /// predicate of the beeping model (a node hears its own beep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from
+    /// [`node_count`](Self::node_count).
+    pub fn compute_heard(&self, beeps: &[bool], heard: &mut [bool]) {
+        let n = self.node_count();
+        assert_eq!(beeps.len(), n, "beeps slice has wrong length");
+        assert_eq!(heard.len(), n, "heard slice has wrong length");
+        match self {
+            Topology::Graph(g) => {
+                // Push-based: start from own beep, then OR each beeping
+                // node into its neighbors. O(n + Σ_{u beeping} deg(u)).
+                heard.copy_from_slice(beeps);
+                for (u, &b) in beeps.iter().enumerate() {
+                    if b {
+                        for &v in g.neighbors(NodeId::new(u)) {
+                            heard[v.index()] = true;
+                        }
+                    }
+                }
+            }
+            Topology::Clique(_) => {
+                let any = beeps.iter().any(|&b| b);
+                heard.fill(any);
+            }
+        }
+    }
+
+    /// Returns the underlying [`Graph`], materializing the clique if
+    /// necessary (`Θ(n²)` memory — intended for analysis of small
+    /// topologies, not for the simulation hot path).
+    pub fn to_graph(&self) -> Graph {
+        match self {
+            Topology::Graph(g) => g.clone(),
+            Topology::Clique(n) => bfw_graph::generators::complete((*n).max(1)),
+        }
+    }
+}
+
+impl From<Graph> for Topology {
+    fn from(g: Graph) -> Self {
+        Topology::Graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+
+    #[test]
+    fn clique_heard_matches_graph_heard() {
+        let n = 9;
+        let clique = Topology::Clique(n);
+        let graph = Topology::Graph(generators::complete(n));
+        // All 2^9 beep patterns would be slow; test a few structured ones.
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![false; n],
+            vec![true; n],
+            (0..n).map(|i| i == 0).collect(),
+            (0..n).map(|i| i % 2 == 0).collect(),
+            (0..n).map(|i| i == n - 1).collect(),
+        ];
+        for beeps in patterns {
+            let mut h1 = vec![false; n];
+            let mut h2 = vec![false; n];
+            clique.compute_heard(&beeps, &mut h1);
+            graph.compute_heard(&beeps, &mut h2);
+            assert_eq!(h1, h2, "pattern {beeps:?}");
+        }
+    }
+
+    #[test]
+    fn graph_heard_includes_own_beep() {
+        let t: Topology = generators::path(3).into();
+        let beeps = [false, true, false];
+        let mut heard = [false; 3];
+        t.compute_heard(&beeps, &mut heard);
+        // Node 1 beeps: hears itself; its neighbors 0 and 2 hear it.
+        assert_eq!(heard, [true, true, true]);
+
+        let beeps = [true, false, false];
+        t.compute_heard(&beeps, &mut heard);
+        // Node 2 is out of earshot of node 0.
+        assert_eq!(heard, [true, true, false]);
+    }
+
+    #[test]
+    fn silence_is_heard_by_nobody() {
+        let t: Topology = generators::cycle(5).into();
+        let beeps = [false; 5];
+        let mut heard = [true; 5];
+        t.compute_heard(&beeps, &mut heard);
+        assert!(heard.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(Topology::Clique(1).diameter(), Some(0));
+        assert_eq!(Topology::Clique(5).diameter(), Some(1));
+        assert_eq!(Topology::Clique(0).diameter(), None);
+        let t: Topology = generators::path(4).into();
+        assert_eq!(t.diameter(), Some(3));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Topology::Clique(3).is_connected());
+        let disconnected: Topology = Graph::from_edges(3, [(0, 1)]).unwrap().into();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn to_graph_of_clique() {
+        let g = Topology::Clique(4).to_graph();
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn compute_heard_validates_lengths() {
+        let t = Topology::Clique(3);
+        let mut heard = [false; 2];
+        t.compute_heard(&[false; 3], &mut heard);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the runtimes themselves: hearing semantics,
+//! determinism, and the stone-age adapter on randomized protocols.
+
+use bfw_graph::{generators, GraphBuilder, NodeId};
+use bfw_sim::stone_age::{BeepingAsStoneAge, StoneAgeNetwork};
+use bfw_sim::{BeepingProtocol, Network, NodeCtx, Topology};
+use proptest::prelude::*;
+use rand::RngCore;
+
+/// A protocol whose state records exactly what the node heard — used to
+/// check the executor's hearing predicate against a reference
+/// implementation.
+#[derive(Debug, Clone)]
+struct HearingProbe {
+    /// Nodes in this set beep every round.
+    beepers: Vec<bool>,
+}
+
+impl BeepingProtocol for HearingProbe {
+    type State = (usize, bool); // (node index, heard last round)
+
+    fn initial_state(&self, ctx: NodeCtx) -> (usize, bool) {
+        (ctx.node.index(), false)
+    }
+
+    fn beeps(&self, state: &(usize, bool)) -> bool {
+        self.beepers[state.0]
+    }
+
+    fn transition(
+        &self,
+        state: &(usize, bool),
+        heard: bool,
+        _rng: &mut dyn RngCore,
+    ) -> (usize, bool) {
+        (state.0, heard)
+    }
+}
+
+fn arb_graph_and_beepers() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<bool>)> {
+    (2usize..16).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        let beepers = proptest::collection::vec(any::<bool>(), n);
+        (Just(n), edges, beepers)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The executor's `heard` equals the model definition:
+    /// own beep OR some neighbor beeps.
+    #[test]
+    fn hearing_matches_model_definition((n, raw_edges, beepers) in arb_graph_and_beepers()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in raw_edges {
+            if u != v {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+        let g = b.build();
+        let protocol = HearingProbe { beepers: beepers.clone() };
+        let mut net = Network::new(protocol, g.clone().into(), 0);
+        net.step();
+        for u in 0..n {
+            let expected = beepers[u]
+                || g.neighbors(NodeId::new(u)).iter().any(|v| beepers[v.index()]);
+            let (_, heard) = *net.state(NodeId::new(u));
+            prop_assert_eq!(heard, expected, "node {}", u);
+        }
+    }
+
+    /// The stone-age adapter reproduces the beeping execution for the
+    /// probe protocol on arbitrary graphs (not just BFW).
+    #[test]
+    fn stone_age_adapter_equivalence((n, raw_edges, beepers) in arb_graph_and_beepers()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in raw_edges {
+            if u != v {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+        let g = b.build();
+        let protocol = HearingProbe { beepers };
+        let mut beeping = Network::new(protocol.clone(), g.clone().into(), 1);
+        let mut stone = StoneAgeNetwork::new(BeepingAsStoneAge::new(protocol), g.into(), 1);
+        for _ in 0..5 {
+            beeping.step();
+            stone.step();
+            prop_assert_eq!(beeping.states(), stone.states());
+        }
+    }
+
+    /// Clique fast path equals materialized clique for the probe.
+    #[test]
+    fn clique_fast_path_equivalence(n in 2usize..24, beepers in proptest::collection::vec(any::<bool>(), 24)) {
+        let beepers = beepers[..n].to_vec();
+        let protocol = HearingProbe { beepers };
+        let mut fast = Network::new(protocol.clone(), Topology::Clique(n), 2);
+        let mut slow = Network::new(protocol, generators::complete(n).into(), 2);
+        fast.step();
+        slow.step();
+        prop_assert_eq!(fast.states(), slow.states());
+    }
+}

@@ -1,0 +1,181 @@
+/// A fixed-width-bin histogram over a closed range.
+///
+/// # Example
+///
+/// ```
+/// use bfw_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.0, 2.5, 9.9, 12.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(0), 2);    // [0, 2)
+/// assert_eq!(h.count(1), 1);    // [2, 4)
+/// assert_eq!(h.count(4), 1);    // [8, 10]
+/// assert_eq!(h.overflow(), 1);  // 12.0
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, the bounds are not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range"
+        );
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Adds a sample; values below/above the range land in
+    /// underflow/overflow. NaN counts as overflow.
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() || value > self.hi {
+            self.overflow += 1;
+        } else if value < self.lo {
+            self.underflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let mut idx = ((value - self.lo) / width) as usize;
+            if idx >= self.bins.len() {
+                idx = self.bins.len() - 1; // value == hi
+            }
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Returns the count of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Returns `[low, high)` bounds of bin `i` (the last bin is closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range (including NaN).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Renders an ASCII bar chart, one line per bin, scaled to
+    /// `max_width` characters.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let width = (c as f64 / peak as f64 * max_width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:>10.2}, {hi:>10.2}) {:>8} |{}\n",
+                c,
+                "#".repeat(width)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for v in [0.0, 0.99, 1.0, 2.5, 3.999, 4.0] {
+            h.add(v);
+        }
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(3), 2); // 3.999 and the closed upper bound 4.0
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.1);
+        h.add(1.1);
+        h.add(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_ranges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+        assert_eq!(h.bin_count(), 5);
+    }
+
+    #[test]
+    fn render_has_line_per_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(1.5);
+        let r = h.render(10);
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 2);
+    }
+}

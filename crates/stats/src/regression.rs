@@ -1,0 +1,153 @@
+/// Ordinary least-squares fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 1 by
+    /// convention when the data has zero variance).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Least-squares straight-line fit through `(x, y)` pairs.
+///
+/// The experiments use this to estimate scaling exponents: fitting
+/// measured convergence rounds against `ln n` at fixed `D` tests the
+/// `log n` factor of Theorem 2.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, fewer than two points,
+/// or zero variance in `x`.
+///
+/// # Example
+///
+/// ```
+/// use bfw_stats::linear_fit;
+///
+/// let fit = linear_fit(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mean_x) * (xi - mean_x);
+        sxy += (xi - mean_x) * (yi - mean_y);
+        syy += (yi - mean_y) * (yi - mean_y);
+    }
+    assert!(sxx > 0.0, "x values must not all be equal");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `y ≈ c · x^α` by a straight line in log–log space; the returned
+/// slope is the exponent `α`.
+///
+/// Testing Theorem 2's `D²` factor: sweep path lengths, fit measured
+/// rounds against `D` — the slope should sit near 2 (a bit above, due
+/// to the `log n` factor moving with `n = D + 1`).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (logarithms), plus the
+/// [`linear_fit`] conditions.
+pub fn loglog_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert!(
+        x.iter().chain(y).all(|&v| v > 0.0),
+        "log-log fit requires strictly positive values"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let fit = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.99 && fit.r_squared <= 1.0);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn loglog_recovers_exponent() {
+        // y = 3 x^2.5
+        let x: Vec<f64> = (1..=10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v.powf(2.5)).collect();
+        let fit = loglog_fit(&x, &y);
+        assert!((fit.slope - 2.5).abs() < 1e-9);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn loglog_rejects_zero() {
+        let _ = loglog_fit(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = linear_fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be equal")]
+    fn degenerate_x_panics() {
+        let _ = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

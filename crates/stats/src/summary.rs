@@ -1,0 +1,233 @@
+/// Descriptive statistics over a sample of `f64` values.
+///
+/// Stores the sorted sample, so quantiles are exact (linear
+/// interpolation between order statistics) rather than streaming
+/// approximations — experiment sample sizes are small enough that this
+/// is the right trade.
+///
+/// # Example
+///
+/// ```
+/// use bfw_stats::Summary;
+///
+/// let s = Summary::from_values((1..=100).map(f64::from));
+/// assert_eq!(s.len(), 100);
+/// assert_eq!(s.mean(), 50.5);
+/// assert_eq!(s.quantile(0.0), 1.0);
+/// assert_eq!(s.quantile(1.0), 100.0);
+/// assert!((s.quantile(0.95) - 95.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Summary {
+    /// Builds a summary from any collection of values.
+    ///
+    /// Non-finite values are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "summary values must be finite"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len();
+        let mean = if n == 0 {
+            f64::NAN
+        } else {
+            sorted.iter().sum::<f64>() / n as f64
+        };
+        let variance = if n < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Summary {
+            sorted,
+            mean,
+            variance,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample mean.
+    ///
+    /// Returns NaN for an empty sample.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean (`σ/√n`); zero for fewer than two
+    /// samples.
+    pub fn std_error(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.std_dev() / (self.sorted.len() as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// for the mean (`1.96 · σ/√n`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty sample")
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty sample")
+    }
+
+    /// Exact sample quantile with linear interpolation, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (`quantile(0.5)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.mean(), 5.0);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.median() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let s = Summary::from_values([0.0, 10.0]);
+        assert_eq!(s.quantile(0.25), 2.5);
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(0.75), 7.5);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_values([3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.quantile(0.99), 3.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::from_values([]);
+        assert!(s.is_empty());
+        assert!(s.mean().is_nan());
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_min_panics() {
+        let _ = Summary::from_values([]).min();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        let _ = Summary::from_values([1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn quantile_range_checked() {
+        let _ = Summary::from_values([1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let narrow = Summary::from_values((0..1000).map(|i| (i % 10) as f64));
+        let wide = Summary::from_values((0..10).map(|i| i as f64));
+        assert!(narrow.ci95_half_width() < wide.ci95_half_width());
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let s: Summary = vec![1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.sorted_values(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,191 @@
+use std::fmt::Write as _;
+
+/// A simple result table with Markdown and CSV rendering.
+///
+/// The experiment harness prints every reproduced table/figure through
+/// this type, so EXPERIMENTS.md and the CSV artifacts always agree.
+///
+/// # Example
+///
+/// ```
+/// use bfw_stats::Table;
+///
+/// let mut t = Table::new(vec!["graph".into(), "rounds".into()]);
+/// t.push_row(vec!["cycle(64)".into(), "1234".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| graph "));
+/// assert!(t.to_csv().starts_with("graph,rounds\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(headers: &[&str]) -> Self {
+        Self::new(headers.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Returns the rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "| {}{} ", cell, " ".repeat(pad));
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate().take(cols) {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-style CSV (cells containing commas,
+    /// quotes or newlines are quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(&["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_alignment() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| name  | value |");
+        assert_eq!(lines[1], "|-------|-------|");
+        assert_eq!(lines[2], "| alpha | 1     |");
+        assert_eq!(lines[3], "| b     | 22    |");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        assert_eq!(sample().to_csv(), "name,value\nalpha,1\nb,22\n");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::with_columns(&["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.headers(), &["name".to_owned(), "value".to_owned()]);
+        assert_eq!(t.rows()[1][1], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(vec![]);
+    }
+}

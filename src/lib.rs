@@ -1,0 +1,5 @@
+//! Umbrella crate for the BFW reproduction workspace.
+//!
+//! This crate only hosts the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual library lives in the
+//! `bfw-*` crates; see the README for the crate map.

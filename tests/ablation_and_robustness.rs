@@ -1,0 +1,121 @@
+//! Cross-crate ablation and robustness checks: the freeze state is
+//! load-bearing, and BFW tolerates non-standard (but Eq. (2)-valid)
+//! initial configurations.
+
+use bfw_core::{Bfw, BfwNoFreeze, InitialConfig};
+use bfw_graph::{generators, NodeId};
+use bfw_sim::{run_election, ElectionConfig, Network};
+
+#[test]
+fn no_freeze_ablation_loses_all_leaders_sometimes() {
+    let mut wipeouts = 0;
+    let trials = 60;
+    for seed in 0..trials {
+        let mut net = Network::new(BfwNoFreeze::new(0.5), generators::cycle(8).into(), seed);
+        for _ in 0..1_000 {
+            net.step();
+            if net.leader_count() == 0 {
+                wipeouts += 1;
+                break;
+            }
+        }
+    }
+    assert!(wipeouts > 0, "the 4-state ablation should violate Lemma 9");
+}
+
+#[test]
+fn bfw_never_loses_all_leaders_same_conditions() {
+    for seed in 0..60u64 {
+        let mut net = Network::new(Bfw::new(0.5), generators::cycle(8).into(), seed);
+        for _ in 0..1_000 {
+            net.step();
+            assert!(net.leader_count() >= 1, "Lemma 9 violated at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn k_leader_initializations_all_converge() {
+    let n = 16;
+    for k in [1usize, 2, 4, 8, 16] {
+        let protocol = Bfw::new(0.5).with_initial_config(InitialConfig::FirstK(k));
+        let outcome = run_election(
+            protocol,
+            generators::cycle(n).into(),
+            7,
+            ElectionConfig::new(1_000_000).with_stability_check(1_000),
+        )
+        .unwrap_or_else(|e| panic!("k={k}: {e}"));
+        assert!(outcome.stable, "k={k}");
+        if k == 1 {
+            // A single initial leader is already the winner.
+            assert_eq!(outcome.converged_round, 0);
+            assert_eq!(outcome.leader, NodeId::new(0));
+        }
+    }
+}
+
+#[test]
+fn single_initial_leader_is_never_eliminated() {
+    // With one leader from the start, Lemma 9 + monotonicity mean it
+    // must survive forever; its waves never return to kill it.
+    let protocol = Bfw::new(0.5).with_initial_config(InitialConfig::FirstK(1));
+    let mut net = Network::new(protocol, generators::grid(4, 4).into(), 13);
+    for _ in 0..5_000 {
+        net.step();
+        assert_eq!(net.unique_leader(), Some(NodeId::new(0)));
+    }
+}
+
+#[test]
+fn explicit_leader_positions_win_on_their_own() {
+    // Leaders at two adjacent nodes: one must eliminate the other
+    // quickly (distance 1 duel).
+    let protocol = Bfw::new(0.5)
+        .with_initial_config(InitialConfig::Nodes(vec![NodeId::new(3), NodeId::new(4)]));
+    let outcome = run_election(
+        protocol,
+        generators::path(9).into(),
+        5,
+        ElectionConfig::new(100_000).with_stability_check(500),
+    )
+    .expect("adjacent duel resolves");
+    assert!(outcome.leader == NodeId::new(3) || outcome.leader == NodeId::new(4));
+    assert!(outcome.stable);
+}
+
+#[test]
+fn ablation_self_elimination_mechanism_is_the_echo() {
+    // Witness the precise failure mode on the 2-cycle-like smallest
+    // case: a triangle. In BfwNoFreeze a lone leader CAN die: it beeps,
+    // both neighbors relay, it hears them and is eliminated.
+    let protocol = BfwNoFreeze::new(0.5).with_initial_config(InitialConfig::FirstK(1));
+    let mut died = false;
+    for seed in 0..40u64 {
+        let mut net = Network::new(protocol.clone(), generators::cycle(3).into(), seed);
+        for _ in 0..200 {
+            net.step();
+            if net.leader_count() == 0 {
+                died = true;
+                break;
+            }
+        }
+        if died {
+            break;
+        }
+    }
+    assert!(
+        died,
+        "echo self-elimination should occur without the freeze"
+    );
+
+    // The real protocol in the identical setting never loses its leader.
+    let protocol = Bfw::new(0.5).with_initial_config(InitialConfig::FirstK(1));
+    for seed in 0..40u64 {
+        let mut net = Network::new(protocol.clone(), generators::cycle(3).into(), seed);
+        for _ in 0..200 {
+            net.step();
+            assert_eq!(net.leader_count(), 1, "seed {seed}");
+        }
+    }
+}

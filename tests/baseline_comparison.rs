@@ -1,0 +1,118 @@
+//! Cross-crate checks that the empirical Table 1 has the paper's shape:
+//! who wins, by roughly what factor, and what each algorithm consumes.
+
+use bfw_baselines::suite::{
+    BfwKnownDiameter, BfwUniform, BitwiseMaxIdAlgorithm, FloodMaxAlgorithm, KnockoutCliqueAlgorithm,
+};
+use bfw_baselines::CandidateAlgorithm;
+use bfw_graph::generators;
+use bfw_stats::Summary;
+
+fn mean_rounds(a: &dyn CandidateAlgorithm, g: &bfw_graph::Graph, trials: u64) -> f64 {
+    let runs: Vec<f64> = (0..trials)
+        .map(|seed| {
+            a.run(g, seed, 100_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", a.info().name))
+                .converged_round as f64
+        })
+        .collect();
+    Summary::from_values(runs).mean()
+}
+
+#[test]
+fn ordering_on_a_long_path_matches_table1() {
+    // FloodMax (Θ(D), strong model) < BitwiseMaxId (O(D log n)) <
+    // BFW uniform (O(D² log n)). Known-D BFW sits between bitwise and
+    // uniform in expectation.
+    let g = generators::path(24);
+    let flood = mean_rounds(&FloodMaxAlgorithm::default(), &g, 1);
+    let bitwise = mean_rounds(&BitwiseMaxIdAlgorithm::default(), &g, 1);
+    let known_d = mean_rounds(&BfwKnownDiameter::default(), &g, 10);
+    let uniform = mean_rounds(&BfwUniform { p: 0.5 }, &g, 10);
+    assert!(flood < bitwise, "flood {flood} vs bitwise {bitwise}");
+    assert!(
+        bitwise < uniform,
+        "bitwise {bitwise} vs uniform BFW {uniform}"
+    );
+    assert!(known_d < uniform, "known-D {known_d} vs uniform {uniform}");
+}
+
+#[test]
+fn weak_model_pays_at_most_polynomial_overhead_on_clique() {
+    // On the clique everything is fast; BFW should be within a small
+    // factor of the knockout baseline (both are O(log n)-ish there).
+    let g = generators::complete(32);
+    let bfw = mean_rounds(&BfwUniform { p: 0.5 }, &g, 10);
+    let knockout = mean_rounds(&KnockoutCliqueAlgorithm::default(), &g, 10);
+    assert!(
+        bfw < 60.0 * knockout.max(1.0),
+        "bfw {bfw} vs knockout {knockout}"
+    );
+}
+
+#[test]
+fn state_budgets_match_table1() {
+    let g = generators::path(20);
+    let bfw = BfwUniform { p: 0.5 }
+        .run(&g, 3, 100_000_000)
+        .expect("bfw converges");
+    assert!(
+        bfw.distinct_states <= 6,
+        "BFW used {} states",
+        bfw.distinct_states
+    );
+
+    let flood = FloodMaxAlgorithm::default()
+        .run(&g, 0, 10_000)
+        .expect("flood converges");
+    assert!(
+        flood.distinct_states >= g.node_count(),
+        "FloodMax used only {} states",
+        flood.distinct_states
+    );
+}
+
+#[test]
+fn knockout_is_single_hop_only() {
+    let info = KnockoutCliqueAlgorithm::default().info();
+    assert!(info.clique_only);
+    // And it indeed converges fast on the clique.
+    let g = generators::complete(64);
+    let stats = KnockoutCliqueAlgorithm::default()
+        .run(&g, 5, 10_000)
+        .expect("clique knockout");
+    assert!(stats.converged_round < 200);
+    assert!(stats.distinct_states <= 3);
+}
+
+#[test]
+fn deterministic_baselines_are_seed_independent() {
+    let g = generators::grid(4, 5);
+    for algo in [
+        &FloodMaxAlgorithm::default() as &dyn CandidateAlgorithm,
+        &BitwiseMaxIdAlgorithm::default(),
+    ] {
+        let a = algo
+            .run(&g, 1, 1_000_000)
+            .expect("converges")
+            .converged_round;
+        let b = algo
+            .run(&g, 999, 1_000_000)
+            .expect("converges")
+            .converged_round;
+        assert_eq!(a, b, "{} must ignore the seed", algo.info().name);
+    }
+}
+
+#[test]
+fn bfw_is_the_only_uniform_anonymous_entry() {
+    let mut uniform_anonymous = 0;
+    for a in bfw_baselines::standard_suite(0.5) {
+        let info = a.info();
+        if !info.unique_ids && info.knowledge == "none" && !info.clique_only {
+            uniform_anonymous += 1;
+            assert!(info.name.contains("BFW"), "{}", info.name);
+        }
+    }
+    assert_eq!(uniform_anonymous, 1);
+}

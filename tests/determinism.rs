@@ -1,0 +1,86 @@
+//! Reproducibility across the whole stack: seeded runs are bit-stable
+//! regardless of thread count, topology fast paths, or runtime.
+
+use bfw_bench::{election_summary, GraphSpec};
+use bfw_core::{Bfw, InitialConfig};
+use bfw_sim::{run_election, run_trials, run_trials_sequential, ElectionConfig, Network};
+
+#[test]
+fn run_election_is_seed_deterministic() {
+    let spec = GraphSpec::Grid(4, 4);
+    let run = |seed| {
+        run_election(
+            Bfw::new(0.5),
+            spec.topology(),
+            seed,
+            ElectionConfig::new(1_000_000),
+        )
+        .expect("grid elections converge")
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b);
+    let c = run(8);
+    assert!(a != c || a.leader == c.leader); // different seeds usually differ
+}
+
+#[test]
+fn trial_parallelism_does_not_change_results() {
+    let spec = GraphSpec::Cycle(12);
+    let topo = spec.topology();
+    for threads in [1usize, 2, 8] {
+        let s = election_summary(
+            0.5,
+            &InitialConfig::AllLeaders,
+            &topo,
+            12,
+            threads,
+            41,
+            1_000_000,
+        );
+        let reference =
+            election_summary(0.5, &InitialConfig::AllLeaders, &topo, 12, 1, 41, 1_000_000);
+        assert_eq!(
+            s.rounds.sorted_values(),
+            reference.rounds.sorted_values(),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn run_trials_matches_sequential_reference() {
+    let f = |seed: u64| {
+        let mut net = Network::new(Bfw::new(0.5), GraphSpec::Cycle(8).topology(), seed);
+        net.run(100);
+        net.states().to_vec()
+    };
+    assert_eq!(
+        run_trials(16, 4, 1000, f),
+        run_trials_sequential(16, 1000, f)
+    );
+}
+
+#[test]
+fn network_replay_is_exact() {
+    let spec = GraphSpec::RandomTree(24, 3);
+    let mut first = Network::new(Bfw::new(0.3), spec.topology(), 5);
+    let mut second = Network::new(Bfw::new(0.3), spec.topology(), 5);
+    for round in 0..500 {
+        assert_eq!(first.states(), second.states(), "round {round}");
+        assert_eq!(first.beep_flags(), second.beep_flags(), "round {round}");
+        first.step();
+        second.step();
+    }
+}
+
+#[test]
+fn experiments_are_reproducible_in_quick_mode() {
+    use bfw_bench::{experiments, ExpConfig};
+    let mut cfg = ExpConfig::quick();
+    cfg.trials = 3;
+    let a = experiments::flow_audit::run(&cfg);
+    let b = experiments::flow_audit::run(&cfg);
+    let render = |r: &bfw_bench::ExperimentResult| r.to_markdown();
+    assert_eq!(render(&a), render(&b));
+}

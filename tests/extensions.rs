@@ -1,0 +1,146 @@
+//! Integration tests for the extension features: adversarial
+//! configurations (§5), termination detection (footnote 4), and
+//! unreliable hearing.
+
+use bfw_core::{adversarial, Bfw, BfwWithTermination, TerminationState};
+use bfw_graph::generators;
+use bfw_sim::{Network, Topology};
+
+#[test]
+fn phantom_wave_defeats_bfw_from_arbitrary_start() {
+    // The §5 obstacle, end to end: a leaderless wave persists through
+    // 50k rounds on cycles of several sizes.
+    for n in [6usize, 9, 15] {
+        let config = adversarial::leaderless_wave_cycle(n, 1);
+        let mut net = Network::with_states(Bfw::new(0.5), generators::cycle(n).into(), 1, config);
+        net.run(50_000);
+        assert_eq!(
+            net.leader_count(),
+            0,
+            "n={n}: phantom wave created a leader"
+        );
+        assert_eq!(net.beeping_node_count(), 1, "n={n}: phantom wave died");
+    }
+}
+
+#[test]
+fn phantom_waves_on_path_annihilate_into_dead_silence() {
+    // On a *path* the wave runs off the end and the network falls into
+    // the dead all-W◦ configuration: the other failure mode.
+    let n = 10;
+    let mut config = adversarial::dead_configuration(n);
+    config[0] = bfw_core::BfwState::Frozen;
+    config[1] = bfw_core::BfwState::Beeping;
+    let mut net = Network::with_states(Bfw::new(0.5), generators::path(n).into(), 1, config);
+    net.run(5 * n as u64);
+    assert_eq!(net.leader_count(), 0);
+    assert_eq!(
+        net.beeping_node_count(),
+        0,
+        "wave should have run off the path end"
+    );
+    assert!(net
+        .states()
+        .iter()
+        .all(|s| *s == bfw_core::BfwState::Waiting));
+}
+
+#[test]
+fn termination_wrapper_solves_explicit_termination_on_suite() {
+    for (topology, d) in [
+        (Topology::Graph(generators::cycle(16)), 8u32),
+        (Topology::Graph(generators::grid(4, 4)), 6),
+        (Topology::Clique(16), 1),
+    ] {
+        let n = topology.node_count();
+        let protocol = BfwWithTermination::new(d, n, 6.0);
+        let deadline = protocol.deadline();
+        let mut net = Network::new(protocol, topology, 5);
+        net.run(deadline + 1);
+        let leaders = net
+            .states()
+            .iter()
+            .filter(|s| matches!(s, TerminationState::DoneLeader))
+            .count();
+        let followers = net
+            .states()
+            .iter()
+            .filter(|s| matches!(s, TerminationState::DoneFollower))
+            .count();
+        assert_eq!(leaders, 1, "exactly one committed leader");
+        assert_eq!(followers, n - 1);
+        // Terminated: silent forever after.
+        for _ in 0..200 {
+            net.step();
+            assert_eq!(net.beeping_node_count(), 0);
+        }
+    }
+}
+
+#[test]
+fn termination_wrapper_preserves_uncommitted_bfw_behaviour() {
+    // Before the deadline, the wrapper must behave exactly like BFW
+    // with the same p: same seeds ⇒ same beep patterns.
+    let n = 12;
+    let d = 6;
+    let wrapper = BfwWithTermination::new(d, n, 100.0); // deadline far away
+    let plain = Bfw::with_known_diameter(d);
+    let mut a = Network::new(wrapper, generators::cycle(n).into(), 77);
+    let mut b = Network::new(plain, generators::cycle(n).into(), 77);
+    for round in 0..500 {
+        assert_eq!(a.beep_flags(), b.beep_flags(), "round {round}");
+        a.step();
+        b.step();
+    }
+}
+
+#[test]
+fn small_noise_usually_still_elects() {
+    // Unreliable hearing with tiny q: most runs still converge.
+    let mut converged = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let mut net = Network::new(Bfw::new(0.5), generators::cycle(12).into(), seed)
+            .with_hearing_noise(0.01);
+        if net.run_until(200_000, |v| v.leader_count() <= 1).is_some() && net.leader_count() == 1 {
+            converged += 1;
+        }
+    }
+    assert!(
+        converged >= trials * 3 / 4,
+        "only {converged}/{trials} converged at q = 0.01"
+    );
+}
+
+#[test]
+fn heavy_noise_can_break_lemma9() {
+    // The extension's point: with unreliable hearing the deterministic
+    // guarantee of Lemma 9 is genuinely lost — some seed reaches zero
+    // leaders.
+    let mut wiped = false;
+    'outer: for seed in 0..80u64 {
+        let mut net =
+            Network::new(Bfw::new(0.5), generators::cycle(12).into(), seed).with_hearing_noise(0.3);
+        for _ in 0..20_000 {
+            net.step();
+            if net.leader_count() == 0 {
+                wiped = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(wiped, "expected at least one wipeout under q = 0.3");
+}
+
+#[test]
+fn noise_zero_is_bit_identical_to_exact_model() {
+    let run = |noise: bool| {
+        let mut net = Network::new(Bfw::new(0.5), generators::grid(4, 4).into(), 31);
+        if noise {
+            net = net.with_hearing_noise(0.0);
+        }
+        net.run(300);
+        net.states().to_vec()
+    };
+    assert_eq!(run(false), run(true));
+}
