@@ -6,6 +6,7 @@
 pub mod ablation;
 pub mod async_stone_age;
 pub mod chain;
+pub mod churn;
 pub mod convergence;
 pub mod decay;
 pub mod flow_audit;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("noise", noise::run),
         ("decay", decay::run),
         ("async", async_stone_age::run),
+        ("churn", churn::run),
     ]
 }
 
@@ -54,6 +56,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
     }
 }

@@ -9,7 +9,9 @@
 //! * `bfw graph <spec>` — print topology facts (n, m, diameter, degree
 //!   stats);
 //! * `bfw experiment <name> ...` — run one of the paper-reproduction
-//!   experiments (same registry as the `experiments` binary).
+//!   experiments (same registry as the `experiments` binary);
+//! * `bfw scenario run <file>` — run a TOML fault-injection scenario
+//!   (crashes, churn, partitions, noise bursts; see [`bfw_scenario`]).
 //!
 //! Graph specs use the compact [`GraphSpec`] syntax, e.g. `path:64`,
 //! `grid:8x8`, `er:100:120:7`.
@@ -79,6 +81,15 @@ pub enum Command {
         /// Base seed.
         seed: Option<u64>,
     },
+    /// `bfw scenario run`
+    Scenario {
+        /// Path of the TOML scenario file.
+        file: String,
+        /// Seed override (`None` = the spec's seed).
+        seed: Option<u64>,
+        /// Horizon override (`None` = the spec's rounds).
+        rounds: Option<u64>,
+    },
     /// `bfw help`
     Help,
 }
@@ -95,6 +106,7 @@ usage:
   bfw graph SPEC
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
   bfw experiment [NAME ...] [--quick] [--trials N] [--seed S]
+  bfw scenario run FILE [--seed S] [--rounds N]
   bfw help
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
@@ -128,6 +140,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "invariants" => parse_invariants(rest),
         "experiment" => parse_experiment(rest),
+        "scenario" => parse_scenario(rest),
         other => Err(format!("unknown command '{other}'; try 'bfw help'")),
     }
 }
@@ -278,6 +291,32 @@ fn parse_experiment(args: &[String]) -> Result<Command, String> {
     })
 }
 
+fn parse_scenario(args: &[String]) -> Result<Command, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("scenario: expected 'run FILE'".to_owned());
+    };
+    if sub != "run" {
+        return Err(format!("scenario: unknown subcommand '{sub}' (try 'run')"));
+    }
+    let mut file = None;
+    let mut seed = None;
+    let mut rounds = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            "--rounds" => rounds = Some(parse_int(take_value("--rounds", &mut it)?, "--rounds")?),
+            flag if flag.starts_with('-') => {
+                return Err(format!("scenario run: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path.to_owned()),
+            extra => return Err(format!("scenario run: unexpected argument '{extra}'")),
+        }
+    }
+    let file = file.ok_or("scenario run: FILE is required")?;
+    Ok(Command::Scenario { file, seed, rounds })
+}
+
 fn parse_int(s: &str, flag: &str) -> Result<u64, String> {
     s.parse()
         .map_err(|_| format!("{flag} needs an integer, got '{s}'"))
@@ -313,6 +352,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             seed,
             rounds,
         } => audit_one(&spec, p, seed, rounds),
+        Command::Scenario { file, seed, rounds } => run_scenario(&file, seed, rounds),
         Command::Experiment {
             names,
             quick,
@@ -352,6 +392,29 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<String, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut spec = bfw_scenario::ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
+    if let Some(rounds) = rounds {
+        spec.rounds = rounds;
+    }
+    let seed = seed.unwrap_or(spec.seed);
+    let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
+    let graph = workload.build();
+    let outcome = bfw_scenario::run_bfw_scenario(&spec, &graph, seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario:          {}", spec.name);
+    let _ = writeln!(out, "graph:             {workload}");
+    let _ = writeln!(out, "p:                 {}", spec.p);
+    let _ = writeln!(out, "seed:              {seed}");
+    let _ = writeln!(out, "stability window:  {}", spec.stability);
+    out.push_str(&outcome.to_text());
+    if let Some(mean) = outcome.mean_latency() {
+        let _ = writeln!(out, "mean re-election latency: {mean:.1} rounds");
+    }
+    Ok(out)
 }
 
 fn describe_graph(spec: &GraphSpec) -> String {
@@ -681,5 +744,87 @@ mod tests {
     #[test]
     fn invariants_requires_graph() {
         assert!(parse(&argv("invariants")).unwrap_err().contains("--graph"));
+    }
+
+    #[test]
+    fn parse_scenario_run() {
+        assert_eq!(
+            parse(&argv("scenario run churn.toml --seed 9 --rounds 500")).unwrap(),
+            Command::Scenario {
+                file: "churn.toml".into(),
+                seed: Some(9),
+                rounds: Some(500),
+            }
+        );
+        assert!(parse(&argv("scenario")).unwrap_err().contains("run FILE"));
+        assert!(parse(&argv("scenario list"))
+            .unwrap_err()
+            .contains("unknown subcommand"));
+        assert!(parse(&argv("scenario run"))
+            .unwrap_err()
+            .contains("FILE is required"));
+        assert!(parse(&argv("scenario run a.toml b.toml"))
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(parse(&argv("scenario run a.toml --bogus"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn execute_scenario_end_to_end() {
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"mini\"\ngraph = \"cycle:8\"\nrounds = 6000\nstability = 20\n\n\
+             [[event]]\nat = 2500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 2600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = |seed| {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(seed),
+                rounds: None,
+            })
+            .unwrap()
+        };
+        let out = run(42);
+        assert!(out.contains("scenario:          mini"), "{out}");
+        assert!(out.contains("rounds run:        6000"), "{out}");
+        assert!(out.contains("crash-leader"), "{out}");
+        assert!(out.contains("mean re-election latency:"), "{out}");
+        // Byte-identical on repeat (the acceptance-criteria property).
+        assert_eq!(out, run(42));
+    }
+
+    #[test]
+    fn execute_scenario_reports_file_and_spec_errors() {
+        let err = execute(Command::Scenario {
+            file: "/nonexistent/nope.toml".into(),
+            seed: None,
+            rounds: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.toml");
+        std::fs::write(&path, "[scenario]\nname = \"no graph\"\n").unwrap();
+        let err = execute(Command::Scenario {
+            file: path.to_string_lossy().into_owned(),
+            seed: None,
+            rounds: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("graph"), "{err}");
+    }
+
+    #[test]
+    fn usage_mentions_scenario() {
+        assert!(usage().contains("bfw scenario run"));
     }
 }

@@ -1,0 +1,293 @@
+//! Mutable adjacency for dynamic-topology simulations.
+//!
+//! The CSR [`Graph`] is immutable by design (the simulators' hot loop
+//! reads it millions of times per run). Dynamic scenarios — edge churn,
+//! partitions, healing — instead edit a [`DynamicGraph`] and materialize
+//! a fresh CSR snapshot with [`DynamicGraph::to_graph`] after each batch
+//! of mutations. Mutations are `O(log deg)`; materialization is
+//! `O(n + m)`. The structure maintains the same invariants as [`Graph`]:
+//! simple (no self-loops, no duplicate edges) and undirected
+//! (symmetric).
+//!
+//! # Example
+//!
+//! ```
+//! use bfw_graph::{generators, DynamicGraph, NodeId};
+//!
+//! let mut dyn_g = DynamicGraph::from_graph(&generators::cycle(6));
+//! dyn_g.remove_edge(NodeId::new(0), NodeId::new(1))?;
+//! dyn_g.add_edge(NodeId::new(0), NodeId::new(3))?;
+//! let g = dyn_g.to_graph();
+//! assert_eq!(g.edge_count(), 6);
+//! assert!(g.has_edge(NodeId::new(0), NodeId::new(3)));
+//! # Ok::<(), bfw_graph::GraphError>(())
+//! ```
+
+use crate::{Graph, GraphError, NodeId};
+use std::collections::BTreeSet;
+
+/// A mutable, simple, undirected graph (adjacency sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicGraph {
+    adjacency: Vec<BTreeSet<u32>>,
+    edge_count: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an edgeless dynamic graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Copies an immutable [`Graph`] into mutable form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut dyn_g = DynamicGraph::new(graph.node_count());
+        for (u, v) in graph.edges() {
+            dyn_g.adjacency[u.index()].insert(v.as_u32());
+            dyn_g.adjacency[v.index()].insert(u.as_u32());
+        }
+        dyn_g.edge_count = graph.edge_count();
+        dyn_g
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns the number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if `{u, v}` is currently an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency[u.index()].contains(&v.as_u32())
+    }
+
+    /// Returns the degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.node_count();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: w.as_u32(),
+                    node_count: n,
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.as_u32() });
+        }
+        Ok(())
+    }
+
+    /// Inserts the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge {
+                u: u.as_u32().min(v.as_u32()),
+                v: u.as_u32().max(v.as_u32()),
+            });
+        }
+        self.adjacency[u.index()].insert(v.as_u32());
+        self.adjacency[v.index()].insert(u.as_u32());
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::MissingEdge`] if the edge does not exist.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        if !self.has_edge(u, v) {
+            return Err(GraphError::MissingEdge {
+                u: u.as_u32().min(v.as_u32()),
+                v: u.as_u32().max(v.as_u32()),
+            });
+        }
+        self.adjacency[u.index()].remove(&v.as_u32());
+        self.adjacency[v.index()].remove(&u.as_u32());
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Removes every edge crossing the cut described by `side`
+    /// (`side[u] != side[v]`) and returns the removed edges as
+    /// normalized `(min, max)` pairs — the exact set a later *heal*
+    /// needs to restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len()` differs from the node count.
+    pub fn remove_cut(&mut self, side: &[bool]) -> Vec<(NodeId, NodeId)> {
+        assert_eq!(
+            side.len(),
+            self.node_count(),
+            "one side flag per node is required"
+        );
+        let crossing: Vec<(NodeId, NodeId)> = self
+            .edges()
+            .filter(|&(u, v)| side[u.index()] != side[v.index()])
+            .collect();
+        for &(u, v) in &crossing {
+            self.remove_edge(u, v).expect("edge was just enumerated");
+        }
+        crossing
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` pairs with
+    /// `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (NodeId::new(u), NodeId::from_u32(v)))
+        })
+    }
+
+    /// Materializes an immutable CSR snapshot.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(
+            self.node_count(),
+            self.edges().map(|(u, v)| (u.as_u32(), v.as_u32())),
+        )
+        .expect("DynamicGraph maintains the simple-graph invariants")
+    }
+
+    /// Checks the structural invariants (symmetry, no self-loops,
+    /// consistent edge count). Cheap enough for test assertions; always
+    /// `true` unless there is a bug in this module.
+    pub fn invariants_hold(&self) -> bool {
+        let mut count = 0;
+        for (u, nbrs) in self.adjacency.iter().enumerate() {
+            for &v in nbrs {
+                if v as usize >= self.node_count() || v as usize == u {
+                    return false;
+                }
+                if !self.adjacency[v as usize].contains(&(u as u32)) {
+                    return false;
+                }
+                if (u as u32) < v {
+                    count += 1;
+                }
+            }
+        }
+        count == self.edge_count
+    }
+}
+
+impl From<&Graph> for DynamicGraph {
+    fn from(graph: &Graph) -> Self {
+        DynamicGraph::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = generators::grid(3, 4);
+        let dyn_g = DynamicGraph::from_graph(&g);
+        assert_eq!(dyn_g.node_count(), g.node_count());
+        assert_eq!(dyn_g.edge_count(), g.edge_count());
+        assert_eq!(dyn_g.to_graph(), g);
+        assert!(dyn_g.invariants_hold());
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut dyn_g = DynamicGraph::from_graph(&generators::path(4));
+        dyn_g.add_edge(NodeId::new(0), NodeId::new(3)).unwrap();
+        assert!(dyn_g.has_edge(NodeId::new(3), NodeId::new(0)));
+        assert_eq!(dyn_g.edge_count(), 4);
+        dyn_g.remove_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert_eq!(dyn_g.edge_count(), 3);
+        assert!(!dyn_g.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(dyn_g.invariants_hold());
+        let g = dyn_g.to_graph();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(3)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn rejects_invalid_mutations() {
+        let mut dyn_g = DynamicGraph::from_graph(&generators::cycle(4));
+        assert!(matches!(
+            dyn_g.add_edge(NodeId::new(0), NodeId::new(0)),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+        assert!(matches!(
+            dyn_g.add_edge(NodeId::new(0), NodeId::new(9)),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(matches!(
+            dyn_g.add_edge(NodeId::new(1), NodeId::new(0)),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            dyn_g.remove_edge(NodeId::new(0), NodeId::new(2)),
+            Err(GraphError::MissingEdge { u: 0, v: 2 })
+        ));
+        assert!(dyn_g.invariants_hold());
+    }
+
+    #[test]
+    fn remove_cut_returns_crossing_edges() {
+        // Cycle 0-1-2-3-0, cut {0, 1} vs {2, 3}: crossing edges are
+        // (1, 2) and (0, 3).
+        let mut dyn_g = DynamicGraph::from_graph(&generators::cycle(4));
+        let removed = dyn_g.remove_cut(&[true, true, false, false]);
+        let pairs: Vec<(usize, usize)> = removed
+            .iter()
+            .map(|&(u, v)| (u.index(), v.index()))
+            .collect();
+        assert_eq!(pairs, [(0, 3), (1, 2)]);
+        assert_eq!(dyn_g.edge_count(), 2);
+        // Restoring the removed edges heals the cycle.
+        for (u, v) in removed {
+            dyn_g.add_edge(u, v).unwrap();
+        }
+        assert_eq!(dyn_g.to_graph(), generators::cycle(4));
+    }
+
+    #[test]
+    fn empty_and_degree() {
+        let mut dyn_g = DynamicGraph::new(3);
+        assert_eq!(dyn_g.edge_count(), 0);
+        assert_eq!(dyn_g.edges().count(), 0);
+        dyn_g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(dyn_g.degree(NodeId::new(0)), 1);
+        assert_eq!(dyn_g.degree(NodeId::new(1)), 0);
+        let via_ref: DynamicGraph = (&generators::path(3)).into();
+        assert_eq!(via_ref.edge_count(), 2);
+    }
+}

@@ -34,6 +34,14 @@ pub enum GraphError {
         /// Larger endpoint of the duplicated edge.
         v: u32,
     },
+    /// A mutation referenced an edge that does not exist (see
+    /// [`DynamicGraph`](crate::DynamicGraph)).
+    MissingEdge {
+        /// Smaller endpoint of the missing edge.
+        u: u32,
+        /// Larger endpoint of the missing edge.
+        v: u32,
+    },
     /// A textual graph description could not be parsed.
     Parse {
         /// 1-based line number of the offending line.
@@ -54,6 +62,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::MissingEdge { u, v } => write!(f, "missing edge ({u}, {v})"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

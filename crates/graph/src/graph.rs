@@ -26,7 +26,6 @@ use crate::{GraphError, NodeId};
 /// # Ok::<(), bfw_graph::GraphError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     /// `offsets[u]..offsets[u+1]` indexes `neighbors` for node `u`.
     offsets: Vec<usize>,

@@ -32,6 +32,7 @@
 
 pub mod algo;
 mod builder;
+mod dynamic;
 mod error;
 pub mod generators;
 mod graph;
@@ -39,6 +40,7 @@ pub mod io;
 mod node;
 
 pub use builder::GraphBuilder;
+pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use graph::{Edges, Graph, Nodes};
 pub use node::NodeId;

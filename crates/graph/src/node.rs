@@ -19,8 +19,6 @@ use std::fmt;
 /// assert_eq!(format!("{u}"), "3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NodeId(u32);
 
 impl NodeId {

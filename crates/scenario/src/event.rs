@@ -1,0 +1,156 @@
+//! The event vocabulary of the scenario engine.
+
+use bfw_graph::NodeId;
+use std::fmt;
+
+/// A state configuration to inject mid-run (the Section 5 adversarial
+/// configurations from `bfw_core::adversarial`, resolved by the
+/// protocol-specific injector — see
+/// [`Engine::with_injector`](crate::Engine::with_injector)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// `k` co-directional leaderless phantom waves laid out over the
+    /// node indices (exactly periodic on cycles; on other topologies the
+    /// same pattern seeds an arbitrary-configuration start).
+    PhantomWaves {
+        /// Number of waves.
+        waves: usize,
+    },
+    /// The all-waiting, leaderless dead configuration.
+    Dead,
+}
+
+impl fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectKind::PhantomWaves { waves } => write!(f, "phantom-waves({waves})"),
+            InjectKind::Dead => write!(f, "dead-config"),
+        }
+    }
+}
+
+/// One perturbation of a running simulation.
+///
+/// Events are applied *between* rounds: an event scheduled for round `t`
+/// fires after the network has completed `t` rounds and before round
+/// `t + 1` executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// Crash a specific node (it stops beeping, hearing and
+    /// transitioning).
+    CrashNode(NodeId),
+    /// Crash one uniformly random alive node (scenario-stream
+    /// deterministic). Skipped if every node is crashed.
+    CrashRandom,
+    /// Crash the lowest-indexed current leader. Skipped if no leader is
+    /// alive.
+    CrashLeader,
+    /// Recover a specific node; it rejoins in a fresh protocol-initial
+    /// state (`W•` for BFW). No-op if the node is alive.
+    RecoverNode(NodeId),
+    /// Recover one uniformly random crashed node. Skipped if none is
+    /// crashed.
+    RecoverRandom,
+    /// Recover every crashed node.
+    RecoverAll,
+    /// Insert an edge. Skipped (and logged) if the edge already exists.
+    AddEdge(NodeId, NodeId),
+    /// Remove an edge. Skipped (and logged) if the edge does not exist.
+    RemoveEdge(NodeId, NodeId),
+    /// Remove every edge between the listed nodes and the rest of the
+    /// network (the removed edges are remembered for [`Heal`]).
+    ///
+    /// [`Heal`]: ScenarioEvent::Heal
+    Partition {
+        /// Nodes forming one side of the cut.
+        side: Vec<NodeId>,
+    },
+    /// Restore every edge removed by earlier partitions.
+    Heal,
+    /// Enable perception noise for a bounded window: listeners miss real
+    /// beeps with probability `fn_rate` and hear phantom beeps with
+    /// probability `fp_rate`, for `rounds` rounds.
+    NoiseBurst {
+        /// False-negative (missed beep) probability, in `[0, 1)`.
+        fn_rate: f64,
+        /// False-positive (phantom beep) probability, in `[0, 1)`.
+        fp_rate: f64,
+        /// Window length in rounds.
+        rounds: u64,
+    },
+    /// Overwrite the whole configuration with an adversarial one.
+    InjectState(InjectKind),
+}
+
+impl fmt::Display for ScenarioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioEvent::CrashNode(u) => write!(f, "crash({u})"),
+            ScenarioEvent::CrashRandom => write!(f, "crash-random"),
+            ScenarioEvent::CrashLeader => write!(f, "crash-leader"),
+            ScenarioEvent::RecoverNode(u) => write!(f, "recover({u})"),
+            ScenarioEvent::RecoverRandom => write!(f, "recover-random"),
+            ScenarioEvent::RecoverAll => write!(f, "recover-all"),
+            ScenarioEvent::AddEdge(u, v) => write!(f, "add-edge({u}, {v})"),
+            ScenarioEvent::RemoveEdge(u, v) => write!(f, "remove-edge({u}, {v})"),
+            ScenarioEvent::Partition { side } => {
+                write!(f, "partition(")?;
+                for (i, u) in side.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{u}")?;
+                }
+                write!(f, ")")
+            }
+            ScenarioEvent::Heal => write!(f, "heal"),
+            ScenarioEvent::NoiseBurst {
+                fn_rate,
+                fp_rate,
+                rounds,
+            } => write!(
+                f,
+                "noise-burst(fn={fn_rate}, fp={fp_rate}, rounds={rounds})"
+            ),
+            ScenarioEvent::InjectState(kind) => write!(f, "inject({kind})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        assert_eq!(
+            ScenarioEvent::CrashNode(NodeId::new(3)).to_string(),
+            "crash(3)"
+        );
+        assert_eq!(ScenarioEvent::CrashLeader.to_string(), "crash-leader");
+        assert_eq!(
+            ScenarioEvent::Partition {
+                side: vec![NodeId::new(0), NodeId::new(2)]
+            }
+            .to_string(),
+            "partition(0 2)"
+        );
+        assert_eq!(
+            ScenarioEvent::NoiseBurst {
+                fn_rate: 0.1,
+                fp_rate: 0.0,
+                rounds: 50
+            }
+            .to_string(),
+            "noise-burst(fn=0.1, fp=0, rounds=50)"
+        );
+        assert_eq!(
+            ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves: 2 }).to_string(),
+            "inject(phantom-waves(2))"
+        );
+        assert_eq!(
+            ScenarioEvent::InjectState(InjectKind::Dead).to_string(),
+            "inject(dead-config)"
+        );
+    }
+}

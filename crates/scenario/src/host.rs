@@ -1,0 +1,144 @@
+//! The runtime abstraction the engine drives.
+//!
+//! [`DynamicHost`] is the seam between the scenario engine and the
+//! simulators in `bfw-sim`: anything that can step rounds, swap its
+//! adjacency, mask nodes and report leaders can be perturbed by a
+//! [`Timeline`](crate::Timeline). Both the beeping [`Network`] and the
+//! [`StoneAgeNetwork`] implement it, so one scenario drives all models.
+
+use bfw_graph::{Graph, NodeId};
+use bfw_sim::stone_age::{StoneAgeLeaderElection, StoneAgeNetwork};
+use bfw_sim::{LeaderElection, Network, Topology};
+
+/// A synchronous runtime the scenario engine can perturb mid-run.
+pub trait DynamicHost {
+    /// Per-node protocol state (for [`InjectState`] events).
+    ///
+    /// [`InjectState`]: crate::ScenarioEvent::InjectState
+    type State: Clone;
+
+    /// Number of nodes (fixed for the lifetime of the run; crashes mask
+    /// nodes rather than removing them).
+    fn node_count(&self) -> usize;
+
+    /// Completed rounds.
+    fn round(&self) -> u64;
+
+    /// Advances one synchronous round.
+    fn step(&mut self);
+
+    /// Replaces the communication graph.
+    fn set_graph(&mut self, graph: Graph);
+
+    /// Crashes a node (idempotent).
+    fn crash(&mut self, u: NodeId);
+
+    /// Recovers a crashed node into a fresh protocol-initial state
+    /// (no-op on alive nodes).
+    fn recover(&mut self, u: NodeId);
+
+    /// Returns `true` if `u` is crashed.
+    fn is_crashed(&self, u: NodeId) -> bool;
+
+    /// Sets perception noise (false-negative, false-positive). Returns
+    /// `false` if this runtime has no noise model (the event is then
+    /// recorded as skipped).
+    fn set_perception_noise(&mut self, false_negative: f64, false_positive: f64) -> bool;
+
+    /// Replaces the whole configuration.
+    fn set_states(&mut self, states: Vec<Self::State>);
+
+    /// Identifiers of all alive leaders.
+    fn leaders(&self) -> Vec<NodeId>;
+}
+
+impl<P: LeaderElection> DynamicHost for Network<P> {
+    type State = P::State;
+
+    fn node_count(&self) -> usize {
+        Network::node_count(self)
+    }
+
+    fn round(&self) -> u64 {
+        Network::round(self)
+    }
+
+    fn step(&mut self) {
+        Network::step(self);
+    }
+
+    fn set_graph(&mut self, graph: Graph) {
+        Network::set_topology(self, Topology::Graph(graph));
+    }
+
+    fn crash(&mut self, u: NodeId) {
+        Network::crash_node(self, u);
+    }
+
+    fn recover(&mut self, u: NodeId) {
+        Network::recover_node(self, u);
+    }
+
+    fn is_crashed(&self, u: NodeId) -> bool {
+        Network::is_crashed(self, u)
+    }
+
+    fn set_perception_noise(&mut self, false_negative: f64, false_positive: f64) -> bool {
+        Network::set_noise(self, false_negative, false_positive);
+        true
+    }
+
+    fn set_states(&mut self, states: Vec<P::State>) {
+        Network::set_states(self, states);
+    }
+
+    fn leaders(&self) -> Vec<NodeId> {
+        Network::leaders(self)
+    }
+}
+
+impl<P: StoneAgeLeaderElection> DynamicHost for StoneAgeNetwork<P> {
+    type State = P::State;
+
+    fn node_count(&self) -> usize {
+        StoneAgeNetwork::node_count(self)
+    }
+
+    fn round(&self) -> u64 {
+        StoneAgeNetwork::round(self)
+    }
+
+    fn step(&mut self) {
+        StoneAgeNetwork::step(self);
+    }
+
+    fn set_graph(&mut self, graph: Graph) {
+        StoneAgeNetwork::set_topology(self, Topology::Graph(graph));
+    }
+
+    fn crash(&mut self, u: NodeId) {
+        StoneAgeNetwork::crash_node(self, u);
+    }
+
+    fn recover(&mut self, u: NodeId) {
+        StoneAgeNetwork::recover_node(self, u);
+    }
+
+    fn is_crashed(&self, u: NodeId) -> bool {
+        StoneAgeNetwork::is_crashed(self, u)
+    }
+
+    fn set_perception_noise(&mut self, _false_negative: f64, _false_positive: f64) -> bool {
+        // Beep-perception noise is specific to the beeping model; the
+        // stone-age observation model has no analogous single knob.
+        false
+    }
+
+    fn set_states(&mut self, states: Vec<P::State>) {
+        StoneAgeNetwork::set_states(self, states);
+    }
+
+    fn leaders(&self) -> Vec<NodeId> {
+        StoneAgeNetwork::leaders(self)
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic fault-injection and dynamic-topology scenarios for the
+//! BFW simulators.
+//!
+//! The paper (Vacus & Ziccardi, PODC 2025) proves BFW solves *eventual*
+//! leader election on a **fixed** connected graph, and its Section 5
+//! explains why the protocol is not self-stabilizing. This crate builds
+//! the environment those statements are about — and then changes it
+//! mid-run: nodes crash and rejoin (in fresh `W•`), edges churn,
+//! partitions open and heal, perception noise flares up, and the
+//! Section 5 adversarial configurations can be injected verbatim.
+//!
+//! Pieces:
+//!
+//! * [`ScenarioEvent`] — the perturbation vocabulary (crash / recover /
+//!   edge churn / partition / heal / noise bursts / state injection);
+//! * [`Timeline`] — fire-at-round, periodic and seeded-random schedules,
+//!   compiled deterministically ([`Timeline::compile`]);
+//! * [`DynamicHost`] — the runtime seam; implemented by the beeping
+//!   `Network` and the `StoneAgeNetwork`, so one engine drives all
+//!   models;
+//! * [`Engine`] — applies the timeline, maintains the mutable topology,
+//!   and measures **re-election latency** (disruption → next
+//!   unique-stable-leader) and **leader flaps** via [`ElectionMonitor`];
+//! * [`ScenarioSpec`] — a small TOML format (`bfw scenario run
+//!   <file>` in the CLI) parsed by an in-crate TOML-subset parser;
+//! * [`run_bfw_scenario`] — the one-call BFW runner used by the CLI,
+//!   the `churn` bench experiment and the `churn_storm` example.
+//!
+//! Everything is ChaCha-deterministic: the same spec, graph and seed
+//! produce a byte-identical event log and outcome, regardless of
+//! platform.
+//!
+//! # Example
+//!
+//! ```
+//! use bfw_scenario::{Engine, ScenarioEvent, Timeline, bfw_injector};
+//! use bfw_core::Bfw;
+//! use bfw_graph::generators;
+//! use bfw_sim::Network;
+//!
+//! let graph = generators::cycle(16);
+//! let timeline = Timeline::new()
+//!     .at(2_000, ScenarioEvent::CrashLeader)
+//!     .at(2_200, ScenarioEvent::RecoverAll);
+//! let net = Network::new(Bfw::new(0.5), graph.clone().into(), 42);
+//! let outcome = Engine::new(net, &graph, &timeline, 20_000, 42, 50)
+//!     .with_injector(bfw_injector())
+//!     .run();
+//! assert_eq!(outcome.final_leaders.len(), 1);
+//! assert_eq!(outcome.recoveries.len(), 1); // re-elected after the crash
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfw_run;
+mod engine;
+mod event;
+mod host;
+mod metrics;
+mod spec;
+mod timeline;
+pub mod toml_mini;
+
+pub use bfw_run::{bfw_injector, run_bfw_scenario};
+pub use engine::{Engine, Injector, ScenarioOutcome};
+pub use event::{InjectKind, ScenarioEvent};
+pub use host::DynamicHost;
+pub use metrics::{ElectionMonitor, Recovery};
+pub use spec::{ScenarioSpec, SpecError};
+pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};

@@ -1,0 +1,226 @@
+//! Scenario observers: re-election latency and leader stability.
+
+use bfw_graph::NodeId;
+
+/// One measured recovery: a disruption followed by the return of a
+/// unique leader that stayed stable for the configured window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Round of the earliest disruption this recovery answers.
+    pub disrupted_at: u64,
+    /// First round of the stable single-leader window.
+    pub recovered_at: u64,
+    /// The re-elected leader.
+    pub leader: NodeId,
+}
+
+impl Recovery {
+    /// Rounds from disruption to the start of the stable window.
+    pub fn latency(&self) -> u64 {
+        self.recovered_at - self.disrupted_at
+    }
+}
+
+/// Tracks leader dynamics across a perturbed run.
+///
+/// * **Re-election latency** — when a disruption occurs, the monitor
+///   arms; it records a [`Recovery`] at the first round from which a
+///   unique leader persists unchanged for `stability_window` consecutive
+///   rounds. Disruptions arriving while armed keep the *earliest*
+///   unanswered disruption round (latency is measured from the first
+///   moment the network was disturbed).
+/// * **Leader flaps** — the number of times the unique-leader identity
+///   changes across the run (`a → b` counts one flap, regardless of
+///   leaderless gaps in between; the initial appearance is not a flap).
+#[derive(Debug, Clone)]
+pub struct ElectionMonitor {
+    stability_window: u64,
+    open_disruption: Option<u64>,
+    streak_leader: Option<NodeId>,
+    streak_len: u64,
+    last_unique: Option<NodeId>,
+    flaps: u64,
+    recoveries: Vec<Recovery>,
+}
+
+impl ElectionMonitor {
+    /// Creates a monitor requiring `stability_window` unchanged rounds
+    /// before a recovery is recorded (0 means "any single-leader round
+    /// counts").
+    pub fn new(stability_window: u64) -> Self {
+        ElectionMonitor {
+            stability_window,
+            open_disruption: None,
+            streak_leader: None,
+            streak_len: 0,
+            last_unique: None,
+            flaps: 0,
+            recoveries: Vec::new(),
+        }
+    }
+
+    /// Marks a disruption at `round` (called by the engine when it
+    /// applies events).
+    pub fn mark_disruption(&mut self, round: u64) {
+        if self.open_disruption.is_none() {
+            self.open_disruption = Some(round);
+        }
+        // A disruption breaks any stability streak in progress.
+        self.streak_leader = None;
+        self.streak_len = 0;
+    }
+
+    /// Feeds the leader set of one round.
+    pub fn observe(&mut self, round: u64, leaders: &[NodeId]) {
+        let unique = if leaders.len() == 1 {
+            Some(leaders[0])
+        } else {
+            None
+        };
+
+        if let Some(u) = unique {
+            if let Some(prev) = self.last_unique {
+                if prev != u {
+                    self.flaps += 1;
+                }
+            }
+            self.last_unique = Some(u);
+        }
+
+        match (unique, self.streak_leader) {
+            (Some(u), Some(s)) if u == s => self.streak_len += 1,
+            (Some(u), _) => {
+                self.streak_leader = Some(u);
+                self.streak_len = 1;
+            }
+            (None, _) => {
+                self.streak_leader = None;
+                self.streak_len = 0;
+            }
+        }
+
+        if let (Some(disrupted_at), Some(leader)) = (self.open_disruption, self.streak_leader) {
+            if self.streak_len > self.stability_window {
+                let recovered_at = round + 1 - self.streak_len;
+                self.recoveries.push(Recovery {
+                    disrupted_at,
+                    recovered_at,
+                    leader,
+                });
+                self.open_disruption = None;
+            }
+        }
+    }
+
+    /// Returns the completed recoveries, in order.
+    pub fn recoveries(&self) -> &[Recovery] {
+        &self.recoveries
+    }
+
+    /// Returns the number of unique-leader identity changes observed.
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+
+    /// Returns the round of the earliest disruption that has not yet
+    /// been answered by a stable leader (if any).
+    pub fn pending_disruption(&self) -> Option<u64> {
+        self.open_disruption
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn recovery_measures_from_first_disruption() {
+        let mut m = ElectionMonitor::new(2);
+        m.observe(0, &[n(0)]);
+        m.mark_disruption(1);
+        m.observe(1, &[]); // leaderless
+        m.mark_disruption(2); // second disruption while armed
+        m.observe(2, &[]);
+        m.observe(3, &[n(4)]);
+        m.observe(4, &[n(4)]);
+        m.observe(5, &[n(4)]); // streak of 3 > window of 2
+        assert_eq!(
+            m.recoveries(),
+            &[Recovery {
+                disrupted_at: 1,
+                recovered_at: 3,
+                leader: n(4)
+            }]
+        );
+        assert_eq!(m.recoveries()[0].latency(), 2);
+        assert_eq!(m.pending_disruption(), None);
+    }
+
+    #[test]
+    fn unstable_leaders_do_not_count_as_recovery() {
+        let mut m = ElectionMonitor::new(3);
+        m.mark_disruption(0);
+        for round in 0..20 {
+            // Leader alternates every round: never 4 stable rounds.
+            m.observe(round, &[n((round % 2) as usize)]);
+        }
+        assert!(m.recoveries().is_empty());
+        assert_eq!(m.pending_disruption(), Some(0));
+        assert_eq!(m.flaps(), 19);
+    }
+
+    #[test]
+    fn flaps_count_identity_changes_across_gaps() {
+        let mut m = ElectionMonitor::new(0);
+        m.observe(0, &[n(1)]);
+        m.observe(1, &[]); // gap
+        m.observe(2, &[n(1)]); // same leader: no flap
+        m.observe(3, &[n(2)]); // flap
+        m.observe(4, &[n(2), n(3)]); // not unique: ignored
+        m.observe(5, &[n(3)]); // flap
+        assert_eq!(m.flaps(), 2);
+    }
+
+    #[test]
+    fn zero_window_records_first_single_round() {
+        let mut m = ElectionMonitor::new(0);
+        m.mark_disruption(5);
+        m.observe(5, &[]);
+        m.observe(6, &[n(2)]);
+        assert_eq!(
+            m.recoveries(),
+            &[Recovery {
+                disrupted_at: 5,
+                recovered_at: 6,
+                leader: n(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn disruption_resets_running_streak() {
+        let mut m = ElectionMonitor::new(2);
+        m.mark_disruption(0);
+        m.observe(0, &[n(1)]);
+        m.observe(1, &[n(1)]);
+        // Disruption right before the streak would complete.
+        m.mark_disruption(2);
+        m.observe(2, &[n(1)]);
+        m.observe(3, &[n(1)]);
+        m.observe(4, &[n(1)]);
+        // Streak restarted at round 2; completes at round 4 with
+        // disrupted_at still 0 (earliest unanswered).
+        assert_eq!(
+            m.recoveries(),
+            &[Recovery {
+                disrupted_at: 0,
+                recovered_at: 2,
+                leader: n(1)
+            }]
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! The TOML scenario format.
+//!
+//! A scenario file has one `[scenario]` header and any number of
+//! `[[event]]` entries:
+//!
+//! ```toml
+//! [scenario]
+//! name = "ring churn"
+//! graph = "cycle:32"     # resolved by the caller (CLI: GraphSpec syntax)
+//! p = 0.5                # BFW beep probability
+//! rounds = 20000         # horizon
+//! stability = 50         # stable rounds required to count a recovery
+//!
+//! [[event]]
+//! at = 2000              # or: every/start/count, or: rate
+//! kind = "crash-leader"
+//!
+//! [[event]]
+//! at = 2200
+//! kind = "recover-all"
+//! ```
+//!
+//! Event kinds and their fields:
+//!
+//! | `kind` | fields |
+//! |--------|--------|
+//! | `crash` | `node` |
+//! | `crash-random` | — |
+//! | `crash-leader` | — |
+//! | `recover` | `node` |
+//! | `recover-random` | — |
+//! | `recover-all` | — |
+//! | `add-edge` / `remove-edge` | `u`, `v` |
+//! | `partition` | `cut` (array of node ids) |
+//! | `heal` | — |
+//! | `noise-burst` | `fn`, `fp`, `rounds` |
+//! | `inject-phantom` | `waves` |
+//! | `inject-dead` | — |
+//!
+//! Scheduling fields (exactly one form per event): `at = N`;
+//! `every = PERIOD` with optional `start = N`, `count = N`; or
+//! `rate = P` with optional `start = N`.
+
+use crate::toml_mini::{self, Table, Value};
+use crate::{InjectKind, ScenarioEvent, Schedule, Timeline};
+use bfw_graph::NodeId;
+use std::fmt;
+
+/// A parsed scenario file, before graph resolution.
+///
+/// The `graph` field stays a string: workload-spec parsing
+/// (`"cycle:32"`) lives in `bfw-bench` and the CLI resolves it; tests
+/// and library users may supply any graph they like alongside the
+/// spec's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Workload spec string (e.g. `"cycle:32"`), resolved by the caller.
+    pub graph: String,
+    /// BFW beep probability.
+    pub p: f64,
+    /// Round horizon.
+    pub rounds: u64,
+    /// Stable rounds required before a recovery is recorded.
+    pub stability: u64,
+    /// Default seed (a CLI `--seed` overrides it).
+    pub seed: u64,
+    /// The declarative event schedule.
+    pub timeline: Timeline,
+}
+
+/// Error parsing a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<toml_mini::ParseError> for SpecError {
+    fn from(e: toml_mini::ParseError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+fn err(message: impl Into<String>) -> SpecError {
+    SpecError(message.into())
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, missing required
+    /// fields (`graph`), out-of-range probabilities, or unknown event
+    /// kinds/fields.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let sections = toml_mini::parse(text)?;
+        let mut spec = ScenarioSpec {
+            name: "unnamed scenario".to_owned(),
+            graph: String::new(),
+            p: 0.5,
+            rounds: 10_000,
+            stability: 50,
+            seed: 0,
+            timeline: Timeline::new(),
+        };
+        let mut saw_scenario = false;
+        for section in &sections {
+            match section.name.as_str() {
+                "scenario" => {
+                    if saw_scenario {
+                        return Err(err("duplicate [scenario] section"));
+                    }
+                    saw_scenario = true;
+                    spec.read_scenario_table(&section.table)?;
+                }
+                "event" => {
+                    let (schedule, event) = parse_event(&section.table)?;
+                    spec.timeline = spec.timeline.schedule(schedule, event);
+                }
+                "" => return Err(err("keys are only allowed inside sections")),
+                other => return Err(err(format!("unknown section [{other}]"))),
+            }
+        }
+        if !saw_scenario {
+            return Err(err("missing [scenario] section"));
+        }
+        if spec.graph.is_empty() {
+            return Err(err("[scenario] must set graph = \"<spec>\""));
+        }
+        if !(spec.p > 0.0 && spec.p < 1.0) {
+            return Err(err(format!("p must be in (0, 1), got {}", spec.p)));
+        }
+        Ok(spec)
+    }
+
+    fn read_scenario_table(&mut self, table: &Table) -> Result<(), SpecError> {
+        for (key, value) in table.entries() {
+            match key.as_str() {
+                "name" => {
+                    self.name = value
+                        .as_str()
+                        .ok_or_else(|| err("name must be a string"))?
+                        .to_owned();
+                }
+                "graph" => {
+                    self.graph = value
+                        .as_str()
+                        .ok_or_else(|| err("graph must be a string"))?
+                        .to_owned();
+                }
+                "p" => {
+                    self.p = value.as_float().ok_or_else(|| err("p must be a number"))?;
+                }
+                "rounds" => self.rounds = read_u64(value, "rounds")?,
+                "stability" => self.stability = read_u64(value, "stability")?,
+                "seed" => self.seed = read_u64(value, "seed")?,
+                other => return Err(err(format!("unknown [scenario] key '{other}'"))),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_u64(value: &Value, key: &str) -> Result<u64, SpecError> {
+    value
+        .as_int()
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| err(format!("{key} must be a non-negative integer")))
+}
+
+fn node_id(id: u64, key: &str) -> Result<NodeId, SpecError> {
+    u32::try_from(id)
+        .map(NodeId::from_u32)
+        .map_err(|_| err(format!("{key}: node id {id} exceeds u32::MAX")))
+}
+
+fn read_node(table: &Table, key: &str, kind: &str) -> Result<NodeId, SpecError> {
+    let value = table
+        .get(key)
+        .ok_or_else(|| err(format!("{kind} needs {key} = <node id>")))?;
+    node_id(read_u64(value, key)?, key)
+}
+
+fn read_prob(table: &Table, key: &str, default: f64) -> Result<f64, SpecError> {
+    let Some(value) = table.get(key) else {
+        return Ok(default);
+    };
+    let p = value
+        .as_float()
+        .ok_or_else(|| err(format!("{key} must be a number")))?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(err(format!("{key} must be in [0, 1), got {p}")));
+    }
+    Ok(p)
+}
+
+fn parse_schedule(table: &Table) -> Result<Schedule, SpecError> {
+    let at = table.get("at");
+    let every = table.get("every");
+    let rate = table.get("rate");
+    match (at, every, rate) {
+        (Some(v), None, None) => Ok(Schedule::At(read_u64(v, "at")?)),
+        (None, Some(v), None) => {
+            let period = read_u64(v, "every")?;
+            if period == 0 {
+                return Err(err("every must be at least 1"));
+            }
+            let start = match table.get("start") {
+                Some(s) => read_u64(s, "start")?,
+                None => period,
+            };
+            let count = match table.get("count") {
+                Some(c) => read_u64(c, "count")?,
+                None => 0,
+            };
+            Ok(Schedule::Every {
+                start,
+                period,
+                count,
+            })
+        }
+        (None, None, Some(v)) => {
+            let per_round = v.as_float().ok_or_else(|| err("rate must be a number"))?;
+            if !(0.0..1.0).contains(&per_round) {
+                return Err(err(format!("rate must be in [0, 1), got {per_round}")));
+            }
+            let start = match table.get("start") {
+                Some(s) => read_u64(s, "start")?,
+                None => 1,
+            };
+            Ok(Schedule::Rate { per_round, start })
+        }
+        _ => Err(err(
+            "each [[event]] needs exactly one of: at = N, every = PERIOD, rate = P",
+        )),
+    }
+}
+
+fn parse_event(table: &Table) -> Result<(Schedule, ScenarioEvent), SpecError> {
+    let schedule = parse_schedule(table)?;
+    let kind = table
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("each [[event]] needs kind = \"<event kind>\""))?;
+    // Only the keys of the schedule form actually used are legal, so a
+    // stray `count` on an `at` event errors instead of being ignored.
+    let mut allowed: Vec<&str> = vec!["kind"];
+    match &schedule {
+        Schedule::At(_) => allowed.push("at"),
+        Schedule::Every { .. } => allowed.extend(["every", "start", "count"]),
+        Schedule::Rate { .. } => allowed.extend(["rate", "start"]),
+    }
+    let event = match kind {
+        "crash" => {
+            allowed.push("node");
+            ScenarioEvent::CrashNode(read_node(table, "node", kind)?)
+        }
+        "crash-random" => ScenarioEvent::CrashRandom,
+        "crash-leader" => ScenarioEvent::CrashLeader,
+        "recover" => {
+            allowed.push("node");
+            ScenarioEvent::RecoverNode(read_node(table, "node", kind)?)
+        }
+        "recover-random" => ScenarioEvent::RecoverRandom,
+        "recover-all" => ScenarioEvent::RecoverAll,
+        "add-edge" | "remove-edge" => {
+            allowed.extend(["u", "v"]);
+            let u = read_node(table, "u", kind)?;
+            let v = read_node(table, "v", kind)?;
+            if kind == "add-edge" {
+                ScenarioEvent::AddEdge(u, v)
+            } else {
+                ScenarioEvent::RemoveEdge(u, v)
+            }
+        }
+        "partition" => {
+            allowed.push("cut");
+            let cut = table
+                .get("cut")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err("partition needs cut = [node ids]"))?;
+            let side = cut
+                .iter()
+                .map(|v| read_u64(v, "cut").and_then(|id| node_id(id, "cut")))
+                .collect::<Result<Vec<_>, _>>()?;
+            ScenarioEvent::Partition { side }
+        }
+        "heal" => ScenarioEvent::Heal,
+        "noise-burst" => {
+            allowed.extend(["fn", "fp", "rounds"]);
+            ScenarioEvent::NoiseBurst {
+                fn_rate: read_prob(table, "fn", 0.0)?,
+                fp_rate: read_prob(table, "fp", 0.0)?,
+                rounds: match table.get("rounds") {
+                    Some(v) => read_u64(v, "rounds")?,
+                    None => return Err(err("noise-burst needs rounds = N")),
+                },
+            }
+        }
+        "inject-phantom" => {
+            allowed.push("waves");
+            let waves = match table.get("waves") {
+                Some(v) => read_u64(v, "waves")? as usize,
+                None => 1,
+            };
+            ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves })
+        }
+        "inject-dead" => ScenarioEvent::InjectState(InjectKind::Dead),
+        other => return Err(err(format!("unknown event kind '{other}'"))),
+    };
+    for (key, _) in table.entries() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(format!("event '{kind}' has unknown key '{key}'")));
+        }
+    }
+    Ok((schedule, event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RING_CHURN: &str = r#"
+[scenario]
+name = "ring churn"
+graph = "cycle:16"
+p = 0.5
+rounds = 9000
+stability = 25
+seed = 7
+
+[[event]]
+at = 2000
+kind = "crash-leader"
+
+[[event]]
+at = 2300
+kind = "recover-all"
+
+[[event]]
+every = 1500
+start = 3000
+count = 2
+kind = "crash-random"
+
+[[event]]
+rate = 0.001
+kind = "recover-random"
+
+[[event]]
+at = 4000
+kind = "partition"
+cut = [0, 1, 2, 3]
+
+[[event]]
+at = 4500
+kind = "heal"
+
+[[event]]
+at = 6000
+kind = "noise-burst"
+fn = 0.1
+fp = 0.01
+rounds = 200
+"#;
+
+    #[test]
+    fn full_spec_round_trips() {
+        let spec = ScenarioSpec::parse(RING_CHURN).unwrap();
+        assert_eq!(spec.name, "ring churn");
+        assert_eq!(spec.graph, "cycle:16");
+        assert_eq!(spec.p, 0.5);
+        assert_eq!(spec.rounds, 9_000);
+        assert_eq!(spec.stability, 25);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.timeline.entries().len(), 7);
+        assert_eq!(spec.timeline.entries()[0].event, ScenarioEvent::CrashLeader);
+        assert_eq!(
+            spec.timeline.entries()[2].schedule,
+            Schedule::Every {
+                start: 3_000,
+                period: 1_500,
+                count: 2
+            }
+        );
+        assert_eq!(
+            spec.timeline.entries()[6].event,
+            ScenarioEvent::NoiseBurst {
+                fn_rate: 0.1,
+                fp_rate: 0.01,
+                rounds: 200
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.p, 0.5);
+        assert_eq!(spec.rounds, 10_000);
+        assert_eq!(spec.stability, 50);
+        assert_eq!(spec.seed, 0);
+        assert!(spec.timeline.entries().is_empty());
+    }
+
+    #[test]
+    fn inject_events_parse() {
+        let text = "[scenario]\ngraph = \"cycle:9\"\n\
+                    [[event]]\nat = 5\nkind = \"inject-phantom\"\nwaves = 2\n\
+                    [[event]]\nat = 9\nkind = \"inject-dead\"";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.timeline.entries()[0].event,
+            ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves: 2 })
+        );
+        assert_eq!(
+            spec.timeline.entries()[1].event,
+            ScenarioEvent::InjectState(InjectKind::Dead)
+        );
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let missing_graph = ScenarioSpec::parse("[scenario]\nname = \"x\"").unwrap_err();
+        assert!(missing_graph.to_string().contains("graph"));
+
+        let no_section = ScenarioSpec::parse("graph = \"path:4\"").unwrap_err();
+        assert!(no_section.to_string().contains("inside sections"));
+
+        let bad_kind = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"explode\"",
+        )
+        .unwrap_err();
+        assert!(bad_kind.to_string().contains("unknown event kind"));
+
+        let no_schedule =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[[event]]\nkind = \"heal\"")
+                .unwrap_err();
+        assert!(no_schedule.to_string().contains("exactly one of"));
+
+        let two_schedules = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nrate = 0.1\nkind = \"heal\"",
+        )
+        .unwrap_err();
+        assert!(two_schedules.to_string().contains("exactly one of"));
+
+        let stray_key = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"heal\"\nnode = 3",
+        )
+        .unwrap_err();
+        assert!(stray_key.to_string().contains("unknown key 'node'"));
+
+        // Schedule keys from the *other* forms are rejected too: a
+        // `count` on an `at` event would otherwise be silently ignored.
+        let stray_count = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\ncount = 3\nkind = \"crash-random\"",
+        )
+        .unwrap_err();
+        assert!(
+            stray_count.to_string().contains("unknown key 'count'"),
+            "{stray_count}"
+        );
+        let stray_start = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nrate = 0.1\ncount = 2\nkind = \"heal\"",
+        )
+        .unwrap_err();
+        assert!(
+            stray_start.to_string().contains("unknown key 'count'"),
+            "{stray_start}"
+        );
+
+        let bad_p = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\np = 1.5").unwrap_err();
+        assert!(bad_p.to_string().contains("p must be in (0, 1)"));
+
+        // Node ids beyond u32::MAX must error, not panic.
+        let huge = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"crash\"\nnode = 4294967296",
+        )
+        .unwrap_err();
+        assert!(huge.to_string().contains("exceeds u32::MAX"), "{huge}");
+        let huge_cut = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"partition\"\ncut = [4294967296]",
+        )
+        .unwrap_err();
+        assert!(
+            huge_cut.to_string().contains("exceeds u32::MAX"),
+            "{huge_cut}"
+        );
+
+        let bad_section =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[wat]\nx = 1").unwrap_err();
+        assert!(bad_section.to_string().contains("unknown section"));
+    }
+}

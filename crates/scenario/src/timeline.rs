@@ -1,0 +1,270 @@
+//! Scheduling: when events fire.
+
+use crate::ScenarioEvent;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// When a timeline entry fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Fire once, after the network has completed `round` rounds.
+    At(u64),
+    /// Fire at `start`, `start + period`, ... for `count` occurrences
+    /// (`count = 0` means "until the horizon").
+    Every {
+        /// First firing round.
+        start: u64,
+        /// Rounds between firings (must be ≥ 1).
+        period: u64,
+        /// Number of firings (0 = unbounded).
+        count: u64,
+    },
+    /// Seeded-random arrivals: each round in `[start, horizon]` fires
+    /// independently with probability `per_round` (a Bernoulli arrival
+    /// process, deterministic given the scenario seed).
+    Rate {
+        /// Per-round firing probability, in `[0, 1)`.
+        per_round: f64,
+        /// First eligible round.
+        start: u64,
+    },
+}
+
+/// One event bound to its schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// When to fire.
+    pub schedule: Schedule,
+    /// What fires.
+    pub event: ScenarioEvent,
+}
+
+/// An event scheduled at a concrete round (the output of
+/// [`Timeline::compile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// Firing round (the event applies after this many completed
+    /// rounds).
+    pub round: u64,
+    /// The event.
+    pub event: ScenarioEvent,
+}
+
+/// A declarative schedule of perturbations, compiled to a concrete
+/// per-round event list before a run.
+///
+/// # Example
+///
+/// ```
+/// use bfw_scenario::{ScenarioEvent, Timeline};
+/// use bfw_graph::NodeId;
+///
+/// let timeline = Timeline::new()
+///     .at(100, ScenarioEvent::CrashLeader)
+///     .every(200, 100, 3, ScenarioEvent::CrashRandom)
+///     .at(900, ScenarioEvent::RecoverAll);
+/// let compiled = timeline.compile(1_000, 42);
+/// assert_eq!(compiled.len(), 5);
+/// assert!(compiled.windows(2).all(|w| w[0].round <= w[1].round));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Returns the declarative entries.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Adds an entry with an explicit [`Schedule`].
+    pub fn schedule(mut self, schedule: Schedule, event: ScenarioEvent) -> Self {
+        self.entries.push(TimelineEntry { schedule, event });
+        self
+    }
+
+    /// Fires `event` once at `round`.
+    pub fn at(self, round: u64, event: ScenarioEvent) -> Self {
+        self.schedule(Schedule::At(round), event)
+    }
+
+    /// Fires `event` at `start`, then every `period` rounds, `count`
+    /// times (0 = until the horizon).
+    pub fn every(self, start: u64, period: u64, count: u64, event: ScenarioEvent) -> Self {
+        self.schedule(
+            Schedule::Every {
+                start,
+                period,
+                count,
+            },
+            event,
+        )
+    }
+
+    /// Fires `event` with probability `per_round` each round (seeded
+    /// Bernoulli arrivals).
+    pub fn random(self, per_round: f64, event: ScenarioEvent) -> Self {
+        self.schedule(
+            Schedule::Rate {
+                per_round,
+                start: 1,
+            },
+            event,
+        )
+    }
+
+    /// Expands every schedule into concrete `(round, event)` firings up
+    /// to and including `horizon`, sorted by round. Ties fire in entry
+    /// order. Random arrivals draw from a ChaCha stream derived from
+    /// `seed` and the entry index, so the compiled timeline is a pure
+    /// function of `(timeline, horizon, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`Schedule::Every`] period is zero or a
+    /// [`Schedule::Rate`] probability is outside `[0, 1)`.
+    pub fn compile(&self, horizon: u64, seed: u64) -> Vec<ScheduledEvent> {
+        let mut compiled: Vec<(u64, usize, ScenarioEvent)> = Vec::new();
+        for (index, entry) in self.entries.iter().enumerate() {
+            match &entry.schedule {
+                Schedule::At(round) => {
+                    if *round <= horizon {
+                        compiled.push((*round, index, entry.event.clone()));
+                    }
+                }
+                Schedule::Every {
+                    start,
+                    period,
+                    count,
+                } => {
+                    assert!(
+                        *period >= 1,
+                        "periodic schedules need a period of at least 1"
+                    );
+                    let mut fired = 0u64;
+                    let mut round = *start;
+                    while round <= horizon && (*count == 0 || fired < *count) {
+                        compiled.push((round, index, entry.event.clone()));
+                        fired += 1;
+                        round += period;
+                    }
+                }
+                Schedule::Rate { per_round, start } => {
+                    assert!(
+                        (0.0..1.0).contains(per_round),
+                        "arrival probability must be in [0, 1), got {per_round}"
+                    );
+                    // Derive an independent stream per entry so adding an
+                    // entry does not shift the arrivals of the others. The
+                    // domain constant keeps every stream distinct from the
+                    // host network's master stream, which is keyed from
+                    // the bare seed.
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        seed ^ 0x07A1_E11E_50DD_5EED_u64
+                            ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    for round in *start..=horizon {
+                        if rng.random_bool(*per_round) {
+                            compiled.push((round, index, entry.event.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        compiled.sort_by_key(|&(round, index, _)| (round, index));
+        compiled
+            .into_iter()
+            .map(|(round, _, event)| ScheduledEvent { round, event })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_and_every_expand_in_order() {
+        let t = Timeline::new()
+            .every(10, 10, 0, ScenarioEvent::CrashRandom)
+            .at(15, ScenarioEvent::Heal);
+        let c = t.compile(40, 0);
+        let rounds: Vec<u64> = c.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, [10, 15, 20, 30, 40]);
+        assert_eq!(c[1].event, ScenarioEvent::Heal);
+    }
+
+    #[test]
+    fn count_limits_periodic_firings() {
+        let t = Timeline::new().every(5, 5, 3, ScenarioEvent::CrashRandom);
+        assert_eq!(t.compile(1_000, 0).len(), 3);
+    }
+
+    #[test]
+    fn events_beyond_horizon_are_dropped() {
+        let t = Timeline::new()
+            .at(5, ScenarioEvent::Heal)
+            .at(50, ScenarioEvent::Heal);
+        assert_eq!(t.compile(10, 0).len(), 1);
+    }
+
+    #[test]
+    fn ties_preserve_entry_order() {
+        let t = Timeline::new()
+            .at(7, ScenarioEvent::CrashLeader)
+            .at(7, ScenarioEvent::RecoverAll);
+        let c = t.compile(10, 0);
+        assert_eq!(c[0].event, ScenarioEvent::CrashLeader);
+        assert_eq!(c[1].event, ScenarioEvent::RecoverAll);
+    }
+
+    #[test]
+    fn random_arrivals_are_seed_deterministic() {
+        let t = Timeline::new().random(0.05, ScenarioEvent::CrashRandom);
+        let a = t.compile(2_000, 9);
+        let b = t.compile(2_000, 9);
+        assert_eq!(a, b);
+        let c = t.compile(2_000, 10);
+        assert_ne!(a, c, "different seeds should move the arrivals");
+        // Arrival count is near 0.05 × 2000 = 100.
+        assert!((40..=180).contains(&a.len()), "{}", a.len());
+    }
+
+    #[test]
+    fn rate_entries_use_independent_streams() {
+        let solo = Timeline::new().random(0.05, ScenarioEvent::CrashRandom);
+        let paired = Timeline::new()
+            .random(0.05, ScenarioEvent::CrashRandom)
+            .random(0.5, ScenarioEvent::RecoverRandom);
+        let solo_rounds: Vec<u64> = solo.compile(500, 3).iter().map(|e| e.round).collect();
+        let paired_rounds: Vec<u64> = paired
+            .compile(500, 3)
+            .iter()
+            .filter(|e| e.event == ScenarioEvent::CrashRandom)
+            .map(|e| e.round)
+            .collect();
+        assert_eq!(solo_rounds, paired_rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of at least 1")]
+    fn zero_period_rejected() {
+        let _ = Timeline::new()
+            .every(0, 0, 1, ScenarioEvent::Heal)
+            .compile(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn bad_rate_rejected() {
+        let _ = Timeline::new()
+            .random(1.5, ScenarioEvent::Heal)
+            .compile(10, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! A minimal TOML-subset parser for scenario specs.
+//!
+//! The workspace vendors its dependencies, so rather than pulling a
+//! full TOML implementation we parse exactly the subset the scenario
+//! format uses:
+//!
+//! * `[section]` and repeatable `[[section]]` headers,
+//! * `key = value` pairs with string (`"..."`), boolean, integer,
+//!   float, and flat array (`[1, 2, 3]`) values,
+//! * `#` comments and blank lines.
+//!
+//! Nested tables, dotted keys, multi-line values and datetimes are
+//! rejected with a line-numbered error.
+
+use std::fmt;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float (integers widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A `key = value` table (order-preserving).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns all entries in file order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One `[section]` or `[[section]]` occurrence, in file order. Keys
+/// before the first header land in a section with an empty name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (without brackets).
+    pub name: String,
+    /// The key/value pairs.
+    pub table: Table,
+}
+
+/// Parses a TOML-subset document into its sections, preserving order
+/// and `[[...]]` repetitions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for any input
+/// outside the supported subset.
+pub fn parse(input: &str) -> Result<Vec<Section>, ParseError> {
+    let mut sections: Vec<Section> = Vec::new();
+    let mut current: Option<Section> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            if let Some(done) = current.take() {
+                sections.push(done);
+            }
+            current = Some(Section {
+                name: header.trim().to_owned(),
+                table: Table::default(),
+            });
+        } else if let Some(header) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            if header.starts_with('[') || header.ends_with(']') {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("malformed section header '{line}'"),
+                });
+            }
+            if let Some(done) = current.take() {
+                sections.push(done);
+            }
+            current = Some(Section {
+                name: header.trim().to_owned(),
+                table: Table::default(),
+            });
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() || key.contains(char::is_whitespace) {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("malformed key '{key}'"),
+                });
+            }
+            let value = parse_value(value.trim(), line_no)?;
+            let section = current.get_or_insert_with(|| Section {
+                name: String::new(),
+                table: Table::default(),
+            });
+            if section.table.get(key).is_some() {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("duplicate key '{key}'"),
+                });
+            }
+            section.table.entries.push((key.to_owned(), value));
+        } else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected 'key = value' or a section header, got '{line}'"),
+            });
+        }
+    }
+    if let Some(done) = current.take() {
+        sections.push(done);
+    }
+    Ok(sections)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(body) = inner.strip_suffix('"') else {
+            return Err(err(format!("unterminated string {text}")));
+        };
+        if body.contains('"') || body.contains('\\') {
+            return Err(err("escapes and embedded quotes are unsupported".into()));
+        }
+        return Ok(Value::Str(body.to_owned()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return Err(err(format!("unterminated array {text}")));
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::Array(Vec::new()));
+        }
+        return body
+            .split(',')
+            .map(|item| parse_value(item.trim(), line))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Value::Array);
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.replace('_', "").parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = text.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    Err(err(format!("unsupported value '{text}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_values() {
+        let doc = r#"
+# a scenario
+[scenario]
+name = "ring churn"   # trailing comment
+rounds = 20_000
+p = 0.5
+quick = false
+
+[[event]]
+at = 500
+kind = "crash-leader"
+
+[[event]]
+at = 900
+cut = [0, 1, 2]
+"#;
+        let sections = parse(doc).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].name, "scenario");
+        assert_eq!(
+            sections[0].table.get("name").unwrap().as_str(),
+            Some("ring churn")
+        );
+        assert_eq!(
+            sections[0].table.get("rounds").unwrap().as_int(),
+            Some(20_000)
+        );
+        assert_eq!(sections[0].table.get("p").unwrap().as_float(), Some(0.5));
+        assert_eq!(sections[0].table.get("quick").unwrap(), &Value::Bool(false));
+        assert_eq!(sections[1].name, "event");
+        assert_eq!(sections[2].name, "event");
+        let cut = sections[2].table.get("cut").unwrap().as_array().unwrap();
+        assert_eq!(cut.len(), 3);
+        assert_eq!(cut[1].as_int(), Some(1));
+    }
+
+    #[test]
+    fn keys_before_sections_and_int_as_float() {
+        let sections = parse("x = 3\n[s]\ny = 4").unwrap();
+        assert_eq!(sections[0].name, "");
+        assert_eq!(sections[0].table.get("x").unwrap().as_float(), Some(3.0));
+        assert_eq!(sections[1].name, "s");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("[ok]\nwhat even is this").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse("[s]\nk = \"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+
+        let err = parse("[s]\nk = [1, 2").unwrap_err();
+        assert!(err.message.contains("unterminated array"));
+
+        let err = parse("[s]\nk = nope").unwrap_err();
+        assert!(err.message.contains("unsupported value"));
+
+        let err = parse("[s]\nk = 1\nk = 2").unwrap_err();
+        assert!(err.message.contains("duplicate key"));
+
+        let err = parse("[s]\nbad key = 1").unwrap_err();
+        assert!(err.message.contains("malformed key"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let sections = parse("[s]\nk = \"a # b\"").unwrap();
+        assert_eq!(sections[0].table.get("k").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn empty_array_and_negative_numbers() {
+        let sections = parse("[s]\na = []\nb = -7\nc = -0.25").unwrap();
+        assert_eq!(
+            sections[0].table.get("a").unwrap().as_array(),
+            Some(&[][..])
+        );
+        assert_eq!(sections[0].table.get("b").unwrap().as_int(), Some(-7));
+        assert_eq!(sections[0].table.get("c").unwrap().as_float(), Some(-0.25));
+    }
+}

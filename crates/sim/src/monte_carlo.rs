@@ -2,11 +2,10 @@
 //!
 //! The paper's guarantees are "with high probability" statements; the
 //! experiments estimate them by running many independent seeded trials.
-//! [`run_trials`] distributes trials across threads with crossbeam
-//! scoped threads while keeping results deterministic: trial `i` always
-//! receives seed `base_seed + i` and lands at index `i` of the output.
+//! [`run_trials`] distributes trials across scoped worker threads while
+//! keeping results deterministic: trial `i` always receives seed
+//! `base_seed + i` and lands at index `i` of the output.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `trials` independent trials of `f` across `threads` worker
@@ -15,6 +14,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `f` receives the trial's seed (`base_seed + trial_index`). Results
 /// are deterministic: the same inputs produce the same output vector
 /// regardless of thread interleaving.
+///
+/// Workers claim trial indices from a shared atomic counter (dynamic
+/// load balancing — trial durations are heavy-tailed) and each collects
+/// its `(index, result)` pairs in a thread-local `Vec`; the pairs are
+/// merged into trial order after the scope joins. No per-trial lock is
+/// taken.
 ///
 /// # Panics
 ///
@@ -41,27 +46,36 @@ where
     if threads == 1 {
         return run_trials_sequential(trials, base_seed, f);
     }
-    let results: Vec<Mutex<Option<R>>> = (0..trials).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let r = f(base_seed + i as u64);
-                *results[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    let f = &f;
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(trials / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            return local;
+                        }
+                        local.push((i, f(base_seed + i as u64)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
+    for (i, r) in buckets.drain(..).flatten() {
+        debug_assert!(results[i].is_none(), "trial {i} produced twice");
+        results[i] = Some(r);
+    }
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("every trial index is claimed exactly once")
-        })
+        .map(|r| r.expect("every trial index is claimed exactly once"))
         .collect()
 }
 

@@ -42,9 +42,11 @@ pub struct Network<P: BeepingProtocol> {
     states: Vec<P::State>,
     beeps: Vec<bool>,
     heard: Vec<bool>,
+    crashed: Vec<bool>,
     rngs: Vec<ChaCha8Rng>,
     round: u64,
     hearing_failure_prob: f64,
+    spurious_beep_prob: f64,
 }
 
 impl<P: BeepingProtocol> Network<P> {
@@ -91,9 +93,11 @@ impl<P: BeepingProtocol> Network<P> {
             states,
             beeps: vec![false; n],
             heard: vec![false; n],
+            crashed: vec![false; n],
             rngs,
             round: 0,
             hearing_failure_prob: 0.0,
+            spurious_beep_prob: 0.0,
         };
         net.refresh_beeps();
         net
@@ -126,9 +130,38 @@ impl<P: BeepingProtocol> Network<P> {
         self.hearing_failure_prob
     }
 
+    /// Returns the spurious-beep probability (0 for the exact model).
+    pub fn spurious_beep_prob(&self) -> f64 {
+        self.spurious_beep_prob
+    }
+
+    /// Sets both perception-noise probabilities at once: a listener
+    /// misses a real beep with probability `false_negative` and hears a
+    /// phantom beep during silence with probability `false_positive`.
+    ///
+    /// This is the mutation hook used by the scenario engine's
+    /// `NoiseBurst` events; `(0, 0)` restores the exact beeping model
+    /// (the next rounds draw no extra randomness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is not in `[0, 1)`.
+    pub fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
+        assert!(
+            (0.0..1.0).contains(&false_negative),
+            "hearing-failure probability must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&false_positive),
+            "spurious-beep probability must be in [0, 1)"
+        );
+        self.hearing_failure_prob = false_negative;
+        self.spurious_beep_prob = false_positive;
+    }
+
     fn refresh_beeps(&mut self) {
         for (i, s) in self.states.iter().enumerate() {
-            self.beeps[i] = self.protocol.beeps(s);
+            self.beeps[i] = self.protocol.beeps(s) && !self.crashed[i];
         }
     }
 
@@ -185,26 +218,141 @@ impl<P: BeepingProtocol> Network<P> {
             protocol: &self.protocol,
             states: &self.states,
             beeps: &self.beeps,
+            crashed: &self.crashed,
         }
+    }
+
+    /// Replaces the communication topology mid-run (the scenario
+    /// engine's edge-churn and partition hook). States, RNG streams and
+    /// the round counter are untouched; the new adjacency takes effect
+    /// from the next [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology's node count differs from the
+    /// network's.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(
+            topology.node_count(),
+            self.states.len(),
+            "topology mutation must preserve the node count"
+        );
+        self.topology = topology;
+    }
+
+    /// Crashes node `u`: from now on it emits no beep, ignores its
+    /// environment and performs no transitions (its RNG stream is
+    /// paused, not consumed). Crashing an already-crashed node is a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn crash_node(&mut self, u: NodeId) {
+        self.crashed[u.index()] = true;
+        self.beeps[u.index()] = false;
+    }
+
+    /// Recovers node `u` with a **fresh protocol-initial state** (for
+    /// BFW: `W•` — the recovering node rejoins as a leader candidate, as
+    /// a newly booted device would). No-op on nodes that are not
+    /// crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn recover_node(&mut self, u: NodeId) {
+        let i = u.index();
+        if !self.crashed[i] {
+            return;
+        }
+        self.crashed[i] = false;
+        self.states[i] = self.protocol.initial_state(NodeCtx {
+            node: u,
+            node_count: self.states.len(),
+        });
+        self.beeps[i] = self.protocol.beeps(&self.states[i]);
+    }
+
+    /// Returns `true` if `u` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.crashed[u.index()]
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn crash_flags(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Returns the number of non-crashed nodes.
+    pub fn alive_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| !c).count()
+    }
+
+    /// Overwrites the state of node `u` (the scenario engine's
+    /// state-injection hook; see also [`with_states`](Self::with_states)
+    /// for whole-configuration injection at construction time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_node_state(&mut self, u: NodeId, state: P::State) {
+        let i = u.index();
+        self.states[i] = state;
+        self.beeps[i] = self.protocol.beeps(&self.states[i]) && !self.crashed[i];
+    }
+
+    /// Replaces the whole configuration (crashed nodes keep their crash
+    /// mask and stay silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_states(&mut self, states: Vec<P::State>) {
+        assert_eq!(
+            states.len(),
+            self.states.len(),
+            "one state per node is required"
+        );
+        self.states = states;
+        self.refresh_beeps();
     }
 
     /// Advances one synchronous round.
     pub fn step(&mut self) {
         self.topology.compute_heard(&self.beeps, &mut self.heard);
-        if self.hearing_failure_prob > 0.0 {
-            // Unreliable hearing (extension): listeners miss the beep
-            // independently; a beeping node always registers its own.
+        if self.hearing_failure_prob > 0.0 || self.spurious_beep_prob > 0.0 {
+            // Unreliable perception (extension): a listener misses a
+            // real beep with probability `fn`, and hears a phantom beep
+            // during silence with probability `fp`. A beeping node
+            // always registers its own beep; crashed nodes perceive
+            // nothing and draw nothing.
             use rand::Rng as _;
             for i in 0..self.heard.len() {
-                if self.heard[i]
-                    && !self.beeps[i]
-                    && self.rngs[i].random_bool(self.hearing_failure_prob)
+                if self.beeps[i] || self.crashed[i] {
+                    continue;
+                }
+                if self.heard[i] {
+                    if self.hearing_failure_prob > 0.0
+                        && self.rngs[i].random_bool(self.hearing_failure_prob)
+                    {
+                        self.heard[i] = false;
+                    }
+                } else if self.spurious_beep_prob > 0.0
+                    && self.rngs[i].random_bool(self.spurious_beep_prob)
                 {
-                    self.heard[i] = false;
+                    self.heard[i] = true;
                 }
             }
         }
         for i in 0..self.states.len() {
+            if self.crashed[i] {
+                continue;
+            }
             self.states[i] =
                 self.protocol
                     .transition(&self.states[i], self.heard[i], &mut self.rngs[i]);
@@ -242,31 +390,33 @@ impl<P: BeepingProtocol> Network<P> {
 }
 
 impl<P: LeaderElection> Network<P> {
-    /// Returns the number of nodes whose state lies in the leader set
-    /// `L`.
+    /// Returns the number of **alive** nodes whose state lies in the
+    /// leader set `L` (a crashed node cannot act as a leader).
     pub fn leader_count(&self) -> usize {
         self.states
             .iter()
-            .filter(|s| self.protocol.is_leader(s))
+            .zip(&self.crashed)
+            .filter(|(s, &c)| !c && self.protocol.is_leader(s))
             .count()
     }
 
-    /// Returns the identifiers of all current leaders.
+    /// Returns the identifiers of all current (alive) leaders.
     pub fn leaders(&self) -> Vec<NodeId> {
         self.states
             .iter()
+            .zip(&self.crashed)
             .enumerate()
-            .filter(|(_, s)| self.protocol.is_leader(s))
+            .filter(|(_, (s, &c))| !c && self.protocol.is_leader(s))
             .map(|(i, _)| NodeId::new(i))
             .collect()
     }
 
-    /// Returns the unique leader, or `None` if there are zero or several
-    /// leaders.
+    /// Returns the unique (alive) leader, or `None` if there are zero or
+    /// several leaders.
     pub fn unique_leader(&self) -> Option<NodeId> {
         let mut found = None;
-        for (i, s) in self.states.iter().enumerate() {
-            if self.protocol.is_leader(s) {
+        for (i, (s, &c)) in self.states.iter().zip(&self.crashed).enumerate() {
+            if !c && self.protocol.is_leader(s) {
                 if found.is_some() {
                     return None;
                 }
@@ -289,14 +439,19 @@ pub struct RoundView<'a, P: BeepingProtocol> {
     pub states: &'a [P::State],
     /// Per-node beep flags: `beeps[u] ⇔ u ∈ B_t`.
     pub beeps: &'a [bool],
+    /// Per-node crash flags (all `false` unless a scenario crashed
+    /// nodes; a crashed node's state is its last state before the
+    /// crash).
+    pub crashed: &'a [bool],
 }
 
 impl<P: LeaderElection> RoundView<'_, P> {
-    /// Returns the number of leaders in this round.
+    /// Returns the number of alive leaders in this round.
     pub fn leader_count(&self) -> usize {
         self.states
             .iter()
-            .filter(|s| self.protocol.is_leader(s))
+            .zip(self.crashed)
+            .filter(|(s, &c)| !c && self.protocol.is_leader(s))
             .count()
     }
 }
@@ -525,5 +680,140 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1)")]
     fn noise_probability_validated() {
         let _ = Network::new(OneShot, generators::path(2).into(), 0).with_hearing_noise(1.0);
+    }
+
+    /// Every node beeps in every round — exercises crash masking.
+    #[derive(Debug, Clone)]
+    struct AlwaysBeep;
+
+    impl BeepingProtocol for AlwaysBeep {
+        type State = u32;
+        fn initial_state(&self, _ctx: NodeCtx) -> u32 {
+            0
+        }
+        fn beeps(&self, _s: &u32) -> bool {
+            true
+        }
+        fn transition(&self, s: &u32, _h: bool, _r: &mut dyn rand::RngCore) -> u32 {
+            s + 1
+        }
+    }
+
+    #[test]
+    fn crashed_node_never_beeps_and_never_transitions() {
+        let mut net = Network::new(AlwaysBeep, generators::cycle(5).into(), 0);
+        net.crash_node(NodeId::new(2));
+        assert!(net.is_crashed(NodeId::new(2)));
+        assert_eq!(net.alive_count(), 4);
+        for _ in 0..10 {
+            assert!(!net.beep_flags()[2], "crashed node must stay silent");
+            net.step();
+        }
+        // Frozen at its pre-crash state while the others advanced.
+        assert_eq!(*net.state(NodeId::new(2)), 0);
+        assert_eq!(*net.state(NodeId::new(1)), 10);
+    }
+
+    #[test]
+    fn recover_node_reboots_with_initial_state() {
+        let mut net = Network::new(AlwaysBeep, generators::cycle(5).into(), 0);
+        net.run(7);
+        net.crash_node(NodeId::new(3));
+        net.run(5);
+        net.recover_node(NodeId::new(3));
+        assert!(!net.is_crashed(NodeId::new(3)));
+        // Fresh initial state (0), beeping again.
+        assert_eq!(*net.state(NodeId::new(3)), 0);
+        assert!(net.beep_flags()[3]);
+        // Recovering an alive node is a no-op.
+        net.recover_node(NodeId::new(0));
+        assert_eq!(*net.state(NodeId::new(0)), 12);
+    }
+
+    #[test]
+    fn crashed_leader_is_not_counted() {
+        let mut net = Network::new(OneShot, generators::path(4).into(), 0);
+        assert_eq!(net.leader_count(), 1);
+        net.crash_node(NodeId::new(0));
+        assert_eq!(net.leader_count(), 0);
+        assert_eq!(net.unique_leader(), None);
+        assert!(net.leaders().is_empty());
+        assert_eq!(net.view().leader_count(), 0);
+    }
+
+    #[test]
+    fn crash_silences_the_wave_source() {
+        // Crashing node 0 before stepping prevents its beep from ever
+        // reaching node 1.
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        net.crash_node(NodeId::new(0));
+        net.run(5);
+        assert_eq!(*net.state(NodeId::new(1)), OneShotState::Idle);
+    }
+
+    #[test]
+    fn set_topology_changes_hearing() {
+        // On a path 0-1-2, node 2 never hears node 0's one-shot beep;
+        // after rewiring to a triangle it would. Rewire before stepping.
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        net.set_topology(generators::cycle(3).into());
+        net.step();
+        assert_eq!(*net.state(NodeId::new(2)), OneShotState::Beeped);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the node count")]
+    fn set_topology_validates_node_count() {
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        net.set_topology(generators::path(4).into());
+    }
+
+    #[test]
+    fn set_node_state_updates_beep_flag() {
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        net.set_node_state(NodeId::new(2), OneShotState::Origin);
+        assert_eq!(net.beeping_node_count(), 2);
+        net.set_states(vec![OneShotState::Idle; 3]);
+        assert_eq!(net.beeping_node_count(), 0);
+    }
+
+    #[test]
+    fn spurious_beeps_wake_silent_networks() {
+        // All-idle network: without noise nothing ever happens; with a
+        // high false-positive rate, nodes hear phantom beeps and
+        // transition.
+        let mut woke = 0;
+        for seed in 0..20u64 {
+            let mut net = Network::with_states(
+                OneShot,
+                generators::path(3).into(),
+                seed,
+                vec![OneShotState::Idle; 3],
+            );
+            net.set_noise(0.0, 0.8);
+            net.run(5);
+            if net.states().contains(&OneShotState::Beeped) {
+                woke += 1;
+            }
+        }
+        assert!(woke > 15, "only {woke}/20 runs saw a phantom beep");
+    }
+
+    #[test]
+    fn noise_reset_restores_silence() {
+        let mut net = Network::new(CoinFlipper, generators::cycle(4).into(), 1);
+        net.set_noise(0.3, 0.3);
+        assert_eq!(net.hearing_failure_prob(), 0.3);
+        assert_eq!(net.spurious_beep_prob(), 0.3);
+        net.set_noise(0.0, 0.0);
+        assert_eq!(net.hearing_failure_prob(), 0.0);
+        assert_eq!(net.spurious_beep_prob(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious-beep probability")]
+    fn spurious_probability_validated() {
+        let mut net = Network::new(OneShot, generators::path(2).into(), 0);
+        net.set_noise(0.0, 1.0);
     }
 }

@@ -84,6 +84,7 @@ pub struct StoneAgeNetwork<P: StoneAgeProtocol> {
     topology: Topology,
     states: Vec<P::State>,
     symbols: Vec<usize>,
+    crashed: Vec<bool>,
     rngs: Vec<ChaCha8Rng>,
     round: u64,
 }
@@ -114,8 +115,86 @@ impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
             topology,
             states,
             symbols,
+            crashed: vec![false; n],
             rngs,
             round: 0,
+        }
+    }
+
+    /// Replaces the communication topology mid-run (the scenario
+    /// engine's edge-churn and partition hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology's node count differs from the
+    /// network's.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(
+            topology.node_count(),
+            self.states.len(),
+            "topology mutation must preserve the node count"
+        );
+        self.topology = topology;
+    }
+
+    /// Crashes node `u`: its displayed symbol becomes invisible to
+    /// neighbors and it performs no transitions until recovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn crash_node(&mut self, u: NodeId) {
+        self.crashed[u.index()] = true;
+    }
+
+    /// Recovers node `u` with a fresh protocol-initial state. No-op on
+    /// nodes that are not crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn recover_node(&mut self, u: NodeId) {
+        let i = u.index();
+        if !self.crashed[i] {
+            return;
+        }
+        self.crashed[i] = false;
+        self.states[i] = self.protocol.initial_state(NodeCtx {
+            node: u,
+            node_count: self.states.len(),
+        });
+        self.symbols[i] = self.protocol.displayed_symbol(&self.states[i]);
+    }
+
+    /// Returns `true` if `u` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.crashed[u.index()]
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn crash_flags(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Replaces the whole configuration (the state-injection hook;
+    /// crashed nodes keep their crash mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_states(&mut self, states: Vec<P::State>) {
+        assert_eq!(
+            states.len(),
+            self.states.len(),
+            "one state per node is required"
+        );
+        self.states = states;
+        for (i, s) in self.states.iter().enumerate() {
+            self.symbols[i] = self.protocol.displayed_symbol(s);
         }
     }
 
@@ -169,8 +248,15 @@ impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
         match &self.topology {
             Topology::Graph(g) => {
                 for u in 0..n {
+                    if self.crashed[u] {
+                        next_states.push(self.states[u].clone());
+                        continue;
+                    }
                     observed.fill(0);
                     for &v in g.neighbors(NodeId::new(u)) {
+                        if self.crashed[v.index()] {
+                            continue; // a crashed node displays nothing
+                        }
                         let s = self.symbols[v.index()];
                         assert!(
                             s < sigma,
@@ -188,17 +274,24 @@ impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
                 }
             }
             Topology::Clique(_) => {
-                // Count each symbol globally once, then per node subtract
-                // its own contribution — O(n·|Σ|) instead of O(n²).
+                // Count each symbol globally once (alive nodes only),
+                // then per node subtract its own contribution —
+                // O(n·|Σ|) instead of O(n²).
                 let mut totals = vec![0usize; sigma];
-                for &s in &self.symbols {
+                for (u, &s) in self.symbols.iter().enumerate() {
                     assert!(
                         s < sigma,
                         "displayed symbol {s} outside alphabet of size {sigma}"
                     );
-                    totals[s] += 1;
+                    if !self.crashed[u] {
+                        totals[s] += 1;
+                    }
                 }
                 for u in 0..n {
+                    if self.crashed[u] {
+                        next_states.push(self.states[u].clone());
+                        continue;
+                    }
                     for (s, &total) in totals.iter().enumerate() {
                         let count = total - usize::from(self.symbols[u] == s);
                         observed[s] = count.min(b as usize) as u8;
@@ -227,12 +320,24 @@ impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
 }
 
 impl<P: StoneAgeProtocol + StoneAgeLeaderElection> StoneAgeNetwork<P> {
-    /// Returns the number of nodes in the leader set.
+    /// Returns the number of **alive** nodes in the leader set.
     pub fn leader_count(&self) -> usize {
         self.states
             .iter()
-            .filter(|s| self.protocol.is_leader(s))
+            .zip(&self.crashed)
+            .filter(|(s, &c)| !c && self.protocol.is_leader(s))
             .count()
+    }
+
+    /// Returns the identifiers of all current (alive) leaders.
+    pub fn leaders(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .zip(&self.crashed)
+            .enumerate()
+            .filter(|(_, (s, &c))| !c && self.protocol.is_leader(s))
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
     }
 }
 
@@ -624,6 +729,48 @@ mod tests {
         // RandomBeeper's "leaders" are the currently-beeping nodes;
         // count is whatever it is, but never exceeds n.
         assert!(net.leader_count() <= 8);
+    }
+
+    #[test]
+    fn crashed_node_is_invisible_and_inert() {
+        // All nodes display symbol 1 except node 0 (CountTwo). Crash a
+        // leaf of the star: the hub then observes one fewer displayer.
+        let mut net = StoneAgeNetwork::new(CountTwo, generators::star(3).into(), 0);
+        net.crash_node(NodeId::new(2));
+        assert!(net.is_crashed(NodeId::new(2)));
+        net.step();
+        // Hub saw only leaf 1 (leaf 2 crashed): clamped count 1.
+        assert_eq!(*net.state(NodeId::new(0)), 201);
+        // Crashed node did not transition.
+        assert_eq!(*net.state(NodeId::new(2)), 100);
+        net.recover_node(NodeId::new(2));
+        assert!(!net.is_crashed(NodeId::new(2)));
+        net.step();
+        assert_eq!(*net.state(NodeId::new(0)), 202);
+    }
+
+    #[test]
+    fn clique_fast_path_ignores_crashed_nodes() {
+        let mut graph_net = StoneAgeNetwork::new(CountTwo, generators::complete(5).into(), 0);
+        let mut clique_net = StoneAgeNetwork::new(CountTwo, Topology::Clique(5), 0);
+        for net in [&mut graph_net, &mut clique_net] {
+            net.crash_node(NodeId::new(3));
+            net.crash_node(NodeId::new(4));
+            net.step();
+        }
+        assert_eq!(graph_net.states(), clique_net.states());
+        // Node 0 observed 2 alive displayers of symbol 1 (nodes 1, 2).
+        assert_eq!(*graph_net.state(NodeId::new(0)), 202);
+    }
+
+    #[test]
+    fn stone_age_set_topology_swaps_adjacency() {
+        let mut net = StoneAgeNetwork::new(CountTwo, generators::path(3).into(), 0);
+        // On the path 0-1-2 the hub (node 0) has one neighbor; after
+        // rewiring to a star centered at 0 it has two.
+        net.set_topology(generators::star(3).into());
+        net.step();
+        assert_eq!(*net.state(NodeId::new(0)), 202);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Workspace tests for the scenario engine: determinism of the whole
+//! TOML → engine → report pipeline, and dynamic-topology invariants.
+
+use bfw_bench::GraphSpec;
+use bfw_core::Bfw;
+use bfw_graph::{generators, DynamicGraph, NodeId};
+use bfw_scenario::{bfw_injector, run_bfw_scenario, Engine, ScenarioEvent, ScenarioSpec, Timeline};
+use bfw_sim::{BeepingProtocol, LeaderElection, Network, NodeCtx};
+use proptest::prelude::*;
+
+/// The shipped example scenario, exercised exactly as the CLI would.
+const RING_CHURN: &str = include_str!("../examples/scenarios/ring_churn.toml");
+
+#[test]
+fn shipped_ring_churn_scenario_is_byte_deterministic() {
+    let spec = ScenarioSpec::parse(RING_CHURN).expect("shipped scenario must parse");
+    assert_eq!(spec.graph, "cycle:32");
+    let graph: GraphSpec = spec.graph.parse().unwrap();
+    let graph = graph.build();
+    let a = run_bfw_scenario(&spec, &graph, 42);
+    let b = run_bfw_scenario(&spec, &graph, 42);
+    assert_eq!(a, b);
+    assert_eq!(a.to_text(), b.to_text());
+    // The scenario's crash is answered after the rejoin.
+    assert!(!a.recoveries.is_empty(), "{}", a.to_text());
+}
+
+#[test]
+fn same_toml_same_seed_same_event_trace() {
+    let toml = r#"
+[scenario]
+name = "trace determinism"
+graph = "er:20:300:5"
+rounds = 12000
+stability = 30
+
+[[event]]
+every = 1000
+start = 2000
+count = 5
+kind = "crash-random"
+
+[[event]]
+every = 1000
+start = 2400
+count = 5
+kind = "recover-random"
+
+[[event]]
+rate = 0.0005
+kind = "remove-edge"
+u = 0
+v = 1
+"#;
+    let parse_and_run = |seed| {
+        let spec = ScenarioSpec::parse(toml).unwrap();
+        let graph: GraphSpec = spec.graph.parse().unwrap();
+        run_bfw_scenario(&spec, &graph.build(), seed)
+    };
+    let a = parse_and_run(3);
+    let b = parse_and_run(3);
+    assert_eq!(
+        a.event_log, b.event_log,
+        "event traces must be bit-identical"
+    );
+    assert_eq!(a, b);
+    // A different seed must at least move the random-target choices.
+    let c = parse_and_run(4);
+    assert_ne!(a.event_log, c.event_log);
+}
+
+/// Beeps every round — any beep from a crashed node is immediately
+/// visible in the flags.
+#[derive(Debug, Clone)]
+struct Siren;
+
+impl BeepingProtocol for Siren {
+    type State = ();
+    fn initial_state(&self, _ctx: NodeCtx) {}
+    fn beeps(&self, _s: &()) -> bool {
+        true
+    }
+    fn transition(&self, _s: &(), _heard: bool, _rng: &mut dyn rand::RngCore) {}
+}
+
+impl LeaderElection for Siren {
+    fn is_leader(&self, _s: &()) -> bool {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random mutation sequences keep the dynamic adjacency symmetric,
+    /// simple and consistent.
+    #[test]
+    fn dynamic_graph_invariants_under_random_churn(
+        n in 4usize..24,
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..60),
+    ) {
+        let mut dyn_g = DynamicGraph::from_graph(&generators::cycle(n));
+        for (a, b, add) in ops {
+            let u = NodeId::new((a % n as u64) as usize);
+            let v = NodeId::new((b % n as u64) as usize);
+            // Errors (self-loop, duplicate, missing) are expected; the
+            // structure must stay valid either way.
+            let _ = if add {
+                dyn_g.add_edge(u, v)
+            } else {
+                dyn_g.remove_edge(u, v)
+            };
+            prop_assert!(dyn_g.invariants_hold());
+        }
+        let g = dyn_g.to_graph();
+        prop_assert_eq!(g.edge_count(), dyn_g.edge_count());
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(u != v, "self-loop materialized");
+                prop_assert!(g.has_edge(v, u), "asymmetric adjacency");
+            }
+        }
+    }
+
+    /// Crash-masked nodes never beep, across random crash/recover
+    /// interleavings of an always-beeping protocol.
+    #[test]
+    fn crashed_nodes_never_beep(
+        n in 3usize..16,
+        schedule in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new(Siren, generators::cycle(n).into(), seed);
+        for (target, crash) in schedule {
+            let u = NodeId::new((target % n as u64) as usize);
+            if crash {
+                net.crash_node(u);
+            } else {
+                net.recover_node(u);
+            }
+            net.step();
+            for i in 0..n {
+                let id = NodeId::new(i);
+                if net.is_crashed(id) {
+                    prop_assert!(!net.beep_flags()[i], "crashed node {i} beeped");
+                } else {
+                    prop_assert!(net.beep_flags()[i], "alive siren {i} silent");
+                }
+            }
+        }
+    }
+
+    /// The engine's re-election metric: after a crash of the unique
+    /// leader and a later rejoin, a cycle always re-elects within the
+    /// horizon, and the measured latency is consistent.
+    #[test]
+    fn crash_rejoin_always_re_elects_on_cycles(seed in 0u64..24) {
+        let n = 8;
+        let graph = generators::cycle(n);
+        let timeline = Timeline::new()
+            .at(4_000, ScenarioEvent::CrashLeader)
+            .at(4_300, ScenarioEvent::RecoverAll);
+        let net = Network::new(Bfw::new(0.5), graph.clone().into(), seed);
+        let outcome = Engine::new(net, &graph, &timeline, 40_000, seed, 50)
+            .with_injector(bfw_injector())
+            .run();
+        prop_assert_eq!(outcome.pending_disruption, None, "{}", outcome.to_text());
+        prop_assert_eq!(outcome.final_leaders.len(), 1);
+        prop_assert!(!outcome.recoveries.is_empty());
+        for r in &outcome.recoveries {
+            prop_assert!(r.recovered_at >= r.disrupted_at);
+            prop_assert!(r.recovered_at <= 40_000);
+        }
+    }
+}
+
+#[test]
+fn partition_heal_merges_leaders_but_can_wipe_them_out() {
+    // Partition a ring before convergence: each half elects its own
+    // leader. Healing merges the halves — and exposes a hazard the
+    // fixed-graph theory rules out: Lemma 9 ("some leader survives")
+    // is proved for configurations reachable from Eq. (2) on a *static*
+    // graph, and a freshly healed cut is not such a configuration. The
+    // duel after healing therefore usually leaves one leader, but with
+    // positive probability both are eliminated (waves arriving through
+    // the restored edges defeat the freeze's directionality). Both
+    // outcomes must occur across seeds; more than one survivor is
+    // impossible once the duel resolves.
+    let n = 16;
+    let graph = generators::cycle(n);
+    let mut survived = 0;
+    let mut wiped_out = 0;
+    for seed in 0..12u64 {
+        let timeline = Timeline::new()
+            .at(
+                50,
+                ScenarioEvent::Partition {
+                    side: (0..n / 2).map(NodeId::new).collect(),
+                },
+            )
+            .at(20_000, ScenarioEvent::Heal);
+        let net = Network::new(Bfw::new(0.5), graph.clone().into(), seed);
+        let outcome = Engine::new(net, &graph, &timeline, 60_000, seed, 100)
+            .with_injector(bfw_injector())
+            .run();
+        assert_eq!(outcome.final_edges, n, "heal must restore the ring");
+        match outcome.final_leaders.len() {
+            0 => wiped_out += 1,
+            1 => {
+                survived += 1;
+                assert_eq!(outcome.pending_disruption, None, "{}", outcome.to_text());
+            }
+            more => panic!("{more} leaders after the duel: {}", outcome.to_text()),
+        }
+    }
+    assert!(survived > 0, "healing should usually re-elect");
+    assert!(
+        wiped_out > 0,
+        "expected at least one seed to show the heal-merge wipeout hazard"
+    );
+}
+
+#[test]
+fn injected_phantom_waves_defeat_re_election_as_section5_predicts() {
+    // Inject the Section 5 leaderless wave after convergence: the wave
+    // circulates forever, no leader ever returns, and the monitor
+    // reports the disruption as permanently pending.
+    let spec = ScenarioSpec::parse(
+        "[scenario]\nname = \"phantom\"\ngraph = \"cycle:9\"\nrounds = 9000\nstability = 20\n\
+         [[event]]\nat = 5000\nkind = \"inject-phantom\"\nwaves = 1\n",
+    )
+    .unwrap();
+    let graph: GraphSpec = spec.graph.parse().unwrap();
+    let outcome = run_bfw_scenario(&spec, &graph.build(), 11);
+    assert!(outcome.final_leaders.is_empty(), "{}", outcome.to_text());
+    assert_eq!(outcome.pending_disruption, Some(5_000));
+}

@@ -1,0 +1,301 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a minimal, self-contained implementation of the traits it
+//! relies on: [`RngCore`], [`SeedableRng`] and the [`Rng`] extension
+//! trait with `random`, `random_bool` and `random_range`. The API
+//! mirrors rand 0.9 exactly for the methods provided, so swapping the
+//! real crate back in is a one-line manifest change; the generated
+//! *streams* are those of the vendored generators (bit-stable across
+//! runs and platforms, which is all the workspace's determinism
+//! contracts require).
+
+#![forbid(unsafe_code)]
+
+/// A source of uniformly random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+}
+
+/// A random generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// (the same construction rand 0.9 uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = splitmix64(&mut state);
+            for (dst, src) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from another generator.
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly from the full value range (the analogue of
+/// rand's `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`Rng::random_range`] bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_below<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_below<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                debug_assert!(span > 0);
+                // Unbiased rejection sampling (multiply-shift zone).
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return low + (x % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_below(self.start, self.end, rng)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`] (mirrors rand 0.9's
+/// `Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` uniformly (for `f64`: in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        // Compare against 2^53 scaled p so p = 1.0 is always true.
+        let scale = (1u64 << 53) as f64;
+        let threshold = (p * scale) as u64;
+        (self.next_u64() >> 11) < threshold
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for chunk in dst.chunks_mut(8) {
+                let x = self.next_u64().to_le_bytes();
+                for (d, s) in chunk.iter_mut().zip(x) {
+                    *d = s;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = XorShift(42);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_all_values() {
+        let mut rng = XorShift(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = XorShift(1);
+        let _: u32 = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = XorShift(3);
+        for _ in 0..100 {
+            assert!(rng.random_bool(1.0));
+            assert!(!rng.random_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn random_bool_rate_is_plausible() {
+        let mut rng = XorShift(9);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside range")]
+    fn random_bool_rejects_bad_p() {
+        let mut rng = XorShift(3);
+        let _ = rng.random_bool(1.5);
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = XorShift(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_extension_trait() {
+        let mut rng = XorShift(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let _ = dyn_rng.random_bool(0.5);
+        let _: u32 = dyn_rng.random_range(0..10);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        #[derive(PartialEq, Debug)]
+        struct S([u8; 8]);
+        impl RngCore for S {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _dst: &mut [u8]) {}
+        }
+        impl SeedableRng for S {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(9), S::seed_from_u64(9));
+        assert_ne!(S::seed_from_u64(9).0, S::seed_from_u64(10).0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand_chacha` crate: a self-contained
+//! [`ChaCha8Rng`].
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the one generator it uses. The implementation is the real
+//! ChaCha stream cipher core (D. J. Bernstein) with 8 rounds and a
+//! 64-bit block counter; seeding follows the `rand` 0.9 `SeedableRng`
+//! conventions (32-byte seed, SplitMix64 expansion for
+//! `seed_from_u64`). Streams are bit-stable across runs and platforms —
+//! the property every determinism contract in this workspace depends
+//! on — though they are not byte-identical to the upstream crate's.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A cryptographically strong, seedable, portable random generator:
+/// ChaCha with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] is the (always-zero) stream id.
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.block.iter_mut().zip(state.iter().zip(input)) {
+            *out = s.wrapping_add(i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        for chunk in dst.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            for (d, s) in chunk.iter_mut().zip(word) {
+                *d = s;
+            }
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn from_rng_derives_independent_streams() {
+        let mut master = ChaCha8Rng::seed_from_u64(0);
+        let mut c1 = ChaCha8Rng::from_rng(&mut master);
+        let mut c2 = ChaCha8Rng::from_rng(&mut master);
+        let v1: Vec<u64> = (0..10).map(|_| c1.next_u64()).collect();
+        let v2: Vec<u64> = (0..10).map(|_| c2.next_u64()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Crude balance check: each of 16 buckets gets roughly 1/16 of
+        // 64k draws.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buckets = [0u32; 16];
+        for _ in 0..65_536 {
+            buckets[(rng.next_u32() >> 28) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((3500..=4700).contains(&b), "bucket {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc7539_example() {
+        // RFC 7539 §2.1.1 test vector.
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+}
