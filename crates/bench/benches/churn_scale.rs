@@ -1,0 +1,77 @@
+//! Churn-scale microbench: per-event cost of delta-applied topology vs
+//! rebuild-per-event on the full-size (10k-node) churn workloads.
+//!
+//! Besides the criterion timings, this bench **commits its numbers**:
+//! it writes `BENCH_churn.json` at the workspace root with the measured
+//! per-event costs and the delta-vs-rebuild speedup per topology (the
+//! CI churn-microbench smoke step asserts the file is emitted). The
+//! acceptance bar for the delta layer is a ≥5x speedup on a 10k-node
+//! graph under per-round churn.
+
+use bfw_bench::experiments::churn_scale::{measure_event_cost, workloads, EventStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Events per measured run. Kept moderate: the rebuild strategy costs
+/// O(n + m) per event on 10k nodes, and the bench runs both strategies
+/// on three topologies.
+const EVENTS: usize = 1_024;
+const SEED: u64 = 7;
+
+fn bench_event_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_scale");
+    group.sample_size(2);
+    let mut report: Vec<(String, f64, f64)> = Vec::new();
+    for (name, graph) in workloads(false) {
+        let mut latest = (0.0f64, 0.0f64);
+        for (label, strategy) in [
+            ("delta", EventStrategy::Delta),
+            ("rebuild", EventStrategy::Rebuild),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, &name), &graph, |b, g| {
+                b.iter(|| {
+                    let m = measure_event_cost(g, EVENTS, SEED, strategy);
+                    match strategy {
+                        EventStrategy::Delta => latest.0 = m.ns_per_event(),
+                        EventStrategy::Rebuild => latest.1 = m.ns_per_event(),
+                    }
+                    black_box(m.event_ns)
+                });
+            });
+        }
+        report.push((name, latest.0, latest.1));
+    }
+    group.finish();
+    write_report(&report);
+}
+
+/// Writes `BENCH_churn.json` at the workspace root (no serde in the
+/// offline vendor set — the JSON is assembled by hand, keys in a fixed
+/// order so re-runs diff cleanly).
+fn write_report(report: &[(String, f64, f64)]) {
+    let mut json = String::from("{\n  \"events_per_run\": ");
+    let _ = write!(json, "{EVENTS},\n  \"seed\": {SEED},\n  \"workloads\": [\n");
+    for (i, (name, delta_ns, rebuild_ns)) in report.iter().enumerate() {
+        let speedup = rebuild_ns / delta_ns.max(1.0);
+        let _ = write!(
+            json,
+            "    {{\"graph\": \"{name}\", \"delta_ns_per_event\": {delta_ns:.0}, \
+             \"rebuild_ns_per_event\": {rebuild_ns:.0}, \"speedup\": {speedup:.1}}}"
+        );
+        json.push_str(if i + 1 < report.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    // CARGO_MANIFEST_DIR is crates/bench; the report lives at the
+    // workspace root next to README.md.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root");
+    let path = root.join("BENCH_churn.json");
+    std::fs::write(&path, json).expect("BENCH_churn.json must be writable");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_event_strategies);
+criterion_main!(benches);

@@ -28,10 +28,11 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
     let mut total_violations = 0u64;
 
     for spec in GraphSpec::standard_suite(cfg.quick) {
-        // FlowAuditor needs explicit adjacency; materialize cliques.
+        // FlowAuditor needs explicit adjacency; materialize cliques
+        // (and compact overlays, though specs never produce them).
         let graph = match spec.topology() {
             Topology::Graph(g) => g,
-            t @ Topology::Clique(_) => t.to_graph(),
+            t => t.to_graph(),
         };
         let n = graph.node_count();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xF10);

@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod async_stone_age;
 pub mod chain;
 pub mod churn;
+pub mod churn_scale;
 pub mod convergence;
 pub mod decay;
 pub mod flow_audit;
@@ -42,6 +43,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("decay", decay::run),
         ("async", async_stone_age::run),
         ("churn", churn::run),
+        ("churn-scale", churn_scale::run),
     ]
 }
 
@@ -56,6 +58,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
     }
 }

@@ -38,9 +38,11 @@ pub mod generators;
 mod graph;
 pub mod io;
 mod node;
+mod overlay;
 
 pub use builder::GraphBuilder;
 pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use graph::{Edges, Graph, Nodes};
 pub use node::NodeId;
+pub use overlay::{OverlayGraph, OverlayNeighbors, TopologyDelta};

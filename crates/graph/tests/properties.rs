@@ -1,7 +1,9 @@
 //! Property-based tests for graph construction, generators and
 //! algorithms.
 
-use bfw_graph::{algo, generators, io, Graph, GraphBuilder, NodeId};
+use bfw_graph::{
+    algo, generators, io, DynamicGraph, Graph, GraphBuilder, NodeId, OverlayGraph, TopologyDelta,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -149,5 +151,75 @@ proptest! {
             b.add_edge(v, u).expect("in range"); // reversed on purpose
         }
         prop_assert_eq!(via_from, b.build());
+    }
+
+    /// Any sequence of valid add/remove deltas applied to an overlay,
+    /// followed by compaction, equals a fresh CSR build of the final
+    /// edge set: same sorted neighbors, same degrees, same edge count.
+    /// A `DynamicGraph` mirror decides validity (exactly how the
+    /// scenario engine uses the pair) and provides the reference edge
+    /// set; a delta is checked both before and after compaction, and a
+    /// `remove_cut` partition batch is exercised mid-sequence.
+    #[test]
+    fn overlay_deltas_plus_compaction_equal_fresh_build(
+        n in 4usize..20,
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..80),
+        cut_seed in any::<u64>(),
+    ) {
+        let base = generators::cycle(n);
+        let mut mirror = DynamicGraph::from_graph(&base);
+        let mut overlay = OverlayGraph::from_graph(base);
+
+        let check = |overlay: &OverlayGraph, mirror: &DynamicGraph| -> Result<(), TestCaseError> {
+            let fresh = mirror.to_graph();
+            prop_assert_eq!(overlay.edge_count(), fresh.edge_count());
+            for u in fresh.nodes() {
+                let via_overlay: Vec<NodeId> = overlay.neighbors(u).collect();
+                prop_assert_eq!(&via_overlay[..], fresh.neighbors(u), "node {}", u);
+                prop_assert_eq!(overlay.degree(u), fresh.degree(u));
+            }
+            prop_assert_eq!(&overlay.to_graph(), &fresh);
+            Ok(())
+        };
+
+        let mid = ops.len() / 2;
+        for (k, (a, b, add)) in ops.into_iter().enumerate() {
+            let u = NodeId::new((a % n as u64) as usize);
+            let v = NodeId::new((b % n as u64) as usize);
+            // The mirror rejects invalid ops (self-loop, duplicate,
+            // missing); only validated ops become deltas — the engine's
+            // contract with the overlay.
+            let mut delta = TopologyDelta::new();
+            if add {
+                if mirror.add_edge(u, v).is_ok() {
+                    delta.add_edge(u, v);
+                }
+            } else if mirror.remove_edge(u, v).is_ok() {
+                delta.remove_edge(u, v);
+            }
+            if !delta.is_empty() {
+                overlay.apply(&delta);
+            }
+            if k == mid {
+                // Partition: remove a whole cut in one batch via the
+                // DynamicGraph::remove_cut path, as Partition events do.
+                let side: Vec<bool> = (0..n).map(|i| {
+                    (cut_seed >> (i % 64)) & 1 == 1
+                }).collect();
+                let removed = mirror.remove_cut(&side);
+                if !removed.is_empty() {
+                    let mut cut = TopologyDelta::new();
+                    for &(x, y) in &removed {
+                        cut.remove_edge(x, y);
+                    }
+                    overlay.apply(&cut);
+                }
+                check(&overlay, &mirror)?;
+            }
+        }
+        check(&overlay, &mirror)?;
+        overlay.compact();
+        prop_assert_eq!(overlay.pending_edits(), 0);
+        check(&overlay, &mirror)?;
     }
 }

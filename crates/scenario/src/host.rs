@@ -1,14 +1,21 @@
 //! The runtime abstraction the engine drives.
 //!
 //! [`DynamicHost`] is the seam between the scenario engine and the
-//! simulators in `bfw-sim`: anything that can step rounds, swap its
-//! adjacency, mask nodes and report leaders can be perturbed by a
-//! [`Timeline`](crate::Timeline). Both the beeping [`Network`] and the
-//! [`StoneAgeNetwork`] implement it, so one scenario drives all models.
+//! simulators in `bfw-sim`: anything that can step rounds, apply
+//! topology deltas, mask nodes and report leaders can be perturbed by a
+//! [`Timeline`](crate::Timeline). Since the beeping [`Network`] and the
+//! [`StoneAgeNetwork`] are both model adapters over the shared
+//! [`TickEngine`], a **single blanket impl** covers every runtime: one
+//! scenario drives all models, and every fault hook — crashes,
+//! topology deltas, perception noise — behaves identically across
+//! them by construction.
+//!
+//! [`Network`]: bfw_sim::Network
+//! [`StoneAgeNetwork`]: bfw_sim::stone_age::StoneAgeNetwork
+//! [`TickEngine`]: bfw_sim::TickEngine
 
-use bfw_graph::{Graph, NodeId};
-use bfw_sim::stone_age::{StoneAgeLeaderElection, StoneAgeNetwork};
-use bfw_sim::{LeaderElection, Network, Topology};
+use bfw_graph::{NodeId, TopologyDelta};
+use bfw_sim::{LeaderModel, TickEngine};
 
 /// A synchronous runtime the scenario engine can perturb mid-run.
 pub trait DynamicHost {
@@ -27,8 +34,10 @@ pub trait DynamicHost {
     /// Advances one synchronous round.
     fn step(&mut self);
 
-    /// Replaces the communication graph.
-    fn set_graph(&mut self, graph: Graph);
+    /// Applies a batch of edge mutations to the communication graph in
+    /// `O(deg)` per edge (the delta must be valid against the host's
+    /// current edge set).
+    fn apply_delta(&mut self, delta: &TopologyDelta);
 
     /// Crashes a node (idempotent).
     fn crash(&mut self, u: NodeId);
@@ -52,93 +61,49 @@ pub trait DynamicHost {
     fn leaders(&self) -> Vec<NodeId>;
 }
 
-impl<P: LeaderElection> DynamicHost for Network<P> {
-    type State = P::State;
+impl<M: LeaderModel> DynamicHost for TickEngine<M> {
+    type State = M::State;
 
     fn node_count(&self) -> usize {
-        Network::node_count(self)
+        TickEngine::node_count(self)
     }
 
     fn round(&self) -> u64 {
-        Network::round(self)
+        TickEngine::round(self)
     }
 
     fn step(&mut self) {
-        Network::step(self);
+        TickEngine::step(self);
     }
 
-    fn set_graph(&mut self, graph: Graph) {
-        Network::set_topology(self, Topology::Graph(graph));
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        TickEngine::apply_topology_delta(self, delta);
     }
 
     fn crash(&mut self, u: NodeId) {
-        Network::crash_node(self, u);
+        TickEngine::crash_node(self, u);
     }
 
     fn recover(&mut self, u: NodeId) {
-        Network::recover_node(self, u);
+        TickEngine::recover_node(self, u);
     }
 
     fn is_crashed(&self, u: NodeId) -> bool {
-        Network::is_crashed(self, u)
+        TickEngine::is_crashed(self, u)
     }
 
     fn set_perception_noise(&mut self, false_negative: f64, false_positive: f64) -> bool {
-        Network::set_noise(self, false_negative, false_positive);
+        // The noise model lives in the engine's shared fault layer, so
+        // every TickEngine runtime supports it.
+        TickEngine::set_noise(self, false_negative, false_positive);
         true
     }
 
-    fn set_states(&mut self, states: Vec<P::State>) {
-        Network::set_states(self, states);
+    fn set_states(&mut self, states: Vec<M::State>) {
+        TickEngine::set_states(self, states);
     }
 
     fn leaders(&self) -> Vec<NodeId> {
-        Network::leaders(self)
-    }
-}
-
-impl<P: StoneAgeLeaderElection> DynamicHost for StoneAgeNetwork<P> {
-    type State = P::State;
-
-    fn node_count(&self) -> usize {
-        StoneAgeNetwork::node_count(self)
-    }
-
-    fn round(&self) -> u64 {
-        StoneAgeNetwork::round(self)
-    }
-
-    fn step(&mut self) {
-        StoneAgeNetwork::step(self);
-    }
-
-    fn set_graph(&mut self, graph: Graph) {
-        StoneAgeNetwork::set_topology(self, Topology::Graph(graph));
-    }
-
-    fn crash(&mut self, u: NodeId) {
-        StoneAgeNetwork::crash_node(self, u);
-    }
-
-    fn recover(&mut self, u: NodeId) {
-        StoneAgeNetwork::recover_node(self, u);
-    }
-
-    fn is_crashed(&self, u: NodeId) -> bool {
-        StoneAgeNetwork::is_crashed(self, u)
-    }
-
-    fn set_perception_noise(&mut self, _false_negative: f64, _false_positive: f64) -> bool {
-        // Beep-perception noise is specific to the beeping model; the
-        // stone-age observation model has no analogous single knob.
-        false
-    }
-
-    fn set_states(&mut self, states: Vec<P::State>) {
-        StoneAgeNetwork::set_states(self, states);
-    }
-
-    fn leaders(&self) -> Vec<NodeId> {
-        StoneAgeNetwork::leaders(self)
+        TickEngine::leaders(self)
     }
 }

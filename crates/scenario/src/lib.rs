@@ -15,9 +15,11 @@
 //!   edge churn / partition / heal / noise bursts / state injection);
 //! * [`Timeline`] — fire-at-round, periodic and seeded-random schedules,
 //!   compiled deterministically ([`Timeline::compile`]);
-//! * [`DynamicHost`] — the runtime seam; implemented by the beeping
-//!   `Network` and the `StoneAgeNetwork`, so one engine drives all
-//!   models;
+//! * [`DynamicHost`] — the runtime seam; one blanket impl covers every
+//!   `TickEngine` runtime (the beeping `Network`, the
+//!   `StoneAgeNetwork`, and any future model adapter), so one engine
+//!   drives all models and every fault hook behaves identically across
+//!   them;
 //! * [`Engine`] — applies the timeline, maintains the mutable topology,
 //!   and measures **re-election latency** (disruption → next
 //!   unique-stable-leader) and **leader flaps** via [`ElectionMonitor`];

@@ -57,15 +57,17 @@ mod observers;
 mod protocol;
 mod runner;
 pub mod stone_age;
+mod tick;
 mod topology;
 
 pub use error::SimError;
-pub use monte_carlo::{run_trials, run_trials_sequential};
-pub use network::{Network, RoundView};
+pub use monte_carlo::{run_trials, run_trials_batched, run_trials_sequential};
+pub use network::{BeepingModel, Network, RoundView};
 pub use observers::{
     observe_run, BeepCounter, ConvergenceDetector, Observer, ObserverSet, StateHistogram,
     TraceRecorder,
 };
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
 pub use runner::{run_election, ElectionConfig, ElectionOutcome};
+pub use tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
 pub use topology::Topology;

@@ -141,20 +141,6 @@ impl<P: MessageProtocol> MessagePassingNetwork<P> {
         let mut next = Vec::with_capacity(n);
         let mut inbox: Vec<P::Msg> = Vec::new();
         match &self.topology {
-            Topology::Graph(g) => {
-                for u in 0..n {
-                    inbox.clear();
-                    for &v in g.neighbors(NodeId::new(u)) {
-                        if let Some(m) = &outbox[v.index()] {
-                            inbox.push(m.clone());
-                        }
-                    }
-                    next.push(
-                        self.protocol
-                            .receive(&self.states[u], &inbox, &mut self.rngs[u]),
-                    );
-                }
-            }
             Topology::Clique(_) => {
                 let all: Vec<(usize, P::Msg)> = outbox
                     .iter()
@@ -164,6 +150,20 @@ impl<P: MessageProtocol> MessagePassingNetwork<P> {
                 for u in 0..n {
                     inbox.clear();
                     inbox.extend(all.iter().filter(|(i, _)| *i != u).map(|(_, m)| m.clone()));
+                    next.push(
+                        self.protocol
+                            .receive(&self.states[u], &inbox, &mut self.rngs[u]),
+                    );
+                }
+            }
+            graph_backed => {
+                for u in 0..n {
+                    inbox.clear();
+                    graph_backed.for_each_neighbor(NodeId::new(u), |v| {
+                        if let Some(m) = &outbox[v.index()] {
+                            inbox.push(m.clone());
+                        }
+                    });
                     next.push(
                         self.protocol
                             .receive(&self.states[u], &inbox, &mut self.rngs[u]),

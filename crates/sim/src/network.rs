@@ -1,9 +1,8 @@
+use crate::tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
-use bfw_graph::NodeId;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-/// Synchronous executor of a [`BeepingProtocol`] on a [`Topology`].
+/// Synchronous executor of a [`BeepingProtocol`] on a [`Topology`]: the
+/// beeping-model adapter over the shared [`TickEngine`].
 ///
 /// The executor implements the beeping model exactly as defined in
 /// Section 1.1 of the paper: in round `t`, the set of beeping nodes is
@@ -13,7 +12,9 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// Every node draws from its own ChaCha stream derived deterministically
 /// from the run seed, so executions are reproducible and independent of
-/// iteration order.
+/// iteration order. Crash masking, dynamic topology and the two-channel
+/// perception-noise model are inherited from the engine and therefore
+/// behave identically in the stone-age runtime.
 ///
 /// # Example
 ///
@@ -35,37 +36,89 @@ use rand_chacha::ChaCha8Rng;
 /// assert_eq!(net.round(), 10);
 /// assert!(net.states().iter().all(|&s| s == 10));
 /// ```
+pub type Network<P> = TickEngine<BeepingModel<P>>;
+
+/// The beeping communication model: nodes emit boolean beeps; a node
+/// perceives the single signal "I beeped or some neighbor beeped".
+///
+/// This is the [`TickModel`] behind [`Network`]; it owns the protocol
+/// and the per-round beep/heard caches, nothing else.
 #[derive(Debug, Clone)]
-pub struct Network<P: BeepingProtocol> {
-    protocol: P,
-    topology: Topology,
-    states: Vec<P::State>,
-    beeps: Vec<bool>,
+pub struct BeepingModel<P: BeepingProtocol> {
+    pub(crate) protocol: P,
+    pub(crate) beeps: Vec<bool>,
     heard: Vec<bool>,
-    crashed: Vec<bool>,
-    rngs: Vec<ChaCha8Rng>,
-    round: u64,
-    hearing_failure_prob: f64,
-    spurious_beep_prob: f64,
 }
 
-impl<P: BeepingProtocol> Network<P> {
+impl<P: BeepingProtocol> BeepingModel<P> {
+    fn new(protocol: P) -> Self {
+        BeepingModel {
+            protocol,
+            beeps: Vec::new(),
+            heard: Vec::new(),
+        }
+    }
+}
+
+impl<P: BeepingProtocol> TickModel for BeepingModel<P> {
+    type State = P::State;
+
+    fn initial_state(&self, ctx: NodeCtx) -> P::State {
+        self.protocol.initial_state(ctx)
+    }
+
+    fn init_caches(&mut self, n: usize) {
+        self.beeps = vec![false; n];
+        self.heard = vec![false; n];
+    }
+
+    fn refresh_node(&mut self, i: usize, state: &P::State, crashed: bool) {
+        self.beeps[i] = self.protocol.beeps(state) && !crashed;
+    }
+
+    fn advance(&mut self, topology: &Topology, states: &mut [P::State], faults: &mut FaultLayer) {
+        topology.compute_heard(&self.beeps, &mut self.heard);
+        if faults.has_noise() {
+            // Unreliable perception (extension): a listener misses a
+            // real beep with probability `fn`, and hears a phantom beep
+            // during silence with probability `fp`. A beeping node
+            // always registers its own beep; crashed nodes perceive
+            // nothing and draw nothing.
+            for i in 0..self.heard.len() {
+                if self.beeps[i] || faults.is_crashed(i) {
+                    continue;
+                }
+                self.heard[i] = faults.filter_signal(i, self.heard[i]);
+            }
+        }
+        for (i, state) in states.iter_mut().enumerate() {
+            if faults.is_crashed(i) {
+                continue;
+            }
+            *state = self
+                .protocol
+                .transition(state, self.heard[i], faults.rng(i));
+        }
+        for (i, s) in states.iter().enumerate() {
+            self.beeps[i] = self.protocol.beeps(s) && !faults.is_crashed(i);
+        }
+    }
+}
+
+impl<P: LeaderElection> LeaderModel for BeepingModel<P> {
+    fn is_leader(&self, state: &P::State) -> bool {
+        self.protocol.is_leader(state)
+    }
+}
+
+impl<P: BeepingProtocol> TickEngine<BeepingModel<P>> {
     /// Creates a network in round 0 with every node in its initial
     /// state.
     ///
     /// `seed` determines the entire execution: node `i` draws from a
     /// ChaCha8 stream carved deterministically out of `seed`.
     pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
-        let n = topology.node_count();
-        let states = (0..n)
-            .map(|i| {
-                protocol.initial_state(NodeCtx {
-                    node: NodeId::new(i),
-                    node_count: n,
-                })
-            })
-            .collect::<Vec<_>>();
-        Self::with_states(protocol, topology, seed, states)
+        TickEngine::from_model(BeepingModel::new(protocol), topology, seed)
     }
 
     /// Creates a network in round 0 from an **explicit** configuration,
@@ -81,26 +134,7 @@ impl<P: BeepingProtocol> Network<P> {
     ///
     /// Panics if `states.len()` differs from the topology's node count.
     pub fn with_states(protocol: P, topology: Topology, seed: u64, states: Vec<P::State>) -> Self {
-        let n = topology.node_count();
-        assert_eq!(states.len(), n, "one state per node is required");
-        let mut master = ChaCha8Rng::seed_from_u64(seed);
-        let rngs = (0..n)
-            .map(|_| ChaCha8Rng::from_rng(&mut master))
-            .collect::<Vec<_>>();
-        let mut net = Network {
-            protocol,
-            topology,
-            states,
-            beeps: vec![false; n],
-            heard: vec![false; n],
-            crashed: vec![false; n],
-            rngs,
-            round: 0,
-            hearing_failure_prob: 0.0,
-            spurious_beep_prob: 0.0,
-        };
-        net.refresh_beeps();
-        net
+        TickEngine::from_parts(BeepingModel::new(protocol), topology, seed, states)
     }
 
     /// Enables **unreliable hearing** — an extension beyond the paper's
@@ -117,97 +151,24 @@ impl<P: BeepingProtocol> Network<P> {
     ///
     /// Panics if `q` is not in `[0, 1)`.
     pub fn with_hearing_noise(mut self, q: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&q),
-            "hearing-failure probability must be in [0, 1)"
-        );
-        self.hearing_failure_prob = q;
+        self.set_noise(q, self.spurious_beep_prob());
         self
-    }
-
-    /// Returns the hearing-failure probability (0 for the exact model).
-    pub fn hearing_failure_prob(&self) -> f64 {
-        self.hearing_failure_prob
-    }
-
-    /// Returns the spurious-beep probability (0 for the exact model).
-    pub fn spurious_beep_prob(&self) -> f64 {
-        self.spurious_beep_prob
-    }
-
-    /// Sets both perception-noise probabilities at once: a listener
-    /// misses a real beep with probability `false_negative` and hears a
-    /// phantom beep during silence with probability `false_positive`.
-    ///
-    /// This is the mutation hook used by the scenario engine's
-    /// `NoiseBurst` events; `(0, 0)` restores the exact beeping model
-    /// (the next rounds draw no extra randomness).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either probability is not in `[0, 1)`.
-    pub fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
-        assert!(
-            (0.0..1.0).contains(&false_negative),
-            "hearing-failure probability must be in [0, 1)"
-        );
-        assert!(
-            (0.0..1.0).contains(&false_positive),
-            "spurious-beep probability must be in [0, 1)"
-        );
-        self.hearing_failure_prob = false_negative;
-        self.spurious_beep_prob = false_positive;
-    }
-
-    fn refresh_beeps(&mut self) {
-        for (i, s) in self.states.iter().enumerate() {
-            self.beeps[i] = self.protocol.beeps(s) && !self.crashed[i];
-        }
     }
 
     /// Returns the protocol driving this network.
     pub fn protocol(&self) -> &P {
-        &self.protocol
-    }
-
-    /// Returns the topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
-    }
-
-    /// Returns the number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.states.len()
-    }
-
-    /// Returns the current round number (0 before any step).
-    pub fn round(&self) -> u64 {
-        self.round
-    }
-
-    /// Returns the current state of node `u`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn state(&self, u: NodeId) -> &P::State {
-        &self.states[u.index()]
-    }
-
-    /// Returns all node states, indexed by node.
-    pub fn states(&self) -> &[P::State] {
-        &self.states
+        &self.model.protocol
     }
 
     /// Returns the beep flags of the current round (`u ∈ B_t`), indexed
     /// by node.
     pub fn beep_flags(&self) -> &[bool] {
-        &self.beeps
+        &self.model.beeps
     }
 
     /// Returns how many nodes beep in the current round (`|B_t|`).
     pub fn beeping_node_count(&self) -> usize {
-        self.beeps.iter().filter(|&&b| b).count()
+        self.model.beeps.iter().filter(|&&b| b).count()
     }
 
     /// Returns a borrowed snapshot of the current round, as handed to
@@ -215,156 +176,10 @@ impl<P: BeepingProtocol> Network<P> {
     pub fn view(&self) -> RoundView<'_, P> {
         RoundView {
             round: self.round,
-            protocol: &self.protocol,
+            protocol: &self.model.protocol,
             states: &self.states,
-            beeps: &self.beeps,
-            crashed: &self.crashed,
-        }
-    }
-
-    /// Replaces the communication topology mid-run (the scenario
-    /// engine's edge-churn and partition hook). States, RNG streams and
-    /// the round counter are untouched; the new adjacency takes effect
-    /// from the next [`step`](Self::step).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the new topology's node count differs from the
-    /// network's.
-    pub fn set_topology(&mut self, topology: Topology) {
-        assert_eq!(
-            topology.node_count(),
-            self.states.len(),
-            "topology mutation must preserve the node count"
-        );
-        self.topology = topology;
-    }
-
-    /// Crashes node `u`: from now on it emits no beep, ignores its
-    /// environment and performs no transitions (its RNG stream is
-    /// paused, not consumed). Crashing an already-crashed node is a
-    /// no-op.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn crash_node(&mut self, u: NodeId) {
-        self.crashed[u.index()] = true;
-        self.beeps[u.index()] = false;
-    }
-
-    /// Recovers node `u` with a **fresh protocol-initial state** (for
-    /// BFW: `W•` — the recovering node rejoins as a leader candidate, as
-    /// a newly booted device would). No-op on nodes that are not
-    /// crashed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn recover_node(&mut self, u: NodeId) {
-        let i = u.index();
-        if !self.crashed[i] {
-            return;
-        }
-        self.crashed[i] = false;
-        self.states[i] = self.protocol.initial_state(NodeCtx {
-            node: u,
-            node_count: self.states.len(),
-        });
-        self.beeps[i] = self.protocol.beeps(&self.states[i]);
-    }
-
-    /// Returns `true` if `u` is currently crashed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn is_crashed(&self, u: NodeId) -> bool {
-        self.crashed[u.index()]
-    }
-
-    /// Returns the crash flags, indexed by node.
-    pub fn crash_flags(&self) -> &[bool] {
-        &self.crashed
-    }
-
-    /// Returns the number of non-crashed nodes.
-    pub fn alive_count(&self) -> usize {
-        self.crashed.iter().filter(|&&c| !c).count()
-    }
-
-    /// Overwrites the state of node `u` (the scenario engine's
-    /// state-injection hook; see also [`with_states`](Self::with_states)
-    /// for whole-configuration injection at construction time).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn set_node_state(&mut self, u: NodeId, state: P::State) {
-        let i = u.index();
-        self.states[i] = state;
-        self.beeps[i] = self.protocol.beeps(&self.states[i]) && !self.crashed[i];
-    }
-
-    /// Replaces the whole configuration (crashed nodes keep their crash
-    /// mask and stay silent).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `states.len()` differs from the node count.
-    pub fn set_states(&mut self, states: Vec<P::State>) {
-        assert_eq!(
-            states.len(),
-            self.states.len(),
-            "one state per node is required"
-        );
-        self.states = states;
-        self.refresh_beeps();
-    }
-
-    /// Advances one synchronous round.
-    pub fn step(&mut self) {
-        self.topology.compute_heard(&self.beeps, &mut self.heard);
-        if self.hearing_failure_prob > 0.0 || self.spurious_beep_prob > 0.0 {
-            // Unreliable perception (extension): a listener misses a
-            // real beep with probability `fn`, and hears a phantom beep
-            // during silence with probability `fp`. A beeping node
-            // always registers its own beep; crashed nodes perceive
-            // nothing and draw nothing.
-            use rand::Rng as _;
-            for i in 0..self.heard.len() {
-                if self.beeps[i] || self.crashed[i] {
-                    continue;
-                }
-                if self.heard[i] {
-                    if self.hearing_failure_prob > 0.0
-                        && self.rngs[i].random_bool(self.hearing_failure_prob)
-                    {
-                        self.heard[i] = false;
-                    }
-                } else if self.spurious_beep_prob > 0.0
-                    && self.rngs[i].random_bool(self.spurious_beep_prob)
-                {
-                    self.heard[i] = true;
-                }
-            }
-        }
-        for i in 0..self.states.len() {
-            if self.crashed[i] {
-                continue;
-            }
-            self.states[i] =
-                self.protocol
-                    .transition(&self.states[i], self.heard[i], &mut self.rngs[i]);
-        }
-        self.refresh_beeps();
-        self.round += 1;
-    }
-
-    /// Advances `rounds` rounds.
-    pub fn run(&mut self, rounds: u64) {
-        for _ in 0..rounds {
-            self.step();
+            beeps: &self.model.beeps,
+            crashed: self.faults.flags(),
         }
     }
 
@@ -386,44 +201,6 @@ impl<P: BeepingProtocol> Network<P> {
             }
             self.step();
         }
-    }
-}
-
-impl<P: LeaderElection> Network<P> {
-    /// Returns the number of **alive** nodes whose state lies in the
-    /// leader set `L` (a crashed node cannot act as a leader).
-    pub fn leader_count(&self) -> usize {
-        self.states
-            .iter()
-            .zip(&self.crashed)
-            .filter(|(s, &c)| !c && self.protocol.is_leader(s))
-            .count()
-    }
-
-    /// Returns the identifiers of all current (alive) leaders.
-    pub fn leaders(&self) -> Vec<NodeId> {
-        self.states
-            .iter()
-            .zip(&self.crashed)
-            .enumerate()
-            .filter(|(_, (s, &c))| !c && self.protocol.is_leader(s))
-            .map(|(i, _)| NodeId::new(i))
-            .collect()
-    }
-
-    /// Returns the unique (alive) leader, or `None` if there are zero or
-    /// several leaders.
-    pub fn unique_leader(&self) -> Option<NodeId> {
-        let mut found = None;
-        for (i, (s, &c)) in self.states.iter().zip(&self.crashed).enumerate() {
-            if !c && self.protocol.is_leader(s) {
-                if found.is_some() {
-                    return None;
-                }
-                found = Some(NodeId::new(i));
-            }
-        }
-        found
     }
 }
 
@@ -459,7 +236,7 @@ impl<P: LeaderElection> RoundView<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bfw_graph::generators;
+    use bfw_graph::{generators, NodeId, TopologyDelta};
     use rand::Rng;
 
     /// Deterministic "wave" protocol: state counts rounds since a beep
@@ -759,6 +536,19 @@ mod tests {
         net.set_topology(generators::cycle(3).into());
         net.step();
         assert_eq!(*net.state(NodeId::new(2)), OneShotState::Beeped);
+    }
+
+    #[test]
+    fn apply_topology_delta_changes_hearing() {
+        // Same rewiring as `set_topology_changes_hearing`, but through
+        // the O(deg) delta path: add the chord (0, 2) to the path.
+        let mut net = Network::new(OneShot, generators::path(3).into(), 0);
+        let mut delta = TopologyDelta::new();
+        delta.add_edge(NodeId::new(0), NodeId::new(2));
+        net.apply_topology_delta(&delta);
+        net.step();
+        assert_eq!(*net.state(NodeId::new(2)), OneShotState::Beeped);
+        assert_eq!(net.topology().to_graph().edge_count(), 3);
     }
 
     #[test]

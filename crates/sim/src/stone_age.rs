@@ -1,5 +1,6 @@
 //! A synchronous variant of the stone-age model (Emek & Wattenhofer,
-//! PODC 2013).
+//! PODC 2013), as a model adapter over the shared
+//! [`TickEngine`].
 //!
 //! In the stone-age model, each node displays a symbol from a finite
 //! alphabet `Σ`. When activated, a node observes, for every symbol
@@ -10,7 +11,22 @@
 //! that synchronous runtime and the [`BeepingAsStoneAge`] adapter that
 //! proves the claim executable: with alphabet `{silent, beep}` and
 //! `b = 1`, the adapter reproduces beeping-model executions
-//! bit-for-bit (see the `model_equivalence` integration test).
+//! bit-for-bit (see the `model_equivalence` integration test) — now
+//! including crash masking and perception noise, because both live in
+//! the engine's shared fault layer rather than in either runtime.
+//!
+//! # Perception noise
+//!
+//! The engine's two noise channels act on the **presence bit** of each
+//! non-quiescent symbol channel: for an alive node `u` and each symbol
+//! `σ ≥ 1` that `u` is not itself displaying, an observed `σ` (clamped
+//! count ≥ 1) is lost with probability `fn` (the count reads 0) and an
+//! unobserved `σ` is hallucinated with probability `fp` (the count
+//! reads 1). Symbol 0 is the conventional quiescent symbol and is
+//! noise-free, and a node's own displayed symbol cannot be missed or
+//! hallucinated — the stone-age analogue of "a node always registers
+//! its own beep". Under the [`BeepingAsStoneAge`] adapter this
+//! reproduces the beeping noise model draw-for-draw.
 //!
 //! # Example
 //!
@@ -36,6 +52,7 @@
 //! assert_eq!(net.round(), 1);
 //! ```
 
+use crate::tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
 use bfw_graph::NodeId;
 use rand::{RngCore, SeedableRng};
@@ -44,7 +61,8 @@ use rand_chacha::ChaCha8Rng;
 /// A protocol for the synchronous stone-age model.
 ///
 /// Symbols are represented as `usize` indices in
-/// `0..`[`alphabet_size`](Self::alphabet_size).
+/// `0..`[`alphabet_size`](Self::alphabet_size). By convention symbol 0
+/// is the quiescent symbol (exempt from perception noise).
 pub trait StoneAgeProtocol {
     /// Per-node state.
     type State: Clone + PartialEq + std::fmt::Debug;
@@ -74,205 +92,91 @@ pub trait StoneAgeProtocol {
     ) -> Self::State;
 }
 
-/// Synchronous executor of a [`StoneAgeProtocol`] on a [`Topology`].
+/// Synchronous executor of a [`StoneAgeProtocol`] on a [`Topology`]:
+/// the stone-age adapter over the shared [`TickEngine`].
 ///
 /// Mirrors [`Network`](crate::Network): all nodes observe the displayed
 /// symbols of round `t` and transition simultaneously to round `t + 1`.
+/// Crash masking, dynamic topology (including
+/// [`apply_topology_delta`](TickEngine::apply_topology_delta)) and
+/// perception noise ([`set_noise`](TickEngine::set_noise)) come from
+/// the engine and behave identically to the beeping runtime.
+pub type StoneAgeNetwork<P> = TickEngine<StoneAgeModel<P>>;
+
+/// The stone-age communication model: nodes display alphabet symbols; a
+/// node perceives per-symbol neighbor counts clamped at the threshold.
+///
+/// This is the [`TickModel`] behind [`StoneAgeNetwork`]; it owns the
+/// protocol, the displayed-symbol cache and the observation scratch.
 #[derive(Debug, Clone)]
-pub struct StoneAgeNetwork<P: StoneAgeProtocol> {
+pub struct StoneAgeModel<P: StoneAgeProtocol> {
     protocol: P,
-    topology: Topology,
-    states: Vec<P::State>,
     symbols: Vec<usize>,
-    crashed: Vec<bool>,
-    rngs: Vec<ChaCha8Rng>,
-    round: u64,
+    observed: Vec<u8>,
 }
 
-impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
-    /// Creates a network in round 0.
-    ///
-    /// Seeding matches [`Network::new`](crate::Network::new): the same
-    /// `seed` gives every node the same ChaCha stream in both runtimes.
-    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
-        let n = topology.node_count();
-        let mut master = ChaCha8Rng::seed_from_u64(seed);
-        let rngs: Vec<ChaCha8Rng> = (0..n).map(|_| ChaCha8Rng::from_rng(&mut master)).collect();
-        let states: Vec<P::State> = (0..n)
-            .map(|i| {
-                protocol.initial_state(NodeCtx {
-                    node: NodeId::new(i),
-                    node_count: n,
-                })
-            })
-            .collect();
-        let symbols = states
-            .iter()
-            .map(|s| protocol.displayed_symbol(s))
-            .collect();
-        StoneAgeNetwork {
+impl<P: StoneAgeProtocol> StoneAgeModel<P> {
+    fn new(protocol: P) -> Self {
+        StoneAgeModel {
             protocol,
-            topology,
-            states,
-            symbols,
-            crashed: vec![false; n],
-            rngs,
-            round: 0,
+            symbols: Vec::new(),
+            observed: Vec::new(),
         }
     }
 
-    /// Replaces the communication topology mid-run (the scenario
-    /// engine's edge-churn and partition hook).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the new topology's node count differs from the
-    /// network's.
-    pub fn set_topology(&mut self, topology: Topology) {
-        assert_eq!(
-            topology.node_count(),
-            self.states.len(),
-            "topology mutation must preserve the node count"
+    fn tally(&mut self, v: usize, b: u8, sigma: usize) {
+        let s = self.symbols[v];
+        assert!(
+            s < sigma,
+            "displayed symbol {s} outside alphabet of size {sigma}"
         );
-        self.topology = topology;
-    }
-
-    /// Crashes node `u`: its displayed symbol becomes invisible to
-    /// neighbors and it performs no transitions until recovered.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn crash_node(&mut self, u: NodeId) {
-        self.crashed[u.index()] = true;
-    }
-
-    /// Recovers node `u` with a fresh protocol-initial state. No-op on
-    /// nodes that are not crashed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn recover_node(&mut self, u: NodeId) {
-        let i = u.index();
-        if !self.crashed[i] {
-            return;
-        }
-        self.crashed[i] = false;
-        self.states[i] = self.protocol.initial_state(NodeCtx {
-            node: u,
-            node_count: self.states.len(),
-        });
-        self.symbols[i] = self.protocol.displayed_symbol(&self.states[i]);
-    }
-
-    /// Returns `true` if `u` is currently crashed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn is_crashed(&self, u: NodeId) -> bool {
-        self.crashed[u.index()]
-    }
-
-    /// Returns the crash flags, indexed by node.
-    pub fn crash_flags(&self) -> &[bool] {
-        &self.crashed
-    }
-
-    /// Replaces the whole configuration (the state-injection hook;
-    /// crashed nodes keep their crash mask).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `states.len()` differs from the node count.
-    pub fn set_states(&mut self, states: Vec<P::State>) {
-        assert_eq!(
-            states.len(),
-            self.states.len(),
-            "one state per node is required"
-        );
-        self.states = states;
-        for (i, s) in self.states.iter().enumerate() {
-            self.symbols[i] = self.protocol.displayed_symbol(s);
+        if self.observed[s] < b {
+            self.observed[s] += 1;
         }
     }
 
-    /// Returns the current round.
-    pub fn round(&self) -> u64 {
-        self.round
+    /// Applies the presence-bit noise channels to node `u`'s
+    /// observation vector (see the module docs).
+    fn apply_noise(&mut self, u: usize, faults: &mut FaultLayer) {
+        let own = self.symbols[u];
+        for s in 1..self.observed.len() {
+            if s == own {
+                continue;
+            }
+            let present = self.observed[s] > 0;
+            let filtered = faults.filter_signal(u, present);
+            if filtered != present {
+                self.observed[s] = u8::from(filtered);
+            }
+        }
+    }
+}
+
+impl<P: StoneAgeProtocol> TickModel for StoneAgeModel<P> {
+    type State = P::State;
+
+    fn initial_state(&self, ctx: NodeCtx) -> P::State {
+        self.protocol.initial_state(ctx)
     }
 
-    /// Returns the number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.states.len()
+    fn init_caches(&mut self, n: usize) {
+        self.symbols = vec![0; n];
     }
 
-    /// Returns the protocol.
-    pub fn protocol(&self) -> &P {
-        &self.protocol
+    fn refresh_node(&mut self, i: usize, state: &P::State, _crashed: bool) {
+        // Crash visibility is enforced at observation time (a crashed
+        // node's symbol is skipped), so the cache always mirrors the
+        // state.
+        self.symbols[i] = self.protocol.displayed_symbol(state);
     }
 
-    /// Returns all node states.
-    pub fn states(&self) -> &[P::State] {
-        &self.states
-    }
-
-    /// Returns the state of node `u`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
-    pub fn state(&self, u: NodeId) -> &P::State {
-        &self.states[u.index()]
-    }
-
-    /// Returns the symbols currently displayed, indexed by node.
-    pub fn displayed_symbols(&self) -> &[usize] {
-        &self.symbols
-    }
-
-    /// Advances one synchronous round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the protocol displays a symbol outside
-    /// `0..alphabet_size()`.
-    pub fn step(&mut self) {
+    fn advance(&mut self, topology: &Topology, states: &mut [P::State], faults: &mut FaultLayer) {
         let sigma = self.protocol.alphabet_size();
         let b = self.protocol.counting_threshold();
         assert!(b >= 1, "counting threshold must be at least 1");
-        let n = self.states.len();
-        let mut observed = vec![0u8; sigma];
-        let mut next_states = Vec::with_capacity(n);
-        match &self.topology {
-            Topology::Graph(g) => {
-                for u in 0..n {
-                    if self.crashed[u] {
-                        next_states.push(self.states[u].clone());
-                        continue;
-                    }
-                    observed.fill(0);
-                    for &v in g.neighbors(NodeId::new(u)) {
-                        if self.crashed[v.index()] {
-                            continue; // a crashed node displays nothing
-                        }
-                        let s = self.symbols[v.index()];
-                        assert!(
-                            s < sigma,
-                            "displayed symbol {s} outside alphabet of size {sigma}"
-                        );
-                        if observed[s] < b {
-                            observed[s] += 1;
-                        }
-                    }
-                    next_states.push(self.protocol.transition(
-                        &self.states[u],
-                        &observed,
-                        &mut self.rngs[u],
-                    ));
-                }
-            }
+        self.observed.resize(sigma, 0);
+        let noisy = faults.has_noise();
+        match topology {
             Topology::Clique(_) => {
                 // Count each symbol globally once (alive nodes only),
                 // then per node subtract its own contribution —
@@ -283,61 +187,75 @@ impl<P: StoneAgeProtocol> StoneAgeNetwork<P> {
                         s < sigma,
                         "displayed symbol {s} outside alphabet of size {sigma}"
                     );
-                    if !self.crashed[u] {
+                    if !faults.is_crashed(u) {
                         totals[s] += 1;
                     }
                 }
-                for u in 0..n {
-                    if self.crashed[u] {
-                        next_states.push(self.states[u].clone());
+                for (u, state) in states.iter_mut().enumerate() {
+                    if faults.is_crashed(u) {
                         continue;
                     }
                     for (s, &total) in totals.iter().enumerate() {
                         let count = total - usize::from(self.symbols[u] == s);
-                        observed[s] = count.min(b as usize) as u8;
+                        self.observed[s] = count.min(b as usize) as u8;
                     }
-                    next_states.push(self.protocol.transition(
-                        &self.states[u],
-                        &observed,
-                        &mut self.rngs[u],
-                    ));
+                    if noisy {
+                        self.apply_noise(u, faults);
+                    }
+                    *state = self
+                        .protocol
+                        .transition(state, &self.observed, faults.rng(u));
+                }
+            }
+            graph_backed => {
+                for (u, state) in states.iter_mut().enumerate() {
+                    if faults.is_crashed(u) {
+                        continue;
+                    }
+                    self.observed.fill(0);
+                    graph_backed.for_each_neighbor(NodeId::new(u), |v| {
+                        if !faults.is_crashed(v.index()) {
+                            self.tally(v.index(), b, sigma);
+                        }
+                    });
+                    if noisy {
+                        self.apply_noise(u, faults);
+                    }
+                    *state = self
+                        .protocol
+                        .transition(state, &self.observed, faults.rng(u));
                 }
             }
         }
-        self.states = next_states;
-        for (i, s) in self.states.iter().enumerate() {
-            self.symbols[i] = self.protocol.displayed_symbol(s);
-        }
-        self.round += 1;
-    }
-
-    /// Advances `rounds` rounds.
-    pub fn run(&mut self, rounds: u64) {
-        for _ in 0..rounds {
-            self.step();
+        for (symbol, state) in self.symbols.iter_mut().zip(states.iter()) {
+            *symbol = self.protocol.displayed_symbol(state);
         }
     }
 }
 
-impl<P: StoneAgeProtocol + StoneAgeLeaderElection> StoneAgeNetwork<P> {
-    /// Returns the number of **alive** nodes in the leader set.
-    pub fn leader_count(&self) -> usize {
-        self.states
-            .iter()
-            .zip(&self.crashed)
-            .filter(|(s, &c)| !c && self.protocol.is_leader(s))
-            .count()
+impl<P: StoneAgeLeaderElection> LeaderModel for StoneAgeModel<P> {
+    fn is_leader(&self, state: &P::State) -> bool {
+        self.protocol.is_leader(state)
+    }
+}
+
+impl<P: StoneAgeProtocol> TickEngine<StoneAgeModel<P>> {
+    /// Creates a network in round 0.
+    ///
+    /// Seeding matches [`Network::new`](crate::Network::new): the same
+    /// `seed` gives every node the same ChaCha stream in both runtimes.
+    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
+        TickEngine::from_model(StoneAgeModel::new(protocol), topology, seed)
     }
 
-    /// Returns the identifiers of all current (alive) leaders.
-    pub fn leaders(&self) -> Vec<NodeId> {
-        self.states
-            .iter()
-            .zip(&self.crashed)
-            .enumerate()
-            .filter(|(_, (s, &c))| !c && self.protocol.is_leader(s))
-            .map(|(i, _)| NodeId::new(i))
-            .collect()
+    /// Returns the protocol.
+    pub fn protocol(&self) -> &P {
+        &self.model.protocol
+    }
+
+    /// Returns the symbols currently displayed, indexed by node.
+    pub fn displayed_symbols(&self) -> &[usize] {
+        &self.model.symbols
     }
 }
 
@@ -430,6 +348,8 @@ impl<P: LeaderElection> StoneAgeLeaderElection for BeepingAsStoneAge<P> {
 /// longer shields a leader from its own (now smeared-out) wave. The
 /// `async` portions of the `noise`-style experiments use it
 /// exploratorily; no correctness claim from the paper applies here.
+/// It deliberately stays outside the [`TickEngine`], whose round loop
+/// is synchronous by construction.
 #[derive(Debug, Clone)]
 pub struct AsyncStoneAgeNetwork<P: StoneAgeProtocol> {
     protocol: P,
@@ -507,26 +427,13 @@ impl<P: StoneAgeProtocol> AsyncStoneAgeNetwork<P> {
         let b = self.protocol.counting_threshold();
         let u = u.index();
         let mut observed = vec![0u8; sigma];
-        match &self.topology {
-            Topology::Graph(g) => {
-                for &v in g.neighbors(NodeId::new(u)) {
-                    let s = self.symbols[v.index()];
-                    assert!(s < sigma, "displayed symbol {s} outside alphabet");
-                    if observed[s] < b {
-                        observed[s] += 1;
-                    }
-                }
+        self.topology.for_each_neighbor(NodeId::new(u), |v| {
+            let s = self.symbols[v.index()];
+            assert!(s < sigma, "displayed symbol {s} outside alphabet");
+            if observed[s] < b {
+                observed[s] += 1;
             }
-            Topology::Clique(n) => {
-                for v in (0..*n).filter(|&v| v != u) {
-                    let s = self.symbols[v];
-                    assert!(s < sigma, "displayed symbol {s} outside alphabet");
-                    if observed[s] < b {
-                        observed[s] += 1;
-                    }
-                }
-            }
-        }
+        });
         self.states[u] = self
             .protocol
             .transition(&self.states[u], &observed, &mut self.rngs[u]);
@@ -677,6 +584,89 @@ mod tests {
     }
 
     #[test]
+    fn adapter_reproduces_noisy_execution_exactly() {
+        // Both noise channels on: the shared fault layer must draw in
+        // the same per-node pattern in both runtimes, so the traces
+        // stay bit-identical even under perception noise.
+        let g = generators::grid(3, 4);
+        for seed in [0u64, 5, 21] {
+            let mut beeping = Network::new(RandomBeeper, g.clone().into(), seed);
+            let mut stone =
+                StoneAgeNetwork::new(BeepingAsStoneAge::new(RandomBeeper), g.clone().into(), seed);
+            beeping.set_noise(0.2, 0.1);
+            stone.set_noise(0.2, 0.1);
+            for _ in 0..150 {
+                beeping.step();
+                stone.step();
+                assert_eq!(beeping.states(), stone.states(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stone_age_noise_drops_and_hallucinates_observations() {
+        // Hub of a path(2) observes its one displaying neighbor; with
+        // fn ≈ 1 the observation is almost always lost.
+        let mut lost = 0;
+        for seed in 0..30u64 {
+            let mut net = StoneAgeNetwork::new(CountTwo, generators::path(2).into(), seed);
+            net.set_noise(0.95, 0.0);
+            net.step();
+            if *net.state(NodeId::new(0)) == 200 {
+                lost += 1;
+            }
+        }
+        assert!(lost > 20, "only {lost}/30 observations were dropped");
+
+        // An isolated pair of silent-displaying nodes: with fp ≈ 1 the
+        // hub hallucinates symbol 1 although nobody displays it.
+        #[derive(Debug, Clone)]
+        struct AllZero;
+        impl StoneAgeProtocol for AllZero {
+            type State = u8;
+            fn alphabet_size(&self) -> usize {
+                2
+            }
+            fn initial_state(&self, _ctx: NodeCtx) -> u8 {
+                0
+            }
+            fn displayed_symbol(&self, _s: &u8) -> usize {
+                0
+            }
+            fn transition(&self, _s: &u8, observed: &[u8], _rng: &mut dyn RngCore) -> u8 {
+                observed[1]
+            }
+        }
+        let mut ghosts = 0;
+        for seed in 0..30u64 {
+            let mut net = StoneAgeNetwork::new(AllZero, generators::path(2).into(), seed);
+            net.set_noise(0.0, 0.95);
+            net.step();
+            if *net.state(NodeId::new(0)) == 1 {
+                ghosts += 1;
+            }
+        }
+        assert!(ghosts > 20, "only {ghosts}/30 runs hallucinated a symbol");
+    }
+
+    #[test]
+    fn stone_age_zero_noise_draws_nothing() {
+        let run = |noisy: bool| {
+            let mut net = StoneAgeNetwork::new(
+                BeepingAsStoneAge::new(RandomBeeper),
+                generators::cycle(8).into(),
+                3,
+            );
+            if noisy {
+                net.set_noise(0.0, 0.0);
+            }
+            net.run(50);
+            net.states().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn adapter_exposes_inner() {
         let a = BeepingAsStoneAge::new(RandomBeeper);
         let _: &RandomBeeper = a.inner();
@@ -769,6 +759,19 @@ mod tests {
         // On the path 0-1-2 the hub (node 0) has one neighbor; after
         // rewiring to a star centered at 0 it has two.
         net.set_topology(generators::star(3).into());
+        net.step();
+        assert_eq!(*net.state(NodeId::new(0)), 202);
+    }
+
+    #[test]
+    fn stone_age_apply_delta_edits_adjacency() {
+        use bfw_graph::TopologyDelta;
+        let mut net = StoneAgeNetwork::new(CountTwo, generators::path(3).into(), 0);
+        // Same rewiring as above, through the O(deg) delta path: add the
+        // chord (0, 2) so the hub gains a second displaying neighbor.
+        let mut delta = TopologyDelta::new();
+        delta.add_edge(NodeId::new(0), NodeId::new(2));
+        net.apply_topology_delta(&delta);
         net.step();
         assert_eq!(*net.state(NodeId::new(0)), 202);
     }

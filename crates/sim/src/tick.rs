@@ -1,0 +1,505 @@
+//! The shared tick engine: one fault substrate and one round loop for
+//! every synchronous runtime.
+//!
+//! The paper's point is that a single minimalist protocol family runs
+//! unchanged across weak models; this module is the executor-side
+//! mirror of that claim. [`TickEngine`] owns everything that is *not*
+//! model-specific — the topology (including delta-applied dynamic
+//! topology), the crash bitmask, the per-node ChaCha streams, the
+//! two-channel perception-noise model and the round counter — and a
+//! [`TickModel`] contributes only what a communication model actually
+//! defines: how states are emitted and perceived within one round. The
+//! beeping [`Network`](crate::Network) and the stone-age
+//! [`StoneAgeNetwork`](crate::stone_age::StoneAgeNetwork) are thin
+//! aliases over this engine, so crash masking, topology swapping and
+//! noise each exist in exactly one place and automatically behave
+//! identically across models.
+//!
+//! Determinism contract: node `i` draws from a ChaCha8 stream carved
+//! deterministically out of the run seed, exactly as the pre-engine
+//! runtimes did (see the `tick_engine_equivalence` workspace test for
+//! the pinned traces). Zero-probability noise channels draw nothing.
+
+use crate::{NodeCtx, Topology};
+use bfw_graph::{NodeId, TopologyDelta};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-node fault state shared by all runtimes: crash bitmask, RNG
+/// streams, and the two-channel perception-noise model.
+#[derive(Debug, Clone)]
+pub struct FaultLayer {
+    crashed: Vec<bool>,
+    rngs: Vec<ChaCha8Rng>,
+    false_negative: f64,
+    false_positive: f64,
+}
+
+impl FaultLayer {
+    /// Creates the fault state for `n` nodes: no crashes, no noise, one
+    /// independent ChaCha8 stream per node carved out of `seed`.
+    pub(crate) fn new(n: usize, seed: u64) -> Self {
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let rngs = (0..n)
+            .map(|_| ChaCha8Rng::from_rng(&mut master))
+            .collect::<Vec<_>>();
+        FaultLayer {
+            crashed: vec![false; n],
+            rngs,
+            false_negative: 0.0,
+            false_positive: 0.0,
+        }
+    }
+
+    /// Returns `true` if node `i` is crashed.
+    #[inline]
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn flags(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Marks node `i` crashed (idempotent).
+    fn crash(&mut self, i: usize) {
+        self.crashed[i] = true;
+    }
+
+    /// Clears the crash mark on node `i`, returning `true` if it was
+    /// crashed (the caller then resets the node's state).
+    fn recover(&mut self, i: usize) -> bool {
+        std::mem::replace(&mut self.crashed[i], false)
+    }
+
+    /// Returns node `i`'s RNG stream (for protocol transitions).
+    #[inline]
+    pub fn rng(&mut self, i: usize) -> &mut ChaCha8Rng {
+        &mut self.rngs[i]
+    }
+
+    /// Returns `true` if either noise channel is active.
+    #[inline]
+    pub fn has_noise(&self) -> bool {
+        self.false_negative > 0.0 || self.false_positive > 0.0
+    }
+
+    /// Passes one perceived boolean signal of node `i` through the two
+    /// noise channels: a `true` signal is lost with probability
+    /// `false_negative`, a `false` signal hallucinated with probability
+    /// `false_positive`. A channel with probability 0 draws nothing, so
+    /// disabling noise restores bit-identical RNG streams.
+    #[inline]
+    pub fn filter_signal(&mut self, i: usize, signal: bool) -> bool {
+        use rand::Rng as _;
+        if signal {
+            !(self.false_negative > 0.0 && self.rngs[i].random_bool(self.false_negative))
+        } else {
+            self.false_positive > 0.0 && self.rngs[i].random_bool(self.false_positive)
+        }
+    }
+
+    fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
+        assert!(
+            (0.0..1.0).contains(&false_negative),
+            "hearing-failure probability must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&false_positive),
+            "spurious-beep probability must be in [0, 1)"
+        );
+        self.false_negative = false_negative;
+        self.false_positive = false_positive;
+    }
+}
+
+/// A synchronous communication model, pluggable into [`TickEngine`].
+///
+/// A model owns the protocol and its emission caches (beep flags,
+/// displayed symbols, …) and defines how one round of perception and
+/// transition works; the engine owns everything else. Implementations:
+/// [`BeepingModel`](crate::BeepingModel) and
+/// [`StoneAgeModel`](crate::stone_age::StoneAgeModel).
+pub trait TickModel {
+    /// Per-node protocol state.
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// Returns the protocol's initial state for one node.
+    fn initial_state(&self, ctx: NodeCtx) -> Self::State;
+
+    /// Sizes the model's per-node emission caches for `n` nodes.
+    fn init_caches(&mut self, n: usize);
+
+    /// Refreshes node `i`'s emission cache after its state or crash
+    /// flag changed.
+    fn refresh_node(&mut self, i: usize, state: &Self::State, crashed: bool);
+
+    /// Executes one synchronous round in place: perceive the cached
+    /// emissions over `topology` (honoring the crash mask and noise
+    /// channels in `faults`), transition every alive node using its RNG
+    /// stream, and refresh the emission caches.
+    fn advance(&mut self, topology: &Topology, states: &mut [Self::State], faults: &mut FaultLayer);
+}
+
+/// A [`TickModel`] whose protocol designates a leader subset of its
+/// states — the seam the scenario engine's election metrics need.
+pub trait LeaderModel: TickModel {
+    /// Returns `true` if `state` belongs to the protocol's leader set.
+    fn is_leader(&self, state: &Self::State) -> bool;
+}
+
+/// Synchronous executor generic over the communication model.
+///
+/// Use the model-specific aliases and constructors —
+/// [`Network`](crate::Network) for the beeping model,
+/// [`StoneAgeNetwork`](crate::stone_age::StoneAgeNetwork) for the
+/// stone-age model; everything documented here is shared verbatim by
+/// both.
+#[derive(Debug, Clone)]
+pub struct TickEngine<M: TickModel> {
+    pub(crate) model: M,
+    pub(crate) topology: Topology,
+    pub(crate) states: Vec<M::State>,
+    pub(crate) faults: FaultLayer,
+    pub(crate) round: u64,
+}
+
+impl<M: TickModel> TickEngine<M> {
+    /// Builds an engine in round 0 from a model and an explicit
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the topology's node count.
+    pub(crate) fn from_parts(
+        mut model: M,
+        topology: Topology,
+        seed: u64,
+        states: Vec<M::State>,
+    ) -> Self {
+        let n = topology.node_count();
+        assert_eq!(states.len(), n, "one state per node is required");
+        model.init_caches(n);
+        for (i, s) in states.iter().enumerate() {
+            model.refresh_node(i, s, false);
+        }
+        TickEngine {
+            model,
+            topology,
+            states,
+            faults: FaultLayer::new(n, seed),
+            round: 0,
+        }
+    }
+
+    /// Builds an engine in round 0 with every node in the model's
+    /// initial state.
+    pub(crate) fn from_model(model: M, topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count();
+        let states = (0..n)
+            .map(|i| {
+                model.initial_state(NodeCtx {
+                    node: NodeId::new(i),
+                    node_count: n,
+                })
+            })
+            .collect();
+        Self::from_parts(model, topology, seed, states)
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns the current round number (0 before any step).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Returns the current state of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn state(&self, u: NodeId) -> &M::State {
+        &self.states[u.index()]
+    }
+
+    /// Returns all node states, indexed by node.
+    pub fn states(&self) -> &[M::State] {
+        &self.states
+    }
+
+    /// Advances one synchronous round.
+    pub fn step(&mut self) {
+        self.model
+            .advance(&self.topology, &mut self.states, &mut self.faults);
+        self.round += 1;
+    }
+
+    /// Advances `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Replaces the communication topology mid-run (the scenario
+    /// engine's partition hook and the rebuild-per-event baseline).
+    /// States, RNG streams and the round counter are untouched; the new
+    /// adjacency takes effect from the next [`step`](Self::step). For
+    /// incremental edge churn prefer
+    /// [`apply_topology_delta`](Self::apply_topology_delta).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology's node count differs from the
+    /// network's.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(
+            topology.node_count(),
+            self.states.len(),
+            "topology mutation must preserve the node count"
+        );
+        self.topology = topology;
+    }
+
+    /// Applies a batch of edge mutations to the topology in `O(deg)`
+    /// per edge instead of rebuilding the CSR — the scenario engine's
+    /// edge-churn hook. The first delta converts the topology into its
+    /// delta-overlay form (one `O(n + m)` conversion; cliques are
+    /// materialized); subsequent deltas are incremental with periodic
+    /// compaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta removes an absent edge or adds a present one
+    /// (see [`bfw_graph::OverlayGraph::apply`]).
+    pub fn apply_topology_delta(&mut self, delta: &TopologyDelta) {
+        self.topology.apply_delta(delta);
+    }
+
+    /// Crashes node `u`: from now on it emits nothing, ignores its
+    /// environment and performs no transitions (its RNG stream is
+    /// paused, not consumed). Crashing an already-crashed node is a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn crash_node(&mut self, u: NodeId) {
+        let i = u.index();
+        self.faults.crash(i);
+        self.model.refresh_node(i, &self.states[i], true);
+    }
+
+    /// Recovers node `u` with a **fresh protocol-initial state** (for
+    /// BFW: `W•` — the recovering node rejoins as a leader candidate, as
+    /// a newly booted device would). No-op on nodes that are not
+    /// crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn recover_node(&mut self, u: NodeId) {
+        let i = u.index();
+        if !self.faults.recover(i) {
+            return;
+        }
+        self.states[i] = self.model.initial_state(NodeCtx {
+            node: u,
+            node_count: self.states.len(),
+        });
+        self.model.refresh_node(i, &self.states[i], false);
+    }
+
+    /// Returns `true` if `u` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.faults.is_crashed(u.index())
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn crash_flags(&self) -> &[bool] {
+        self.faults.flags()
+    }
+
+    /// Returns the number of non-crashed nodes.
+    pub fn alive_count(&self) -> usize {
+        self.faults.flags().iter().filter(|&&c| !c).count()
+    }
+
+    /// Sets both perception-noise probabilities at once: a perceived
+    /// signal is lost with probability `false_negative` and hallucinated
+    /// with probability `false_positive`. In the beeping model the
+    /// signal is "some neighbor beeped"; in the stone-age model it is
+    /// the presence of each non-quiescent symbol (see
+    /// [`StoneAgeModel`](crate::stone_age::StoneAgeModel)).
+    ///
+    /// This is the mutation hook used by the scenario engine's
+    /// `NoiseBurst` events; `(0, 0)` restores the exact model (the next
+    /// rounds draw no extra randomness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is not in `[0, 1)`.
+    pub fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
+        self.faults.set_noise(false_negative, false_positive);
+    }
+
+    /// Returns the false-negative (lost-signal) probability — for the
+    /// beeping model, the hearing-failure probability (0 for the exact
+    /// model).
+    pub fn hearing_failure_prob(&self) -> f64 {
+        self.faults.false_negative
+    }
+
+    /// Returns the false-positive (hallucinated-signal) probability —
+    /// for the beeping model, the spurious-beep probability (0 for the
+    /// exact model).
+    pub fn spurious_beep_prob(&self) -> f64 {
+        self.faults.false_positive
+    }
+
+    /// Overwrites the state of node `u` (the scenario engine's
+    /// state-injection hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_node_state(&mut self, u: NodeId, state: M::State) {
+        let i = u.index();
+        self.states[i] = state;
+        self.model
+            .refresh_node(i, &self.states[i], self.faults.is_crashed(i));
+    }
+
+    /// Replaces the whole configuration (crashed nodes keep their crash
+    /// mask and stay silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_states(&mut self, states: Vec<M::State>) {
+        assert_eq!(
+            states.len(),
+            self.states.len(),
+            "one state per node is required"
+        );
+        self.states = states;
+        for (i, s) in self.states.iter().enumerate() {
+            self.model.refresh_node(i, s, self.faults.is_crashed(i));
+        }
+    }
+}
+
+impl<M: LeaderModel> TickEngine<M> {
+    /// Returns the number of **alive** nodes whose state lies in the
+    /// leader set (a crashed node cannot act as a leader).
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .zip(self.faults.flags())
+            .filter(|(s, &c)| !c && self.model.is_leader(s))
+            .count()
+    }
+
+    /// Returns the identifiers of all current (alive) leaders.
+    pub fn leaders(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .zip(self.faults.flags())
+            .enumerate()
+            .filter(|(_, (s, &c))| !c && self.model.is_leader(s))
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Returns the unique (alive) leader, or `None` if there are zero or
+    /// several leaders.
+    pub fn unique_leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (i, (s, &c)) in self.states.iter().zip(self.faults.flags()).enumerate() {
+            if !c && self.model.is_leader(s) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(NodeId::new(i));
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_layer_streams_are_seed_deterministic() {
+        use rand::RngCore as _;
+        let draw = |seed| {
+            let mut f = FaultLayer::new(4, seed);
+            (0..4).map(|i| f.rng(i).next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // Streams are pairwise distinct.
+        let d = draw(7);
+        assert_eq!(d.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+    }
+
+    #[test]
+    fn filter_signal_is_identity_without_noise() {
+        let mut f = FaultLayer::new(2, 0);
+        assert!(!f.has_noise());
+        assert!(f.filter_signal(0, true));
+        assert!(!f.filter_signal(0, false));
+        // No draws happened: the stream still matches a fresh layer.
+        use rand::RngCore as _;
+        let mut g = FaultLayer::new(2, 0);
+        assert_eq!(f.rng(0).next_u64(), g.rng(0).next_u64());
+    }
+
+    #[test]
+    fn filter_signal_flips_at_extreme_probabilities() {
+        let mut f = FaultLayer::new(1, 3);
+        f.set_noise(0.999, 0.999);
+        let mut lost = 0;
+        let mut ghost = 0;
+        for _ in 0..50 {
+            lost += usize::from(!f.filter_signal(0, true));
+            ghost += usize::from(f.filter_signal(0, false));
+        }
+        assert!(lost > 45, "{lost}");
+        assert!(ghost > 45, "{ghost}");
+    }
+
+    #[test]
+    fn crash_and_recover_toggle() {
+        let mut f = FaultLayer::new(3, 0);
+        assert!(!f.is_crashed(1));
+        f.crash(1);
+        f.crash(1); // idempotent
+        assert!(f.is_crashed(1));
+        assert_eq!(f.flags(), &[false, true, false]);
+        assert!(f.recover(1));
+        assert!(!f.recover(1), "second recover is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn noise_probabilities_validated() {
+        FaultLayer::new(1, 0).set_noise(1.0, 0.0);
+    }
+}

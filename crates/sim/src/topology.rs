@@ -1,11 +1,15 @@
-use bfw_graph::{algo, Graph, NodeId};
+use bfw_graph::{algo, Graph, NodeId, OverlayGraph, TopologyDelta};
 
 /// The communication structure a [`Network`](crate::Network) runs on.
 ///
 /// The general case wraps a CSR [`Graph`]; `Clique(n)` is a fast path
 /// for the complete graph that computes hearing in `O(n)` per round
 /// instead of materializing `Θ(n²)` edges (the n-scaling experiments run
-/// cliques with thousands of nodes).
+/// cliques with thousands of nodes). `Overlay` is the dynamic form the
+/// topology takes once [`apply_delta`](Self::apply_delta) has been
+/// called: a CSR base plus an `O(deg)`-editable overlay with periodic
+/// compaction, used by the scenario engine for high-frequency edge
+/// churn.
 ///
 /// # Example
 ///
@@ -23,6 +27,9 @@ pub enum Topology {
     Graph(Graph),
     /// The complete graph on `n` nodes, with `O(n)`-per-round hearing.
     Clique(usize),
+    /// A delta-overlaid graph (see [`OverlayGraph`]); produced by
+    /// [`apply_delta`](Self::apply_delta).
+    Overlay(OverlayGraph),
 }
 
 impl Topology {
@@ -31,15 +38,18 @@ impl Topology {
         match self {
             Topology::Graph(g) => g.node_count(),
             Topology::Clique(n) => *n,
+            Topology::Overlay(ov) => ov.node_count(),
         }
     }
 
     /// Returns `true` if the topology is connected (a prerequisite for
-    /// leader election).
+    /// leader election). Overlay topologies are materialized first —
+    /// this is an analysis entry point, not a hot path.
     pub fn is_connected(&self) -> bool {
         match self {
             Topology::Graph(g) => algo::is_connected(g),
             Topology::Clique(n) => *n >= 1,
+            Topology::Overlay(ov) => algo::is_connected(&ov.to_graph()),
         }
     }
 
@@ -52,6 +62,67 @@ impl Topology {
             Topology::Clique(0) => None,
             Topology::Clique(1) => Some(0),
             Topology::Clique(_) => Some(1),
+            Topology::Overlay(ov) => algo::diameter(&ov.to_graph()),
+        }
+    }
+
+    /// Applies a batch of edge mutations in `O(deg)` per edge.
+    ///
+    /// A `Graph` topology is converted into its `Overlay` form on the
+    /// first delta (one `O(n + m)` conversion, amortized away by every
+    /// subsequent delta); a `Clique` is materialized first (`Θ(n²)` —
+    /// churning a clique starts from its explicit edge set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta removes an absent edge or adds a present one.
+    pub fn apply_delta(&mut self, delta: &TopologyDelta) {
+        match self {
+            Topology::Overlay(ov) => ov.apply(delta),
+            _ => {
+                let graph = match std::mem::replace(self, Topology::Clique(0)) {
+                    Topology::Graph(g) => g,
+                    Topology::Clique(n) => bfw_graph::generators::complete(n.max(1)),
+                    Topology::Overlay(_) => unreachable!("handled above"),
+                };
+                let mut ov = OverlayGraph::from_graph(graph);
+                ov.apply(delta);
+                *self = Topology::Overlay(ov);
+            }
+        }
+    }
+
+    /// Calls `f` for every neighbor of `u`, in ascending node order.
+    ///
+    /// This is the one neighbor-iteration seam shared by the runtimes:
+    /// CSR graphs yield their adjacency slice, overlays their merged
+    /// view, cliques every other node. Hot loops with a cheaper
+    /// clique-wide formulation (e.g. [`compute_heard`]) keep their own
+    /// `Clique` fast path and use this for the two graph-backed forms.
+    ///
+    /// [`compute_heard`]: Self::compute_heard
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn for_each_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, mut f: F) {
+        match self {
+            Topology::Graph(g) => {
+                for &v in g.neighbors(u) {
+                    f(v);
+                }
+            }
+            Topology::Overlay(ov) => {
+                for v in ov.neighbors(u) {
+                    f(v);
+                }
+            }
+            Topology::Clique(n) => {
+                assert!(u.index() < *n, "node {u} out of range of clique({n})");
+                for v in (0..*n).filter(|&v| v != u.index()) {
+                    f(NodeId::new(v));
+                }
+            }
         }
     }
 
@@ -67,32 +138,32 @@ impl Topology {
         assert_eq!(beeps.len(), n, "beeps slice has wrong length");
         assert_eq!(heard.len(), n, "heard slice has wrong length");
         match self {
-            Topology::Graph(g) => {
+            Topology::Clique(_) => {
+                let any = beeps.iter().any(|&b| b);
+                heard.fill(any);
+            }
+            graph_backed => {
                 // Push-based: start from own beep, then OR each beeping
                 // node into its neighbors. O(n + Σ_{u beeping} deg(u)).
                 heard.copy_from_slice(beeps);
                 for (u, &b) in beeps.iter().enumerate() {
                     if b {
-                        for &v in g.neighbors(NodeId::new(u)) {
-                            heard[v.index()] = true;
-                        }
+                        graph_backed.for_each_neighbor(NodeId::new(u), |v| heard[v.index()] = true);
                     }
                 }
-            }
-            Topology::Clique(_) => {
-                let any = beeps.iter().any(|&b| b);
-                heard.fill(any);
             }
         }
     }
 
     /// Returns the underlying [`Graph`], materializing the clique if
     /// necessary (`Θ(n²)` memory — intended for analysis of small
-    /// topologies, not for the simulation hot path).
+    /// topologies, not for the simulation hot path) and compacting an
+    /// overlay into a fresh CSR snapshot.
     pub fn to_graph(&self) -> Graph {
         match self {
             Topology::Graph(g) => g.clone(),
             Topology::Clique(n) => bfw_graph::generators::complete((*n).max(1)),
+            Topology::Overlay(ov) => ov.to_graph(),
         }
     }
 }
@@ -100,6 +171,12 @@ impl Topology {
 impl From<Graph> for Topology {
     fn from(g: Graph) -> Self {
         Topology::Graph(g)
+    }
+}
+
+impl From<OverlayGraph> for Topology {
+    fn from(ov: OverlayGraph) -> Self {
+        Topology::Overlay(ov)
     }
 }
 
@@ -174,6 +251,50 @@ mod tests {
     fn to_graph_of_clique() {
         let g = Topology::Clique(4).to_graph();
         assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn apply_delta_converts_to_overlay_and_edits() {
+        let mut t: Topology = generators::cycle(5).into();
+        let mut delta = TopologyDelta::new();
+        delta.remove_edge(NodeId::new(0), NodeId::new(1));
+        delta.add_edge(NodeId::new(0), NodeId::new(2));
+        t.apply_delta(&delta);
+        assert!(matches!(t, Topology::Overlay(_)));
+        assert_eq!(t.node_count(), 5);
+        let g = t.to_graph();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn overlay_heard_matches_rebuilt_graph_heard() {
+        let mut overlay: Topology = generators::cycle(7).into();
+        let mut delta = TopologyDelta::new();
+        delta.remove_edge(NodeId::new(2), NodeId::new(3));
+        delta.add_edge(NodeId::new(0), NodeId::new(3));
+        overlay.apply_delta(&delta);
+        let rebuilt: Topology = overlay.to_graph().into();
+        for pattern in 0..(1u32 << 7) {
+            let beeps: Vec<bool> = (0..7).map(|i| pattern >> i & 1 == 1).collect();
+            let mut h1 = vec![false; 7];
+            let mut h2 = vec![false; 7];
+            overlay.compute_heard(&beeps, &mut h1);
+            rebuilt.compute_heard(&beeps, &mut h2);
+            assert_eq!(h1, h2, "pattern {beeps:?}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_on_clique_materializes() {
+        let mut t = Topology::Clique(4);
+        let mut delta = TopologyDelta::new();
+        delta.remove_edge(NodeId::new(0), NodeId::new(1));
+        t.apply_delta(&delta);
+        assert_eq!(t.to_graph().edge_count(), 5);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(2));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use bfw_bench::GraphSpec;
 use bfw_core::Bfw;
 use bfw_graph::{generators, DynamicGraph, NodeId};
 use bfw_scenario::{bfw_injector, run_bfw_scenario, Engine, ScenarioEvent, ScenarioSpec, Timeline};
+use bfw_sim::stone_age::{BeepingAsStoneAge, StoneAgeNetwork};
 use bfw_sim::{BeepingProtocol, LeaderElection, Network, NodeCtx};
 use proptest::prelude::*;
 
@@ -218,6 +219,89 @@ fn partition_heal_merges_leaders_but_can_wipe_them_out() {
         wiped_out > 0,
         "expected at least one seed to show the heal-merge wipeout hazard"
     );
+}
+
+#[test]
+fn noise_bursts_drive_both_runtimes_identically() {
+    // Before the TickEngine refactor, NoiseBurst events were "skipped
+    // (runtime has no noise model)" on the stone-age runtime. The noise
+    // model now lives in the shared fault layer, so the same scenario
+    // must (a) apply the burst on a stone-age host and (b) produce a
+    // bit-identical outcome to the beeping host, because the
+    // BeepingAsStoneAge adapter reproduces beeping executions
+    // draw-for-draw even under noise.
+    let n = 10;
+    let seed = 9;
+    let graph = generators::cycle(n);
+    let timeline = Timeline::new()
+        .at(
+            2_000,
+            ScenarioEvent::NoiseBurst {
+                fn_rate: 0.3,
+                fp_rate: 0.1,
+                rounds: 400,
+            },
+        )
+        .at(5_000, ScenarioEvent::CrashLeader)
+        .at(5_200, ScenarioEvent::RecoverAll);
+    let stone = StoneAgeNetwork::new(
+        BeepingAsStoneAge::new(Bfw::new(0.5)),
+        graph.clone().into(),
+        seed,
+    );
+    let stone_outcome = Engine::new(stone, &graph, &timeline, 20_000, seed, 50).run();
+    assert!(
+        stone_outcome.event_log[0].contains("noise on for 400 round(s)"),
+        "stone-age runtime must accept noise bursts: {:?}",
+        stone_outcome.event_log
+    );
+    assert!(
+        stone_outcome.event_log[1].contains("noise-burst ends"),
+        "{:?}",
+        stone_outcome.event_log
+    );
+
+    let beeping = Network::new(Bfw::new(0.5), graph.clone().into(), seed);
+    let beeping_outcome = Engine::new(beeping, &graph, &timeline, 20_000, seed, 50).run();
+    assert_eq!(stone_outcome, beeping_outcome);
+}
+
+#[test]
+fn stone_age_host_survives_edge_churn_and_partitions() {
+    // The stone-age runtime shares the delta-applied dynamic topology:
+    // edge churn, partition and heal must all land (no skips) and the
+    // healed ring must end with every edge restored.
+    let n = 12;
+    let seed = 4;
+    let graph = generators::cycle(n);
+    let timeline = Timeline::new()
+        .at(
+            1_000,
+            ScenarioEvent::AddEdge(NodeId::new(0), NodeId::new(6)),
+        )
+        .at(
+            2_000,
+            ScenarioEvent::RemoveEdge(NodeId::new(0), NodeId::new(6)),
+        )
+        .at(
+            3_000,
+            ScenarioEvent::Partition {
+                side: (0..n / 2).map(NodeId::new).collect(),
+            },
+        )
+        .at(4_000, ScenarioEvent::Heal);
+    let stone = StoneAgeNetwork::new(
+        BeepingAsStoneAge::new(Bfw::new(0.5)),
+        graph.clone().into(),
+        seed,
+    );
+    let outcome = Engine::new(stone, &graph, &timeline, 30_000, seed, 50).run();
+    assert!(outcome.event_log[0].contains("added edge (0, 6)"));
+    assert!(outcome.event_log[1].contains("removed edge (0, 6)"));
+    assert!(outcome.event_log[2].contains("cut 2 edge(s)"));
+    assert!(outcome.event_log[3].contains("restored 2 edge(s)"));
+    assert_eq!(outcome.final_edges, n, "heal must restore the ring");
+    assert!(outcome.final_leaders.len() <= 1);
 }
 
 #[test]

@@ -13,7 +13,7 @@ fn flow_theory_exact_across_suite() {
     for spec in GraphSpec::standard_suite(true) {
         let graph = match spec.topology() {
             Topology::Graph(g) => g,
-            t @ Topology::Clique(_) => t.to_graph(),
+            t => t.to_graph(),
         };
         let n = graph.node_count();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
