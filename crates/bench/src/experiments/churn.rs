@@ -49,6 +49,10 @@ fn scenario_for(spec: &GraphSpec, horizon: u64, n: usize) -> ScenarioSpec {
         rounds: horizon,
         stability: 50,
         seed: 0,
+        protocol: bfw_scenario::ProtocolKind::Bfw,
+        heartbeat: None,
+        timeout: None,
+        grace: None,
         timeline: churn_timeline(n, horizon),
     }
 }
@@ -67,9 +71,10 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
         GraphSpec::ErdosRenyi(size, 250, 7),
         GraphSpec::Grid(size / 4, 4),
     ];
-    // Note: overlapping disruptions coalesce — the monitor answers a
-    // burst of events with one recovery measured from the earliest —
-    // so recoveries per trial is typically below the event count.
+    // Note: every disruption opens its own recovery window (same-round
+    // bursts share one); a stable leader answers all open windows at
+    // once, so a burst of events yields one recovery per distinct
+    // disruption round, each with its own latency.
     let mut table = Table::with_columns(&[
         "graph",
         "disruption events",
@@ -95,7 +100,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
             cfg.seed ^ 0xC1124,
             4,
             |seed, _scratch: &mut ()| {
-                let outcome = run_bfw_scenario(&scenario, &graph, seed);
+                let outcome = run_bfw_scenario(&scenario, &graph, seed)
+                    .expect("churn scenario timing is always valid");
                 let latencies: Vec<u64> =
                     outcome.recoveries.iter().map(Recovery::latency).collect();
                 (

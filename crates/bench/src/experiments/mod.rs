@@ -13,6 +13,7 @@ pub mod decay;
 pub mod flow_audit;
 pub mod noise;
 pub mod p_sweep;
+pub mod recovery;
 pub mod sec5_walk;
 pub mod table1;
 pub mod termination;
@@ -44,6 +45,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("async", async_stone_age::run),
         ("churn", churn::run),
         ("churn-scale", churn_scale::run),
+        ("recovery", recovery::run),
     ]
 }
 
@@ -58,6 +60,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
     }
 }

@@ -111,6 +111,7 @@ usage:
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
+scenarios:   TOML spec; `protocol = \"bfw+recovery\"` runs the self-healing stack
 experiments: {}",
         names.join(", ")
     )
@@ -403,10 +404,11 @@ fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<St
     let seed = seed.unwrap_or(spec.seed);
     let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
     let graph = workload.build();
-    let outcome = bfw_scenario::run_bfw_scenario(&spec, &graph, seed);
+    let outcome = bfw_scenario::run_bfw_scenario(&spec, &graph, seed).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "scenario:          {}", spec.name);
     let _ = writeln!(out, "graph:             {workload}");
+    let _ = writeln!(out, "protocol:          {}", spec.protocol);
     let _ = writeln!(out, "p:                 {}", spec.p);
     let _ = writeln!(out, "seed:              {seed}");
     let _ = writeln!(out, "stability window:  {}", spec.stability);
@@ -793,11 +795,38 @@ mod tests {
         };
         let out = run(42);
         assert!(out.contains("scenario:          mini"), "{out}");
+        assert!(out.contains("protocol:          bfw"), "{out}");
         assert!(out.contains("rounds run:        6000"), "{out}");
         assert!(out.contains("crash-leader"), "{out}");
         assert!(out.contains("mean re-election latency:"), "{out}");
         // Byte-identical on repeat (the acceptance-criteria property).
         assert_eq!(out, run(42));
+    }
+
+    #[test]
+    fn execute_recovery_scenario_survives_leader_crash() {
+        // The self-healing stack through the whole CLI pipeline: crash
+        // the only leader, never recover it — plain BFW would end
+        // leaderless (see the engine tests); bfw+recovery must re-elect.
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("self_heal.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"self-heal\"\ngraph = \"cycle:8\"\nrounds = 30000\n\
+             stability = 20\nprotocol = \"bfw+recovery\"\n\n\
+             [[event]]\nat = 9000\nkind = \"crash-leader\"\n",
+        )
+        .unwrap();
+        let out = execute(Command::Scenario {
+            file: path.to_string_lossy().into_owned(),
+            seed: Some(5),
+            rounds: None,
+        })
+        .unwrap();
+        assert!(out.contains("protocol:          bfw+recovery"), "{out}");
+        assert!(out.contains("pending disruption: none"), "{out}");
+        assert!(!out.contains("final leaders:     []"), "{out}");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! | [`theory`] | Eq. (15)/(16) closed forms, Theorem 2/3 reference curves |
 //! | [`viz`] | beep-wave rendering for path topologies |
 //! | [`adversarial`] | Section 5's leaderless phantom waves (why BFW is not self-stabilizing) |
+//! | [`recovery`] | Section 5's open question: a heartbeat/timeout/restart layer that makes elections self-healing |
 //! | [`termination`] | footnote 4: termination detection from known `n`, `D` |
 
 #![forbid(unsafe_code)]
@@ -58,6 +59,7 @@ pub mod adversarial;
 pub mod flow;
 pub mod invariants;
 pub mod protocol;
+pub mod recovery;
 pub mod state;
 pub mod termination;
 pub mod theory;
@@ -66,5 +68,6 @@ pub mod viz;
 pub use flow::{edge_flow, path_flow, random_walk_path, FlowAuditor};
 pub use invariants::{InvariantChecker, InvariantReport};
 pub use protocol::{Bfw, BfwNoFreeze, InitialConfig, NoFreezeState};
+pub use recovery::{RecoveringNetwork, RecoveringProtocol, RecoveryConfig, RecoveryState};
 pub use state::{delta, BfwState};
 pub use termination::{BfwWithTermination, TerminationState};

@@ -1,0 +1,742 @@
+//! The self-healing recovery layer: leaderless detection and
+//! epoch-tagged restart on top of any beeping leader-election protocol.
+//!
+//! The paper leaves open whether a "simple but more robust rule" can
+//! recover leader election under dynamics (Section 5 proves BFW itself
+//! is *not* self-stabilizing: leaderless phantom waves circulate
+//! forever, and our scenario engine shows partition-heal merges can
+//! eliminate every leader organically). [`RecoveringProtocol`] is that
+//! rule, built from weak-communication primitives only:
+//!
+//! * **Slot multiplexing.** Rounds alternate between *election slots*
+//!   (even rounds — the inner protocol runs unchanged, at half speed)
+//!   and *heartbeat slots* (odd rounds — a liveness channel). Beeps
+//!   carry no content in the beeping model, so the two logical channels
+//!   are separated in time, not by tags.
+//! * **Phase-structured heartbeat waves.** Heartbeat slots are grouped
+//!   into periods of [`heartbeat_period`] slots by the shared round
+//!   clock. Every leader beeps exactly at **phase 0** of each period;
+//!   a non-leader that hears a beat at phase `o` relays it once at
+//!   phase `o + 1`, but only while `o` lies strictly inside the relay
+//!   window (which ends at phase `period - 4`, enough for a sweep to
+//!   cover the diameter). The last three phases of every period are a
+//!   **forbidden zone**: beats there are ignored and never relayed.
+//!   This phase discipline is what
+//!   keeps Section 5's phantom problem off the liveness channel — a
+//!   stray relay front advances one phase per slot, so it provably hits
+//!   the forbidden zone and dies within one period, whereas an undisci-
+//!   plined flood would let a lone front lap a cycle forever, resetting
+//!   every timeout and masking leaderlessness. One relay per node per
+//!   period also makes backward echoes impossible.
+//! * **Timeout and restart.** Each node counts heartbeat slots since
+//!   the last *credible* heartbeat (own emission, or a beat heard
+//!   inside the relay window). When the count reaches [`timeout`], the
+//!   node declares the network leaderless and *restarts*: it re-enters
+//!   the election as a fresh candidate (for BFW: `W•`), bumps its
+//!   **epoch** counter, and goes deaf and mute.
+//! * **Epoch fencing by aligned cohorts.** Restarts are epoch-tagged
+//!   temporally (beeps carry no epoch number): a restarted node stays
+//!   deaf-mute until the next global **restart boundary** (every
+//!   [`align_rounds`] rounds, at least [`grace`] election slots away).
+//!   All nodes that time out in the same window therefore rejoin
+//!   **simultaneously**. While they are mute, waves of the previous
+//!   epoch die at them; when the whole network restarts — the wipeout
+//!   case — the rejoin is an all-`W•` configuration, which is exactly
+//!   the paper's Eq. (2) initialization: from there Theorem 2 applies
+//!   and no phantom wave can exist. Staggered *individual* exits are
+//!   what manufactures phantom waves, so the alignment is load-bearing,
+//!   not cosmetic.
+//!
+//! Per the paper's minimalist constraint the layer adds only
+//! constant-bounded counters (`O(1)` states for fixed parameters); like
+//! the Theorem 3 variant it trades uniformity for a diameter-derived
+//! constant — see [`RecoveryConfig::for_diameter`].
+//!
+//! The wrapper implements [`BeepingProtocol`] itself, so it runs on
+//! every runtime a beeping protocol runs on (the beeping `Network`, the
+//! stone-age runtime through `BeepingAsStoneAge`). For executions with
+//! mid-run crash/recovery or state injection, use [`RecoveringNetwork`]
+//! (the `SlotSyncedModel` runtime), which stamps the slot clock of
+//! every externally installed state from the global round counter.
+//!
+//! **Known limits** (documented, measured by experiment E17): the layer
+//! relies on the synchronized round structure for its phase discipline
+//! (the same assumption the synchronous beeping model already makes),
+//! and perception noise on the heartbeat slots degrades detection like
+//! it degrades Section 3's guarantees — a hallucinated in-window beat
+//! delays detection, a lost sweep advances it.
+//!
+//! [`heartbeat_period`]: RecoveryConfig::heartbeat_period
+//! [`timeout`]: RecoveryConfig::timeout
+//! [`grace`]: RecoveryConfig::grace
+//! [`align_rounds`]: RecoveryConfig::align_rounds
+
+use crate::{Bfw, BfwState};
+use bfw_sim::{BeepingProtocol, LeaderElection, NodeCtx, SlotAware, SlotSyncedModel, TickEngine};
+use rand::RngCore;
+
+/// Margin between the relay window and the period wrap: the window ends
+/// at phase `heartbeat_period - FORBIDDEN_PHASES`, so the last
+/// `FORBIDDEN_PHASES - 1` phases of every period hear nothing credible
+/// and carry no relays (a relay scheduled at the window's final phase
+/// still fires one phase later). Any stray front therefore falls
+/// silent at least 3 phases before the next pulse.
+pub const FORBIDDEN_PHASES: u32 = 4;
+
+/// Timing parameters of the recovery layer. Heartbeat parameters count
+/// heartbeat slots (= every other round); the grace window counts
+/// election slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Heartbeat slots per period: every leader pulses at phase 0 of
+    /// each period; relays sweep phases `1..=relay_window`; the
+    /// remaining tail of the period accepts nothing (see
+    /// [`FORBIDDEN_PHASES`]).
+    pub heartbeat_period: u32,
+    /// Heartbeat slots without a credible heartbeat before a node
+    /// declares the network leaderless and restarts.
+    pub timeout: u32,
+    /// Minimum election slots of post-restart deafness. The actual
+    /// deaf-mute interval ends at the next restart boundary (see
+    /// [`align_rounds`](Self::align_rounds)) that is at least this far
+    /// away, so co-timing-out nodes rejoin simultaneously.
+    pub grace: u32,
+}
+
+impl RecoveryConfig {
+    /// Creates a configuration after validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`try_new`](Self::try_new) rejects.
+    pub fn new(heartbeat_period: u32, timeout: u32, grace: u32) -> Self {
+        match Self::try_new(heartbeat_period, timeout, grace) {
+            Ok(config) => config,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// Fallible constructor: rejects `heartbeat_period ≤
+    /// FORBIDDEN_PHASES` (the relay window must be non-empty),
+    /// `timeout ≤ heartbeat_period` (a healthy network must never time
+    /// out between two consecutive sweeps) and `grace = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn try_new(heartbeat_period: u32, timeout: u32, grace: u32) -> Result<Self, String> {
+        if heartbeat_period <= FORBIDDEN_PHASES {
+            return Err(format!(
+                "heartbeat period ({heartbeat_period}) must exceed the forbidden zone \
+                 ({FORBIDDEN_PHASES})"
+            ));
+        }
+        if timeout <= heartbeat_period {
+            return Err(format!(
+                "timeout ({timeout}) must exceed the heartbeat period ({heartbeat_period})"
+            ));
+        }
+        if grace == 0 {
+            return Err("grace window must be ≥ 1".to_owned());
+        }
+        Ok(RecoveryConfig {
+            heartbeat_period,
+            timeout,
+            grace,
+        })
+    }
+
+    /// The diameter-derived defaults (the recovery analogue of
+    /// Theorem 3's `p = 1/(D+1)`): period `D + 5` so the relay window
+    /// `D + 1` covers a full sweep, timeout `3·period` so one lost or
+    /// late sweep never triggers a false restart, and grace equal to
+    /// the timeout so a restart cohort's mute interval outlasts any
+    /// in-flight wave.
+    pub fn for_diameter(diameter: u32) -> Self {
+        let period = diameter + 5;
+        RecoveryConfig::new(period, 3 * period, 3 * period)
+    }
+
+    /// The global restart-boundary spacing, in **rounds**: the smallest
+    /// power of two at least `2 · (timeout + grace)` (a power of two so
+    /// a wrapping 32-bit round clock stays consistent with `round mod
+    /// align`). Nodes rejoin only at multiples of this.
+    pub fn align_rounds(&self) -> u32 {
+        (2 * (self.timeout + self.grace)).next_power_of_two()
+    }
+
+    /// The last phase at which a relay may fire:
+    /// `heartbeat_period - FORBIDDEN_PHASES`, at least 1. A sweep from
+    /// a phase-0 pulse reaches distance `k` at phase `k`, so the
+    /// window covers any graph with diameter ≤ `relay_window - 1`.
+    pub fn relay_window(&self) -> u32 {
+        (self.heartbeat_period - FORBIDDEN_PHASES).max(1)
+    }
+}
+
+/// State of one node under [`RecoveringProtocol`]: the inner protocol
+/// state plus the constant-bounded recovery bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryState<S> {
+    /// The wrapped protocol's state (advanced only in election slots).
+    pub inner: S,
+    /// Wrapping round clock: the global round this state acts in next
+    /// (low bit = slot parity, low bits mod
+    /// [`RecoveryConfig::align_rounds`] = position in the restart
+    /// window). Maintained by the transition; stamped from the global
+    /// round by the `SlotSyncedModel` runtime for mid-run joiners.
+    pub clock: u32,
+    /// Relay scheduled for the upcoming heartbeat slot.
+    pub hb_emit: bool,
+    /// Already relayed in the current heartbeat period (one relay per
+    /// node per period; cleared at each period wrap).
+    pub relayed: bool,
+    /// Heartbeat slots since the last *credible* heartbeat (own
+    /// emission or an in-window beat) — the leaderless-detection clock
+    /// (saturating).
+    pub since_valid: u32,
+    /// Rounds of post-restart deafness remaining; the node rejoins when
+    /// this reaches 0, exactly at a restart boundary (0 = active).
+    pub grace_rounds: u32,
+    /// Number of restarts this node has performed — the epoch tag.
+    pub epoch: u32,
+}
+
+impl<S> RecoveryState<S> {
+    /// Wraps an externally produced inner state (scenario state
+    /// injection, adapters): active, no pending emission, detection
+    /// clock reset. The round clock defaults to 0; runtimes that know
+    /// the global round stamp it on installation.
+    pub fn rejoining(inner: S) -> Self {
+        RecoveryState {
+            inner,
+            clock: 0,
+            hb_emit: false,
+            relayed: false,
+            since_valid: 0,
+            grace_rounds: 0,
+            epoch: 0,
+        }
+    }
+
+    /// `true` if the next round this state acts in is a heartbeat slot
+    /// (an odd global round).
+    pub fn heartbeat_slot(&self) -> bool {
+        self.clock % 2 == 1
+    }
+}
+
+impl<S> SlotAware for RecoveryState<S> {
+    fn sync_clock(&mut self, round: u64) {
+        self.clock = round as u32;
+    }
+}
+
+/// The recovery layer around a beeping leader-election protocol `P` —
+/// see the [module docs](self) for the mechanism.
+///
+/// # Example
+///
+/// ```
+/// use bfw_core::{RecoveringProtocol, RecoveryConfig};
+/// use bfw_sim::{LeaderElection, Network};
+/// use bfw_graph::generators;
+///
+/// let protocol = RecoveringProtocol::bfw(0.5, RecoveryConfig::for_diameter(4));
+/// let mut net = Network::new(protocol, generators::cycle(8).into(), 42);
+/// net.run(10_000);
+/// assert_eq!(net.leader_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveringProtocol<P: LeaderElection> {
+    inner: P,
+    config: RecoveryConfig,
+    restart_state: P::State,
+}
+
+/// The crash/recovery-safe runtime for [`RecoveringProtocol`]: a
+/// [`TickEngine`] whose [`SlotSyncedModel`] stamps the round clock of
+/// every externally installed state (initial, recovered, injected) from
+/// the global round counter, so mid-run rejoiners can never
+/// desynchronize the election/heartbeat multiplexing. Use this — not a
+/// plain `Network<RecoveringProtocol<P>>` — whenever the execution
+/// involves crash recovery or scenario state injection.
+pub type RecoveringNetwork<P> = TickEngine<SlotSyncedModel<RecoveringProtocol<P>>>;
+
+impl<P: LeaderElection> RecoveringProtocol<P> {
+    /// Wraps `inner` with the recovery layer; `restart_state` is the
+    /// state a node re-enters the election in when its timeout fires
+    /// (for BFW: `W•`, a fresh leader candidate).
+    pub fn new(inner: P, config: RecoveryConfig, restart_state: P::State) -> Self {
+        RecoveringProtocol {
+            inner,
+            config,
+            restart_state,
+        }
+    }
+
+    /// Returns the wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Returns the timing parameters.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.config
+    }
+
+    /// A conservative upper bound, in **rounds**, on the time from "the
+    /// last leader disappeared" to "every node has restarted and
+    /// rejoined at a restart boundary" (detection + cohort wait; the
+    /// subsequent election is the inner protocol's own convergence
+    /// time). Used by tests and the recovery experiment to bound
+    /// re-election latency.
+    pub fn detection_bound_rounds(&self) -> u64 {
+        // Detection: ≤ 2·timeout heartbeat slots (timeout plus the
+        // staggering of last credible beats) = 4·timeout rounds; then
+        // the cohort waits ≤ align + 2·grace rounds for its boundary.
+        u64::from(4 * self.config.timeout)
+            + u64::from(self.config.align_rounds())
+            + u64::from(2 * self.config.grace)
+    }
+
+    /// One heartbeat-slot update (the round's low bit is 1): runs the
+    /// liveness channel, leaving `inner` untouched. The slot's phase in
+    /// the heartbeat period is derived from the shared round clock.
+    fn heartbeat_step(
+        &self,
+        state: &RecoveryState<P::State>,
+        heard: bool,
+    ) -> RecoveryState<P::State> {
+        let mut next = state.clone();
+        next.clock = state.clock.wrapping_add(1);
+        if state.grace_rounds > 0 {
+            // Deaf-mute: the detection clock is suspended, nothing is
+            // emitted or relayed.
+            next.grace_rounds = state.grace_rounds - 1;
+            next.since_valid = 0;
+            next.hb_emit = false;
+            next.relayed = false;
+            return next;
+        }
+        let period = self.config.heartbeat_period;
+        let window = self.config.relay_window();
+        let phase = (state.clock / 2) % period;
+        let leader = self.inner.is_leader(&state.inner);
+        let emitted = state.hb_emit || (leader && phase == 0);
+        // A beat is credible only inside the relay window (a phase-0
+        // pulse or a sweep relay). Beats in the forbidden zone are
+        // stray fronts: ignored by the detector and never relayed, so
+        // they die within one period.
+        let credible = heard && (emitted || phase <= window);
+        let relay = credible && !emitted && !leader && !state.relayed && phase < window;
+        next.hb_emit = relay;
+        next.relayed = if phase + 1 == period {
+            false // fresh relay budget for the next period
+        } else {
+            state.relayed || relay
+        };
+        next.since_valid = if credible {
+            0
+        } else {
+            state.since_valid.saturating_add(1)
+        };
+        if next.since_valid >= self.config.timeout {
+            // Leaderless: restart into a new epoch, deaf and mute
+            // until the next restart boundary at least `grace`
+            // election slots away — every node that timed out in the
+            // same window rejoins at the same boundary.
+            let align = self.config.align_rounds();
+            let position = state.clock.wrapping_add(1) % align;
+            let mut to_boundary = (align - position) % align;
+            if to_boundary < 2 * self.config.grace {
+                to_boundary += align;
+            }
+            next.inner = self.restart_state.clone();
+            next.grace_rounds = to_boundary;
+            next.epoch = state.epoch.saturating_add(1);
+            next.since_valid = 0;
+            next.hb_emit = false;
+            next.relayed = false;
+        }
+        next
+    }
+
+    /// One election-slot update (the round's low bit is 0): runs the
+    /// inner protocol, unless the node is inside its deaf-mute window.
+    fn election_step(
+        &self,
+        state: &RecoveryState<P::State>,
+        heard: bool,
+        rng: &mut dyn RngCore,
+    ) -> RecoveryState<P::State> {
+        let mut next = state.clone();
+        next.clock = state.clock.wrapping_add(1);
+        if state.grace_rounds > 0 {
+            // Frozen: deaf, mute, and drawing no randomness while the
+            // previous epoch's waves die out.
+            next.grace_rounds = state.grace_rounds - 1;
+        } else {
+            next.inner = self.inner.transition(&state.inner, heard, rng);
+        }
+        next
+    }
+}
+
+impl RecoveringProtocol<Bfw> {
+    /// The canonical instantiation: BFW with beep probability `p`,
+    /// restarting into `W•`.
+    pub fn bfw(p: f64, config: RecoveryConfig) -> Self {
+        RecoveringProtocol::new(Bfw::new(p), config, BfwState::LeaderWaiting)
+    }
+}
+
+impl<P: LeaderElection> BeepingProtocol for RecoveringProtocol<P> {
+    type State = RecoveryState<P::State>;
+
+    fn initial_state(&self, ctx: NodeCtx) -> Self::State {
+        RecoveryState {
+            inner: self.inner.initial_state(ctx),
+            clock: 0,
+            hb_emit: false,
+            relayed: false,
+            since_valid: 0,
+            grace_rounds: 0,
+            epoch: 0,
+        }
+    }
+
+    fn beeps(&self, state: &Self::State) -> bool {
+        if state.grace_rounds > 0 {
+            return false;
+        }
+        if state.heartbeat_slot() {
+            let phase = (state.clock / 2) % self.config.heartbeat_period;
+            state.hb_emit || (phase == 0 && self.inner.is_leader(&state.inner))
+        } else {
+            self.inner.beeps(&state.inner)
+        }
+    }
+
+    fn transition(&self, state: &Self::State, heard: bool, rng: &mut dyn RngCore) -> Self::State {
+        if state.heartbeat_slot() {
+            self.heartbeat_step(state, heard)
+        } else {
+            self.election_step(state, heard, rng)
+        }
+    }
+}
+
+impl<P: LeaderElection> LeaderElection for RecoveringProtocol<P> {
+    fn is_leader(&self, state: &Self::State) -> bool {
+        self.inner.is_leader(&state.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfw_graph::generators;
+    use bfw_sim::Network;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn proto(d: u32) -> RecoveringProtocol<Bfw> {
+        RecoveringProtocol::bfw(0.5, RecoveryConfig::for_diameter(d))
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the heartbeat period")]
+    fn config_rejects_tight_timeout() {
+        let _ = RecoveryConfig::new(10, 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the forbidden zone")]
+    fn config_rejects_tiny_period() {
+        let _ = RecoveryConfig::new(FORBIDDEN_PHASES, 40, 5);
+    }
+
+    #[test]
+    fn for_diameter_scales() {
+        let c = RecoveryConfig::for_diameter(8);
+        assert_eq!(c.heartbeat_period, 13);
+        assert_eq!(c.timeout, 39);
+        assert_eq!(c.grace, 39);
+        assert_eq!(c.align_rounds(), 256); // next pow2 of 2·(39+39)
+        assert!(c.align_rounds().is_power_of_two());
+        assert_eq!(c.relay_window(), 9); // covers a sweep of diameter 8
+                                         // Single node: still valid.
+        let _ = RecoveryConfig::for_diameter(0);
+    }
+
+    #[test]
+    fn initial_leaders_pulse_at_phase_zero() {
+        let p = proto(4);
+        let s = p.initial_state(NodeCtx {
+            node: bfw_graph::NodeId::new(0),
+            node_count: 8,
+        });
+        assert!(!s.heartbeat_slot(), "round 0 is an election slot");
+        assert!(!p.beeps(&s), "W• does not beep in the election slot");
+        assert_eq!(s.epoch, 0);
+        // Round 1 is the first heartbeat slot, phase 0 of the first
+        // period: every leader pulses there.
+        let mut hb = s.clone();
+        hb.clock = 1;
+        assert!(p.beeps(&hb), "a leader pulses at phase 0");
+        // At a non-zero phase without a scheduled relay: silence.
+        hb.clock = 3;
+        assert!(!p.beeps(&hb));
+    }
+
+    #[test]
+    fn election_still_converges_under_the_wrapper() {
+        // The wrapper must not break the inner election: a cycle still
+        // converges to exactly one leader, and stays there.
+        let mut net = Network::new(proto(4), generators::cycle(8).into(), 3);
+        net.run(30_000);
+        assert_eq!(net.leader_count(), 1);
+        let leader = net.unique_leader().unwrap();
+        net.run(5_000);
+        assert_eq!(net.unique_leader(), Some(leader), "leader must be stable");
+        // Nobody restarted: the heartbeat kept every timeout clock low.
+        assert!(net.states().iter().all(|s| s.epoch == 0));
+    }
+
+    #[test]
+    fn heartbeats_reach_every_node_periodically() {
+        // After convergence, every node's detection clock stays below
+        // the timeout forever (the heartbeat wave sweeps the whole
+        // cycle each period), across several seeds.
+        for seed in 0..6u64 {
+            let p = proto(4);
+            let timeout = p.config().timeout;
+            let mut net = Network::new(p, generators::cycle(8).into(), seed);
+            net.run(20_000);
+            for _ in 0..2_000 {
+                net.step();
+                for s in net.states() {
+                    assert!(
+                        s.since_valid < timeout,
+                        "seed {seed}: detection clock reached {} (timeout {timeout}) \
+                         in a healthy network",
+                        s.since_valid
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heartbeat_waves_die_between_pulses() {
+        // The refractory + gap-validation rules must kill each sweep:
+        // strictly between two leader pulses there must be silent
+        // heartbeat slots (a circulating relay front would beep in
+        // every heartbeat slot forever). cycle(12) has diameter 6:
+        // period 11, each sweep occupies ~7 slots, leaving ~4 silent.
+        let mut net = Network::new(proto(6), generators::cycle(12).into(), 5);
+        net.run(20_001);
+        let mut silent_hb_slots = 0;
+        for _ in 0..200 {
+            // Heartbeat slots are the odd rounds; count silent ones.
+            if net.round() % 2 == 1 && net.beeping_node_count() == 0 {
+                silent_hb_slots += 1;
+            }
+            net.step();
+        }
+        assert!(
+            silent_hb_slots > 15,
+            "only {silent_hb_slots}/100 heartbeat slots were silent — relays are circulating"
+        );
+    }
+
+    #[test]
+    fn leaderless_network_restarts_and_re_elects() {
+        // Start with *no* leader at all (every node a waiting
+        // non-leader): plain BFW stays leaderless forever; the wrapper
+        // detects the silence and re-elects.
+        let p = proto(4);
+        let bound = p.detection_bound_rounds();
+        let n = 8;
+        let states: Vec<RecoveryState<BfwState>> = (0..n)
+            .map(|_| RecoveryState::rejoining(BfwState::Waiting))
+            .collect();
+        let mut net = Network::with_states(p, generators::cycle(n).into(), 11, states);
+        // Restart must fire within the detection bound...
+        net.run(bound);
+        assert!(
+            net.states().iter().all(|s| s.epoch == 1),
+            "every node must have restarted exactly once within {bound} rounds: {:?}",
+            net.states().iter().map(|s| s.epoch).collect::<Vec<_>>()
+        );
+        // ...and the subsequent election must converge and stay stable.
+        net.run(40_000);
+        assert_eq!(net.leader_count(), 1, "re-election failed");
+        assert!(
+            net.states().iter().all(|s| s.epoch == 1),
+            "no repeat restarts"
+        );
+    }
+
+    #[test]
+    fn restart_cohort_rejoins_at_one_aligned_boundary() {
+        // All nodes of a silent network time out together and must
+        // rejoin at the *same* restart boundary (multiple of
+        // align_rounds) — the property that makes the rejoin an Eq. (2)
+        // initialization with no stale wave able to survive.
+        let p = proto(4);
+        let align = u64::from(p.config().align_rounds());
+        let n = 6;
+        let states: Vec<RecoveryState<BfwState>> = (0..n)
+            .map(|_| RecoveryState::rejoining(BfwState::Waiting))
+            .collect();
+        let mut net = Network::with_states(p, generators::cycle(n).into(), 3, states);
+        let mut rejoined_at = None;
+        for _ in 0..(4 * align) {
+            net.step();
+            let active = net.states().iter().filter(|s| s.grace_rounds == 0).count();
+            let restarted = net.states().iter().filter(|s| s.epoch == 1).count();
+            if restarted == n && active == n && rejoined_at.is_none() {
+                rejoined_at = Some(net.round());
+                // Simultaneous rejoin: everyone is a fresh candidate.
+                assert!(net
+                    .states()
+                    .iter()
+                    .all(|s| s.inner == BfwState::LeaderWaiting));
+            }
+            if restarted == n && active > 0 && active < n {
+                panic!(
+                    "staggered rejoin at round {}: {active}/{n} active",
+                    net.round()
+                );
+            }
+        }
+        let at = rejoined_at.expect("cohort must have rejoined");
+        assert_eq!(at % align, 0, "rejoin must land on a restart boundary");
+    }
+
+    #[test]
+    fn lone_heartbeat_front_dies_in_the_forbidden_zone() {
+        // Manufacture the liveness-channel phantom: a single stray
+        // relay front on a leaderless cycle. Under an undisciplined
+        // relay flood it would lap the cycle forever, resetting every
+        // timeout and permanently masking the leaderlessness; the phase
+        // discipline kills it within one period, so every node still
+        // restarts.
+        let p = proto(6);
+        let horizon = u64::from(p.config().align_rounds()) / 2;
+        let n = 16;
+        let mut states: Vec<RecoveryState<BfwState>> = (0..n)
+            .map(|_| RecoveryState::rejoining(BfwState::Waiting))
+            .collect();
+        states[0].hb_emit = true; // the orphan front
+        let mut net = Network::with_states(p, generators::cycle(n).into(), 7, states);
+        net.run(horizon);
+        assert!(
+            net.states().iter().all(|s| s.epoch >= 1),
+            "the lone front suppressed detection: {:?}",
+            net.states()
+                .iter()
+                .map(|s| s.since_valid)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn restart_grace_is_deaf_and_mute() {
+        let p = proto(4);
+        // A node mid-grace must not beep in either slot and must ignore
+        // election beeps.
+        let mut s = RecoveryState::rejoining(BfwState::LeaderWaiting);
+        s.grace_rounds = 5;
+        assert!(!p.beeps(&s));
+        s.clock = 1; // heartbeat slot
+        s.hb_emit = true; // even a pending emission is suppressed
+        assert!(!p.beeps(&s));
+        s.clock = 0;
+        s.hb_emit = false;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let next = p.transition(&s, true, &mut rng);
+        assert_eq!(
+            next.inner,
+            BfwState::LeaderWaiting,
+            "grace must shield the candidate from elimination"
+        );
+        assert_eq!(next.grace_rounds, 4);
+        // No randomness was consumed while frozen.
+        use rand::RngCore as _;
+        let mut fresh = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn transition_round_trips_slot_parity() {
+        let p = proto(4);
+        let s = p.initial_state(NodeCtx {
+            node: bfw_graph::NodeId::new(0),
+            node_count: 4,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let hb = p.transition(&s, false, &mut rng);
+        assert!(hb.heartbeat_slot());
+        let el = p.transition(&hb, p.beeps(&hb), &mut rng);
+        assert!(!el.heartbeat_slot());
+        assert_eq!(el.clock, s.clock + 2);
+    }
+
+    #[test]
+    fn recovering_network_matches_plain_network_on_static_runs() {
+        // With no mid-run joins the slot-synced runtime is the plain
+        // runtime, bit for bit.
+        let mut a = Network::new(proto(4), generators::cycle(8).into(), 13);
+        let mut b = RecoveringNetwork::new(proto(4), generators::cycle(8).into(), 13);
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.states(), b.states());
+        assert_eq!(a.leader_count(), b.leader_count());
+    }
+
+    #[test]
+    fn recovering_network_syncs_rejoiners_at_odd_rounds() {
+        // Recover a node after an odd number of rounds: under the
+        // slot-synced runtime its clock must match the network's.
+        let mut net = RecoveringNetwork::new(proto(4), generators::cycle(8).into(), 2);
+        let u = bfw_graph::NodeId::new(3);
+        net.run(100);
+        net.crash_node(u);
+        net.run(101); // 201 completed rounds: next round is odd = heartbeat
+        net.recover_node(u);
+        assert!(net.states()[3].heartbeat_slot(), "rejoiner must be stamped");
+        assert_eq!(net.states()[3].clock, net.states()[0].clock);
+        // And injected configurations are stamped the same way.
+        net.set_node_state(u, RecoveryState::rejoining(BfwState::Waiting));
+        assert!(net.states()[3].heartbeat_slot());
+        assert_eq!(net.states()[3].clock, 201);
+    }
+
+    #[test]
+    fn crashed_sole_leader_is_replaced_without_rejoin() {
+        // The headline self-healing property: crash the unique leader
+        // and *don't* bring it back. Plain BFW stays leaderless forever
+        // (Section 5); the recovery layer detects the silence and
+        // re-elects among the survivors. The config is sized to the
+        // worst-case alive-subgraph eccentricity n - 1 = 7 (a crashed
+        // node relays nothing, so the cycle degrades to a path), not to
+        // the intact diameter 4.
+        for seed in 0..4u64 {
+            let mut net = RecoveringNetwork::new(proto(7), generators::cycle(8).into(), seed);
+            net.run(30_000);
+            let leader = net.unique_leader().expect("election must converge");
+            net.crash_node(leader);
+            assert_eq!(net.leader_count(), 0);
+            net.run(60_000);
+            assert_eq!(net.leader_count(), 1, "seed {seed}: no replacement leader");
+            assert_ne!(net.unique_leader(), Some(leader));
+            assert!(
+                net.states().iter().any(|s| s.epoch >= 1),
+                "seed {seed}: recovery must have gone through a restart epoch"
+            );
+        }
+    }
+}

@@ -1,8 +1,14 @@
 //! BFW-specific wiring: injectors and the one-call scenario runner.
 
-use crate::{Engine, InjectKind, Injector, ScenarioOutcome, ScenarioSpec};
-use bfw_core::{adversarial, Bfw, BfwState};
-use bfw_graph::Graph;
+use crate::{
+    Engine, InjectKind, Injector, ProtocolKind, ScenarioEvent, ScenarioOutcome, ScenarioSpec,
+    SpecError,
+};
+use bfw_core::{
+    adversarial, Bfw, BfwState, RecoveringNetwork, RecoveringProtocol, RecoveryConfig,
+    RecoveryState,
+};
+use bfw_graph::{algo, Graph};
 use bfw_sim::Network;
 
 /// The injector resolving [`InjectKind`] into BFW configurations from
@@ -24,25 +30,143 @@ pub fn bfw_injector() -> Injector<BfwState> {
     })
 }
 
-/// Runs a parsed [`ScenarioSpec`] with BFW on `graph`, seeding both the
-/// protocol execution and the scenario stream from `seed`.
+/// The [`bfw_injector`] lifted to the recovery layer: the same Section 5
+/// configurations, wrapped into fresh [`RecoveryState`]s (normal
+/// operation, detection clock reset — the runtime stamps the slot
+/// parity on installation, so injection at any round stays
+/// phase-synchronized).
+pub fn recovering_bfw_injector() -> Injector<RecoveryState<BfwState>> {
+    let base = bfw_injector();
+    Box::new(move |kind, n| {
+        base(kind, n).map(|states| states.into_iter().map(RecoveryState::rejoining).collect())
+    })
+}
+
+/// The worst-case eccentricity the recovery layer's relay window must
+/// cover for this scenario. A timeline containing distance-*stretching*
+/// events can push eccentricities past the initial diameter — a window
+/// sized to the intact graph would then strand distant nodes outside
+/// every sweep and trigger perpetual false restarts — so those
+/// scenarios use the graph-independent bound `n - 1` (no connected
+/// subgraph on `n` nodes exceeds it). Stretching events are the
+/// topology cuts (`remove-edge`, `partition`) **and every crash kind**:
+/// a crashed node neither beeps nor relays, so heartbeat sweeps must
+/// detour around it through the alive subgraph, whose distances can
+/// exceed the intact diameter. Static and distance-shrinking timelines
+/// keep the exact initial diameter (disconnected inputs fall back to
+/// `n`).
+fn eccentricity_bound(spec: &ScenarioSpec, graph: &Graph) -> u32 {
+    let n = graph.node_count() as u32;
+    let stretching = spec.timeline.entries().iter().any(|entry| {
+        matches!(
+            entry.event,
+            ScenarioEvent::RemoveEdge(..)
+                | ScenarioEvent::Partition { .. }
+                | ScenarioEvent::CrashNode(..)
+                | ScenarioEvent::CrashRandom
+                | ScenarioEvent::CrashLeader
+        )
+    });
+    if stretching {
+        n.saturating_sub(1)
+    } else {
+        algo::diameter(graph).unwrap_or(n)
+    }
+}
+
+/// Resolves a spec's recovery timing against a concrete graph: start
+/// from [`RecoveryConfig::for_diameter`] over the scenario's worst-case
+/// eccentricity bound — the initial diameter, or `n - 1` when the
+/// timeline contains distance-stretching events (`remove-edge`,
+/// `partition`), which can push eccentricities past the intact
+/// diameter — and apply the spec's explicit `heartbeat` / `timeout` /
+/// `grace` overrides.
 ///
-/// The caller resolves the spec's `graph` string to a concrete
-/// [`Graph`] (the CLI uses `bfw-bench`'s `GraphSpec` syntax); everything
-/// else — protocol, timeline, injection, metrics — is wired here. Same
-/// `(spec, graph, seed)` ⇒ byte-identical [`ScenarioOutcome`].
-pub fn run_bfw_scenario(spec: &ScenarioSpec, graph: &Graph, seed: u64) -> ScenarioOutcome {
-    let host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
-    Engine::new(
-        host,
-        graph,
-        &spec.timeline,
-        spec.rounds,
-        seed,
-        spec.stability,
+/// # Errors
+///
+/// Returns a [`SpecError`] when the overridden combination violates the
+/// layer's timing constraints (see [`RecoveryConfig::try_new`]), or
+/// when the resulting relay window cannot cover the scenario's
+/// worst-case eccentricity (a heartbeat sweep that cannot reach every
+/// node would silently break the election) — a scenario typo must fail
+/// with a message, not panic the run or corrupt it.
+pub fn scenario_recovery_config(
+    spec: &ScenarioSpec,
+    graph: &Graph,
+) -> Result<RecoveryConfig, SpecError> {
+    let bound = eccentricity_bound(spec, graph);
+    let auto = RecoveryConfig::for_diameter(bound);
+    let config = RecoveryConfig::try_new(
+        spec.heartbeat.unwrap_or(auto.heartbeat_period),
+        spec.timeout.unwrap_or(auto.timeout),
+        spec.grace.unwrap_or(auto.grace),
     )
-    .with_injector(bfw_injector())
-    .run()
+    .map_err(|message| SpecError::new(format!("recovery timing: {message}")))?;
+    if config.relay_window() < bound {
+        return Err(SpecError::new(format!(
+            "recovery timing: relay window {} (heartbeat {} minus the forbidden zone) \
+             cannot cover this scenario's worst-case eccentricity {bound}; \
+             raise heartbeat to at least {}",
+            config.relay_window(),
+            config.heartbeat_period,
+            bound + bfw_core::recovery::FORBIDDEN_PHASES
+        )));
+    }
+    Ok(config)
+}
+
+/// Runs a parsed [`ScenarioSpec`] on `graph`, seeding both the protocol
+/// execution and the scenario stream from `seed`.
+///
+/// The spec's `protocol` key selects the stack: plain BFW on a
+/// [`Network`], or `bfw+recovery` — BFW wrapped in the self-healing
+/// recovery layer — on a [`RecoveringNetwork`] (slot parity kept
+/// synchronized for mid-run rejoiners), with the timing resolved by
+/// [`scenario_recovery_config`]. The caller resolves the spec's `graph`
+/// string to a concrete [`Graph`] (the CLI uses `bfw-bench`'s
+/// `GraphSpec` syntax); everything else — protocol, timeline,
+/// injection, metrics — is wired here. Same `(spec, graph, seed)` ⇒
+/// byte-identical [`ScenarioOutcome`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec's recovery-timing overrides
+/// are invalid for this graph (see [`scenario_recovery_config`]).
+pub fn run_bfw_scenario(
+    spec: &ScenarioSpec,
+    graph: &Graph,
+    seed: u64,
+) -> Result<ScenarioOutcome, SpecError> {
+    Ok(match spec.protocol {
+        ProtocolKind::Bfw => {
+            let host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
+            Engine::new(
+                host,
+                graph,
+                &spec.timeline,
+                spec.rounds,
+                seed,
+                spec.stability,
+            )
+            .with_injector(bfw_injector())
+            .run()
+        }
+        ProtocolKind::BfwRecovery => {
+            let config = scenario_recovery_config(spec, graph)?;
+            let protocol = RecoveringProtocol::bfw(spec.p, config);
+            let host = RecoveringNetwork::new(protocol, graph.clone().into(), seed);
+            Engine::new(
+                host,
+                graph,
+                &spec.timeline,
+                spec.rounds,
+                seed,
+                spec.stability,
+            )
+            .with_injector(recovering_bfw_injector())
+            .run()
+        }
+    })
 }
 
 #[cfg(test)]
@@ -69,9 +193,13 @@ kind = "recover-all"
     #[test]
     fn spec_runner_measures_recovery() {
         let spec = ScenarioSpec::parse(CHURN).unwrap();
-        let outcome = run_bfw_scenario(&spec, &generators::cycle(12), 42);
+        let outcome = run_bfw_scenario(&spec, &generators::cycle(12), 42).unwrap();
         assert_eq!(outcome.rounds_run, 15_000);
-        assert_eq!(outcome.recoveries.len(), 1, "{outcome:?}");
+        // Two disruptions (crash, rejoin), each with its own window,
+        // both answered by the same stable leader.
+        assert_eq!(outcome.recoveries.len(), 2, "{outcome:?}");
+        assert_eq!(outcome.recoveries[0].disrupted_at, 4_000);
+        assert_eq!(outcome.recoveries[1].disrupted_at, 4_200);
         assert!(outcome.recoveries[0].recovered_at >= 4_200);
         assert_eq!(outcome.final_leaders.len(), 1);
     }
@@ -80,16 +208,112 @@ kind = "recover-all"
     fn spec_runner_is_byte_deterministic() {
         let spec = ScenarioSpec::parse(CHURN).unwrap();
         let g = generators::cycle(12);
-        let a = run_bfw_scenario(&spec, &g, 7).to_text();
-        let b = run_bfw_scenario(&spec, &g, 7).to_text();
+        let a = run_bfw_scenario(&spec, &g, 7).unwrap().to_text();
+        let b = run_bfw_scenario(&spec, &g, 7).unwrap().to_text();
         assert_eq!(a, b);
         // The report exposes only a few seed-sensitive fields (elected
         // leader identity, latencies), so any single pair of seeds can
         // collide; across several seeds the outcomes must differ.
         let distinct: std::collections::HashSet<String> = (7..15u64)
-            .map(|seed| run_bfw_scenario(&spec, &g, seed).to_text())
+            .map(|seed| run_bfw_scenario(&spec, &g, seed).unwrap().to_text())
             .collect();
         assert!(distinct.len() > 1, "seeds must matter");
+    }
+
+    #[test]
+    fn recovery_protocol_spec_runs_and_is_deterministic() {
+        let text = CHURN.replace(
+            "stability = 20",
+            "stability = 20\nprotocol = \"bfw+recovery\"",
+        );
+        let spec = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec.protocol, ProtocolKind::BfwRecovery);
+        let g = generators::cycle(12);
+        let a = run_bfw_scenario(&spec, &g, 42).unwrap();
+        assert_eq!(a, run_bfw_scenario(&spec, &g, 42).unwrap());
+        assert_eq!(a.final_leaders.len(), 1, "{}", a.to_text());
+        assert_eq!(a.pending_disruption, None, "{}", a.to_text());
+    }
+
+    #[test]
+    fn recovery_config_resolution_uses_diameter_and_overrides() {
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"cycle:12\"\nprotocol = \"bfw+recovery\"\ntimeout = 99",
+        )
+        .unwrap();
+        let cfg = scenario_recovery_config(&spec, &generators::cycle(12)).unwrap();
+        // cycle(12) has diameter 6: auto period 11, auto grace 33.
+        assert_eq!(cfg.heartbeat_period, 11);
+        assert_eq!(cfg.timeout, 99, "explicit override wins");
+        assert_eq!(cfg.grace, 33);
+    }
+
+    #[test]
+    fn stretching_timelines_size_the_window_to_worst_case() {
+        // A remove-edge (or partition) can raise eccentricities past
+        // the initial diameter; the auto timing must then cover the
+        // graph-independent bound n - 1 instead of the intact diameter
+        // (a window sized to the intact cycle would strand the far
+        // nodes outside every sweep and restart them forever).
+        let text = "[scenario]\ngraph = \"cycle:12\"\nprotocol = \"bfw+recovery\"\n\
+                    [[event]]\nat = 100\nkind = \"remove-edge\"\nu = 0\nv = 11";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let cfg = scenario_recovery_config(&spec, &generators::cycle(12)).unwrap();
+        assert_eq!(
+            cfg.heartbeat_period, 16,
+            "sized to n - 1 = 11, not diameter 6"
+        );
+        assert!(cfg.relay_window() >= 11);
+        // The run itself must stay stable: the cycle degrades to a
+        // path, the leader survives, and nothing ever restarts
+        // spuriously.
+        for seed in [6u64, 9, 10] {
+            let outcome = run_bfw_scenario(&spec, &generators::cycle(12), seed).unwrap();
+            assert_eq!(
+                outcome.final_leaders.len(),
+                1,
+                "seed {seed}: {}",
+                outcome.to_text()
+            );
+            assert_eq!(outcome.pending_disruption, None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn undersized_override_window_is_rejected() {
+        // heartbeat = 6 gives a relay window of 2: a sweep could never
+        // cover cycle:32 (diameter 16), so the election would silently
+        // shatter into simultaneous restarts. Must be a hard error.
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"cycle:32\"\nprotocol = \"bfw+recovery\"\n\
+             heartbeat = 6\ntimeout = 20",
+        )
+        .unwrap();
+        let err = scenario_recovery_config(&spec, &generators::cycle(32)).unwrap_err();
+        assert!(err.to_string().contains("cannot cover"), "{err}");
+        assert!(err.to_string().contains("raise heartbeat"), "{err}");
+        let err = run_bfw_scenario(&spec, &generators::cycle(32), 1).unwrap_err();
+        assert!(err.to_string().contains("eccentricity"), "{err}");
+    }
+
+    #[test]
+    fn invalid_recovery_timing_is_an_error_not_a_panic() {
+        // heartbeat = 3 cannot host the forbidden zone: the run must
+        // fail with a message (the CLI prints it), never panic.
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"cycle:8\"\nprotocol = \"bfw+recovery\"\nheartbeat = 3",
+        )
+        .unwrap();
+        let err = run_bfw_scenario(&spec, &generators::cycle(8), 1).unwrap_err();
+        assert!(err.to_string().contains("recovery timing"), "{err}");
+        assert!(err.to_string().contains("forbidden zone"), "{err}");
+        // timeout below the (diameter-derived) period: same treatment.
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"cycle:8\"\nprotocol = \"bfw+recovery\"\ntimeout = 2",
+        )
+        .unwrap();
+        let err = scenario_recovery_config(&spec, &generators::cycle(8)).unwrap_err();
+        assert!(err.to_string().contains("must exceed"), "{err}");
     }
 
     #[test]
@@ -103,5 +327,18 @@ kind = "recover-all"
         let dead = inj(&InjectKind::Dead, 4).unwrap();
         assert_eq!(dead.len(), 4);
         assert!(dead.iter().all(|s| !s.is_leader()));
+    }
+
+    #[test]
+    fn recovering_injector_wraps_the_same_configurations() {
+        let inj = recovering_bfw_injector();
+        let states = inj(&InjectKind::PhantomWaves { waves: 1 }, 9).unwrap();
+        assert_eq!(states.len(), 9);
+        assert!(states.iter().all(|s| !s.inner.is_leader()));
+        assert!(states
+            .iter()
+            .all(|s| s.grace_rounds == 0 && s.since_valid == 0));
+        // Same preconditions as the base injector.
+        assert!(inj(&InjectKind::PhantomWaves { waves: 2 }, 5).is_none());
     }
 }

@@ -173,7 +173,14 @@ impl<H: DynamicHost> Engine<H> {
     /// Events scheduled for round `t` apply after the host has completed
     /// `t` rounds; the monitor then observes the post-event leader set
     /// of that round.
-    pub fn run(mut self) -> ScenarioOutcome {
+    pub fn run(self) -> ScenarioOutcome {
+        self.run_with_host().0
+    }
+
+    /// Like [`run`](Self::run), but also hands back the host so callers
+    /// can inspect its final configuration (e.g. the recovery layer's
+    /// per-node epoch counters).
+    pub fn run_with_host(mut self) -> (ScenarioOutcome, H) {
         loop {
             let round = self.host.round();
             self.apply_due_events(round);
@@ -188,7 +195,7 @@ impl<H: DynamicHost> Engine<H> {
         let final_alive = (0..self.host.node_count())
             .filter(|&i| !self.host.is_crashed(NodeId::new(i)))
             .count();
-        ScenarioOutcome {
+        let outcome = ScenarioOutcome {
             rounds_run: self.host.round(),
             event_log: self.log,
             recoveries: self.monitor.recoveries().to_vec(),
@@ -197,7 +204,8 @@ impl<H: DynamicHost> Engine<H> {
             final_leaders,
             final_alive,
             final_edges: self.graph.edge_count(),
-        }
+        };
+        (outcome, self.host)
     }
 
     fn apply_due_events(&mut self, round: u64) {
@@ -220,6 +228,43 @@ impl<H: DynamicHost> Engine<H> {
             if applied {
                 self.monitor.mark_disruption(round);
             }
+            #[cfg(debug_assertions)]
+            if applied && touches_topology(&event) {
+                self.assert_mirror_matches_host(round, &event);
+            }
+        }
+    }
+
+    /// Debug-build divergence guard: the engine's [`DynamicGraph`]
+    /// mirror and the host's actual topology track the same edge set
+    /// through independent code paths (mirror mutation vs. forwarded
+    /// [`TopologyDelta`]s); a bug in either — or a future event type
+    /// forwarding something the mirror does not — would silently
+    /// invalidate every subsequently validated event. Checked after
+    /// every applied topology event, in debug builds only (the
+    /// materialization is `O(n + m)`).
+    #[cfg(debug_assertions)]
+    fn assert_mirror_matches_host(&self, round: u64, event: &ScenarioEvent) {
+        let Some(host_graph) = self.host.topology_snapshot() else {
+            return;
+        };
+        assert_eq!(
+            host_graph.node_count(),
+            self.graph.node_count(),
+            "@{round} after {event}: node counts diverged"
+        );
+        assert_eq!(
+            host_graph.edge_count(),
+            self.graph.edge_count(),
+            "@{round} after {event}: edge counts diverged (mirror {}, host {})",
+            self.graph.edge_count(),
+            host_graph.edge_count()
+        );
+        for (u, v) in self.graph.edges() {
+            assert!(
+                host_graph.has_edge(u, v),
+                "@{round} after {event}: mirror edge ({u}, {v}) is absent from the host topology"
+            );
         }
     }
 
@@ -388,6 +433,19 @@ impl<H: DynamicHost> Engine<H> {
     }
 }
 
+/// `true` for events that mutate the communication graph (the ones the
+/// mirror-consistency guard must run after).
+#[cfg(debug_assertions)]
+fn touches_topology(event: &ScenarioEvent) -> bool {
+    matches!(
+        event,
+        ScenarioEvent::AddEdge(..)
+            | ScenarioEvent::RemoveEdge(..)
+            | ScenarioEvent::Partition { .. }
+            | ScenarioEvent::Heal
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,7 +477,9 @@ mod tests {
     #[test]
     fn crash_leader_then_recover_measures_re_election() {
         // Crash the leader once elected, then recover the node later:
-        // the recovered node rejoins in W• and must win again.
+        // the recovered node rejoins in W• and must win again. The
+        // crash and the rejoin are *separate* disruptions, each with
+        // its own recovery window answered by the same stable leader.
         let timeline = Timeline::new()
             .at(3_000, ScenarioEvent::CrashLeader)
             .at(3_100, ScenarioEvent::RecoverAll);
@@ -430,10 +490,13 @@ mod tests {
             "{:?}",
             outcome.event_log
         );
-        assert_eq!(outcome.recoveries.len(), 1, "{outcome:?}");
-        let r = outcome.recoveries[0];
-        assert_eq!(r.disrupted_at, 3_000);
-        assert!(r.recovered_at >= 3_100, "{r:?}");
+        assert_eq!(outcome.recoveries.len(), 2, "{outcome:?}");
+        let (crash, rejoin) = (outcome.recoveries[0], outcome.recoveries[1]);
+        assert_eq!(crash.disrupted_at, 3_000);
+        assert_eq!(rejoin.disrupted_at, 3_100);
+        assert_eq!(crash.recovered_at, rejoin.recovered_at);
+        assert!(crash.recovered_at >= 3_100, "{crash:?}");
+        assert_eq!(crash.latency(), rejoin.latency() + 100);
         assert_eq!(outcome.pending_disruption, None);
         assert_eq!(outcome.final_leaders.len(), 1);
     }

@@ -14,7 +14,7 @@
 //! [`StoneAgeNetwork`]: bfw_sim::stone_age::StoneAgeNetwork
 //! [`TickEngine`]: bfw_sim::TickEngine
 
-use bfw_graph::{NodeId, TopologyDelta};
+use bfw_graph::{Graph, NodeId, TopologyDelta};
 use bfw_sim::{LeaderModel, TickEngine};
 
 /// A synchronous runtime the scenario engine can perturb mid-run.
@@ -59,6 +59,17 @@ pub trait DynamicHost {
 
     /// Identifiers of all alive leaders.
     fn leaders(&self) -> Vec<NodeId>;
+
+    /// Materializes the host's **current** communication graph, if the
+    /// runtime can expose it (`None` otherwise). The engine uses this
+    /// in debug builds to assert, after every topology event, that its
+    /// own [`DynamicGraph`](bfw_graph::DynamicGraph) mirror and the
+    /// host's edge set have not diverged — the two track the same edges
+    /// independently, and a silent divergence would invalidate every
+    /// event validated against the mirror from that point on.
+    fn topology_snapshot(&self) -> Option<Graph> {
+        None
+    }
 }
 
 impl<M: LeaderModel> DynamicHost for TickEngine<M> {
@@ -105,5 +116,9 @@ impl<M: LeaderModel> DynamicHost for TickEngine<M> {
 
     fn leaders(&self) -> Vec<NodeId> {
         TickEngine::leaders(self)
+    }
+
+    fn topology_snapshot(&self) -> Option<Graph> {
+        Some(self.topology().to_graph())
     }
 }

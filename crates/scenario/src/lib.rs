@@ -49,7 +49,9 @@
 //!     .with_injector(bfw_injector())
 //!     .run();
 //! assert_eq!(outcome.final_leaders.len(), 1);
-//! assert_eq!(outcome.recoveries.len(), 1); // re-elected after the crash
+//! // Two disruptions (the crash and the rejoin), each answered by its
+//! // own per-disruption recovery window.
+//! assert_eq!(outcome.recoveries.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -64,10 +66,12 @@ mod spec;
 mod timeline;
 pub mod toml_mini;
 
-pub use bfw_run::{bfw_injector, run_bfw_scenario};
+pub use bfw_run::{
+    bfw_injector, recovering_bfw_injector, run_bfw_scenario, scenario_recovery_config,
+};
 pub use engine::{Engine, Injector, ScenarioOutcome};
 pub use event::{InjectKind, ScenarioEvent};
 pub use host::DynamicHost;
 pub use metrics::{ElectionMonitor, Recovery};
-pub use spec::{ScenarioSpec, SpecError};
+pub use spec::{ProtocolKind, ScenarioSpec, SpecError};
 pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};

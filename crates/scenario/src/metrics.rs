@@ -6,7 +6,7 @@ use bfw_graph::NodeId;
 /// unique leader that stayed stable for the configured window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Recovery {
-    /// Round of the earliest disruption this recovery answers.
+    /// Round of the disruption this recovery answers.
     pub disrupted_at: u64,
     /// First round of the stable single-leader window.
     pub recovered_at: u64,
@@ -23,19 +23,23 @@ impl Recovery {
 
 /// Tracks leader dynamics across a perturbed run.
 ///
-/// * **Re-election latency** — when a disruption occurs, the monitor
-///   arms; it records a [`Recovery`] at the first round from which a
-///   unique leader persists unchanged for `stability_window` consecutive
-///   rounds. Disruptions arriving while armed keep the *earliest*
-///   unanswered disruption round (latency is measured from the first
-///   moment the network was disturbed).
+/// * **Re-election latency** — every disruption opens its *own* window:
+///   the monitor records one [`Recovery`] per open disruption at the
+///   first round from which a unique leader persists unchanged for
+///   `stability_window` consecutive rounds. A second disruption
+///   arriving while earlier windows are still open is **not** merged
+///   into them — it gets its own latency, measured from its own round
+///   (disruptions landing in the same round are one disturbance and
+///   share a window). The completing stable leader answers all open
+///   windows at once, so `recoveries()` may contain several entries
+///   with the same `recovered_at` and distinct `disrupted_at`s.
 /// * **Leader flaps** — the number of times the unique-leader identity
 ///   changes across the run (`a → b` counts one flap, regardless of
 ///   leaderless gaps in between; the initial appearance is not a flap).
 #[derive(Debug, Clone)]
 pub struct ElectionMonitor {
     stability_window: u64,
-    open_disruption: Option<u64>,
+    open_disruptions: Vec<u64>,
     streak_leader: Option<NodeId>,
     streak_len: u64,
     last_unique: Option<NodeId>,
@@ -50,7 +54,7 @@ impl ElectionMonitor {
     pub fn new(stability_window: u64) -> Self {
         ElectionMonitor {
             stability_window,
-            open_disruption: None,
+            open_disruptions: Vec::new(),
             streak_leader: None,
             streak_len: 0,
             last_unique: None,
@@ -60,10 +64,12 @@ impl ElectionMonitor {
     }
 
     /// Marks a disruption at `round` (called by the engine when it
-    /// applies events).
+    /// applies events). Several disruptions in the same round count as
+    /// one disturbance; a disruption at a later round opens a separate
+    /// recovery window.
     pub fn mark_disruption(&mut self, round: u64) {
-        if self.open_disruption.is_none() {
-            self.open_disruption = Some(round);
+        if self.open_disruptions.last() != Some(&round) {
+            self.open_disruptions.push(round);
         }
         // A disruption breaks any stability streak in progress.
         self.streak_leader = None;
@@ -99,15 +105,17 @@ impl ElectionMonitor {
             }
         }
 
-        if let (Some(disrupted_at), Some(leader)) = (self.open_disruption, self.streak_leader) {
-            if self.streak_len > self.stability_window {
+        if let Some(leader) = self.streak_leader {
+            if !self.open_disruptions.is_empty() && self.streak_len > self.stability_window {
                 let recovered_at = round + 1 - self.streak_len;
-                self.recoveries.push(Recovery {
-                    disrupted_at,
-                    recovered_at,
-                    leader,
-                });
-                self.open_disruption = None;
+                for &disrupted_at in &self.open_disruptions {
+                    self.recoveries.push(Recovery {
+                        disrupted_at,
+                        recovered_at,
+                        leader,
+                    });
+                }
+                self.open_disruptions.clear();
             }
         }
     }
@@ -122,10 +130,16 @@ impl ElectionMonitor {
         self.flaps
     }
 
-    /// Returns the round of the earliest disruption that has not yet
-    /// been answered by a stable leader (if any).
+    /// Returns the round of the earliest disruption whose recovery
+    /// window is still open (if any).
     pub fn pending_disruption(&self) -> Option<u64> {
-        self.open_disruption
+        self.open_disruptions.first().copied()
+    }
+
+    /// Returns the rounds of all disruptions whose recovery windows are
+    /// still open, in arrival order.
+    pub fn pending_disruptions(&self) -> &[u64] {
+        &self.open_disruptions
     }
 }
 
@@ -138,7 +152,9 @@ mod tests {
     }
 
     #[test]
-    fn recovery_measures_from_first_disruption() {
+    fn overlapping_disruptions_get_their_own_windows() {
+        // A second disruption while the first window is open must not
+        // be merged: each gets a Recovery with its own latency.
         let mut m = ElectionMonitor::new(2);
         m.observe(0, &[n(0)]);
         m.mark_disruption(1);
@@ -150,14 +166,40 @@ mod tests {
         m.observe(5, &[n(4)]); // streak of 3 > window of 2
         assert_eq!(
             m.recoveries(),
-            &[Recovery {
-                disrupted_at: 1,
-                recovered_at: 3,
-                leader: n(4)
-            }]
+            &[
+                Recovery {
+                    disrupted_at: 1,
+                    recovered_at: 3,
+                    leader: n(4)
+                },
+                Recovery {
+                    disrupted_at: 2,
+                    recovered_at: 3,
+                    leader: n(4)
+                }
+            ]
         );
         assert_eq!(m.recoveries()[0].latency(), 2);
+        assert_eq!(m.recoveries()[1].latency(), 1);
         assert_eq!(m.pending_disruption(), None);
+        assert!(m.pending_disruptions().is_empty());
+    }
+
+    #[test]
+    fn same_round_disruptions_share_one_window() {
+        let mut m = ElectionMonitor::new(0);
+        m.mark_disruption(5);
+        m.mark_disruption(5); // e.g. a crash and an edge cut in round 5
+        m.observe(5, &[]);
+        m.observe(6, &[n(2)]);
+        assert_eq!(
+            m.recoveries(),
+            &[Recovery {
+                disrupted_at: 5,
+                recovered_at: 6,
+                leader: n(2)
+            }]
+        );
     }
 
     #[test]
@@ -212,15 +254,32 @@ mod tests {
         m.observe(2, &[n(1)]);
         m.observe(3, &[n(1)]);
         m.observe(4, &[n(1)]);
-        // Streak restarted at round 2; completes at round 4 with
-        // disrupted_at still 0 (earliest unanswered).
+        // Streak restarted at round 2; completes at round 4 and answers
+        // both open windows, each with its own latency.
         assert_eq!(
             m.recoveries(),
-            &[Recovery {
-                disrupted_at: 0,
-                recovered_at: 2,
-                leader: n(1)
-            }]
+            &[
+                Recovery {
+                    disrupted_at: 0,
+                    recovered_at: 2,
+                    leader: n(1)
+                },
+                Recovery {
+                    disrupted_at: 2,
+                    recovered_at: 2,
+                    leader: n(1)
+                }
+            ]
         );
+    }
+
+    #[test]
+    fn stable_run_without_disruption_records_nothing() {
+        let mut m = ElectionMonitor::new(1);
+        for round in 0..10 {
+            m.observe(round, &[n(0)]);
+        }
+        assert!(m.recoveries().is_empty());
+        assert_eq!(m.pending_disruption(), None);
     }
 }

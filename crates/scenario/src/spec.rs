@@ -10,6 +10,7 @@
 //! p = 0.5                # BFW beep probability
 //! rounds = 20000         # horizon
 //! stability = 50         # stable rounds required to count a recovery
+//! protocol = "bfw"       # or "bfw+recovery" (self-healing layer)
 //!
 //! [[event]]
 //! at = 2000              # or: every/start/count, or: rate
@@ -40,6 +41,17 @@
 //! Scheduling fields (exactly one form per event): `at = N`;
 //! `every = PERIOD` with optional `start = N`, `count = N`; or
 //! `rate = P` with optional `start = N`.
+//!
+//! With `protocol = "bfw+recovery"` the optional `[scenario]` keys
+//! `heartbeat`, `timeout` and `grace` override the recovery layer's
+//! diameter-derived timing (heartbeat period and detection timeout in
+//! heartbeat slots, grace window in election slots); unset keys keep
+//! the `RecoveryConfig::for_diameter` defaults. They are rejected under
+//! plain `protocol = "bfw"`, where they would be silently meaningless.
+//!
+//! Every unknown section, key or event kind is a hard [`SpecError`]
+//! (never silently ignored), with a "did you mean" hint when a known
+//! name is close.
 
 use crate::toml_mini::{self, Table, Value};
 use crate::{InjectKind, ScenarioEvent, Schedule, Timeline};
@@ -66,13 +78,51 @@ pub struct ScenarioSpec {
     pub stability: u64,
     /// Default seed (a CLI `--seed` overrides it).
     pub seed: u64,
+    /// Which protocol stack drives the run.
+    pub protocol: ProtocolKind,
+    /// Recovery-layer heartbeat period override, in heartbeat slots
+    /// (`None` = diameter-derived; only with [`ProtocolKind::BfwRecovery`]).
+    pub heartbeat: Option<u32>,
+    /// Recovery-layer detection timeout override, in heartbeat slots.
+    pub timeout: Option<u32>,
+    /// Recovery-layer grace window override, in election slots.
+    pub grace: Option<u32>,
     /// The declarative event schedule.
     pub timeline: Timeline,
+}
+
+/// The protocol stack a scenario runs (`protocol` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// Plain BFW (the paper's Figure 1 protocol).
+    #[default]
+    Bfw,
+    /// BFW wrapped in the self-healing recovery layer
+    /// (`bfw_core::RecoveringProtocol`): heartbeat-based leaderless
+    /// detection plus epoch-tagged restart.
+    BfwRecovery,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolKind::Bfw => "bfw",
+            ProtocolKind::BfwRecovery => "bfw+recovery",
+        })
+    }
 }
 
 /// Error parsing a scenario file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecError(String);
+
+impl SpecError {
+    /// Crate-internal constructor (spec parsing and recovery-timing
+    /// resolution both produce these).
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError(message.into())
+    }
+}
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -92,6 +142,36 @@ fn err(message: impl Into<String>) -> SpecError {
     SpecError(message.into())
 }
 
+/// Levenshtein distance (iterative two-row DP) — small inputs only.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Returns ` (did you mean 'x'?)` when a known name is within edit
+/// distance 2 of `given` (ties resolved toward the closest, then the
+/// first listed), or an empty string otherwise.
+fn did_you_mean(given: &str, known: &[&str]) -> String {
+    known
+        .iter()
+        .map(|k| (edit_distance(given, k), *k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| format!(" (did you mean '{k}'?)"))
+        .unwrap_or_default()
+}
+
 impl ScenarioSpec {
     /// Parses a scenario from TOML text.
     ///
@@ -109,6 +189,10 @@ impl ScenarioSpec {
             rounds: 10_000,
             stability: 50,
             seed: 0,
+            protocol: ProtocolKind::Bfw,
+            heartbeat: None,
+            timeout: None,
+            grace: None,
             timeline: Timeline::new(),
         };
         let mut saw_scenario = false;
@@ -126,7 +210,10 @@ impl ScenarioSpec {
                     spec.timeline = spec.timeline.schedule(schedule, event);
                 }
                 "" => return Err(err("keys are only allowed inside sections")),
-                other => return Err(err(format!("unknown section [{other}]"))),
+                other => {
+                    let hint = did_you_mean(other, &["scenario", "event"]);
+                    return Err(err(format!("unknown section [{other}]{hint}")));
+                }
             }
         }
         if !saw_scenario {
@@ -137,6 +224,19 @@ impl ScenarioSpec {
         }
         if !(spec.p > 0.0 && spec.p < 1.0) {
             return Err(err(format!("p must be in (0, 1), got {}", spec.p)));
+        }
+        if spec.protocol == ProtocolKind::Bfw {
+            for (key, value) in [
+                ("heartbeat", spec.heartbeat),
+                ("timeout", spec.timeout),
+                ("grace", spec.grace),
+            ] {
+                if value.is_some() {
+                    return Err(err(format!(
+                        "{key} requires protocol = \"bfw+recovery\" (plain bfw has no recovery layer)"
+                    )));
+                }
+            }
         }
         Ok(spec)
     }
@@ -162,18 +262,75 @@ impl ScenarioSpec {
                 "rounds" => self.rounds = read_u64(value, "rounds")?,
                 "stability" => self.stability = read_u64(value, "stability")?,
                 "seed" => self.seed = read_u64(value, "seed")?,
-                other => return Err(err(format!("unknown [scenario] key '{other}'"))),
+                "protocol" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| err("protocol must be a string"))?;
+                    self.protocol = match name {
+                        "bfw" => ProtocolKind::Bfw,
+                        "bfw+recovery" => ProtocolKind::BfwRecovery,
+                        other => {
+                            let hint = did_you_mean(other, &["bfw", "bfw+recovery"]);
+                            return Err(err(format!(
+                                "unknown protocol '{other}'{hint}; valid: \"bfw\", \"bfw+recovery\""
+                            )));
+                        }
+                    };
+                }
+                "heartbeat" => self.heartbeat = Some(read_u32(value, "heartbeat")?),
+                "timeout" => self.timeout = Some(read_u32(value, "timeout")?),
+                "grace" => self.grace = Some(read_u32(value, "grace")?),
+                other => {
+                    let hint = did_you_mean(other, SCENARIO_KEYS);
+                    return Err(err(format!("unknown [scenario] key '{other}'{hint}")));
+                }
             }
         }
         Ok(())
     }
 }
 
+/// The legal `[scenario]` keys (for "did you mean" hints).
+const SCENARIO_KEYS: &[&str] = &[
+    "name",
+    "graph",
+    "p",
+    "rounds",
+    "stability",
+    "seed",
+    "protocol",
+    "heartbeat",
+    "timeout",
+    "grace",
+];
+
+/// The legal `kind` values (for "did you mean" hints).
+const EVENT_KINDS: &[&str] = &[
+    "crash",
+    "crash-random",
+    "crash-leader",
+    "recover",
+    "recover-random",
+    "recover-all",
+    "add-edge",
+    "remove-edge",
+    "partition",
+    "heal",
+    "noise-burst",
+    "inject-phantom",
+    "inject-dead",
+];
+
 fn read_u64(value: &Value, key: &str) -> Result<u64, SpecError> {
     value
         .as_int()
         .and_then(|i| u64::try_from(i).ok())
         .ok_or_else(|| err(format!("{key} must be a non-negative integer")))
+}
+
+fn read_u32(value: &Value, key: &str) -> Result<u32, SpecError> {
+    read_u64(value, key)
+        .and_then(|v| u32::try_from(v).map_err(|_| err(format!("{key}: {v} exceeds u32::MAX"))))
 }
 
 fn node_id(id: u64, key: &str) -> Result<NodeId, SpecError> {
@@ -314,11 +471,15 @@ fn parse_event(table: &Table) -> Result<(Schedule, ScenarioEvent), SpecError> {
             ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves })
         }
         "inject-dead" => ScenarioEvent::InjectState(InjectKind::Dead),
-        other => return Err(err(format!("unknown event kind '{other}'"))),
+        other => {
+            let hint = did_you_mean(other, EVENT_KINDS);
+            return Err(err(format!("unknown event kind '{other}'{hint}")));
+        }
     };
     for (key, _) in table.entries() {
         if !allowed.contains(&key.as_str()) {
-            return Err(err(format!("event '{kind}' has unknown key '{key}'")));
+            let hint = did_you_mean(key, &allowed);
+            return Err(err(format!("event '{kind}' has unknown key '{key}'{hint}")));
         }
     }
     Ok((schedule, event))
@@ -425,6 +586,95 @@ rounds = 200
             spec.timeline.entries()[1].event,
             ScenarioEvent::InjectState(InjectKind::Dead)
         );
+    }
+
+    #[test]
+    fn protocol_key_round_trips() {
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.protocol, ProtocolKind::Bfw);
+        assert_eq!(spec.heartbeat, None);
+
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw+recovery\"\n\
+             heartbeat = 12\ntimeout = 40\ngrace = 36",
+        )
+        .unwrap();
+        assert_eq!(spec.protocol, ProtocolKind::BfwRecovery);
+        assert_eq!(spec.heartbeat, Some(12));
+        assert_eq!(spec.timeout, Some(40));
+        assert_eq!(spec.grace, Some(36));
+        assert_eq!(spec.protocol.to_string(), "bfw+recovery");
+        assert_eq!(ProtocolKind::Bfw.to_string(), "bfw");
+    }
+
+    #[test]
+    fn recovery_keys_require_recovery_protocol() {
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nheartbeat = 10").unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("requires protocol = \"bfw+recovery\""),
+            "{e}"
+        );
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw\"\ntimeout = 10")
+                .unwrap_err();
+        assert!(e.to_string().contains("timeout requires protocol"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names_get_did_you_mean_hints() {
+        // Misspelled [scenario] key: hard error with a hint, never
+        // silently ignored.
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nprotcol = \"bfw\"").unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unknown [scenario] key 'protcol' (did you mean 'protocol'?)"),
+            "{e}"
+        );
+
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nstabilty = 5").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'stability'?"), "{e}");
+
+        // Misspelled protocol value.
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw-recovery\"")
+            .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unknown protocol 'bfw-recovery' (did you mean 'bfw+recovery'?)"),
+            "{e}"
+        );
+
+        // Misspelled event kind and event key.
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"crash-leadr\"",
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("did you mean 'crash-leader'?"),
+            "{e}"
+        );
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[[event]]\nat = 1\nkind = \"crash\"\nnode = 3\nnodee = 4",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("did you mean 'node'?"), "{e}");
+
+        // Misspelled section name.
+        let e = ScenarioSpec::parse("[scenaro]\ngraph = \"path:4\"").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'scenario'?"), "{e}");
+
+        // Nothing close: no hint.
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nxyzzy = 1").unwrap_err();
+        assert!(!e.to_string().contains("did you mean"), "{e}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(did_you_mean("zzzzzz", &["heal"]), "");
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod monte_carlo;
 mod network;
 mod observers;
 mod protocol;
+mod recovering;
 mod runner;
 pub mod stone_age;
 mod tick;
@@ -68,6 +69,7 @@ pub use observers::{
     TraceRecorder,
 };
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
+pub use recovering::{SlotAware, SlotSyncedModel};
 pub use runner::{run_election, ElectionConfig, ElectionOutcome};
 pub use tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
 pub use topology::Topology;

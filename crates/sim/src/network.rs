@@ -51,7 +51,7 @@ pub struct BeepingModel<P: BeepingProtocol> {
 }
 
 impl<P: BeepingProtocol> BeepingModel<P> {
-    fn new(protocol: P) -> Self {
+    pub(crate) fn new(protocol: P) -> Self {
         BeepingModel {
             protocol,
             beeps: Vec::new(),

@@ -135,6 +135,16 @@ pub trait TickModel {
     /// flag changed.
     fn refresh_node(&mut self, i: usize, state: &Self::State, crashed: bool);
 
+    /// Normalizes an externally supplied state before it is installed
+    /// (the engine calls this from
+    /// [`set_node_state`](TickEngine::set_node_state) and
+    /// [`set_states`](TickEngine::set_states)). The default is a no-op;
+    /// models whose states carry engine-global bookkeeping — e.g. the
+    /// recovery layer's slot parity, which must match the global round
+    /// — override it so scenario state injection cannot desynchronize
+    /// a node.
+    fn adopt_state(&self, _state: &mut Self::State) {}
+
     /// Executes one synchronous round in place: perceive the cached
     /// emissions over `topology` (honoring the crash mask and noise
     /// channels in `faults`), transition every alive node using its RNG
@@ -379,6 +389,8 @@ impl<M: TickModel> TickEngine<M> {
     /// Panics if `u` is out of range.
     pub fn set_node_state(&mut self, u: NodeId, state: M::State) {
         let i = u.index();
+        let mut state = state;
+        self.model.adopt_state(&mut state);
         self.states[i] = state;
         self.model
             .refresh_node(i, &self.states[i], self.faults.is_crashed(i));
@@ -397,6 +409,9 @@ impl<M: TickModel> TickEngine<M> {
             "one state per node is required"
         );
         self.states = states;
+        for s in &mut self.states {
+            self.model.adopt_state(s);
+        }
         for (i, s) in self.states.iter().enumerate() {
             self.model.refresh_node(i, s, self.faults.is_crashed(i));
         }

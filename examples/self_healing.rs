@@ -1,0 +1,105 @@
+//! Self-healing leader election: the recovery layer vs Section 5.
+//!
+//! The paper proves BFW cannot recover once every leader is gone
+//! (Section 5), and asks whether a "simple but more robust rule"
+//! could. This example stages the two canonical wipeouts — crashing
+//! the unique leader with no rejoin, and injecting the Section 5
+//! phantom-wave configuration — and runs each under both stacks:
+//! plain BFW stays leaderless forever, while `RecoveringProtocol`
+//! (heartbeat detection + epoch-fenced restart) re-elects.
+//!
+//! Run with: `cargo run --release --example self_healing`
+
+use bfw_core::{Bfw, RecoveringProtocol, RecoveryConfig};
+use bfw_graph::generators;
+use bfw_scenario::{
+    bfw_injector, recovering_bfw_injector, Engine, InjectKind, ProtocolKind, ScenarioEvent,
+    Timeline,
+};
+use bfw_sim::Network;
+
+fn main() {
+    let n = 24;
+    let seed = 42;
+    let horizon = 120_000;
+    let graph = generators::cycle(n);
+    // Crashes stretch alive-graph distances (a crashed node relays
+    // nothing), so size the relay window to the worst-case
+    // eccentricity n - 1 — exactly what the scenario runner does for
+    // crash-bearing timelines.
+    let bound = (n - 1) as u32;
+    let config = RecoveryConfig::for_diameter(bound);
+
+    println!("=== Self-healing BFW on cycle({n}), seed {seed} ===\n");
+    println!(
+        "recovery timing (eccentricity bound {bound}): heartbeat period {}, timeout {}, \
+         grace {} (restart boundaries every {} rounds)\n",
+        config.heartbeat_period,
+        config.timeout,
+        config.grace,
+        config.align_rounds()
+    );
+
+    let acts: Vec<(&str, Timeline)> = vec![
+        (
+            "act 1: the unique leader crashes and never comes back",
+            Timeline::new().at(30_000, ScenarioEvent::CrashLeader),
+        ),
+        (
+            "act 2: a Section 5 phantom-wave configuration is injected",
+            Timeline::new().at(
+                30_000,
+                ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves: 1 }),
+            ),
+        ),
+    ];
+
+    for (title, timeline) in acts {
+        println!("--- {title} ---");
+        for protocol in [ProtocolKind::Bfw, ProtocolKind::BfwRecovery] {
+            let (outcome, max_epoch) = match protocol {
+                ProtocolKind::Bfw => {
+                    let host = Network::new(Bfw::new(0.5), graph.clone().into(), seed);
+                    let outcome = Engine::new(host, &graph, &timeline, horizon, seed, 100)
+                        .with_injector(bfw_injector())
+                        .run();
+                    (outcome, 0)
+                }
+                ProtocolKind::BfwRecovery => {
+                    let protocol = RecoveringProtocol::bfw(0.5, config);
+                    let host =
+                        bfw_core::RecoveringNetwork::new(protocol, graph.clone().into(), seed);
+                    let (outcome, host) = Engine::new(host, &graph, &timeline, horizon, seed, 100)
+                        .with_injector(recovering_bfw_injector())
+                        .run_with_host();
+                    let max_epoch = host.states().iter().map(|s| s.epoch).max().unwrap_or(0);
+                    (outcome, max_epoch)
+                }
+            };
+            let verdict = match outcome.final_leaders.as_slice() {
+                [] => "LEADERLESS FOREVER".to_owned(),
+                [leader] => format!("healed: node {leader} leads"),
+                more => format!("{} leaders still dueling", more.len()),
+            };
+            let latency = outcome
+                .recoveries
+                .last()
+                .map(|r| format!("{} rounds after the wipeout", r.latency()))
+                .unwrap_or_else(|| "—".to_owned());
+            println!(
+                "  {:<14} {:<28} re-election: {:<32} restart epochs: {}",
+                protocol.to_string(),
+                verdict,
+                latency,
+                max_epoch
+            );
+        }
+        println!();
+    }
+    println!(
+        "The recovery layer pays for this with a halved election rate (every other\n\
+         round is a heartbeat slot) and Theorem-3-style non-uniformity (its timing\n\
+         constants are derived from the diameter). `bfw experiment recovery`\n\
+         quantifies the trade across seeds."
+    );
+}

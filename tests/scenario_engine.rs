@@ -2,9 +2,11 @@
 //! TOML → engine → report pipeline, and dynamic-topology invariants.
 
 use bfw_bench::GraphSpec;
-use bfw_core::Bfw;
+use bfw_core::{Bfw, RecoveringProtocol, RecoveryConfig};
 use bfw_graph::{generators, DynamicGraph, NodeId};
-use bfw_scenario::{bfw_injector, run_bfw_scenario, Engine, ScenarioEvent, ScenarioSpec, Timeline};
+use bfw_scenario::{
+    bfw_injector, run_bfw_scenario, Engine, ProtocolKind, ScenarioEvent, ScenarioSpec, Timeline,
+};
 use bfw_sim::stone_age::{BeepingAsStoneAge, StoneAgeNetwork};
 use bfw_sim::{BeepingProtocol, LeaderElection, Network, NodeCtx};
 use proptest::prelude::*;
@@ -18,8 +20,8 @@ fn shipped_ring_churn_scenario_is_byte_deterministic() {
     assert_eq!(spec.graph, "cycle:32");
     let graph: GraphSpec = spec.graph.parse().unwrap();
     let graph = graph.build();
-    let a = run_bfw_scenario(&spec, &graph, 42);
-    let b = run_bfw_scenario(&spec, &graph, 42);
+    let a = run_bfw_scenario(&spec, &graph, 42).unwrap();
+    let b = run_bfw_scenario(&spec, &graph, 42).unwrap();
     assert_eq!(a, b);
     assert_eq!(a.to_text(), b.to_text());
     // The scenario's crash is answered after the rejoin.
@@ -56,7 +58,7 @@ v = 1
     let parse_and_run = |seed| {
         let spec = ScenarioSpec::parse(toml).unwrap();
         let graph: GraphSpec = spec.graph.parse().unwrap();
-        run_bfw_scenario(&spec, &graph.build(), seed)
+        run_bfw_scenario(&spec, &graph.build(), seed).unwrap()
     };
     let a = parse_and_run(3);
     let b = parse_and_run(3);
@@ -221,6 +223,144 @@ fn partition_heal_merges_leaders_but_can_wipe_them_out() {
     );
 }
 
+/// The partition-heal timeline of
+/// `partition_heal_merges_leaders_but_can_wipe_them_out`, as a spec for
+/// either protocol stack.
+fn heal_wipeout_spec(n: usize, protocol: ProtocolKind) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "heal wipeout".to_owned(),
+        graph: format!("cycle:{n}"),
+        p: 0.5,
+        rounds: 60_000,
+        stability: 100,
+        seed: 0,
+        protocol,
+        heartbeat: None,
+        timeout: None,
+        grace: None,
+        timeline: Timeline::new()
+            .at(
+                50,
+                ScenarioEvent::Partition {
+                    side: (0..n / 2).map(NodeId::new).collect(),
+                },
+            )
+            .at(20_000, ScenarioEvent::Heal),
+    }
+}
+
+#[test]
+fn wipeout_seeds_recover_under_bfw_recovery() {
+    // Re-run the exact seeds of
+    // `partition_heal_merges_leaders_but_can_wipe_them_out` under
+    // `bfw+recovery`: every seed — in particular the ones where plain
+    // BFW loses every leader in the post-heal duel — must end with a
+    // unique leader and no unanswered disruption, and the heal must be
+    // answered within the recovery layer's detection bound plus an
+    // election allowance.
+    let n = 16;
+    let graph = generators::cycle(n);
+    // The timeline contains a partition (a distance-stretching event),
+    // so run_bfw_scenario sizes the recovery timing to the worst-case
+    // eccentricity bound n - 1; recompute it here for the latency
+    // bound.
+    let config = RecoveryConfig::for_diameter((n - 1) as u32);
+    let detection = RecoveringProtocol::bfw(0.5, config).detection_bound_rounds();
+    // Post-heal duel + Theorem 2 re-election at the halved rate: give
+    // each a generous deterministic allowance on top of detection.
+    let bound = detection + 20_000;
+    let mut plain_wipeouts = 0;
+    for seed in 0..12u64 {
+        let plain =
+            run_bfw_scenario(&heal_wipeout_spec(n, ProtocolKind::Bfw), &graph, seed).unwrap();
+        if plain.final_leaders.is_empty() {
+            plain_wipeouts += 1;
+        }
+        let healed = run_bfw_scenario(
+            &heal_wipeout_spec(n, ProtocolKind::BfwRecovery),
+            &graph,
+            seed,
+        )
+        .unwrap();
+        assert_eq!(
+            healed.final_leaders.len(),
+            1,
+            "seed {seed}: bfw+recovery must end with a unique leader\n{}",
+            healed.to_text()
+        );
+        assert_eq!(
+            healed.pending_disruption,
+            None,
+            "seed {seed}: every disruption must be answered\n{}",
+            healed.to_text()
+        );
+        let heal_recovery = healed
+            .recoveries
+            .iter()
+            .find(|r| r.disrupted_at == 20_000)
+            .unwrap_or_else(|| {
+                panic!(
+                    "seed {seed}: no recovery for the heal\n{}",
+                    healed.to_text()
+                )
+            });
+        assert!(
+            heal_recovery.latency() <= bound,
+            "seed {seed}: heal answered after {} rounds (bound {bound})\n{}",
+            heal_recovery.latency(),
+            healed.to_text()
+        );
+    }
+    assert!(
+        plain_wipeouts >= 1,
+        "the pinned seeds must still exhibit the plain-BFW wipeout hazard"
+    );
+}
+
+#[test]
+fn injected_phantom_waves_are_flushed_under_bfw_recovery() {
+    // Mirror of `injected_phantom_waves_defeat_re_election_as_section5_predicts`:
+    // same injection, same seed, but with the recovery layer. The
+    // phantom wave circulates only until the heartbeat silence is
+    // detected; the epoch-fenced restart flushes it and re-elects.
+    let spec = ScenarioSpec::parse(
+        "[scenario]\nname = \"phantom\"\ngraph = \"cycle:9\"\nrounds = 9000\nstability = 20\n\
+         protocol = \"bfw+recovery\"\n\
+         [[event]]\nat = 5000\nkind = \"inject-phantom\"\nwaves = 1\n",
+    )
+    .unwrap();
+    let graph: GraphSpec = spec.graph.parse().unwrap();
+    let outcome = run_bfw_scenario(&spec, &graph.build(), 11).unwrap();
+    assert_eq!(
+        outcome.final_leaders.len(),
+        1,
+        "the phantom wave must be flushed\n{}",
+        outcome.to_text()
+    );
+    assert_eq!(outcome.pending_disruption, None, "{}", outcome.to_text());
+    let r = outcome.recoveries.last().expect("a recovery is recorded");
+    assert_eq!(r.disrupted_at, 5_000);
+    assert!(r.recovered_at > 5_000 && r.recovered_at < 9_000, "{r:?}");
+}
+
+#[test]
+fn recovery_protocol_runs_on_the_stone_age_runtime() {
+    // The wrapper is itself a BeepingProtocol, so the BeepingAsStoneAge
+    // adapter must reproduce its executions bit-for-bit on the
+    // stone-age runtime — heartbeat slots and all.
+    let protocol = RecoveringProtocol::bfw(0.5, RecoveryConfig::for_diameter(5));
+    let graph = generators::cycle(10);
+    let mut beeping = Network::new(protocol.clone(), graph.clone().into(), 21);
+    let mut stone = StoneAgeNetwork::new(BeepingAsStoneAge::new(protocol), graph.into(), 21);
+    for _ in 0..20 {
+        beeping.run(500);
+        stone.run(500);
+        assert_eq!(beeping.states(), stone.states());
+    }
+    assert_eq!(beeping.leader_count(), 1);
+    assert_eq!(stone.leader_count(), 1);
+}
+
 #[test]
 fn noise_bursts_drive_both_runtimes_identically() {
     // Before the TickEngine refactor, NoiseBurst events were "skipped
@@ -315,7 +455,7 @@ fn injected_phantom_waves_defeat_re_election_as_section5_predicts() {
     )
     .unwrap();
     let graph: GraphSpec = spec.graph.parse().unwrap();
-    let outcome = run_bfw_scenario(&spec, &graph.build(), 11);
+    let outcome = run_bfw_scenario(&spec, &graph.build(), 11).unwrap();
     assert!(outcome.final_leaders.is_empty(), "{}", outcome.to_text());
     assert_eq!(outcome.pending_disruption, Some(5_000));
 }
