@@ -53,6 +53,8 @@ fn scenario_for(spec: &GraphSpec, horizon: u64, n: usize) -> ScenarioSpec {
         heartbeat: None,
         timeout: None,
         grace: None,
+        runtime: Default::default(),
+        scheduler: None,
         timeline: churn_timeline(n, horizon),
     }
 }

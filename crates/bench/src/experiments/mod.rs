@@ -4,6 +4,7 @@
 //! artifacts. Everything that produces a table or series is here).
 
 pub mod ablation;
+pub mod async_faults;
 pub mod async_stone_age;
 pub mod chain;
 pub mod churn;
@@ -46,6 +47,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("churn", churn::run),
         ("churn-scale", churn_scale::run),
         ("recovery", recovery::run),
+        ("async-faults", async_faults::run),
     ]
 }
 
@@ -60,6 +62,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
     }
 }

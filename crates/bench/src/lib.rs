@@ -45,6 +45,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Reduce workload sizes (used by CI and the Criterion benches).
     pub quick: bool,
+    /// Enable the optional noise sweeps (`--noise`): experiments that
+    /// support it (E17) add perception-noise rows on top of their
+    /// noise-free tables.
+    pub noise: bool,
 }
 
 impl ExpConfig {
@@ -55,6 +59,7 @@ impl ExpConfig {
             threads: default_threads(),
             seed: 0xBF_2025,
             quick: false,
+            noise: false,
         }
     }
 
@@ -65,6 +70,7 @@ impl ExpConfig {
             threads: default_threads(),
             seed: 0xBF_2025,
             quick: true,
+            noise: false,
         }
     }
 }

@@ -76,6 +76,8 @@ pub enum Command {
         names: Vec<String>,
         /// Reduced sizes.
         quick: bool,
+        /// Enable the optional perception-noise sweeps (E17).
+        noise: bool,
         /// Trials per point.
         trials: Option<usize>,
         /// Base seed.
@@ -105,13 +107,15 @@ usage:
   bfw trace --graph SPEC [--p P] [--seed S] [--rounds N] [--duel]
   bfw graph SPEC
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
-  bfw experiment [NAME ...] [--quick] [--trials N] [--seed S]
+  bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
   bfw scenario run FILE [--seed S] [--rounds N]
   bfw help
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
-scenarios:   TOML spec; `protocol = \"bfw+recovery\"` runs the self-healing stack
+scenarios:   TOML spec; `protocol = \"bfw+recovery\"` runs the self-healing stack,
+             `runtime = \"async\"` runs activation-based scheduling (scheduler:
+             uniform | weighted | replay; timeline positions in activations)
 experiments: {}",
         names.join(", ")
     )
@@ -268,12 +272,14 @@ fn parse_invariants(args: &[String]) -> Result<Command, String> {
 fn parse_experiment(args: &[String]) -> Result<Command, String> {
     let mut names = Vec::new();
     let mut quick = false;
+    let mut noise = false;
     let mut trials = None;
     let mut seed = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--noise" => noise = true,
             "--trials" => {
                 trials = Some(parse_int(take_value("--trials", &mut it)?, "--trials")? as usize)
             }
@@ -287,6 +293,7 @@ fn parse_experiment(args: &[String]) -> Result<Command, String> {
     Ok(Command::Experiment {
         names,
         quick,
+        noise,
         trials,
         seed,
     })
@@ -357,6 +364,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
         Command::Experiment {
             names,
             quick,
+            noise,
             trials,
             seed,
         } => {
@@ -365,6 +373,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             } else {
                 ExpConfig::full()
             };
+            cfg.noise = noise;
             if let Some(t) = trials {
                 cfg.trials = t;
             }
@@ -409,6 +418,18 @@ fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<St
     let _ = writeln!(out, "scenario:          {}", spec.name);
     let _ = writeln!(out, "graph:             {workload}");
     let _ = writeln!(out, "protocol:          {}", spec.protocol);
+    match spec.runtime {
+        bfw_scenario::RuntimeKind::Sync => {
+            let _ = writeln!(out, "runtime:           sync");
+        }
+        bfw_scenario::RuntimeKind::Async => {
+            let _ = writeln!(
+                out,
+                "runtime:           async (scheduler: {}; timeline positions in activations)",
+                spec.scheduler.unwrap_or_default()
+            );
+        }
+    }
     let _ = writeln!(out, "p:                 {}", spec.p);
     let _ = writeln!(out, "seed:              {seed}");
     let _ = writeln!(out, "stability window:  {}", spec.stability);
@@ -711,6 +732,7 @@ mod tests {
         let err = execute(Command::Experiment {
             names: vec!["nope".into()],
             quick: true,
+            noise: false,
             trials: Some(1),
             seed: None,
         })
@@ -850,6 +872,75 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("graph"), "{err}");
+    }
+
+    #[test]
+    fn parse_experiment_noise_flag() {
+        match parse(&argv("experiment recovery --quick --noise")).unwrap() {
+            Command::Experiment {
+                names,
+                quick,
+                noise,
+                ..
+            } => {
+                assert_eq!(names, vec!["recovery".to_owned()]);
+                assert!(quick);
+                assert!(noise);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("experiment recovery")).unwrap() {
+            Command::Experiment { noise, .. } => assert!(!noise),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_async_scenario_prints_runtime_line() {
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("async_mini.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"async mini\"\ngraph = \"cycle:8\"\nrounds = 20000\n\
+             stability = 200\nruntime = \"async\"\nscheduler = \"replay\"\n\n\
+             [[event]]\nat = 400\nkind = \"crash-random\"\n\n\
+             [[event]]\nat = 2000\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = || {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(9),
+                rounds: None,
+            })
+            .unwrap()
+        };
+        let out = run();
+        assert!(
+            out.contains(
+                "runtime:           async (scheduler: replay; timeline positions in activations)"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("rounds run:        20000"), "{out}");
+        assert!(out.contains("crashed node"), "{out}");
+        // Byte-identical on repeat (the acceptance-criteria property).
+        assert_eq!(out, run());
+        // The synchronous line stays minimal.
+        let sync = dir.join("sync_mini.toml");
+        std::fs::write(
+            &sync,
+            "[scenario]\nname = \"sync mini\"\ngraph = \"cycle:8\"\nrounds = 500\n",
+        )
+        .unwrap();
+        let out = execute(Command::Scenario {
+            file: sync.to_string_lossy().into_owned(),
+            seed: None,
+            rounds: None,
+        })
+        .unwrap();
+        assert!(out.contains("runtime:           sync\n"), "{out}");
     }
 
     #[test]

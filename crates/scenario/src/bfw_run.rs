@@ -1,14 +1,15 @@
 //! BFW-specific wiring: injectors and the one-call scenario runner.
 
 use crate::{
-    Engine, InjectKind, Injector, ProtocolKind, ScenarioEvent, ScenarioOutcome, ScenarioSpec,
-    SpecError,
+    Engine, InjectKind, Injector, ProtocolKind, RuntimeKind, ScenarioEvent, ScenarioOutcome,
+    ScenarioSpec, SpecError,
 };
 use bfw_core::{
     adversarial, Bfw, BfwState, RecoveringNetwork, RecoveringProtocol, RecoveryConfig,
     RecoveryState,
 };
 use bfw_graph::{algo, Graph};
+use bfw_sim::stone_age::{AsyncStoneAgeNetwork, BeepingAsStoneAge};
 use bfw_sim::Network;
 
 /// The injector resolving [`InjectKind`] into BFW configurations from
@@ -122,21 +123,70 @@ pub fn scenario_recovery_config(
 /// [`Network`], or `bfw+recovery` — BFW wrapped in the self-healing
 /// recovery layer — on a [`RecoveringNetwork`] (slot parity kept
 /// synchronized for mid-run rejoiners), with the timing resolved by
-/// [`scenario_recovery_config`]. The caller resolves the spec's `graph`
-/// string to a concrete [`Graph`] (the CLI uses `bfw-bench`'s
-/// `GraphSpec` syntax); everything else — protocol, timeline,
-/// injection, metrics — is wired here. Same `(spec, graph, seed)` ⇒
-/// byte-identical [`ScenarioOutcome`].
+/// [`scenario_recovery_config`]. The spec's `runtime` key selects the
+/// executor: synchronous rounds (the default), or `runtime = "async"`
+/// — BFW as a stone-age protocol on the [`AsyncStoneAgeNetwork`]
+/// activation engine, with the spec's `scheduler` installed and every
+/// timeline position (and the horizon) read in **activations**. The
+/// caller resolves the spec's `graph` string to a concrete [`Graph`]
+/// (the CLI uses `bfw-bench`'s `GraphSpec` syntax); everything else —
+/// protocol, timeline, injection, metrics — is wired here. Same
+/// `(spec, graph, seed)` ⇒ byte-identical [`ScenarioOutcome`].
 ///
 /// # Errors
 ///
 /// Returns a [`SpecError`] when the spec's recovery-timing overrides
-/// are invalid for this graph (see [`scenario_recovery_config`]).
+/// are invalid for this graph (see [`scenario_recovery_config`]), or
+/// when `runtime = "async"` is combined with `protocol =
+/// "bfw+recovery"` (slot multiplexing needs synchronous rounds; the
+/// parser rejects the combination, and programmatically built specs
+/// fail here).
 pub fn run_bfw_scenario(
     spec: &ScenarioSpec,
     graph: &Graph,
     seed: u64,
 ) -> Result<ScenarioOutcome, SpecError> {
+    if spec.runtime == RuntimeKind::Sync && spec.scheduler.is_some() {
+        return Err(SpecError::new(
+            "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
+             scheduler)",
+        ));
+    }
+    // Mirror the parser's recovery-keys invariant for programmatically
+    // built specs: overrides on a stack without a recovery layer would
+    // otherwise be silently dropped.
+    if spec.protocol == ProtocolKind::Bfw
+        && (spec.heartbeat.is_some() || spec.timeout.is_some() || spec.grace.is_some())
+    {
+        return Err(SpecError::new(
+            "heartbeat/timeout/grace require protocol = \"bfw+recovery\" (plain bfw has no \
+             recovery layer)",
+        ));
+    }
+    if spec.runtime == RuntimeKind::Async {
+        if spec.protocol == ProtocolKind::BfwRecovery {
+            return Err(SpecError::new(
+                "runtime = \"async\" cannot execute protocol = \"bfw+recovery\": slot \
+                 multiplexing needs synchronous rounds (did you mean protocol = \"bfw\"?)",
+            ));
+        }
+        let mut host = AsyncStoneAgeNetwork::new(
+            BeepingAsStoneAge::new(Bfw::new(spec.p)),
+            graph.clone().into(),
+            seed,
+        );
+        host.set_scheduler(spec.scheduler.unwrap_or_default());
+        return Ok(Engine::new(
+            host,
+            graph,
+            &spec.timeline,
+            spec.rounds,
+            seed,
+            spec.stability,
+        )
+        .with_injector(bfw_injector())
+        .run());
+    }
     Ok(match spec.protocol {
         ProtocolKind::Bfw => {
             let host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
@@ -314,6 +364,72 @@ kind = "recover-all"
         .unwrap();
         let err = scenario_recovery_config(&spec, &generators::cycle(8)).unwrap_err();
         assert!(err.to_string().contains("must exceed"), "{err}");
+    }
+
+    #[test]
+    fn async_runtime_spec_runs_and_is_deterministic() {
+        let text = CHURN.replace(
+            "stability = 20",
+            "stability = 20\nruntime = \"async\"\nscheduler = \"uniform\"",
+        );
+        let spec = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec.runtime, crate::RuntimeKind::Async);
+        let g = generators::cycle(12);
+        let a = run_bfw_scenario(&spec, &g, 42).unwrap();
+        let b = run_bfw_scenario(&spec, &g, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(a.rounds_run, 15_000, "horizon read in activations");
+        // Different schedulers genuinely change the execution.
+        let weighted = ScenarioSpec {
+            scheduler: Some(bfw_sim::Scheduler::Weighted),
+            ..spec.clone()
+        };
+        let replay = ScenarioSpec {
+            scheduler: Some(bfw_sim::Scheduler::Replay),
+            ..spec
+        };
+        let w = run_bfw_scenario(&weighted, &g, 42).unwrap();
+        let r = run_bfw_scenario(&replay, &g, 42).unwrap();
+        assert!(a != w || a != r, "schedulers must matter");
+    }
+
+    #[test]
+    fn async_runtime_rejects_recovery_protocol_programmatically() {
+        // The parser already rejects the combination; specs built in
+        // code (experiments, tests) must fail the same way instead of
+        // silently running the wrong stack.
+        let text = CHURN.replace(
+            "stability = 20",
+            "stability = 20\nprotocol = \"bfw+recovery\"",
+        );
+        let mut spec = ScenarioSpec::parse(&text).unwrap();
+        spec.runtime = crate::RuntimeKind::Async;
+        let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+        assert!(err.to_string().contains("synchronous rounds"), "{err}");
+
+        // The other parser invariant gets the same programmatic
+        // treatment: a Sync spec carrying a scheduler must fail loudly,
+        // not silently drop the scheduler.
+        let mut spec = ScenarioSpec::parse(CHURN).unwrap();
+        spec.scheduler = Some(bfw_sim::Scheduler::Weighted);
+        let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+        assert!(
+            err.to_string().contains("scheduler requires runtime"),
+            "{err}"
+        );
+
+        // And recovery-timing overrides without the recovery layer
+        // (async or sync) are rejected, not silently dropped.
+        let mut spec = ScenarioSpec::parse(CHURN).unwrap();
+        spec.runtime = crate::RuntimeKind::Async;
+        spec.heartbeat = Some(40);
+        let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("require protocol = \"bfw+recovery\""),
+            "{err}"
+        );
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //! [`TickEngine`]: bfw_sim::TickEngine
 
 use bfw_graph::{Graph, NodeId, TopologyDelta};
-use bfw_sim::{LeaderModel, TickEngine};
+use bfw_sim::{ActivationEngine, ActivationLeaderModel, LeaderModel, TickEngine};
 
-/// A synchronous runtime the scenario engine can perturb mid-run.
+/// A runtime the scenario engine can perturb mid-run.
+///
+/// "Round" is the host's own notion of time: synchronous hosts step
+/// whole rounds, the asynchronous [`ActivationEngine`] steps single
+/// activations — so a timeline driving an asynchronous host has its
+/// positions interpreted **in activations**.
 pub trait DynamicHost {
     /// Per-node protocol state (for [`InjectState`] events).
     ///
@@ -116,6 +121,61 @@ impl<M: LeaderModel> DynamicHost for TickEngine<M> {
 
     fn leaders(&self) -> Vec<NodeId> {
         TickEngine::leaders(self)
+    }
+
+    fn topology_snapshot(&self) -> Option<Graph> {
+        Some(self.topology().to_graph())
+    }
+}
+
+impl<M: ActivationLeaderModel> DynamicHost for ActivationEngine<M> {
+    type State = M::State;
+
+    fn node_count(&self) -> usize {
+        ActivationEngine::node_count(self)
+    }
+
+    /// Completed **activations** — the asynchronous runtime's unit of
+    /// time. Timelines driving this host fire at activation positions.
+    fn round(&self) -> u64 {
+        self.activations()
+    }
+
+    /// One scheduler-chosen activation (a no-op only when every node is
+    /// crashed).
+    fn step(&mut self) {
+        self.activate_next();
+    }
+
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        ActivationEngine::apply_topology_delta(self, delta);
+    }
+
+    fn crash(&mut self, u: NodeId) {
+        ActivationEngine::crash_node(self, u);
+    }
+
+    fn recover(&mut self, u: NodeId) {
+        ActivationEngine::recover_node(self, u);
+    }
+
+    fn is_crashed(&self, u: NodeId) -> bool {
+        ActivationEngine::is_crashed(self, u)
+    }
+
+    fn set_perception_noise(&mut self, false_negative: f64, false_positive: f64) -> bool {
+        // Same shared fault layer as the synchronous engine, so the
+        // asynchronous runtime supports the noise events too.
+        ActivationEngine::set_noise(self, false_negative, false_positive);
+        true
+    }
+
+    fn set_states(&mut self, states: Vec<M::State>) {
+        ActivationEngine::set_states(self, states);
+    }
+
+    fn leaders(&self) -> Vec<NodeId> {
+        ActivationEngine::leaders(self)
     }
 
     fn topology_snapshot(&self) -> Option<Graph> {

@@ -69,9 +69,10 @@ pub mod toml_mini;
 pub use bfw_run::{
     bfw_injector, recovering_bfw_injector, run_bfw_scenario, scenario_recovery_config,
 };
+pub use bfw_sim::Scheduler;
 pub use engine::{Engine, Injector, ScenarioOutcome};
 pub use event::{InjectKind, ScenarioEvent};
 pub use host::DynamicHost;
 pub use metrics::{ElectionMonitor, Recovery};
-pub use spec::{ProtocolKind, ScenarioSpec, SpecError};
+pub use spec::{ProtocolKind, RuntimeKind, ScenarioSpec, SpecError};
 pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};

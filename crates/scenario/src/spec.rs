@@ -42,6 +42,16 @@
 //! `every = PERIOD` with optional `start = N`, `count = N`; or
 //! `rate = P` with optional `start = N`.
 //!
+//! `runtime = "async"` executes the scenario on the asynchronous
+//! `ActivationEngine` runtime (BFW as a stone-age protocol under
+//! activation-based scheduling) instead of synchronous rounds; every
+//! timeline position and the `rounds` horizon are then read in
+//! **activations**. The optional `scheduler` key picks the activation
+//! scheduler (`uniform` | `weighted` | `replay`) and is only legal
+//! under `runtime = "async"`. The recovery layer needs synchronous
+//! slot multiplexing, so `runtime = "async"` with
+//! `protocol = "bfw+recovery"` is a hard error.
+//!
 //! With `protocol = "bfw+recovery"` the optional `[scenario]` keys
 //! `heartbeat`, `timeout` and `grace` override the recovery layer's
 //! diameter-derived timing (heartbeat period and detection timeout in
@@ -56,6 +66,7 @@
 use crate::toml_mini::{self, Table, Value};
 use crate::{InjectKind, ScenarioEvent, Schedule, Timeline};
 use bfw_graph::NodeId;
+use bfw_sim::Scheduler;
 use std::fmt;
 
 /// A parsed scenario file, before graph resolution.
@@ -87,8 +98,38 @@ pub struct ScenarioSpec {
     pub timeout: Option<u32>,
     /// Recovery-layer grace window override, in election slots.
     pub grace: Option<u32>,
+    /// Which runtime executes the scenario (`runtime` key).
+    pub runtime: RuntimeKind,
+    /// Activation scheduler override (`scheduler` key; only with
+    /// [`RuntimeKind::Async`], `None` = uniform). This is
+    /// `bfw_sim::Scheduler` directly — the spec names map 1:1 onto the
+    /// engine's schedulers.
+    pub scheduler: Option<Scheduler>,
     /// The declarative event schedule.
     pub timeline: Timeline,
+}
+
+/// The runtime a scenario executes on (`runtime` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// Synchronous rounds (the default): the beeping `TickEngine`
+    /// runtime; timeline positions are rounds.
+    #[default]
+    Sync,
+    /// Asynchronous activations: the stone-age `ActivationEngine`
+    /// runtime (BFW through the `BeepingAsStoneAge` adapter); timeline
+    /// positions — `at`, `every`, `start`, noise-burst `rounds`, and
+    /// the `[scenario]` horizon — are interpreted in **activations**.
+    Async,
+}
+
+impl fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuntimeKind::Sync => "sync",
+            RuntimeKind::Async => "async",
+        })
+    }
 }
 
 /// The protocol stack a scenario runs (`protocol` key).
@@ -193,6 +234,8 @@ impl ScenarioSpec {
             heartbeat: None,
             timeout: None,
             grace: None,
+            runtime: RuntimeKind::Sync,
+            scheduler: None,
             timeline: Timeline::new(),
         };
         let mut saw_scenario = false;
@@ -238,6 +281,19 @@ impl ScenarioSpec {
                 }
             }
         }
+        if spec.runtime == RuntimeKind::Async && spec.protocol == ProtocolKind::BfwRecovery {
+            return Err(err(
+                "runtime = \"async\" cannot execute protocol = \"bfw+recovery\": the recovery \
+                 layer multiplexes election and heartbeat slots over round parity, which only \
+                 exists under synchronous rounds (did you mean protocol = \"bfw\"?)",
+            ));
+        }
+        if spec.runtime == RuntimeKind::Sync && spec.scheduler.is_some() {
+            return Err(err(
+                "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
+                 scheduler)",
+            ));
+        }
         Ok(spec)
     }
 
@@ -277,6 +333,38 @@ impl ScenarioSpec {
                         }
                     };
                 }
+                "runtime" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| err("runtime must be a string"))?;
+                    self.runtime = match name {
+                        "sync" => RuntimeKind::Sync,
+                        "async" => RuntimeKind::Async,
+                        other => {
+                            let hint = did_you_mean(other, &["sync", "async"]);
+                            return Err(err(format!(
+                                "unknown runtime '{other}'{hint}; valid: \"sync\", \"async\""
+                            )));
+                        }
+                    };
+                }
+                "scheduler" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| err("scheduler must be a string"))?;
+                    self.scheduler = Some(match name {
+                        "uniform" => Scheduler::Uniform,
+                        "weighted" => Scheduler::Weighted,
+                        "replay" => Scheduler::Replay,
+                        other => {
+                            let hint = did_you_mean(other, &["uniform", "weighted", "replay"]);
+                            return Err(err(format!(
+                                "unknown scheduler '{other}'{hint}; valid: \"uniform\", \
+                                 \"weighted\", \"replay\""
+                            )));
+                        }
+                    });
+                }
                 "heartbeat" => self.heartbeat = Some(read_u32(value, "heartbeat")?),
                 "timeout" => self.timeout = Some(read_u32(value, "timeout")?),
                 "grace" => self.grace = Some(read_u32(value, "grace")?),
@@ -299,6 +387,8 @@ const SCENARIO_KEYS: &[&str] = &[
     "stability",
     "seed",
     "protocol",
+    "runtime",
+    "scheduler",
     "heartbeat",
     "timeout",
     "grace",
@@ -605,6 +695,85 @@ rounds = 200
         assert_eq!(spec.grace, Some(36));
         assert_eq!(spec.protocol.to_string(), "bfw+recovery");
         assert_eq!(ProtocolKind::Bfw.to_string(), "bfw");
+    }
+
+    #[test]
+    fn runtime_and_scheduler_keys_round_trip() {
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.runtime, RuntimeKind::Sync);
+        assert_eq!(spec.scheduler, None);
+        assert_eq!(RuntimeKind::Sync.to_string(), "sync");
+
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nruntime = \"async\"\nscheduler = \"replay\"",
+        )
+        .unwrap();
+        assert_eq!(spec.runtime, RuntimeKind::Async);
+        assert_eq!(spec.scheduler, Some(Scheduler::Replay));
+        assert_eq!(spec.runtime.to_string(), "async");
+
+        // runtime = "sync" is accepted explicitly.
+        let spec =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nruntime = \"sync\"").unwrap();
+        assert_eq!(spec.runtime, RuntimeKind::Sync);
+    }
+
+    #[test]
+    fn async_runtime_rejects_recovery_protocol() {
+        // Slot multiplexing needs synchronous rounds: the combination
+        // is a hard error with a "did you mean" hint, in either key
+        // order.
+        for text in [
+            "[scenario]\ngraph = \"path:4\"\nruntime = \"async\"\nprotocol = \"bfw+recovery\"",
+            "[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw+recovery\"\nruntime = \"async\"",
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            assert!(e.to_string().contains("synchronous rounds"), "{e}");
+            assert!(
+                e.to_string().contains("did you mean protocol = \"bfw\"?"),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_key_requires_async_runtime() {
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nscheduler = \"uniform\"")
+            .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("scheduler requires runtime = \"async\""),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn unknown_runtime_and_scheduler_values_get_hints() {
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nruntime = \"asink\"").unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unknown runtime 'asink' (did you mean 'async'?)"),
+            "{e}"
+        );
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nruntime = \"async\"\nscheduler = \"unifrm\"",
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unknown scheduler 'unifrm' (did you mean 'uniform'?)"),
+            "{e}"
+        );
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nruntime = \"async\"\nscheduler = \"weigted\"",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("did you mean 'weighted'?"), "{e}");
+        // Misspelled key names hit the generic key hinting.
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nruntme = \"async\"").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'runtime'?"), "{e}");
     }
 
     #[test]

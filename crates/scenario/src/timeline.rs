@@ -107,6 +107,15 @@ impl Timeline {
         )
     }
 
+    /// Appends every entry of `other` after this timeline's entries
+    /// (tie rounds fire in entry order, so `self`'s events keep
+    /// priority; `Rate` entries keep per-entry streams, which shift
+    /// with the entry index).
+    pub fn merge(mut self, other: Timeline) -> Self {
+        self.entries.extend(other.entries);
+        self
+    }
+
     /// Fires `event` with probability `per_round` each round (seeded
     /// Bernoulli arrivals).
     pub fn random(self, per_round: f64, event: ScenarioEvent) -> Self {
@@ -222,6 +231,21 @@ mod tests {
         let c = t.compile(10, 0);
         assert_eq!(c[0].event, ScenarioEvent::CrashLeader);
         assert_eq!(c[1].event, ScenarioEvent::RecoverAll);
+    }
+
+    #[test]
+    fn merge_appends_entries_in_order() {
+        let ambient = Timeline::new().at(5, ScenarioEvent::CrashRandom);
+        let class = Timeline::new()
+            .at(5, ScenarioEvent::Heal)
+            .at(9, ScenarioEvent::RecoverAll);
+        let merged = ambient.merge(class);
+        assert_eq!(merged.entries().len(), 3);
+        let c = merged.compile(10, 0);
+        // Tie at round 5: the left timeline's entry fires first.
+        assert_eq!(c[0].event, ScenarioEvent::CrashRandom);
+        assert_eq!(c[1].event, ScenarioEvent::Heal);
+        assert_eq!(c[2].event, ScenarioEvent::RecoverAll);
     }
 
     #[test]

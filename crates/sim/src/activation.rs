@@ -1,0 +1,682 @@
+//! The activation engine: one fault substrate and one scheduling loop
+//! for asynchronous runtimes — the activation-based sibling of
+//! [`TickEngine`](crate::TickEngine).
+//!
+//! The paper is careful to claim BFW only for *synchronous* weak
+//! models; the asynchronous stone-age executor exists to probe why
+//! (see [`AsyncStoneAgeNetwork`](crate::stone_age::AsyncStoneAgeNetwork)).
+//! Before this engine existed, that runtime was a bare scheduler with
+//! no fault vocabulary: no crashes, no perception noise, no dynamic
+//! topology. [`ActivationEngine`] closes that gap by embedding the same
+//! [`FaultLayer`] the synchronous engine uses — the crash bitmask, the
+//! per-node ChaCha8 streams and the two noise channels exist once and
+//! behave identically under rounds and under activations — while an
+//! [`ActivationModel`] contributes only what an asynchronous
+//! communication model defines: how one *activation* of one node
+//! perceives and transitions.
+//!
+//! Determinism contract: the master stream carves `n` node streams in
+//! index order, then one scheduler stream — exactly the carving order
+//! of the pre-engine asynchronous runtime, so its pinned traces
+//! reproduce bit-for-bit (see the `activation_engine_equivalence`
+//! workspace test). The [uniform](Scheduler::Uniform) scheduler rejects
+//! draws that land on crashed nodes instead of renumbering the alive
+//! set, so the scheduler stream itself never shifts when the crash mask
+//! changes.
+
+use crate::fault::FaultLayer;
+use crate::{NodeCtx, Topology};
+use bfw_graph::{NodeId, TopologyDelta};
+use rand::Rng as _;
+use rand_chacha::ChaCha8Rng;
+
+/// An asynchronous communication model, pluggable into
+/// [`ActivationEngine`].
+///
+/// A model owns the protocol and its emission caches (displayed
+/// symbols, …) and defines how one activation of one node works; the
+/// engine owns everything else — topology, crash mask, RNG streams,
+/// noise channels, the scheduler and the activation counter.
+/// Implementation:
+/// [`AsyncStoneAgeModel`](crate::stone_age::AsyncStoneAgeModel).
+pub trait ActivationModel {
+    /// Per-node protocol state.
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// Returns the protocol's initial state for one node.
+    fn initial_state(&self, ctx: NodeCtx) -> Self::State;
+
+    /// Sizes the model's per-node emission caches for `n` nodes.
+    fn init_caches(&mut self, n: usize);
+
+    /// Refreshes node `i`'s emission cache after its state or crash
+    /// flag changed.
+    fn refresh_node(&mut self, i: usize, state: &Self::State, crashed: bool);
+
+    /// Normalizes an externally supplied state before it is installed
+    /// (mirrors [`TickModel::adopt_state`](crate::TickModel)). The
+    /// default is a no-op.
+    fn adopt_state(&self, _state: &mut Self::State) {}
+
+    /// Executes one activation of node `u` in place: observe the
+    /// current emissions over `topology` (honoring the crash mask and
+    /// noise channels in `faults`), transition `u` using its RNG
+    /// stream, and refresh its emission cache. Every other node is
+    /// untouched.
+    fn activate(
+        &mut self,
+        topology: &Topology,
+        u: usize,
+        states: &mut [Self::State],
+        faults: &mut FaultLayer,
+    );
+}
+
+/// An [`ActivationModel`] whose protocol designates a leader subset of
+/// its states — the seam the scenario engine's election metrics need
+/// (the asynchronous analogue of [`LeaderModel`](crate::LeaderModel)).
+pub trait ActivationLeaderModel: ActivationModel {
+    /// Returns `true` if `state` belongs to the protocol's leader set.
+    fn is_leader(&self, state: &Self::State) -> bool;
+}
+
+/// How the engine picks the next node to activate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// One uniformly random alive node per step — the randomized fair
+    /// scheduler common in self-stabilization work. Draws landing on a
+    /// crashed node are rejected and redrawn from the same stream
+    /// (never renumbered), so crashing a node perturbs the schedule of
+    /// the survivors as little as possible.
+    #[default]
+    Uniform,
+    /// Degree-weighted random: an alive node is activated with
+    /// probability proportional to `deg(u) + 1` in the current
+    /// topology — a contention model where well-connected nodes are
+    /// scheduled more often. Costs `O(n + m)` per draw.
+    Weighted,
+    /// Seeded adversarial replay: a fixed ChaCha-derived permutation of
+    /// the nodes, swept cyclically (crashed nodes are skipped within
+    /// the sweep). The permutation is drawn once from the scheduler
+    /// stream when this scheduler is installed, so the same seed
+    /// replays the same adversarial order forever — the deterministic
+    /// round-robin adversary of asynchronous lower bounds.
+    Replay,
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scheduler::Uniform => "uniform",
+            Scheduler::Weighted => "weighted",
+            Scheduler::Replay => "replay",
+        })
+    }
+}
+
+/// Asynchronous executor generic over the communication model.
+///
+/// Use the model-specific alias and constructor —
+/// [`AsyncStoneAgeNetwork`](crate::stone_age::AsyncStoneAgeNetwork) for
+/// the asynchronous stone-age model; everything documented here is
+/// model-independent. The engine shares the [`FaultLayer`] with the
+/// synchronous [`TickEngine`](crate::TickEngine), so crash masking,
+/// perception noise and delta-applied dynamic topology behave
+/// identically across both. Time is measured in **activations** (one
+/// node transition per step); the scenario engine drives this executor
+/// with timeline positions interpreted in activations.
+#[derive(Debug, Clone)]
+pub struct ActivationEngine<M: ActivationModel> {
+    pub(crate) model: M,
+    topology: Topology,
+    states: Vec<M::State>,
+    faults: FaultLayer,
+    scheduler_rng: ChaCha8Rng,
+    scheduler: Scheduler,
+    replay_order: Vec<NodeId>,
+    replay_cursor: usize,
+    weight_scratch: Vec<u64>,
+    activations: u64,
+}
+
+impl<M: ActivationModel> ActivationEngine<M> {
+    /// Builds an engine with zero activations performed and every node
+    /// in the model's initial state, under the default
+    /// [uniform](Scheduler::Uniform) scheduler.
+    pub(crate) fn from_model(mut model: M, topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count();
+        let (faults, scheduler_rng) = FaultLayer::with_scheduler(n, seed);
+        let states: Vec<M::State> = (0..n)
+            .map(|i| {
+                model.initial_state(NodeCtx {
+                    node: NodeId::new(i),
+                    node_count: n,
+                })
+            })
+            .collect();
+        model.init_caches(n);
+        for (i, s) in states.iter().enumerate() {
+            model.refresh_node(i, s, false);
+        }
+        ActivationEngine {
+            model,
+            topology,
+            states,
+            faults,
+            scheduler_rng,
+            scheduler: Scheduler::Uniform,
+            replay_order: Vec::new(),
+            replay_cursor: 0,
+            weight_scratch: Vec::new(),
+            activations: 0,
+        }
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns the number of activations performed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Returns the current state of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn state(&self, u: NodeId) -> &M::State {
+        &self.states[u.index()]
+    }
+
+    /// Returns all node states, indexed by node.
+    pub fn states(&self) -> &[M::State] {
+        &self.states
+    }
+
+    /// Returns the installed scheduler.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Installs a scheduler for all subsequent
+    /// [`activate_next`](Self::activate_next) steps.
+    ///
+    /// Installing [`Scheduler::Replay`] draws the replay permutation
+    /// from the scheduler stream at this point (a Fisher–Yates shuffle)
+    /// and resets the sweep cursor, so the adversarial order is a pure
+    /// function of the seed and the moment of installation.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
+        self.replay_order.clear();
+        self.replay_cursor = 0;
+        if scheduler == Scheduler::Replay {
+            let n = self.states.len();
+            let mut order: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+            for i in (1..n).rev() {
+                let j = self.scheduler_rng.random_range(0..i + 1);
+                order.swap(i, j);
+            }
+            self.replay_order = order;
+        }
+    }
+
+    /// Activates one scheduler-chosen alive node and returns it. If
+    /// every node is crashed, no node transitions and no RNG draw
+    /// happens, but the activation counter still advances — time keeps
+    /// passing over a fully crashed network, exactly as rounds keep
+    /// elapsing in the synchronous engine — and `None` is returned.
+    /// Crash-masked nodes are never activated, under any scheduler.
+    pub fn activate_next(&mut self) -> Option<NodeId> {
+        let n = self.states.len();
+        if self.faults.alive_count() == 0 {
+            self.activations += 1;
+            return None;
+        }
+        let u = match self.scheduler {
+            Scheduler::Uniform => loop {
+                let u = self.scheduler_rng.random_range(0..n);
+                if !self.faults.is_crashed(u) {
+                    break NodeId::new(u);
+                }
+            },
+            Scheduler::Weighted => {
+                // Weight alive node u by deg(u) + 1 in the current
+                // topology (the +1 keeps isolated nodes schedulable).
+                let mut weights = std::mem::take(&mut self.weight_scratch);
+                weights.clear();
+                weights.resize(n, 0);
+                let mut total = 0u64;
+                for (i, w) in weights.iter_mut().enumerate() {
+                    if self.faults.is_crashed(i) {
+                        continue;
+                    }
+                    let mut deg = 0u64;
+                    self.topology
+                        .for_each_neighbor(NodeId::new(i), |_| deg += 1);
+                    *w = deg + 1;
+                    total += *w;
+                }
+                let mut r = self.scheduler_rng.random_range(0..total);
+                let mut chosen = 0;
+                for (i, &w) in weights.iter().enumerate() {
+                    if r < w {
+                        chosen = i;
+                        break;
+                    }
+                    r -= w;
+                }
+                self.weight_scratch = weights;
+                NodeId::new(chosen)
+            }
+            Scheduler::Replay => {
+                assert!(
+                    !self.replay_order.is_empty(),
+                    "replay scheduler installed without a permutation"
+                );
+                loop {
+                    let u = self.replay_order[self.replay_cursor];
+                    self.replay_cursor = (self.replay_cursor + 1) % self.replay_order.len();
+                    if !self.faults.is_crashed(u.index()) {
+                        break u;
+                    }
+                }
+            }
+        };
+        self.activate(u);
+        Some(u)
+    }
+
+    /// Activates a specific node (for externally scripted adversarial
+    /// schedules): it observes the *current* emissions of its alive
+    /// neighbors and transitions; everyone else is untouched. A crashed
+    /// node performs no transition and the activation is not counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn activate(&mut self, u: NodeId) {
+        if self.faults.is_crashed(u.index()) {
+            return;
+        }
+        self.model.activate(
+            &self.topology,
+            u.index(),
+            &mut self.states,
+            &mut self.faults,
+        );
+        self.activations += 1;
+    }
+
+    /// Performs `count` scheduler-chosen activations (stalled steps on
+    /// a fully crashed network count toward `count`).
+    pub fn run_activations(&mut self, count: u64) {
+        for _ in 0..count {
+            self.activate_next();
+        }
+    }
+
+    /// Replaces the communication topology mid-run. States, RNG
+    /// streams, the scheduler and the activation counter are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology's node count differs from the
+    /// network's.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(
+            topology.node_count(),
+            self.states.len(),
+            "topology mutation must preserve the node count"
+        );
+        self.topology = topology;
+    }
+
+    /// Applies a batch of edge mutations to the topology in `O(deg)`
+    /// per edge (see
+    /// [`TickEngine::apply_topology_delta`](crate::TickEngine::apply_topology_delta);
+    /// the semantics are identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta removes an absent edge or adds a present
+    /// one.
+    pub fn apply_topology_delta(&mut self, delta: &TopologyDelta) {
+        self.topology.apply_delta(delta);
+    }
+
+    /// Crashes node `u`: it is never scheduled, emits nothing, and its
+    /// RNG stream is paused, not consumed. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn crash_node(&mut self, u: NodeId) {
+        let i = u.index();
+        self.faults.crash(i);
+        self.model.refresh_node(i, &self.states[i], true);
+    }
+
+    /// Recovers node `u` with a **fresh protocol-initial state** (as a
+    /// newly booted device would). No-op on nodes that are not crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn recover_node(&mut self, u: NodeId) {
+        let i = u.index();
+        if !self.faults.recover(i) {
+            return;
+        }
+        self.states[i] = self.model.initial_state(NodeCtx {
+            node: u,
+            node_count: self.states.len(),
+        });
+        self.model.refresh_node(i, &self.states[i], false);
+    }
+
+    /// Returns `true` if `u` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.faults.is_crashed(u.index())
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn crash_flags(&self) -> &[bool] {
+        self.faults.flags()
+    }
+
+    /// Returns the number of non-crashed nodes.
+    pub fn alive_count(&self) -> usize {
+        self.faults.alive_count()
+    }
+
+    /// Sets both perception-noise probabilities at once (see
+    /// [`TickEngine::set_noise`](crate::TickEngine::set_noise); the
+    /// channels live in the same shared [`FaultLayer`] and behave
+    /// identically). `(0, 0)` restores the exact model — zero-probability
+    /// channels draw nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is not in `[0, 1)`.
+    pub fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
+        self.faults.set_noise(false_negative, false_positive);
+    }
+
+    /// Returns the false-negative (lost-signal) probability.
+    pub fn hearing_failure_prob(&self) -> f64 {
+        self.faults.false_negative()
+    }
+
+    /// Returns the false-positive (hallucinated-signal) probability.
+    pub fn spurious_beep_prob(&self) -> f64 {
+        self.faults.false_positive()
+    }
+
+    /// Overwrites the state of node `u` (the scenario engine's
+    /// state-injection hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_node_state(&mut self, u: NodeId, state: M::State) {
+        let i = u.index();
+        let mut state = state;
+        self.model.adopt_state(&mut state);
+        self.states[i] = state;
+        self.model
+            .refresh_node(i, &self.states[i], self.faults.is_crashed(i));
+    }
+
+    /// Replaces the whole configuration (crashed nodes keep their crash
+    /// mask and stay silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn set_states(&mut self, states: Vec<M::State>) {
+        assert_eq!(
+            states.len(),
+            self.states.len(),
+            "one state per node is required"
+        );
+        self.states = states;
+        for s in &mut self.states {
+            self.model.adopt_state(s);
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            self.model.refresh_node(i, s, self.faults.is_crashed(i));
+        }
+    }
+}
+
+impl<M: ActivationLeaderModel> ActivationEngine<M> {
+    /// Returns the number of **alive** nodes whose state lies in the
+    /// leader set (a crashed node cannot act as a leader).
+    pub fn leader_count(&self) -> usize {
+        self.states
+            .iter()
+            .zip(self.faults.flags())
+            .filter(|(s, &c)| !c && self.model.is_leader(s))
+            .count()
+    }
+
+    /// Returns the identifiers of all current (alive) leaders.
+    pub fn leaders(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .zip(self.faults.flags())
+            .enumerate()
+            .filter(|(_, (s, &c))| !c && self.model.is_leader(s))
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Returns the unique (alive) leader, or `None` if there are zero
+    /// or several leaders.
+    pub fn unique_leader(&self) -> Option<NodeId> {
+        let mut found = None;
+        for (i, (s, &c)) in self.states.iter().zip(self.faults.flags()).enumerate() {
+            if !c && self.model.is_leader(s) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(NodeId::new(i));
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stone_age::{AsyncStoneAgeNetwork, BeepingAsStoneAge};
+    use crate::{BeepingProtocol, LeaderElection};
+    use bfw_graph::generators;
+
+    /// Beeps forever; "leaders" are all nodes (crash masking visible).
+    #[derive(Debug, Clone)]
+    struct Siren;
+
+    impl BeepingProtocol for Siren {
+        type State = u32;
+        fn initial_state(&self, _ctx: NodeCtx) -> u32 {
+            0
+        }
+        fn beeps(&self, _s: &u32) -> bool {
+            true
+        }
+        fn transition(&self, s: &u32, _heard: bool, _rng: &mut dyn rand::RngCore) -> u32 {
+            s + 1
+        }
+    }
+
+    impl LeaderElection for Siren {
+        fn is_leader(&self, _s: &u32) -> bool {
+            true
+        }
+    }
+
+    fn siren_net(n: usize, seed: u64) -> AsyncStoneAgeNetwork<BeepingAsStoneAge<Siren>> {
+        AsyncStoneAgeNetwork::new(
+            BeepingAsStoneAge::new(Siren),
+            generators::cycle(n).into(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn crashed_nodes_are_never_scheduled() {
+        for scheduler in [Scheduler::Uniform, Scheduler::Weighted, Scheduler::Replay] {
+            let mut net = siren_net(6, 3);
+            net.set_scheduler(scheduler);
+            net.crash_node(NodeId::new(2));
+            net.crash_node(NodeId::new(5));
+            for _ in 0..200 {
+                let u = net.activate_next().unwrap();
+                assert!(!net.is_crashed(u), "{scheduler}: activated crashed {u}");
+            }
+            assert_eq!(*net.state(NodeId::new(2)), 0, "{scheduler}");
+            assert_eq!(*net.state(NodeId::new(5)), 0, "{scheduler}");
+            assert_eq!(net.activations(), 200);
+            assert_eq!(net.alive_count(), 4);
+            assert_eq!(net.leader_count(), 4, "crashed sirens are not leaders");
+        }
+    }
+
+    #[test]
+    fn all_crashed_network_stalls_but_time_passes() {
+        let mut net = siren_net(3, 0);
+        for i in 0..3 {
+            net.crash_node(NodeId::new(i));
+        }
+        assert_eq!(net.activate_next(), None);
+        net.run_activations(10); // stalls, never spins
+        assert_eq!(net.activations(), 11, "stalled steps still count");
+        assert!(net.states().iter().all(|&s| s == 0), "nobody transitioned");
+        // Explicit activation of a crashed node is an uncounted no-op.
+        net.activate(NodeId::new(1));
+        assert_eq!(net.activations(), 11);
+        assert!(net.leaders().is_empty());
+        assert_eq!(net.unique_leader(), None);
+    }
+
+    #[test]
+    fn recover_reboots_into_initial_state_and_reschedules() {
+        let mut net = siren_net(4, 7);
+        net.run_activations(40);
+        net.crash_node(NodeId::new(1));
+        let frozen = *net.state(NodeId::new(1));
+        net.run_activations(40);
+        assert_eq!(*net.state(NodeId::new(1)), frozen, "crashed node is inert");
+        net.recover_node(NodeId::new(1));
+        assert_eq!(*net.state(NodeId::new(1)), 0, "fresh initial state");
+        net.run_activations(200);
+        assert!(*net.state(NodeId::new(1)) > 0, "rejoined the schedule");
+        // Recovering an alive node is a no-op.
+        let s0 = *net.state(NodeId::new(0));
+        net.recover_node(NodeId::new(0));
+        assert_eq!(*net.state(NodeId::new(0)), s0);
+    }
+
+    #[test]
+    fn replay_scheduler_sweeps_a_fixed_permutation() {
+        let mut net = siren_net(5, 11);
+        net.set_scheduler(Scheduler::Replay);
+        let first: Vec<NodeId> = (0..5).map(|_| net.activate_next().unwrap()).collect();
+        let second: Vec<NodeId> = (0..5).map(|_| net.activate_next().unwrap()).collect();
+        assert_eq!(first, second, "the permutation replays cyclically");
+        let mut sorted: Vec<usize> = first.iter().map(|u| u.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2, 3, 4], "each sweep covers every node");
+
+        // Same seed, same installation point ⇒ same permutation.
+        let mut again = siren_net(5, 11);
+        again.set_scheduler(Scheduler::Replay);
+        let replay: Vec<NodeId> = (0..5).map(|_| again.activate_next().unwrap()).collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn weighted_scheduler_prefers_high_degree_nodes() {
+        // Star: the hub has degree n - 1, each leaf degree 1. Under
+        // degree weighting the hub is activated far more often than any
+        // single leaf.
+        let mut net =
+            AsyncStoneAgeNetwork::new(BeepingAsStoneAge::new(Siren), generators::star(9).into(), 5);
+        net.set_scheduler(Scheduler::Weighted);
+        net.run_activations(900);
+        let hub = *net.state(NodeId::new(0)) as f64;
+        let leaf_mean: f64 = (1..9)
+            .map(|i| *net.state(NodeId::new(i)) as f64)
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            hub > 2.0 * leaf_mean,
+            "hub activated {hub} times vs leaf mean {leaf_mean}"
+        );
+    }
+
+    #[test]
+    fn schedulers_are_seed_deterministic() {
+        for scheduler in [Scheduler::Uniform, Scheduler::Weighted, Scheduler::Replay] {
+            let run = |seed| {
+                let mut net = siren_net(8, seed);
+                net.set_scheduler(scheduler);
+                net.run_activations(100);
+                net.states().to_vec()
+            };
+            assert_eq!(run(5), run(5), "{scheduler}");
+            assert_ne!(run(5), run(6), "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn scheduler_display_names_are_stable() {
+        assert_eq!(Scheduler::Uniform.to_string(), "uniform");
+        assert_eq!(Scheduler::Weighted.to_string(), "weighted");
+        assert_eq!(Scheduler::Replay.to_string(), "replay");
+        assert_eq!(Scheduler::default(), Scheduler::Uniform);
+    }
+
+    #[test]
+    fn topology_delta_changes_the_observation_graph() {
+        // CountTwo-style check through the adapter: after adding a
+        // chord, the activated node observes its new neighbor.
+        let mut net = siren_net(4, 2);
+        let mut delta = TopologyDelta::new();
+        delta.add_edge(NodeId::new(0), NodeId::new(2));
+        net.apply_topology_delta(&delta);
+        assert_eq!(net.topology().to_graph().edge_count(), 5);
+        net.set_topology(generators::cycle(4).into());
+        assert_eq!(net.topology().to_graph().edge_count(), 4);
+    }
+
+    #[test]
+    fn set_states_and_set_node_state_refresh_caches() {
+        let mut net = siren_net(3, 0);
+        net.set_states(vec![7, 7, 7]);
+        assert_eq!(net.states(), &[7, 7, 7]);
+        net.set_node_state(NodeId::new(1), 9);
+        assert_eq!(*net.state(NodeId::new(1)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the node count")]
+    fn set_topology_validates_node_count() {
+        let mut net = siren_net(3, 0);
+        net.set_topology(generators::cycle(4).into());
+    }
+}

@@ -1,0 +1,229 @@
+//! The shared fault substrate: crash masking, per-node RNG streams and
+//! the two-channel perception-noise model.
+//!
+//! [`FaultLayer`] is the one place where the fault vocabulary of every
+//! runtime lives. Both executors embed it: the synchronous
+//! [`TickEngine`](crate::TickEngine) (the beeping and stone-age round
+//! loops) and the asynchronous
+//! [`ActivationEngine`](crate::ActivationEngine) (activation-based
+//! scheduling). Because the crash bitmask, the ChaCha8 stream carving
+//! and the noise channels are one struct rather than per-runtime
+//! copies, a crash or a noise burst behaves identically under
+//! synchronous rounds and asynchronous activations by construction.
+//!
+//! Determinism contract: node `i` draws from a ChaCha8 stream carved
+//! deterministically out of the run seed (`n` node streams in index
+//! order; the activation engine's scheduler stream is carved *after*
+//! them, exactly as the pre-engine asynchronous runtime did — see the
+//! `activation_engine_equivalence` workspace test for the pinned
+//! traces). Zero-probability noise channels draw nothing.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-node fault state shared by all runtimes: crash bitmask, RNG
+/// streams, and the two-channel perception-noise model.
+#[derive(Debug, Clone)]
+pub struct FaultLayer {
+    crashed: Vec<bool>,
+    alive: usize,
+    rngs: Vec<ChaCha8Rng>,
+    false_negative: f64,
+    false_positive: f64,
+}
+
+impl FaultLayer {
+    /// Creates the fault state for `n` nodes: no crashes, no noise, one
+    /// independent ChaCha8 stream per node carved out of `seed`.
+    pub(crate) fn new(n: usize, seed: u64) -> Self {
+        Self::with_scheduler(n, seed).0
+    }
+
+    /// Like [`new`](Self::new), but also carves one extra stream for an
+    /// activation scheduler, *after* the node streams — the carving
+    /// order the pre-engine asynchronous runtime used, preserved so its
+    /// pinned traces stay bit-identical. Synchronous engines drop the
+    /// extra stream without drawing from it, which leaves the node
+    /// streams unchanged.
+    pub(crate) fn with_scheduler(n: usize, seed: u64) -> (Self, ChaCha8Rng) {
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let rngs = (0..n)
+            .map(|_| ChaCha8Rng::from_rng(&mut master))
+            .collect::<Vec<_>>();
+        let scheduler = ChaCha8Rng::from_rng(&mut master);
+        (
+            FaultLayer {
+                crashed: vec![false; n],
+                alive: n,
+                rngs,
+                false_negative: 0.0,
+                false_positive: 0.0,
+            },
+            scheduler,
+        )
+    }
+
+    /// Returns `true` if node `i` is crashed.
+    #[inline]
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Returns the crash flags, indexed by node.
+    pub fn flags(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Marks node `i` crashed (idempotent).
+    pub(crate) fn crash(&mut self, i: usize) {
+        if !std::mem::replace(&mut self.crashed[i], true) {
+            self.alive -= 1;
+        }
+    }
+
+    /// Clears the crash mark on node `i`, returning `true` if it was
+    /// crashed (the caller then resets the node's state).
+    pub(crate) fn recover(&mut self, i: usize) -> bool {
+        let was_crashed = std::mem::replace(&mut self.crashed[i], false);
+        if was_crashed {
+            self.alive += 1;
+        }
+        was_crashed
+    }
+
+    /// Returns the number of non-crashed nodes, maintained in `O(1)`
+    /// (crash/recover are the only mutation points).
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.alive
+    }
+
+    /// Returns node `i`'s RNG stream (for protocol transitions).
+    #[inline]
+    pub fn rng(&mut self, i: usize) -> &mut ChaCha8Rng {
+        &mut self.rngs[i]
+    }
+
+    /// Returns `true` if either noise channel is active.
+    #[inline]
+    pub fn has_noise(&self) -> bool {
+        self.false_negative > 0.0 || self.false_positive > 0.0
+    }
+
+    /// Passes one perceived boolean signal of node `i` through the two
+    /// noise channels: a `true` signal is lost with probability
+    /// `false_negative`, a `false` signal hallucinated with probability
+    /// `false_positive`. A channel with probability 0 draws nothing, so
+    /// disabling noise restores bit-identical RNG streams.
+    #[inline]
+    pub fn filter_signal(&mut self, i: usize, signal: bool) -> bool {
+        use rand::Rng as _;
+        if signal {
+            !(self.false_negative > 0.0 && self.rngs[i].random_bool(self.false_negative))
+        } else {
+            self.false_positive > 0.0 && self.rngs[i].random_bool(self.false_positive)
+        }
+    }
+
+    /// Returns the false-negative (lost-signal) probability.
+    pub(crate) fn false_negative(&self) -> f64 {
+        self.false_negative
+    }
+
+    /// Returns the false-positive (hallucinated-signal) probability.
+    pub(crate) fn false_positive(&self) -> f64 {
+        self.false_positive
+    }
+
+    pub(crate) fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
+        assert!(
+            (0.0..1.0).contains(&false_negative),
+            "hearing-failure probability must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&false_positive),
+            "spurious-beep probability must be in [0, 1)"
+        );
+        self.false_negative = false_negative;
+        self.false_positive = false_positive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_layer_streams_are_seed_deterministic() {
+        use rand::RngCore as _;
+        let draw = |seed| {
+            let mut f = FaultLayer::new(4, seed);
+            (0..4).map(|i| f.rng(i).next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // Streams are pairwise distinct.
+        let d = draw(7);
+        assert_eq!(d.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+    }
+
+    #[test]
+    fn scheduler_stream_does_not_disturb_node_streams() {
+        use rand::RngCore as _;
+        let mut plain = FaultLayer::new(3, 9);
+        let (mut carved, mut scheduler) = FaultLayer::with_scheduler(3, 9);
+        for i in 0..3 {
+            assert_eq!(plain.rng(i).next_u64(), carved.rng(i).next_u64());
+        }
+        // The scheduler stream is distinct from every node stream.
+        let s = scheduler.next_u64();
+        let mut fresh = FaultLayer::new(3, 9);
+        assert!((0..3).all(|i| fresh.rng(i).next_u64() != s));
+    }
+
+    #[test]
+    fn filter_signal_is_identity_without_noise() {
+        let mut f = FaultLayer::new(2, 0);
+        assert!(!f.has_noise());
+        assert!(f.filter_signal(0, true));
+        assert!(!f.filter_signal(0, false));
+        // No draws happened: the stream still matches a fresh layer.
+        use rand::RngCore as _;
+        let mut g = FaultLayer::new(2, 0);
+        assert_eq!(f.rng(0).next_u64(), g.rng(0).next_u64());
+    }
+
+    #[test]
+    fn filter_signal_flips_at_extreme_probabilities() {
+        let mut f = FaultLayer::new(1, 3);
+        f.set_noise(0.999, 0.999);
+        let mut lost = 0;
+        let mut ghost = 0;
+        for _ in 0..50 {
+            lost += usize::from(!f.filter_signal(0, true));
+            ghost += usize::from(f.filter_signal(0, false));
+        }
+        assert!(lost > 45, "{lost}");
+        assert!(ghost > 45, "{ghost}");
+    }
+
+    #[test]
+    fn crash_and_recover_toggle() {
+        let mut f = FaultLayer::new(3, 0);
+        assert!(!f.is_crashed(1));
+        f.crash(1);
+        f.crash(1); // idempotent
+        assert!(f.is_crashed(1));
+        assert_eq!(f.flags(), &[false, true, false]);
+        assert_eq!(f.alive_count(), 2, "idempotent crash counts once");
+        assert!(f.recover(1));
+        assert!(!f.recover(1), "second recover is a no-op");
+        assert_eq!(f.alive_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn noise_probabilities_validated() {
+        FaultLayer::new(1, 0).set_noise(1.0, 0.0);
+    }
+}

@@ -49,7 +49,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activation;
 mod error;
+mod fault;
 pub mod message_passing;
 mod monte_carlo;
 mod network;
@@ -61,7 +63,9 @@ pub mod stone_age;
 mod tick;
 mod topology;
 
+pub use activation::{ActivationEngine, ActivationLeaderModel, ActivationModel, Scheduler};
 pub use error::SimError;
+pub use fault::FaultLayer;
 pub use monte_carlo::{run_trials, run_trials_batched, run_trials_sequential};
 pub use network::{BeepingModel, Network, RoundView};
 pub use observers::{
@@ -71,5 +75,5 @@ pub use observers::{
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
 pub use recovering::{SlotAware, SlotSyncedModel};
 pub use runner::{run_election, ElectionConfig, ElectionOutcome};
-pub use tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
+pub use tick::{LeaderModel, TickEngine, TickModel};
 pub use topology::Topology;

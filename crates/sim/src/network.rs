@@ -1,4 +1,5 @@
-use crate::tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
+use crate::fault::FaultLayer;
+use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
 
 /// Synchronous executor of a [`BeepingProtocol`] on a [`Topology`]: the

@@ -17,8 +17,9 @@
 //! stamped from the global round via the [`SlotAware`] seam, so the
 //! network can never split into disagreeing slot phases.
 
+use crate::fault::FaultLayer;
 use crate::network::BeepingModel;
-use crate::tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
+use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
 
 /// A protocol state that carries a round clock (slot parity and

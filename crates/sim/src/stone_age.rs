@@ -52,11 +52,12 @@
 //! assert_eq!(net.round(), 1);
 //! ```
 
-use crate::tick::{FaultLayer, LeaderModel, TickEngine, TickModel};
+use crate::activation::{ActivationEngine, ActivationLeaderModel, ActivationModel};
+use crate::fault::FaultLayer;
+use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
 use bfw_graph::NodeId;
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::RngCore;
 
 /// A protocol for the synchronous stone-age model.
 ///
@@ -138,16 +139,26 @@ impl<P: StoneAgeProtocol> StoneAgeModel<P> {
     /// Applies the presence-bit noise channels to node `u`'s
     /// observation vector (see the module docs).
     fn apply_noise(&mut self, u: usize, faults: &mut FaultLayer) {
-        let own = self.symbols[u];
-        for s in 1..self.observed.len() {
-            if s == own {
-                continue;
-            }
-            let present = self.observed[s] > 0;
-            let filtered = faults.filter_signal(u, present);
-            if filtered != present {
-                self.observed[s] = u8::from(filtered);
-            }
+        apply_presence_noise(self.symbols[u], &mut self.observed, u, faults);
+    }
+}
+
+/// The presence-bit noise rule shared by the synchronous and
+/// asynchronous stone-age models: for each non-quiescent symbol `s ≥ 1`
+/// that node `u` is not itself displaying (`own`), the observed
+/// presence bit passes through the fault layer's two noise channels —
+/// lost with probability `fn`, hallucinated with probability `fp`.
+/// Symbol 0 is the conventional quiescent symbol and is noise-free, and
+/// a node's own displayed symbol cannot be missed or hallucinated.
+fn apply_presence_noise(own: usize, observed: &mut [u8], u: usize, faults: &mut FaultLayer) {
+    for (s, slot) in observed.iter_mut().enumerate().skip(1) {
+        if s == own {
+            continue;
+        }
+        let present = *slot > 0;
+        let filtered = faults.filter_signal(u, present);
+        if filtered != present {
+            *slot = u8::from(filtered);
         }
     }
 }
@@ -336,126 +347,132 @@ impl<P: LeaderElection> StoneAgeLeaderElection for BeepingAsStoneAge<P> {
     }
 }
 
-/// **Asynchronous** executor of a [`StoneAgeProtocol`]: one node is
-/// activated per step, chosen uniformly at random (the randomized
-/// fair scheduler common in self-stabilization work; the original
-/// stone-age model of Emek & Wattenhofer is asynchronous).
+/// **Asynchronous** executor of a [`StoneAgeProtocol`]: nodes are
+/// activated one at a time by a pluggable scheduler (uniformly random
+/// by default — the randomized fair scheduler common in
+/// self-stabilization work; the original stone-age model of Emek &
+/// Wattenhofer is asynchronous). This is the asynchronous adapter over
+/// the shared [`ActivationEngine`].
 ///
 /// The paper is careful to claim BFW only for a *synchronous* version
 /// of the stone-age model. This executor exists to probe why: under
 /// asynchronous activation a displayed beep persists until its node is
 /// next activated, wave timing desynchronizes, and the freeze no
 /// longer shields a leader from its own (now smeared-out) wave. The
-/// `async` portions of the `noise`-style experiments use it
-/// exploratorily; no correctness claim from the paper applies here.
-/// It deliberately stays outside the [`TickEngine`], whose round loop
-/// is synchronous by construction.
+/// `async` experiments use it exploratorily; no correctness claim from
+/// the paper applies here. Since the engine embeds the same
+/// [`FaultLayer`] as the synchronous runtimes, crashes, perception
+/// noise, delta-applied dynamic topology and scenario timelines (with
+/// positions read in activations) all work here too — see
+/// [`Scheduler`](crate::Scheduler) for the available schedulers.
+pub type AsyncStoneAgeNetwork<P> = ActivationEngine<AsyncStoneAgeModel<P>>;
+
+/// The asynchronous stone-age communication model: one activated node
+/// observes the *current* displayed symbols of its alive neighbors
+/// (clamped at the counting threshold) and transitions.
+///
+/// This is the [`ActivationModel`] behind [`AsyncStoneAgeNetwork`]; it
+/// owns the protocol, the displayed-symbol cache and the observation
+/// scratch. Perception noise acts on the same per-symbol presence bits
+/// as in the synchronous [`StoneAgeModel`] (see the module docs): for
+/// the activated node, each non-quiescent symbol it is not itself
+/// displaying can be lost or hallucinated; symbol 0 and the node's own
+/// symbol are noise-free.
 #[derive(Debug, Clone)]
-pub struct AsyncStoneAgeNetwork<P: StoneAgeProtocol> {
+pub struct AsyncStoneAgeModel<P: StoneAgeProtocol> {
     protocol: P,
-    topology: Topology,
-    states: Vec<P::State>,
     symbols: Vec<usize>,
-    rngs: Vec<ChaCha8Rng>,
-    scheduler: ChaCha8Rng,
-    activations: u64,
+    observed: Vec<u8>,
 }
 
-impl<P: StoneAgeProtocol> AsyncStoneAgeNetwork<P> {
-    /// Creates a network with zero activations performed.
-    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
-        let n = topology.node_count();
-        let mut master = ChaCha8Rng::seed_from_u64(seed);
-        let rngs: Vec<ChaCha8Rng> = (0..n).map(|_| ChaCha8Rng::from_rng(&mut master)).collect();
-        let scheduler = ChaCha8Rng::from_rng(&mut master);
-        let states: Vec<P::State> = (0..n)
-            .map(|i| {
-                protocol.initial_state(NodeCtx {
-                    node: NodeId::new(i),
-                    node_count: n,
-                })
-            })
-            .collect();
-        let symbols = states
-            .iter()
-            .map(|s| protocol.displayed_symbol(s))
-            .collect();
-        AsyncStoneAgeNetwork {
-            protocol,
-            topology,
-            states,
-            symbols,
-            rngs,
-            scheduler,
-            activations: 0,
-        }
+impl<P: StoneAgeProtocol> ActivationModel for AsyncStoneAgeModel<P> {
+    type State = P::State;
+
+    fn initial_state(&self, ctx: NodeCtx) -> P::State {
+        self.protocol.initial_state(ctx)
     }
 
-    /// Returns the number of activations performed so far.
-    pub fn activations(&self) -> u64 {
-        self.activations
+    fn init_caches(&mut self, n: usize) {
+        self.symbols = vec![0; n];
     }
 
-    /// Returns the number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.states.len()
+    fn refresh_node(&mut self, i: usize, state: &P::State, _crashed: bool) {
+        // As in the synchronous model, crash visibility is enforced at
+        // observation time (a crashed node's symbol is skipped), so the
+        // cache always mirrors the state.
+        self.symbols[i] = self.protocol.displayed_symbol(state);
     }
 
-    /// Returns all node states.
-    pub fn states(&self) -> &[P::State] {
-        &self.states
-    }
-
-    /// Activates one uniformly random node: it observes the *current*
-    /// displayed symbols of its neighbors (clamped at the threshold)
-    /// and transitions; everyone else is untouched.
-    pub fn activate_random(&mut self) {
-        use rand::Rng as _;
-        let n = self.states.len();
-        let u = self.scheduler.random_range(0..n);
-        self.activate(NodeId::new(u));
-    }
-
-    /// Activates a specific node (for adversarial schedules).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range, or if a displayed symbol falls
-    /// outside the protocol's alphabet.
-    pub fn activate(&mut self, u: NodeId) {
+    fn activate(
+        &mut self,
+        topology: &Topology,
+        u: usize,
+        states: &mut [P::State],
+        faults: &mut FaultLayer,
+    ) {
         let sigma = self.protocol.alphabet_size();
         let b = self.protocol.counting_threshold();
-        let u = u.index();
-        let mut observed = vec![0u8; sigma];
-        self.topology.for_each_neighbor(NodeId::new(u), |v| {
+        assert!(b >= 1, "counting threshold must be at least 1");
+        self.observed.clear();
+        self.observed.resize(sigma, 0);
+        topology.for_each_neighbor(NodeId::new(u), |v| {
             let s = self.symbols[v.index()];
             assert!(s < sigma, "displayed symbol {s} outside alphabet");
-            if observed[s] < b {
-                observed[s] += 1;
+            if !faults.is_crashed(v.index()) && self.observed[s] < b {
+                self.observed[s] += 1;
             }
         });
-        self.states[u] = self
-            .protocol
-            .transition(&self.states[u], &observed, &mut self.rngs[u]);
-        self.symbols[u] = self.protocol.displayed_symbol(&self.states[u]);
-        self.activations += 1;
-    }
-
-    /// Performs `count` random activations.
-    pub fn run_activations(&mut self, count: u64) {
-        for _ in 0..count {
-            self.activate_random();
+        if faults.has_noise() {
+            apply_presence_noise(self.symbols[u], &mut self.observed, u, faults);
         }
+        states[u] = self
+            .protocol
+            .transition(&states[u], &self.observed, faults.rng(u));
+        self.symbols[u] = self.protocol.displayed_symbol(&states[u]);
     }
 }
 
-impl<P: StoneAgeProtocol + StoneAgeLeaderElection> AsyncStoneAgeNetwork<P> {
-    /// Returns the number of nodes in the leader set.
-    pub fn leader_count(&self) -> usize {
-        self.states
-            .iter()
-            .filter(|s| self.protocol.is_leader(s))
-            .count()
+impl<P: StoneAgeLeaderElection> ActivationLeaderModel for AsyncStoneAgeModel<P> {
+    fn is_leader(&self, state: &P::State) -> bool {
+        self.protocol.is_leader(state)
+    }
+}
+
+impl<P: StoneAgeProtocol> ActivationEngine<AsyncStoneAgeModel<P>> {
+    /// Creates a network with zero activations performed, under the
+    /// default uniform scheduler.
+    ///
+    /// Seeding carves the node streams exactly as
+    /// [`StoneAgeNetwork::new`] does, then one scheduler stream — the
+    /// carving order of the pre-engine asynchronous runtime, so its
+    /// pinned traces reproduce bit-for-bit (see the
+    /// `activation_engine_equivalence` workspace test).
+    pub fn new(protocol: P, topology: Topology, seed: u64) -> Self {
+        ActivationEngine::from_model(
+            AsyncStoneAgeModel {
+                protocol,
+                symbols: Vec::new(),
+                observed: Vec::new(),
+            },
+            topology,
+            seed,
+        )
+    }
+
+    /// Returns the protocol.
+    pub fn protocol(&self) -> &P {
+        &self.model.protocol
+    }
+
+    /// Returns the symbols currently displayed, indexed by node.
+    pub fn displayed_symbols(&self) -> &[usize] {
+        &self.model.symbols
+    }
+
+    /// Activates one uniformly scheduler-chosen node (the historical
+    /// name of [`activate_next`](ActivationEngine::activate_next)).
+    pub fn activate_random(&mut self) {
+        self.activate_next();
     }
 }
 

@@ -20,99 +20,9 @@
 //! runtimes did (see the `tick_engine_equivalence` workspace test for
 //! the pinned traces). Zero-probability noise channels draw nothing.
 
+use crate::fault::FaultLayer;
 use crate::{NodeCtx, Topology};
 use bfw_graph::{NodeId, TopologyDelta};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// Per-node fault state shared by all runtimes: crash bitmask, RNG
-/// streams, and the two-channel perception-noise model.
-#[derive(Debug, Clone)]
-pub struct FaultLayer {
-    crashed: Vec<bool>,
-    rngs: Vec<ChaCha8Rng>,
-    false_negative: f64,
-    false_positive: f64,
-}
-
-impl FaultLayer {
-    /// Creates the fault state for `n` nodes: no crashes, no noise, one
-    /// independent ChaCha8 stream per node carved out of `seed`.
-    pub(crate) fn new(n: usize, seed: u64) -> Self {
-        let mut master = ChaCha8Rng::seed_from_u64(seed);
-        let rngs = (0..n)
-            .map(|_| ChaCha8Rng::from_rng(&mut master))
-            .collect::<Vec<_>>();
-        FaultLayer {
-            crashed: vec![false; n],
-            rngs,
-            false_negative: 0.0,
-            false_positive: 0.0,
-        }
-    }
-
-    /// Returns `true` if node `i` is crashed.
-    #[inline]
-    pub fn is_crashed(&self, i: usize) -> bool {
-        self.crashed[i]
-    }
-
-    /// Returns the crash flags, indexed by node.
-    pub fn flags(&self) -> &[bool] {
-        &self.crashed
-    }
-
-    /// Marks node `i` crashed (idempotent).
-    fn crash(&mut self, i: usize) {
-        self.crashed[i] = true;
-    }
-
-    /// Clears the crash mark on node `i`, returning `true` if it was
-    /// crashed (the caller then resets the node's state).
-    fn recover(&mut self, i: usize) -> bool {
-        std::mem::replace(&mut self.crashed[i], false)
-    }
-
-    /// Returns node `i`'s RNG stream (for protocol transitions).
-    #[inline]
-    pub fn rng(&mut self, i: usize) -> &mut ChaCha8Rng {
-        &mut self.rngs[i]
-    }
-
-    /// Returns `true` if either noise channel is active.
-    #[inline]
-    pub fn has_noise(&self) -> bool {
-        self.false_negative > 0.0 || self.false_positive > 0.0
-    }
-
-    /// Passes one perceived boolean signal of node `i` through the two
-    /// noise channels: a `true` signal is lost with probability
-    /// `false_negative`, a `false` signal hallucinated with probability
-    /// `false_positive`. A channel with probability 0 draws nothing, so
-    /// disabling noise restores bit-identical RNG streams.
-    #[inline]
-    pub fn filter_signal(&mut self, i: usize, signal: bool) -> bool {
-        use rand::Rng as _;
-        if signal {
-            !(self.false_negative > 0.0 && self.rngs[i].random_bool(self.false_negative))
-        } else {
-            self.false_positive > 0.0 && self.rngs[i].random_bool(self.false_positive)
-        }
-    }
-
-    fn set_noise(&mut self, false_negative: f64, false_positive: f64) {
-        assert!(
-            (0.0..1.0).contains(&false_negative),
-            "hearing-failure probability must be in [0, 1)"
-        );
-        assert!(
-            (0.0..1.0).contains(&false_positive),
-            "spurious-beep probability must be in [0, 1)"
-        );
-        self.false_negative = false_negative;
-        self.false_positive = false_positive;
-    }
-}
 
 /// A synchronous communication model, pluggable into [`TickEngine`].
 ///
@@ -346,7 +256,7 @@ impl<M: TickModel> TickEngine<M> {
 
     /// Returns the number of non-crashed nodes.
     pub fn alive_count(&self) -> usize {
-        self.faults.flags().iter().filter(|&&c| !c).count()
+        self.faults.alive_count()
     }
 
     /// Sets both perception-noise probabilities at once: a perceived
@@ -371,14 +281,14 @@ impl<M: TickModel> TickEngine<M> {
     /// beeping model, the hearing-failure probability (0 for the exact
     /// model).
     pub fn hearing_failure_prob(&self) -> f64 {
-        self.faults.false_negative
+        self.faults.false_negative()
     }
 
     /// Returns the false-positive (hallucinated-signal) probability —
     /// for the beeping model, the spurious-beep probability (0 for the
     /// exact model).
     pub fn spurious_beep_prob(&self) -> f64 {
-        self.faults.false_positive
+        self.faults.false_positive()
     }
 
     /// Overwrites the state of node `u` (the scenario engine's
@@ -453,68 +363,5 @@ impl<M: LeaderModel> TickEngine<M> {
             }
         }
         found
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fault_layer_streams_are_seed_deterministic() {
-        use rand::RngCore as _;
-        let draw = |seed| {
-            let mut f = FaultLayer::new(4, seed);
-            (0..4).map(|i| f.rng(i).next_u64()).collect::<Vec<_>>()
-        };
-        assert_eq!(draw(7), draw(7));
-        assert_ne!(draw(7), draw(8));
-        // Streams are pairwise distinct.
-        let d = draw(7);
-        assert_eq!(d.iter().collect::<std::collections::HashSet<_>>().len(), 4);
-    }
-
-    #[test]
-    fn filter_signal_is_identity_without_noise() {
-        let mut f = FaultLayer::new(2, 0);
-        assert!(!f.has_noise());
-        assert!(f.filter_signal(0, true));
-        assert!(!f.filter_signal(0, false));
-        // No draws happened: the stream still matches a fresh layer.
-        use rand::RngCore as _;
-        let mut g = FaultLayer::new(2, 0);
-        assert_eq!(f.rng(0).next_u64(), g.rng(0).next_u64());
-    }
-
-    #[test]
-    fn filter_signal_flips_at_extreme_probabilities() {
-        let mut f = FaultLayer::new(1, 3);
-        f.set_noise(0.999, 0.999);
-        let mut lost = 0;
-        let mut ghost = 0;
-        for _ in 0..50 {
-            lost += usize::from(!f.filter_signal(0, true));
-            ghost += usize::from(f.filter_signal(0, false));
-        }
-        assert!(lost > 45, "{lost}");
-        assert!(ghost > 45, "{ghost}");
-    }
-
-    #[test]
-    fn crash_and_recover_toggle() {
-        let mut f = FaultLayer::new(3, 0);
-        assert!(!f.is_crashed(1));
-        f.crash(1);
-        f.crash(1); // idempotent
-        assert!(f.is_crashed(1));
-        assert_eq!(f.flags(), &[false, true, false]);
-        assert!(f.recover(1));
-        assert!(!f.recover(1), "second recover is a no-op");
-    }
-
-    #[test]
-    #[should_panic(expected = "must be in [0, 1)")]
-    fn noise_probabilities_validated() {
-        FaultLayer::new(1, 0).set_noise(1.0, 0.0);
     }
 }

@@ -5,9 +5,10 @@ use bfw_bench::GraphSpec;
 use bfw_core::{Bfw, RecoveringProtocol, RecoveryConfig};
 use bfw_graph::{generators, DynamicGraph, NodeId};
 use bfw_scenario::{
-    bfw_injector, run_bfw_scenario, Engine, ProtocolKind, ScenarioEvent, ScenarioSpec, Timeline,
+    bfw_injector, run_bfw_scenario, Engine, InjectKind, ProtocolKind, ScenarioEvent, ScenarioSpec,
+    Timeline,
 };
-use bfw_sim::stone_age::{BeepingAsStoneAge, StoneAgeNetwork};
+use bfw_sim::stone_age::{AsyncStoneAgeNetwork, BeepingAsStoneAge, StoneAgeNetwork};
 use bfw_sim::{BeepingProtocol, LeaderElection, Network, NodeCtx};
 use proptest::prelude::*;
 
@@ -238,6 +239,8 @@ fn heal_wipeout_spec(n: usize, protocol: ProtocolKind) -> ScenarioSpec {
         heartbeat: None,
         timeout: None,
         grace: None,
+        runtime: Default::default(),
+        scheduler: None,
         timeline: Timeline::new()
             .at(
                 50,
@@ -458,4 +461,205 @@ fn injected_phantom_waves_defeat_re_election_as_section5_predicts() {
     let outcome = run_bfw_scenario(&spec, &graph.build(), 11).unwrap();
     assert!(outcome.final_leaders.is_empty(), "{}", outcome.to_text());
     assert_eq!(outcome.pending_disruption, Some(5_000));
+}
+
+/// The shipped async example scenario, exercised exactly as the CLI
+/// would (the CI determinism smoke runs the same file through the
+/// binary).
+const ASYNC_STORM: &str = include_str!("../examples/scenarios/async_storm.toml");
+
+#[test]
+fn shipped_async_storm_scenario_is_byte_deterministic() {
+    let spec = ScenarioSpec::parse(ASYNC_STORM).expect("shipped scenario must parse");
+    assert_eq!(spec.runtime, bfw_scenario::RuntimeKind::Async);
+    assert_eq!(spec.scheduler, Some(bfw_sim::Scheduler::Uniform));
+    let graph: GraphSpec = spec.graph.parse().unwrap();
+    let graph = graph.build();
+    let a = run_bfw_scenario(&spec, &graph, 42).unwrap();
+    let b = run_bfw_scenario(&spec, &graph, 42).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.to_text(), b.to_text());
+    assert_eq!(a.rounds_run, 160_000, "horizon read in activations");
+    // The storm's early crash-leader lands while duel leaders are
+    // alive, so the async runtime demonstrably answers fault events.
+    assert!(
+        a.event_log[0].contains("crashed leader"),
+        "{:?}",
+        a.event_log
+    );
+}
+
+#[test]
+fn async_runtime_with_recovery_protocol_is_a_hard_spec_error() {
+    // Satellite of the ActivationEngine PR, mirroring the PR 3 negative
+    // parser tests: the recovery layer multiplexes slots over round
+    // parity, which does not exist under asynchronous activation.
+    let e = ScenarioSpec::parse(
+        "[scenario]\ngraph = \"cycle:8\"\nruntime = \"async\"\nprotocol = \"bfw+recovery\"",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("synchronous rounds"), "{e}");
+    assert!(
+        e.to_string().contains("did you mean protocol = \"bfw\"?"),
+        "{e}"
+    );
+
+    // Unknown scheduler values are hard errors with hints, and the
+    // scheduler key itself needs the async runtime.
+    let e = ScenarioSpec::parse(
+        "[scenario]\ngraph = \"cycle:8\"\nruntime = \"async\"\nscheduler = \"replya\"",
+    )
+    .unwrap_err();
+    assert!(
+        e.to_string()
+            .contains("unknown scheduler 'replya' (did you mean 'replay'?)"),
+        "{e}"
+    );
+    let e = ScenarioSpec::parse("[scenario]\ngraph = \"cycle:8\"\nscheduler = \"uniform\"")
+        .unwrap_err();
+    assert!(
+        e.to_string()
+            .contains("scheduler requires runtime = \"async\""),
+        "{e}"
+    );
+}
+
+#[test]
+fn async_host_drives_the_full_fault_vocabulary() {
+    // One asynchronous scenario through every event family: explicit
+    // crash + recover, edge churn, partition + heal, a noise burst and
+    // a Section 5 phantom injection must all land (no "skipped"), with
+    // positions read in activations.
+    let n = 9;
+    let spec = ScenarioSpec {
+        name: "async vocabulary".to_owned(),
+        graph: format!("cycle:{n}"),
+        p: 0.5,
+        rounds: 40_000,
+        stability: 200,
+        seed: 0,
+        protocol: ProtocolKind::Bfw,
+        heartbeat: None,
+        timeout: None,
+        grace: None,
+        runtime: bfw_scenario::RuntimeKind::Async,
+        scheduler: Some(bfw_sim::Scheduler::Replay),
+        timeline: Timeline::new()
+            .at(1_000, ScenarioEvent::CrashNode(NodeId::new(3)))
+            .at(2_000, ScenarioEvent::RecoverNode(NodeId::new(3)))
+            .at(
+                3_000,
+                ScenarioEvent::AddEdge(NodeId::new(0), NodeId::new(4)),
+            )
+            .at(
+                4_000,
+                ScenarioEvent::RemoveEdge(NodeId::new(0), NodeId::new(4)),
+            )
+            .at(
+                5_000,
+                ScenarioEvent::Partition {
+                    side: (0..n / 2).map(NodeId::new).collect(),
+                },
+            )
+            .at(6_000, ScenarioEvent::Heal)
+            .at(
+                7_000,
+                ScenarioEvent::NoiseBurst {
+                    fn_rate: 0.1,
+                    fp_rate: 0.02,
+                    rounds: 1_000,
+                },
+            )
+            .at(
+                20_000,
+                ScenarioEvent::InjectState(InjectKind::PhantomWaves { waves: 1 }),
+            ),
+    };
+    let graph = generators::cycle(n);
+    let outcome = run_bfw_scenario(&spec, &graph, 7).unwrap();
+    let expectations = [
+        "crashed node 3",
+        "recovered node 3",
+        "added edge (0, 4)",
+        "removed edge (0, 4)",
+        "cut 2 edge(s)",
+        "restored 2 edge(s)",
+        "noise on for 1000 round(s)",
+        "noise-burst ends",
+        "injected phantom-waves(1)",
+    ];
+    for (line, want) in outcome.event_log.iter().zip(expectations) {
+        assert!(
+            line.contains(want),
+            "{want:?} missing: {:?}",
+            outcome.event_log
+        );
+    }
+    assert_eq!(outcome.rounds_run, 40_000);
+    assert_eq!(outcome.final_edges, n, "heal must restore the ring");
+    // Section 5 holds asynchronously too: the injected leaderless wave
+    // can never mint a new leader (only wipe itself out), so the run
+    // ends with zero leaders.
+    assert!(outcome.final_leaders.is_empty(), "{}", outcome.to_text());
+    // And byte-determinism survives the whole vocabulary.
+    assert_eq!(outcome, run_bfw_scenario(&spec, &graph, 7).unwrap());
+}
+
+#[test]
+fn async_schedulers_drive_distinct_but_deterministic_runs() {
+    let mk = |scheduler| {
+        let mut net = AsyncStoneAgeNetwork::new(
+            BeepingAsStoneAge::new(Bfw::new(0.5)),
+            generators::cycle(10).into(),
+            3,
+        );
+        net.set_scheduler(scheduler);
+        net.run_activations(400);
+        format!("{:?}", net.states())
+    };
+    for s in [
+        bfw_sim::Scheduler::Uniform,
+        bfw_sim::Scheduler::Weighted,
+        bfw_sim::Scheduler::Replay,
+    ] {
+        assert_eq!(mk(s), mk(s), "{s} must be deterministic");
+    }
+    // On a cycle every degree is equal, so uniform and weighted draw
+    // different streams yet both remain valid; replay is a fixed sweep.
+    // At least two of the three must differ somewhere.
+    let outcomes: std::collections::HashSet<String> = [
+        bfw_sim::Scheduler::Uniform,
+        bfw_sim::Scheduler::Weighted,
+        bfw_sim::Scheduler::Replay,
+    ]
+    .into_iter()
+    .map(mk)
+    .collect();
+    assert!(outcomes.len() >= 2, "schedulers must matter");
+}
+
+#[test]
+fn recovery_survives_the_lowest_noise_sweep_point() {
+    // The ROADMAP's open noise-on-heartbeat gap, pinned as a
+    // regression: at the lowest E17 `--noise` sweep point the
+    // self-healing stack must still reach 0 permanently-leaderless
+    // runs across all three wipeout classes (noise inflates latency
+    // and flaps — measured by `bfw experiment recovery --noise` — but
+    // must not break safety).
+    let (fn_rate, fp_rate) = bfw_bench::experiments::recovery::NOISE_SWEEP[0];
+    for (label, spec) in
+        bfw_bench::experiments::recovery::noisy_wipeout_specs(12, 40_000, fn_rate, fp_rate)
+    {
+        let graph: GraphSpec = spec.graph.parse().unwrap();
+        let graph = graph.build();
+        for seed in 0..8u64 {
+            let outcome = run_bfw_scenario(&spec, &graph, seed).unwrap();
+            assert!(
+                !outcome.final_leaders.is_empty(),
+                "{label} seed {seed}: permanently leaderless under the lowest \
+                 noise sweep point\n{}",
+                outcome.to_text()
+            );
+        }
+    }
 }

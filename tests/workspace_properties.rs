@@ -2,7 +2,8 @@
 
 use bfw_bench::GraphSpec;
 use bfw_core::{Bfw, InvariantChecker};
-use bfw_graph::{algo, generators};
+use bfw_graph::{algo, generators, NodeId};
+use bfw_sim::stone_age::{AsyncStoneAgeNetwork, BeepingAsStoneAge};
 use bfw_sim::{observe_run, run_election, ElectionConfig, Network};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -88,5 +89,69 @@ proptest! {
             winners.insert(out.leader);
         }
         prop_assert!(winners.len() >= 2, "12 seeds elected only {:?}", winners);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The `ActivationEngine`'s uniform scheduler is exactly the
+    /// reference schedule drawn directly from the same ChaCha8 stream —
+    /// the master seed carves n node streams, then the scheduler
+    /// stream, and each activation is one `random_range(0..n)` draw
+    /// with **no RNG renumbering**: crashing nodes only *rejects* the
+    /// draws that land on them (they are never activated), it never
+    /// shifts the stream or re-indexes the alive set.
+    #[test]
+    fn uniform_activation_schedule_equals_reference_stream(
+        n in 3usize..20,
+        seed in any::<u64>(),
+        crash_bits in any::<u32>(),
+        steps in 1usize..120,
+    ) {
+        // Reference: re-carve the scheduler stream exactly as the
+        // engine does (n node streams first, then the scheduler) and
+        // draw the raw uniform schedule from it.
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..n {
+            let _node_stream = ChaCha8Rng::from_rng(&mut master);
+        }
+        let mut reference = ChaCha8Rng::from_rng(&mut master);
+
+        // Crash an arbitrary proper subset of the nodes up front.
+        let crashed: Vec<usize> = (0..n).filter(|i| crash_bits >> (i % 32) & 1 == 1).collect();
+        let keep_alive = crashed.len() == n;
+
+        let mut net = AsyncStoneAgeNetwork::new(
+            BeepingAsStoneAge::new(Bfw::new(0.5)),
+            generators::cycle(n).into(),
+            seed,
+        );
+        for &i in &crashed {
+            if keep_alive && i == 0 {
+                continue; // keep at least one node alive
+            }
+            net.crash_node(NodeId::new(i));
+        }
+
+        let schedule: Vec<usize> = (0..steps)
+            .map(|_| net.activate_next().expect("an alive node exists").index())
+            .collect();
+
+        // The engine's schedule is the reference stream with crashed
+        // draws rejected — dropped, not renumbered.
+        let mut expected = Vec::with_capacity(steps);
+        while expected.len() < steps {
+            use rand::Rng as _;
+            let u = reference.random_range(0..n);
+            if !net.is_crashed(NodeId::new(u)) {
+                expected.push(u);
+            }
+        }
+        prop_assert_eq!(&schedule, &expected);
+        // And crash-masked nodes are never activated.
+        for &u in &schedule {
+            prop_assert!(!net.is_crashed(NodeId::new(u)), "crashed node {} activated", u);
+        }
     }
 }
