@@ -28,4 +28,6 @@ pub mod suite;
 pub use bitwise_max_id::{BitwiseMaxId, BitwiseState};
 pub use flood_max::{FloodMax, FloodMaxState};
 pub use knockout::{KnockoutClique, KnockoutState};
-pub use suite::{standard_suite, AlgorithmInfo, CandidateAlgorithm, Model, RunStats};
+pub use suite::{
+    standard_suite, AlgorithmInfo, CandidateAlgorithm, ComplexityStats, Model, RunStats,
+};

@@ -58,6 +58,27 @@ pub struct RunStats {
     pub distinct_states: usize,
 }
 
+/// Whole-run channel-complexity counters — the E19 faceoff columns.
+///
+/// Beeping candidates measure these with the engine's instrumentation
+/// seam (see [`bfw_sim::instrument`]); the message-passing FloodMax
+/// derives them analytically (every alive node sends one
+/// `⌈log₂ n⌉`-bit message per neighbor per round). `beeps_sent` /
+/// `beeps_heard` are zero for non-beeping models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplexityStats {
+    /// Rounds with a non-quiescent emission, summed over emitters.
+    pub beeps_sent: u64,
+    /// Post-noise perception events (alive nodes that heard a beep).
+    pub beeps_heard: u64,
+    /// Information crossing the channel, in bits.
+    pub bits: u64,
+    /// Point-to-point message equivalents (emissions × receiver count).
+    pub messages: u64,
+    /// Per-node state footprint in bytes.
+    pub state_bytes: usize,
+}
+
 /// A leader-election algorithm that the Table 1 harness can run on an
 /// arbitrary graph.
 ///
@@ -75,6 +96,24 @@ pub trait CandidateAlgorithm: Send + Sync {
     /// [`SimError::RoundBudgetExhausted`] if more than one leader
     /// remains after `max_rounds`, plus the usual topology errors.
     fn run(&self, graph: &Graph, seed: u64, max_rounds: u64) -> Result<RunStats, SimError>;
+
+    /// [`run`](Self::run) with channel-complexity accounting. The
+    /// default returns `None` for the counters — algorithms that can
+    /// measure (or derive) their channel usage override this; the
+    /// outcome in the first tuple slot is identical to
+    /// [`run`](Self::run)'s either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        self.run(graph, seed, max_rounds).map(|stats| (stats, None))
+    }
 }
 
 fn check_topology(graph: &Graph) -> Result<(), SimError> {
@@ -111,6 +150,46 @@ fn run_beeping<P: bfw_sim::LeaderElection>(
     }
 }
 
+/// [`run_beeping`] with the engine's instrumentation enabled (no
+/// flight recorder): the counters come straight out of the
+/// [`bfw_sim::ComplexityLedger`]. Instrumentation is passive, so the
+/// [`RunStats`] are identical to the uninstrumented run's.
+fn run_beeping_measured<P: bfw_sim::LeaderElection>(
+    protocol: P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+    check_topology(graph)?;
+    let mut net = Network::new(protocol, graph.clone().into(), seed);
+    net.enable_instrumentation(None);
+    let mut hist = StateHistogram::new();
+    let converged = observe_run(&mut net, &mut hist, max_rounds, |v| v.leader_count() == 1);
+    let ledger = net
+        .complexity_ledger()
+        .expect("instrumentation was enabled");
+    let complexity = ComplexityStats {
+        beeps_sent: ledger.beeps_sent(),
+        beeps_heard: ledger.beeps_heard(),
+        bits: ledger.bits(),
+        messages: ledger.messages(),
+        state_bytes: ledger.state_bytes_per_node(),
+    };
+    match converged {
+        Some(round) => Ok((
+            RunStats {
+                converged_round: round,
+                distinct_states: hist.distinct_states(),
+            },
+            Some(complexity),
+        )),
+        None => Err(SimError::RoundBudgetExhausted {
+            max_rounds,
+            leaders_remaining: net.leader_count(),
+        }),
+    }
+}
+
 /// BFW with a uniform constant `p` (the paper's main algorithm,
 /// Theorem 2 row of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +214,15 @@ impl CandidateAlgorithm for BfwUniform {
     fn run(&self, graph: &Graph, seed: u64, max_rounds: u64) -> Result<RunStats, SimError> {
         run_beeping(Bfw::new(self.p), graph, seed, max_rounds)
     }
+
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        run_beeping_measured(Bfw::new(self.p), graph, seed, max_rounds)
+    }
 }
 
 /// BFW with `p = 1/(D+1)` (Theorem 3 row of Table 1: knowledge of `D`).
@@ -158,6 +246,17 @@ impl CandidateAlgorithm for BfwKnownDiameter {
         check_topology(graph)?;
         let d = algo::diameter(graph).expect("connected graph has a diameter");
         run_beeping(Bfw::with_known_diameter(d), graph, seed, max_rounds)
+    }
+
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        check_topology(graph)?;
+        let d = algo::diameter(graph).expect("connected graph has a diameter");
+        run_beeping_measured(Bfw::with_known_diameter(d), graph, seed, max_rounds)
     }
 }
 
@@ -205,6 +304,33 @@ impl CandidateAlgorithm for FloodMaxAlgorithm {
             }),
         }
     }
+
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        let stats = self.run(graph, seed, max_rounds)?;
+        // Analytic accounting: FloodMax sends every round on every
+        // directed edge (each node broadcasts its max-seen to each
+        // neighbor), and each message carries an identifier in
+        // `[0, n)`, i.e. `⌈log₂ n⌉` bits. No stochastic element — the
+        // closed form is exact, no instrumented rerun needed.
+        let n = graph.node_count() as u64;
+        let bits_per_msg = 64 - n.saturating_sub(1).leading_zeros() as u64;
+        let messages = stats.converged_round * 2 * graph.edge_count() as u64;
+        Ok((
+            stats,
+            Some(ComplexityStats {
+                beeps_sent: 0,
+                beeps_heard: 0,
+                bits: messages * bits_per_msg.max(1),
+                messages,
+                state_bytes: std::mem::size_of::<crate::FloodMaxState>(),
+            }),
+        ))
+    }
 }
 
 /// Bitwise max-identifier election in the beeping model (the
@@ -232,6 +358,19 @@ impl CandidateAlgorithm for BitwiseMaxIdAlgorithm {
             .max(1);
         run_beeping(BitwiseMaxId::new(d), graph, seed, max_rounds)
     }
+
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        check_topology(graph)?;
+        let d = algo::diameter(graph)
+            .expect("connected graph has a diameter")
+            .max(1);
+        run_beeping_measured(BitwiseMaxId::new(d), graph, seed, max_rounds)
+    }
 }
 
 /// Anonymous knockout on the clique (the `O(1)`-state single-hop row,
@@ -254,6 +393,15 @@ impl CandidateAlgorithm for KnockoutCliqueAlgorithm {
 
     fn run(&self, graph: &Graph, seed: u64, max_rounds: u64) -> Result<RunStats, SimError> {
         run_beeping(KnockoutClique::new(), graph, seed, max_rounds)
+    }
+
+    fn run_measured(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<(RunStats, Option<ComplexityStats>), SimError> {
+        run_beeping_measured(KnockoutClique::new(), graph, seed, max_rounds)
     }
 }
 
@@ -356,6 +504,63 @@ mod tests {
             FloodMaxAlgorithm::default().run(&empty, 0, 10).unwrap_err(),
             SimError::EmptyTopology
         );
+    }
+
+    #[test]
+    fn measured_runs_match_plain_runs() {
+        // Instrumentation is passive: run_measured's RunStats equal
+        // run's, and every suite algorithm produces counters.
+        let g = generators::complete(12);
+        for algo in standard_suite(0.5) {
+            let name = algo.info().name;
+            let plain = algo.run(&g, 7, 500_000).unwrap();
+            let (measured, complexity) = algo.run_measured(&g, 7, 500_000).unwrap();
+            assert_eq!(plain, measured, "{name}");
+            let c = complexity.unwrap_or_else(|| panic!("{name}: no counters"));
+            assert!(c.messages > 0, "{name}");
+            assert!(c.bits > 0, "{name}");
+            assert!(c.state_bytes > 0, "{name}");
+            if algo.info().model == Model::Beeping {
+                assert!(c.beeps_sent > 0, "{name}");
+                // Clique: every emission reaches n-1 receivers.
+                assert_eq!(c.messages, c.beeps_sent * 11, "{name}");
+            } else {
+                assert_eq!(c.beeps_sent, 0, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn flood_max_counters_are_the_closed_form() {
+        let g = generators::path(24);
+        let (stats, complexity) = FloodMaxAlgorithm::default()
+            .run_measured(&g, 0, 10_000)
+            .unwrap();
+        let c = complexity.unwrap();
+        // path:24 has 23 edges, ids fit in ceil(log2 24) = 5 bits.
+        assert_eq!(c.messages, stats.converged_round * 2 * 23);
+        assert_eq!(c.bits, c.messages * 5);
+        assert_eq!(c.beeps_sent, 0);
+        assert_eq!(c.beeps_heard, 0);
+    }
+
+    #[test]
+    fn run_measured_default_returns_no_counters() {
+        // External CandidateAlgorithm impls that don't override
+        // run_measured still work — they just report no counters.
+        struct Plain;
+        impl CandidateAlgorithm for Plain {
+            fn info(&self) -> AlgorithmInfo {
+                BfwUniform { p: 0.5 }.info()
+            }
+            fn run(&self, g: &Graph, seed: u64, max_rounds: u64) -> Result<RunStats, SimError> {
+                BfwUniform { p: 0.5 }.run(g, seed, max_rounds)
+            }
+        }
+        let g = generators::complete(8);
+        let (stats, complexity) = Plain.run_measured(&g, 3, 500_000).unwrap();
+        assert!(stats.converged_round > 0);
+        assert_eq!(complexity, None);
     }
 
     #[test]

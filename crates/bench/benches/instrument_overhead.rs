@@ -1,0 +1,75 @@
+//! Counter-overhead microbench: instrumented vs uninstrumented round
+//! loops on `cycle:10000`.
+//!
+//! The instrumentation seam of `bfw_sim::instrument` claims to be
+//! near-free when enabled (one fanout scan and a handful of counter
+//! adds per round) and exactly free when off (a `None` check). This
+//! bench pins both claims with wall-clock numbers and **asserts** the
+//! enabled overhead stays under a generous budget, so a regression that
+//! makes the ledger expensive fails CI instead of silently taxing every
+//! traced run.
+//!
+//! Plain `Instant` timing (no criterion): the loops are long enough
+//! (10k nodes × 2k rounds) that statistical machinery would add more
+//! noise than it removes, and the assertion budget is deliberately
+//! loose — 1.35× — against CI jitter; the measured ratio is printed for
+//! the curious (locally it sits within a few percent of 1.0).
+
+use bfw_core::Bfw;
+use bfw_graph::generators;
+use bfw_sim::Network;
+use std::time::Instant;
+
+const N: usize = 10_000;
+const ROUNDS: u64 = 2_000;
+const SEED: u64 = 7;
+/// Generous ceiling for instrumented/plain runtime on shared CI boxes.
+const BUDGET: f64 = 1.35;
+
+/// One full round loop; returns (elapsed seconds, leaders remaining —
+/// a side effect the optimizer cannot drop).
+fn run_loop(instrumented: bool) -> (f64, usize) {
+    let mut net = Network::new(Bfw::new(0.5), generators::cycle(N).into(), SEED);
+    if instrumented {
+        net.enable_instrumentation(None);
+    }
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        net.step();
+    }
+    (start.elapsed().as_secs_f64(), net.leader_count())
+}
+
+fn main() {
+    // Warm-up pass so neither variant pays first-touch costs.
+    let _ = run_loop(false);
+
+    // Interleave several passes of each, alternating which variant goes
+    // first so slow drift on a shared machine cancels, and keep the
+    // minimum: the least noisy estimator for a throughput loop.
+    let mut plain = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    for pass in 0..5 {
+        let first_instrumented = pass % 2 == 1;
+        let (t, leaders_a) = run_loop(first_instrumented);
+        let (u, leaders_b) = run_loop(!first_instrumented);
+        let (t_plain, t_instr) = if first_instrumented { (u, t) } else { (t, u) };
+        plain = plain.min(t_plain);
+        instrumented = instrumented.min(t_instr);
+        // Same seed, same execution: instrumentation must be passive.
+        assert_eq!(leaders_a, leaders_b, "instrumentation perturbed the run");
+    }
+
+    let ratio = instrumented / plain;
+    println!(
+        "instrument_overhead: cycle:{N} x {ROUNDS} rounds — plain {:.3}s, instrumented {:.3}s, \
+         ratio {ratio:.3} ({:+.1}%)",
+        plain,
+        instrumented,
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio < BUDGET,
+        "instrumentation overhead {ratio:.3}x exceeds the {BUDGET}x budget"
+    );
+}

@@ -85,6 +85,7 @@ fn spec_for(
         // replay schedulers are exercised by the workspace tests.
         scheduler: None,
         timeline: timeline_for(class, n, horizon),
+        trace: None,
     }
 }
 

@@ -9,6 +9,7 @@ pub mod async_stone_age;
 pub mod chain;
 pub mod churn;
 pub mod churn_scale;
+pub mod complexity;
 pub mod convergence;
 pub mod decay;
 pub mod flow_audit;
@@ -48,6 +49,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("churn-scale", churn_scale::run),
         ("recovery", recovery::run),
         ("async-faults", async_faults::run),
+        ("complexity", complexity::run),
     ]
 }
 
@@ -62,6 +64,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 }

@@ -91,6 +91,14 @@ pub enum Command {
         seed: Option<u64>,
         /// Horizon override (`None` = the spec's rounds).
         rounds: Option<u64>,
+        /// Destination for the complexity/flight-recorder JSON report
+        /// (`--trace FILE`; overrides the spec's `[trace] file`).
+        /// Tracing is enabled when this, `--trace-last`, or the spec's
+        /// `[trace]` section is present.
+        trace: Option<String>,
+        /// Flight-recorder capacity (`--trace-last N`; overrides the
+        /// spec's `[trace] last`, default 256).
+        trace_last: Option<usize>,
     },
     /// `bfw help`
     Help,
@@ -108,8 +116,24 @@ usage:
   bfw graph SPEC
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
   bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
-  bfw scenario run FILE [--seed S] [--rounds N]
+  bfw scenario run FILE [--seed S] [--rounds N] [--trace FILE] [--trace-last N]
   bfw help
+
+experiment flags:
+  --quick      reduced sizes/trials for every experiment
+  --trials N   trials per data point (overrides the quick/full default)
+  --seed S     base seed for the experiment's trial streams
+  --noise      adds the optional perception-noise sweeps; only the
+               'recovery' experiment reads it, the others ignore it
+  the 'complexity' experiment (E19) emits a Table-1-style faceoff
+  (rounds/beeps/bits/messages/state across protocols and topologies)
+  and writes the versioned BENCH_complexity.json next to the table
+
+scenario run flags:
+  --seed S        overrides the spec's seed      --rounds N  overrides the horizon
+  --trace FILE    writes the complexity + flight-recorder JSON report to FILE
+  --trace-last N  keeps the last N trace events (default 256)
+  (a [trace] section in the spec enables the same; CLI flags win)
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
@@ -309,11 +333,21 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut file = None;
     let mut seed = None;
     let mut rounds = None;
+    let mut trace = None;
+    let mut trace_last = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
             "--rounds" => rounds = Some(parse_int(take_value("--rounds", &mut it)?, "--rounds")?),
+            "--trace" => trace = Some(take_value("--trace", &mut it)?.to_owned()),
+            "--trace-last" => {
+                let last = parse_int(take_value("--trace-last", &mut it)?, "--trace-last")?;
+                if last == 0 {
+                    return Err("--trace-last must be at least 1".to_owned());
+                }
+                trace_last = Some(last as usize);
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("scenario run: unknown flag {flag}"))
             }
@@ -322,12 +356,50 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         }
     }
     let file = file.ok_or("scenario run: FILE is required")?;
-    Ok(Command::Scenario { file, seed, rounds })
+    Ok(Command::Scenario {
+        file,
+        seed,
+        rounds,
+        trace,
+        trace_last,
+    })
 }
 
 fn parse_int(s: &str, flag: &str) -> Result<u64, String> {
     s.parse()
         .map_err(|_| format!("{flag} needs an integer, got '{s}'"))
+}
+
+/// Levenshtein distance (iterative two-row DP) — small inputs only.
+/// Mirrors the scenario spec parser's hinting so `bfw experiment
+/// tabel1` gets the same "did you mean" treatment as a misspelled TOML
+/// key.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Returns ` (did you mean 'x'?)` when a known name is within edit
+/// distance 2 of `given`, or an empty string otherwise.
+fn did_you_mean(given: &str, known: &[&str]) -> String {
+    known
+        .iter()
+        .map(|k| (edit_distance(given, k), *k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| format!(" (did you mean '{k}'?)"))
+        .unwrap_or_default()
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -360,7 +432,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             seed,
             rounds,
         } => audit_one(&spec, p, seed, rounds),
-        Command::Scenario { file, seed, rounds } => run_scenario(&file, seed, rounds),
+        Command::Scenario {
+            file,
+            seed,
+            rounds,
+            trace,
+            trace_last,
+        } => run_scenario(&file, seed, rounds, trace, trace_last),
         Command::Experiment {
             names,
             quick,
@@ -391,7 +469,11 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                             .iter()
                             .find(|(name, _)| name == n)
                             .copied()
-                            .ok_or(format!("unknown experiment '{n}'"))
+                            .ok_or_else(|| {
+                                let known: Vec<&str> =
+                                    registry.iter().map(|&(name, _)| name).collect();
+                                format!("unknown experiment '{n}'{}", did_you_mean(n, &known))
+                            })
                     })
                     .collect::<Result<_, _>>()?
             };
@@ -404,7 +486,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
     }
 }
 
-fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<String, String> {
+fn run_scenario(
+    file: &str,
+    seed: Option<u64>,
+    rounds: Option<u64>,
+    trace_file: Option<String>,
+    trace_last: Option<usize>,
+) -> Result<String, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let mut spec = bfw_scenario::ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
     if let Some(rounds) = rounds {
@@ -413,7 +501,16 @@ fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<St
     let seed = seed.unwrap_or(spec.seed);
     let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
     let graph = workload.build();
-    let outcome = bfw_scenario::run_bfw_scenario(&spec, &graph, seed).map_err(|e| e.to_string())?;
+    // Tracing is on when any of the CLI flags or the spec's [trace]
+    // section asks for it; CLI values override the spec's.
+    let tracing = trace_file.is_some() || trace_last.is_some() || spec.trace.is_some();
+    let capacity = trace_last
+        .or_else(|| spec.trace.as_ref().map(|t| t.last))
+        .unwrap_or(256);
+    let destination = trace_file.or_else(|| spec.trace.as_ref().and_then(|t| t.file.clone()));
+    let (outcome, scenario_trace) =
+        bfw_scenario::run_bfw_scenario_traced(&spec, &graph, seed, tracing.then_some(capacity))
+            .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "scenario:          {}", spec.name);
     let _ = writeln!(out, "graph:             {workload}");
@@ -436,6 +533,22 @@ fn run_scenario(file: &str, seed: Option<u64>, rounds: Option<u64>) -> Result<St
     out.push_str(&outcome.to_text());
     if let Some(mean) = outcome.mean_latency() {
         let _ = writeln!(out, "mean re-election latency: {mean:.1} rounds");
+    }
+    // Trace reporting is strictly appended *after* the pinned result
+    // block: a traced run's output starts with the untraced output,
+    // byte for byte — including the blank separator line, so the
+    // property survives the binary's final `println!` newline and can
+    // be checked on captured files with `cmp`.
+    if let Some(trace) = scenario_trace {
+        let _ = writeln!(out, "\n{}", trace.summary_line());
+        if let Some(table) = trace.recovery_table(&outcome) {
+            let _ = writeln!(out, "\nrecoveries (channel cost):\n{}", table.to_markdown());
+        }
+        if let Some(path) = destination {
+            let json = trace.to_json(&spec.name);
+            std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "wrote trace report to {path}");
+        }
     }
     Ok(out)
 }
@@ -778,6 +891,8 @@ mod tests {
                 file: "churn.toml".into(),
                 seed: Some(9),
                 rounds: Some(500),
+                trace: None,
+                trace_last: None,
             }
         );
         assert!(parse(&argv("scenario")).unwrap_err().contains("run FILE"));
@@ -812,6 +927,8 @@ mod tests {
                 file: path.to_string_lossy().into_owned(),
                 seed: Some(seed),
                 rounds: None,
+                trace: None,
+                trace_last: None,
             })
             .unwrap()
         };
@@ -844,6 +961,8 @@ mod tests {
             file: path.to_string_lossy().into_owned(),
             seed: Some(5),
             rounds: None,
+            trace: None,
+            trace_last: None,
         })
         .unwrap();
         assert!(out.contains("protocol:          bfw+recovery"), "{out}");
@@ -857,6 +976,8 @@ mod tests {
             file: "/nonexistent/nope.toml".into(),
             seed: None,
             rounds: None,
+            trace: None,
+            trace_last: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
@@ -869,6 +990,8 @@ mod tests {
             file: path.to_string_lossy().into_owned(),
             seed: None,
             rounds: None,
+            trace: None,
+            trace_last: None,
         })
         .unwrap_err();
         assert!(err.contains("graph"), "{err}");
@@ -913,6 +1036,8 @@ mod tests {
                 file: path.to_string_lossy().into_owned(),
                 seed: Some(9),
                 rounds: None,
+                trace: None,
+                trace_last: None,
             })
             .unwrap()
         };
@@ -938,6 +1063,8 @@ mod tests {
             file: sync.to_string_lossy().into_owned(),
             seed: None,
             rounds: None,
+            trace: None,
+            trace_last: None,
         })
         .unwrap();
         assert!(out.contains("runtime:           sync\n"), "{out}");
@@ -946,5 +1073,136 @@ mod tests {
     #[test]
     fn usage_mentions_scenario() {
         assert!(usage().contains("bfw scenario run"));
+    }
+
+    #[test]
+    fn usage_documents_all_flags() {
+        let u = usage();
+        assert!(u.contains("--trace FILE"), "{u}");
+        assert!(u.contains("--trace-last N"), "{u}");
+        assert!(u.contains("'recovery' experiment reads it"), "{u}");
+        assert!(u.contains("complexity"), "{u}");
+        assert!(u.contains("BENCH_complexity.json"), "{u}");
+    }
+
+    #[test]
+    fn parse_scenario_trace_flags() {
+        assert_eq!(
+            parse(&argv(
+                "scenario run churn.toml --trace out.json --trace-last 64"
+            ))
+            .unwrap(),
+            Command::Scenario {
+                file: "churn.toml".into(),
+                seed: None,
+                rounds: None,
+                trace: Some("out.json".into()),
+                trace_last: Some(64),
+            }
+        );
+        assert!(parse(&argv("scenario run a.toml --trace"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&argv("scenario run a.toml --trace-last 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn unknown_experiment_names_get_hints() {
+        let err = execute(Command::Experiment {
+            names: vec!["tabel1".into()],
+            quick: true,
+            noise: false,
+            trials: Some(1),
+            seed: None,
+        })
+        .unwrap_err();
+        assert_eq!(err, "unknown experiment 'tabel1' (did you mean 'table1'?)");
+        // Nothing close: no hint.
+        let err = execute(Command::Experiment {
+            names: vec!["zzzzzzzzzz".into()],
+            quick: true,
+            noise: false,
+            trials: Some(1),
+            seed: None,
+        })
+        .unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn traced_scenario_appends_to_pinned_output_and_writes_json() {
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traced.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"traced\"\ngraph = \"cycle:8\"\nrounds = 6000\nstability = 20\n\n\
+             [[event]]\nat = 2500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 2600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let json_path = dir.join("traced.json");
+        let run = |trace: Option<String>| {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(42),
+                rounds: None,
+                trace,
+                trace_last: None,
+            })
+            .unwrap()
+        };
+        let untraced = run(None);
+        let traced = run(Some(json_path.to_string_lossy().into_owned()));
+        // The pinned result block is untouched: the traced output
+        // starts with the untraced output, byte for byte.
+        assert!(traced.starts_with(&untraced), "{traced}");
+        assert!(traced.contains("complexity: steps=6000"), "{traced}");
+        assert!(traced.contains("recoveries (channel cost):"), "{traced}");
+        assert!(traced.contains("wrote trace report to"), "{traced}");
+        // The report on disk is versioned, parseable JSON.
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let value = bfw_stats::JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            value
+                .get("version")
+                .and_then(bfw_stats::JsonValue::as_number),
+            Some(1.0)
+        );
+        assert_eq!(
+            value.get("scenario").and_then(bfw_stats::JsonValue::as_str),
+            Some("traced")
+        );
+        assert!(value
+            .get("flight_recorder")
+            .unwrap()
+            .get("events")
+            .is_some());
+    }
+
+    #[test]
+    fn spec_trace_section_enables_tracing_without_flags() {
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec_traced.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"spec traced\"\ngraph = \"cycle:8\"\nrounds = 500\n\n\
+             [trace]\nlast = 16\n",
+        )
+        .unwrap();
+        let out = execute(Command::Scenario {
+            file: path.to_string_lossy().into_owned(),
+            seed: Some(1),
+            rounds: None,
+            trace: None,
+            trace_last: None,
+        })
+        .unwrap();
+        assert!(out.contains("complexity: steps=500"), "{out}");
+        // No file destination anywhere: nothing written, no wrote line.
+        assert!(!out.contains("wrote trace report"), "{out}");
     }
 }

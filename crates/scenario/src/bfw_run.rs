@@ -2,7 +2,7 @@
 
 use crate::{
     Engine, InjectKind, Injector, ProtocolKind, RuntimeKind, ScenarioEvent, ScenarioOutcome,
-    ScenarioSpec, SpecError,
+    ScenarioSpec, ScenarioTrace, SpecError,
 };
 use bfw_core::{
     adversarial, Bfw, BfwState, RecoveringNetwork, RecoveringProtocol, RecoveryConfig,
@@ -146,6 +146,28 @@ pub fn run_bfw_scenario(
     graph: &Graph,
     seed: u64,
 ) -> Result<ScenarioOutcome, SpecError> {
+    run_bfw_scenario_traced(spec, graph, seed, None).map(|(outcome, _)| outcome)
+}
+
+/// [`run_bfw_scenario`] with optional complexity instrumentation.
+///
+/// `trace = Some(capacity)` enables the host's instrumentation seam
+/// (see [`bfw_sim::instrument`]) with a flight recorder holding the
+/// last `capacity` events, and returns the resulting [`ScenarioTrace`]
+/// alongside the outcome; `trace = None` runs exactly like
+/// [`run_bfw_scenario`] and returns no trace. Instrumentation is
+/// strictly passive — it never draws from an RNG stream — so the
+/// [`ScenarioOutcome`] is byte-identical either way at the same seed.
+///
+/// # Errors
+///
+/// Same as [`run_bfw_scenario`].
+pub fn run_bfw_scenario_traced(
+    spec: &ScenarioSpec,
+    graph: &Graph,
+    seed: u64,
+    trace: Option<usize>,
+) -> Result<(ScenarioOutcome, Option<ScenarioTrace>), SpecError> {
     if spec.runtime == RuntimeKind::Sync && spec.scheduler.is_some() {
         return Err(SpecError::new(
             "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
@@ -176,6 +198,9 @@ pub fn run_bfw_scenario(
             seed,
         );
         host.set_scheduler(spec.scheduler.unwrap_or_default());
+        if let Some(capacity) = trace {
+            host.enable_instrumentation(Some(capacity));
+        }
         return Ok(Engine::new(
             host,
             graph,
@@ -185,11 +210,14 @@ pub fn run_bfw_scenario(
             spec.stability,
         )
         .with_injector(bfw_injector())
-        .run());
+        .run_traced());
     }
     Ok(match spec.protocol {
         ProtocolKind::Bfw => {
-            let host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
+            let mut host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
+            if let Some(capacity) = trace {
+                host.enable_instrumentation(Some(capacity));
+            }
             Engine::new(
                 host,
                 graph,
@@ -199,12 +227,15 @@ pub fn run_bfw_scenario(
                 spec.stability,
             )
             .with_injector(bfw_injector())
-            .run()
+            .run_traced()
         }
         ProtocolKind::BfwRecovery => {
             let config = scenario_recovery_config(spec, graph)?;
             let protocol = RecoveringProtocol::bfw(spec.p, config);
-            let host = RecoveringNetwork::new(protocol, graph.clone().into(), seed);
+            let mut host = RecoveringNetwork::new(protocol, graph.clone().into(), seed);
+            if let Some(capacity) = trace {
+                host.enable_instrumentation(Some(capacity));
+            }
             Engine::new(
                 host,
                 graph,
@@ -214,7 +245,7 @@ pub fn run_bfw_scenario(
                 spec.stability,
             )
             .with_injector(recovering_bfw_injector())
-            .run()
+            .run_traced()
         }
     })
 }
@@ -430,6 +461,75 @@ kind = "recover-all"
                 .contains("require protocol = \"bfw+recovery\""),
             "{err}"
         );
+    }
+
+    #[test]
+    fn trace_does_not_perturb_outcomes() {
+        // The determinism contract of the instrumentation seam: a
+        // traced run's result block is byte-identical to the untraced
+        // run at the same seed, on every runtime stack. Samplers only
+        // read caches — they never draw from an RNG stream.
+        let g = generators::cycle(12);
+        let sync_spec = ScenarioSpec::parse(CHURN).unwrap();
+        let recovery_spec = ScenarioSpec::parse(&CHURN.replace(
+            "stability = 20",
+            "stability = 20\nprotocol = \"bfw+recovery\"",
+        ))
+        .unwrap();
+        let async_spec = ScenarioSpec::parse(
+            &CHURN.replace("stability = 20", "stability = 20\nruntime = \"async\""),
+        )
+        .unwrap();
+        for (label, spec) in [
+            ("sync bfw", &sync_spec),
+            ("bfw+recovery", &recovery_spec),
+            ("async", &async_spec),
+        ] {
+            for seed in [7u64, 42] {
+                let plain = run_bfw_scenario(spec, &g, seed).unwrap();
+                let (traced, trace) = run_bfw_scenario_traced(spec, &g, seed, Some(64)).unwrap();
+                assert_eq!(
+                    plain.to_text(),
+                    traced.to_text(),
+                    "{label} seed {seed}: trace must not perturb the outcome"
+                );
+                assert_eq!(plain, traced, "{label} seed {seed}");
+                let trace = trace.expect("instrumentation was on");
+                assert!(trace.ledger.steps() > 0, "{label} seed {seed}");
+                assert!(trace.ledger.messages() > 0, "{label} seed {seed}");
+                let recorder = trace.recorder.expect("recorder was attached");
+                assert!(
+                    recorder.events().any(|e| e.kind == "scenario-event"),
+                    "{label} seed {seed}: scenario events must be recorded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_runner_returns_no_trace() {
+        let spec = ScenarioSpec::parse(CHURN).unwrap();
+        let (_, trace) = run_bfw_scenario_traced(&spec, &generators::cycle(12), 42, None).unwrap();
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn traced_runner_measures_recovery_costs() {
+        let spec = ScenarioSpec::parse(CHURN).unwrap();
+        let g = generators::cycle(12);
+        let (outcome, trace) = run_bfw_scenario_traced(&spec, &g, 42, Some(256)).unwrap();
+        let trace = trace.unwrap();
+        // One cost entry per completed recovery, and recovering costs
+        // channel work (the network keeps beeping through recovery).
+        assert_eq!(trace.recovery_costs.len(), outcome.recoveries.len());
+        assert!(
+            trace.recovery_costs.iter().all(|&(b, m)| b > 0 && m > 0),
+            "{:?}",
+            trace.recovery_costs
+        );
+        // Determinism extends to the trace artifacts themselves.
+        let (_, again) = run_bfw_scenario_traced(&spec, &g, 42, Some(256)).unwrap();
+        assert_eq!(trace, again.unwrap());
     }
 
     #[test]

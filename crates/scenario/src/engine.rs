@@ -1,7 +1,8 @@
 //! The scenario engine: applies a compiled timeline to a running host.
 
 use crate::{
-    DynamicHost, ElectionMonitor, InjectKind, Recovery, ScenarioEvent, ScheduledEvent, Timeline,
+    DynamicHost, ElectionMonitor, InjectKind, Recovery, ScenarioEvent, ScenarioTrace,
+    ScheduledEvent, Timeline,
 };
 use bfw_graph::{DynamicGraph, Graph, NodeId, TopologyDelta};
 use rand::{Rng, SeedableRng};
@@ -180,12 +181,73 @@ impl<H: DynamicHost> Engine<H> {
     /// Like [`run`](Self::run), but also hands back the host so callers
     /// can inspect its final configuration (e.g. the recovery layer's
     /// per-node epoch counters).
-    pub fn run_with_host(mut self) -> (ScenarioOutcome, H) {
+    pub fn run_with_host(self) -> (ScenarioOutcome, H) {
+        let (outcome, host, _) = self.run_all();
+        (outcome, host)
+    }
+
+    /// Like [`run`](Self::run), but also returns the
+    /// [`ScenarioTrace`] — complexity ledger, flight-recorder dump and
+    /// per-recovery channel costs — when the host's instrumentation is
+    /// on (`None` on uninstrumented hosts; enable it on the concrete
+    /// engine before constructing the `Engine`).
+    ///
+    /// Tracing is purely passive: the outcome of a traced run is
+    /// byte-identical to the untraced run at the same seed.
+    pub fn run_traced(self) -> (ScenarioOutcome, Option<ScenarioTrace>) {
+        let (outcome, host, recovery_costs) = self.run_all();
+        let trace = host.complexity_ledger().map(|ledger| ScenarioTrace {
+            ledger: ledger.clone(),
+            recorder: host.flight_recorder().cloned(),
+            recovery_costs,
+        });
+        (outcome, trace)
+    }
+
+    /// The run loop shared by every public runner. The third component
+    /// is the per-recovery `(bits, messages)` cost vector, aligned with
+    /// the outcome's recoveries (empty on untraced runs).
+    fn run_all(mut self) -> (ScenarioOutcome, H, Vec<(u64, u64)>) {
+        let tracing = self.host.instrumentation_enabled();
+        let mut prev_leaders: Option<Vec<NodeId>> = None;
+        // (disruption round, bits so far, messages so far): ledger
+        // snapshots taken when each disruption opens, so the channel
+        // cost of the recovery answering it is a subtraction.
+        let mut disruption_marks: Vec<(u64, u64, u64)> = Vec::new();
+        let mut recovery_costs: Vec<(u64, u64)> = Vec::new();
         loop {
             let round = self.host.round();
             self.apply_due_events(round);
+            if tracing {
+                // Snapshot before observe(): a zero stability window
+                // can answer a disruption in its own round.
+                let (bits, messages) = self.ledger_totals();
+                for i in 0..self.monitor.pending_disruptions().len() {
+                    let d = self.monitor.pending_disruptions()[i];
+                    if !disruption_marks.iter().any(|&(r, _, _)| r == d) {
+                        disruption_marks.push((d, bits, messages));
+                    }
+                }
+            }
             let leaders = self.host.leaders();
+            if tracing && prev_leaders.as_deref() != Some(&leaders) {
+                let ids: Vec<String> = leaders.iter().map(NodeId::to_string).collect();
+                self.host
+                    .record_trace_event("leader-set", format!("[{}]", ids.join(", ")));
+                prev_leaders = Some(leaders.clone());
+            }
             self.monitor.observe(round, &leaders);
+            if tracing {
+                while recovery_costs.len() < self.monitor.recoveries().len() {
+                    let r = self.monitor.recoveries()[recovery_costs.len()];
+                    let (bits, messages) = self.ledger_totals();
+                    let (b0, m0) = disruption_marks
+                        .iter()
+                        .find(|&&(d, _, _)| d == r.disrupted_at)
+                        .map_or((0, 0), |&(_, b, m)| (b, m));
+                    recovery_costs.push((bits - b0, messages - m0));
+                }
+            }
             if round >= self.horizon {
                 break;
             }
@@ -205,7 +267,15 @@ impl<H: DynamicHost> Engine<H> {
             final_alive,
             final_edges: self.graph.edge_count(),
         };
-        (outcome, self.host)
+        (outcome, self.host, recovery_costs)
+    }
+
+    /// Current `(bits, messages)` totals of the host ledger (zeros when
+    /// instrumentation is off).
+    fn ledger_totals(&self) -> (u64, u64) {
+        self.host
+            .complexity_ledger()
+            .map_or((0, 0), |l| (l.bits(), l.messages()))
     }
 
     fn apply_due_events(&mut self, round: u64) {
@@ -213,7 +283,11 @@ impl<H: DynamicHost> Engine<H> {
             if round >= off_at {
                 self.host.set_perception_noise(0.0, 0.0);
                 self.noise_off_at = None;
-                self.log.push(format!("@{round} noise-burst ends"));
+                let line = format!("@{round} noise-burst ends");
+                if self.host.instrumentation_enabled() {
+                    self.host.record_trace_event("scenario-event", line.clone());
+                }
+                self.log.push(line);
                 self.monitor.mark_disruption(round);
             }
         }
@@ -221,7 +295,11 @@ impl<H: DynamicHost> Engine<H> {
             let event = self.events[self.next_event].event.clone();
             self.next_event += 1;
             let (note, applied) = self.apply(round, &event);
-            self.log.push(format!("@{round} {event} -> {note}"));
+            let line = format!("@{round} {event} -> {note}");
+            if self.host.instrumentation_enabled() {
+                self.host.record_trace_event("scenario-event", line.clone());
+            }
+            self.log.push(line);
             // Only events that changed something count as disruptions;
             // a skipped no-op must not reset the stability streak or
             // arm the re-election metric.

@@ -15,7 +15,10 @@
 //! [`TickEngine`]: bfw_sim::TickEngine
 
 use bfw_graph::{Graph, NodeId, TopologyDelta};
-use bfw_sim::{ActivationEngine, ActivationLeaderModel, LeaderModel, TickEngine};
+use bfw_sim::{
+    ActivationEngine, ActivationLeaderModel, ComplexityLedger, FlightRecorder, LeaderModel,
+    TickEngine,
+};
 
 /// A runtime the scenario engine can perturb mid-run.
 ///
@@ -75,6 +78,32 @@ pub trait DynamicHost {
     fn topology_snapshot(&self) -> Option<Graph> {
         None
     }
+
+    /// Returns `true` when the host's complexity instrumentation is on
+    /// (see [`bfw_sim::instrument`]). The engine uses this to skip all
+    /// trace bookkeeping — leader-set diffing, ledger snapshots — on
+    /// untraced runs. Hosts without an instrumentation seam report
+    /// `false`.
+    fn instrumentation_enabled(&self) -> bool {
+        false
+    }
+
+    /// Returns the host's accumulated complexity counters, if
+    /// instrumentation is on (`None` for uninstrumented hosts).
+    fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        None
+    }
+
+    /// Returns the host's flight recorder, if one is attached.
+    fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        None
+    }
+
+    /// Records an event into the host's flight recorder, stamped with
+    /// the host's own notion of time (rounds or activations). A no-op
+    /// on hosts without a recorder — the engine calls this
+    /// unconditionally for every applied scenario event.
+    fn record_trace_event(&mut self, _kind: &str, _detail: String) {}
 }
 
 impl<M: LeaderModel> DynamicHost for TickEngine<M> {
@@ -125,6 +154,22 @@ impl<M: LeaderModel> DynamicHost for TickEngine<M> {
 
     fn topology_snapshot(&self) -> Option<Graph> {
         Some(self.topology().to_graph())
+    }
+
+    fn instrumentation_enabled(&self) -> bool {
+        TickEngine::instrumentation_enabled(self)
+    }
+
+    fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        TickEngine::complexity_ledger(self)
+    }
+
+    fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        TickEngine::flight_recorder(self)
+    }
+
+    fn record_trace_event(&mut self, kind: &str, detail: String) {
+        TickEngine::record_trace_event(self, kind, detail);
     }
 }
 
@@ -180,5 +225,21 @@ impl<M: ActivationLeaderModel> DynamicHost for ActivationEngine<M> {
 
     fn topology_snapshot(&self) -> Option<Graph> {
         Some(self.topology().to_graph())
+    }
+
+    fn instrumentation_enabled(&self) -> bool {
+        ActivationEngine::instrumentation_enabled(self)
+    }
+
+    fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        ActivationEngine::complexity_ledger(self)
+    }
+
+    fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        ActivationEngine::flight_recorder(self)
+    }
+
+    fn record_trace_event(&mut self, kind: &str, detail: String) {
+        ActivationEngine::record_trace_event(self, kind, detail);
     }
 }

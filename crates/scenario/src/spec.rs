@@ -42,6 +42,18 @@
 //! `every = PERIOD` with optional `start = N`, `count = N`; or
 //! `rate = P` with optional `start = N`.
 //!
+//! An optional `[trace]` section turns on complexity instrumentation
+//! (see [`bfw_sim::instrument`]) for every run of the scenario:
+//!
+//! ```toml
+//! [trace]
+//! file = "trace.json"    # where the CLI writes the JSON report
+//! last = 256             # flight-recorder capacity (default 256)
+//! ```
+//!
+//! Both keys are optional (`[trace]` alone enables tracing with the
+//! defaults); the CLI's `--trace` / `--trace-last` flags override them.
+//!
 //! `runtime = "async"` executes the scenario on the asynchronous
 //! `ActivationEngine` runtime (BFW as a stone-age protocol under
 //! activation-based scheduling) instead of synchronous rounds; every
@@ -107,6 +119,29 @@ pub struct ScenarioSpec {
     pub scheduler: Option<Scheduler>,
     /// The declarative event schedule.
     pub timeline: Timeline,
+    /// Complexity-instrumentation request (`[trace]` section), `None`
+    /// when the scenario does not ask for tracing.
+    pub trace: Option<TraceSpec>,
+}
+
+/// The `[trace]` section: asks every run of the scenario to enable
+/// complexity instrumentation and a flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Destination for the JSON report (`file` key). `None` leaves the
+    /// destination to the caller (the CLI's `--trace` flag).
+    pub file: Option<String>,
+    /// Flight-recorder ring-buffer capacity (`last` key).
+    pub last: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            file: None,
+            last: 256,
+        }
+    }
 }
 
 /// The runtime a scenario executes on (`runtime` key).
@@ -237,6 +272,7 @@ impl ScenarioSpec {
             runtime: RuntimeKind::Sync,
             scheduler: None,
             timeline: Timeline::new(),
+            trace: None,
         };
         let mut saw_scenario = false;
         for section in &sections {
@@ -252,9 +288,15 @@ impl ScenarioSpec {
                     let (schedule, event) = parse_event(&section.table)?;
                     spec.timeline = spec.timeline.schedule(schedule, event);
                 }
+                "trace" => {
+                    if spec.trace.is_some() {
+                        return Err(err("duplicate [trace] section"));
+                    }
+                    spec.trace = Some(read_trace_table(&section.table)?);
+                }
                 "" => return Err(err("keys are only allowed inside sections")),
                 other => {
-                    let hint = did_you_mean(other, &["scenario", "event"]);
+                    let hint = did_you_mean(other, &["scenario", "event", "trace"]);
                     return Err(err(format!("unknown section [{other}]{hint}")));
                 }
             }
@@ -377,6 +419,39 @@ impl ScenarioSpec {
         Ok(())
     }
 }
+
+/// Parses the `[trace]` section into a [`TraceSpec`].
+fn read_trace_table(table: &Table) -> Result<TraceSpec, SpecError> {
+    let mut trace = TraceSpec::default();
+    for (key, value) in table.entries() {
+        match key.as_str() {
+            "file" => {
+                trace.file = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| err("file must be a string"))?
+                        .to_owned(),
+                );
+            }
+            "last" => {
+                let last = read_u64(value, "last")?;
+                if last == 0 {
+                    return Err(err("last must be at least 1"));
+                }
+                trace.last = usize::try_from(last)
+                    .map_err(|_| err(format!("last: {last} exceeds usize::MAX")))?;
+            }
+            other => {
+                let hint = did_you_mean(other, TRACE_KEYS);
+                return Err(err(format!("unknown [trace] key '{other}'{hint}")));
+            }
+        }
+    }
+    Ok(trace)
+}
+
+/// The legal `[trace]` keys (for "did you mean" hints).
+const TRACE_KEYS: &[&str] = &["file", "last"];
 
 /// The legal `[scenario]` keys (for "did you mean" hints).
 const SCENARIO_KEYS: &[&str] = &[
@@ -675,6 +750,59 @@ rounds = 200
         assert_eq!(
             spec.timeline.entries()[1].event,
             ScenarioEvent::InjectState(InjectKind::Dead)
+        );
+    }
+
+    #[test]
+    fn trace_section_round_trips() {
+        // No [trace] section: no tracing requested.
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.trace, None);
+
+        // Bare [trace]: defaults (no file, capacity 256).
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[trace]").unwrap();
+        assert_eq!(spec.trace, Some(TraceSpec::default()));
+        assert_eq!(spec.trace.unwrap().last, 256);
+
+        // Explicit keys.
+        let spec = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\n[trace]\nfile = \"out.json\"\nlast = 32",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.trace,
+            Some(TraceSpec {
+                file: Some("out.json".to_owned()),
+                last: 32,
+            })
+        );
+    }
+
+    #[test]
+    fn trace_section_errors_are_specific() {
+        let dup =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[trace]\n[trace]").unwrap_err();
+        assert!(dup.to_string().contains("duplicate [trace]"), "{dup}");
+
+        let zero =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[trace]\nlast = 0").unwrap_err();
+        assert!(zero.to_string().contains("at least 1"), "{zero}");
+
+        let bad_key =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[trace]\nlst = 9").unwrap_err();
+        assert!(
+            bad_key
+                .to_string()
+                .contains("unknown [trace] key 'lst' (did you mean 'last'?)"),
+            "{bad_key}"
+        );
+
+        // Misspelled section name hints at [trace] too.
+        let bad_section =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\n[tracee]\nlast = 9").unwrap_err();
+        assert!(
+            bad_section.to_string().contains("did you mean 'trace'?"),
+            "{bad_section}"
         );
     }
 

@@ -25,6 +25,7 @@
 //! changes.
 
 use crate::fault::FaultLayer;
+use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
 use crate::{NodeCtx, Topology};
 use bfw_graph::{NodeId, TopologyDelta};
 use rand::Rng as _;
@@ -70,6 +71,30 @@ pub trait ActivationModel {
         states: &mut [Self::State],
         faults: &mut FaultLayer,
     );
+
+    /// Samples what one activation of `u` would transmit (called by an
+    /// instrumented engine immediately before
+    /// [`activate`](Self::activate); see [`crate::instrument`] for the
+    /// accounting conventions). Must only read the model's existing
+    /// caches — never draw from an RNG stream. The default (`None`)
+    /// opts a model out of complexity accounting; the engine then
+    /// records an all-zero sample.
+    fn activation_sample(
+        &self,
+        _topology: &Topology,
+        _u: usize,
+        _faults: &FaultLayer,
+    ) -> Option<RoundSample> {
+        None
+    }
+
+    /// Reports whether node `u` perceived a non-quiescent signal in the
+    /// activation [`activate`](Self::activate) just executed
+    /// (post-noise): `Some(1)` if it did, `Some(0)` if not, `None` if
+    /// the model does not track it.
+    fn perceived_after(&self, _u: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// An [`ActivationModel`] whose protocol designates a leader subset of
@@ -137,6 +162,7 @@ pub struct ActivationEngine<M: ActivationModel> {
     replay_cursor: usize,
     weight_scratch: Vec<u64>,
     activations: u64,
+    instr: Instrumentation,
 }
 
 impl<M: ActivationModel> ActivationEngine<M> {
@@ -169,6 +195,7 @@ impl<M: ActivationModel> ActivationEngine<M> {
             replay_cursor: 0,
             weight_scratch: Vec::new(),
             activations: 0,
+            instr: Instrumentation::off(),
         }
     }
 
@@ -306,12 +333,30 @@ impl<M: ActivationModel> ActivationEngine<M> {
         if self.faults.is_crashed(u.index()) {
             return;
         }
-        self.model.activate(
-            &self.topology,
-            u.index(),
-            &mut self.states,
-            &mut self.faults,
-        );
+        if self.instr.is_on() {
+            let mut sample = self
+                .model
+                .activation_sample(&self.topology, u.index(), &self.faults)
+                .unwrap_or_default();
+            self.model.activate(
+                &self.topology,
+                u.index(),
+                &mut self.states,
+                &mut self.faults,
+            );
+            if let Some(heard) = self.model.perceived_after(u.index()) {
+                sample.heard = heard;
+            }
+            self.instr
+                .record_step(sample, self.states.len(), std::mem::size_of::<M::State>());
+        } else {
+            self.model.activate(
+                &self.topology,
+                u.index(),
+                &mut self.states,
+                &mut self.faults,
+            );
+        }
         self.activations += 1;
     }
 
@@ -458,6 +503,40 @@ impl<M: ActivationModel> ActivationEngine<M> {
         for (i, s) in self.states.iter().enumerate() {
             self.model.refresh_node(i, s, self.faults.is_crashed(i));
         }
+    }
+
+    /// Turns complexity accounting on: from the next activation the
+    /// engine accumulates a [`ComplexityLedger`] (one entry per
+    /// activation), and — when `recorder_capacity` is given — retains
+    /// the last that many [`TraceEvent`](crate::TraceEvent)s in a
+    /// [`FlightRecorder`]. Instrumentation is purely passive (no RNG
+    /// draws, no reordering), so enabling it never changes an
+    /// execution; disabled engines pay one branch per activation.
+    pub fn enable_instrumentation(&mut self, recorder_capacity: Option<usize>) {
+        self.instr.enable(recorder_capacity);
+    }
+
+    /// Returns `true` if complexity accounting is on.
+    pub fn instrumentation_enabled(&self) -> bool {
+        self.instr.is_on()
+    }
+
+    /// Returns the accumulated complexity counters, if instrumentation
+    /// is on.
+    pub fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        self.instr.ledger()
+    }
+
+    /// Returns the flight recorder, if one was attached.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.instr.recorder()
+    }
+
+    /// Records an event into the flight recorder, stamped with the
+    /// current activation count (no-op unless a recorder is attached).
+    pub fn record_trace_event(&mut self, kind: &str, detail: impl Into<String>) {
+        let step = self.activations;
+        self.instr.record_event(step, kind, detail);
     }
 }
 

@@ -52,6 +52,7 @@
 mod activation;
 mod error;
 mod fault;
+pub mod instrument;
 pub mod message_passing;
 mod monte_carlo;
 mod network;
@@ -66,11 +67,12 @@ mod topology;
 pub use activation::{ActivationEngine, ActivationLeaderModel, ActivationModel, Scheduler};
 pub use error::SimError;
 pub use fault::FaultLayer;
+pub use instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample, TraceEvent};
 pub use monte_carlo::{run_trials, run_trials_batched, run_trials_sequential};
 pub use network::{BeepingModel, Network, RoundView};
 pub use observers::{
-    observe_run, BeepCounter, ConvergenceDetector, Observer, ObserverSet, StateHistogram,
-    TraceRecorder,
+    observe_run, BeepCounter, ComplexityObserver, ConvergenceDetector, Observer, ObserverSet,
+    StateHistogram, TraceRecorder,
 };
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
 pub use recovering::{SlotAware, SlotSyncedModel};

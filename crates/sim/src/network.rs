@@ -1,6 +1,8 @@
 use crate::fault::FaultLayer;
+use crate::instrument::{fanout_mask, RoundSample};
 use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
+use bfw_graph::NodeId;
 
 /// Synchronous executor of a [`BeepingProtocol`] on a [`Topology`]: the
 /// beeping-model adapter over the shared [`TickEngine`].
@@ -49,6 +51,17 @@ pub struct BeepingModel<P: BeepingProtocol> {
     pub(crate) protocol: P,
     pub(crate) beeps: Vec<bool>,
     heard: Vec<bool>,
+    /// Per-node degrees, maintained only while instrumentation is on
+    /// (see [`TickModel::refresh_sampler_caches`]): message accounting
+    /// charges each emitter `deg(u)` messages every round, and a dense
+    /// `u32` dot product halves the memory traffic of walking the CSR
+    /// offsets. Empty means "not instrumented" or "regular graph".
+    degrees: Vec<u32>,
+    /// `Some(d)` when every node has degree `d` (cycles, tori, cliques,
+    /// hypercubes — most of the experiment workloads): message
+    /// accounting then collapses to `emitters × d` and the sampler's
+    /// only per-node work is two vectorized boolean counts.
+    uniform_degree: Option<u64>,
 }
 
 impl<P: BeepingProtocol> BeepingModel<P> {
@@ -57,6 +70,8 @@ impl<P: BeepingProtocol> BeepingModel<P> {
             protocol,
             beeps: Vec::new(),
             heard: Vec::new(),
+            degrees: Vec::new(),
+            uniform_degree: None,
         }
     }
 }
@@ -102,6 +117,77 @@ impl<P: BeepingProtocol> TickModel for BeepingModel<P> {
         }
         for (i, s) in states.iter().enumerate() {
             self.beeps[i] = self.protocol.beeps(s) && !faults.is_crashed(i);
+        }
+    }
+
+    fn emission_sample(&self, topology: &Topology, _faults: &FaultLayer) -> Option<RoundSample> {
+        // `beeps` holds B_t, already crash-masked by `refresh_node` /
+        // `advance`. One beep carries one bit; each beep is delivered
+        // to every neighbor of its emitter.
+        let (emitters, messages) = if let Some(d) = self.uniform_degree {
+            let emitters = self.beeps.iter().filter(|&&b| b).count() as u64;
+            (emitters, emitters * d)
+        } else if self.degrees.len() == self.beeps.len() && !self.beeps.is_empty() {
+            // Irregular graph: fused branchless pass — the all-ones /
+            // all-zeros select mask turns `deg(u) if beeping` into an
+            // AND, which the autovectorizer handles where a widening
+            // bool × u32 multiply defeats it.
+            let mut emitters = 0u64;
+            let mut messages = 0u64;
+            for (&d, &b) in self.degrees.iter().zip(&self.beeps) {
+                let select = 0u32.wrapping_sub(u32::from(b));
+                emitters += u64::from(b);
+                messages += u64::from(d & select);
+            }
+            (emitters, messages)
+        } else {
+            fanout_mask(topology, &self.beeps)
+        };
+        Some(RoundSample {
+            emitters,
+            heard: 0,
+            bits: emitters,
+            messages,
+        })
+    }
+
+    fn perceived_count(&self, faults: &FaultLayer) -> Option<u64> {
+        // After `advance`, `heard` holds this round's post-noise
+        // perceptions; crashed nodes perceive nothing. Fault-free runs
+        // (the instrumented hot path) take the vectorizable count.
+        if faults.alive_count() == self.heard.len() {
+            return Some(self.heard.iter().filter(|&&h| h).count() as u64);
+        }
+        Some(
+            self.heard
+                .iter()
+                .zip(faults.flags())
+                .filter(|&(&h, &crashed)| h && !crashed)
+                .count() as u64,
+        )
+    }
+
+    fn refresh_sampler_caches(&mut self, topology: &Topology) {
+        self.degrees.clear();
+        self.uniform_degree = None;
+        match topology {
+            Topology::Clique(n) => {
+                self.uniform_degree = Some((*n as u64).saturating_sub(1));
+            }
+            graph_backed => {
+                let n = topology.node_count();
+                self.degrees.reserve(n);
+                for i in 0..n {
+                    self.degrees
+                        .push(graph_backed.degree(NodeId::new(i)) as u32);
+                }
+                if let Some((&first, rest)) = self.degrees.split_first() {
+                    if rest.iter().all(|&d| d == first) {
+                        self.uniform_degree = Some(u64::from(first));
+                        self.degrees = Vec::new();
+                    }
+                }
+            }
         }
     }
 }

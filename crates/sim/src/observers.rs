@@ -1,4 +1,34 @@
-use crate::{BeepingProtocol, LeaderElection, RoundView};
+//! Round observers for the synchronous beeping runtime — and their
+//! bridge to the engine-level instrumentation seam.
+//!
+//! There are two observation mechanisms in this crate, with distinct
+//! scopes:
+//!
+//! * **[`Observer`]s** (this module) are external hooks driven by
+//!   [`observe_run`]: they see a full [`RoundView`] per round, can
+//!   inspect protocol states, and exist only for the synchronous
+//!   beeping runtime. Use them for protocol-level bookkeeping —
+//!   convergence rounds, state histograms, full traces.
+//! * **[`Instrumentation`](crate::Instrumentation)** (the
+//!   [`instrument`](crate::instrument) seam) lives *inside* both
+//!   [`TickEngine`](crate::TickEngine) and
+//!   [`ActivationEngine`](crate::ActivationEngine): it is model-blind,
+//!   zero-cost when off, and counts channel complexity (beeps, bits,
+//!   messages) uniformly across every runtime, including the
+//!   asynchronous one that observers cannot see.
+//!
+//! [`ComplexityObserver`] is the adapter joining the two stories: an
+//! [`Observer`] that accumulates the same
+//! [`ComplexityLedger`](crate::ComplexityLedger) the engines produce,
+//! for code already structured around `observe_run`. Its per-round
+//! emission counts agree exactly with the engine's own ledger (see the
+//! `complexity_observer_matches_engine_ledger` test); only perception
+//! events (`beeps_heard`) are engine-only, because a [`RoundView`]
+//! exposes the beep set `B_t` but not what each node heard through the
+//! noise channels.
+
+use crate::instrument::{fanout_mask, ComplexityLedger, RoundSample};
+use crate::{BeepingProtocol, LeaderElection, RoundView, Topology};
 use std::collections::HashMap;
 
 /// A hook that inspects every round of an execution.
@@ -265,6 +295,60 @@ impl<P: BeepingProtocol> Observer<P> for TraceRecorder<P::State> {
     }
 }
 
+/// An [`Observer`] accumulating the engine-style
+/// [`ComplexityLedger`] — the adapter between the legacy sync-only
+/// observer machinery and the [`instrument`](crate::instrument) seam
+/// (see the module docs).
+///
+/// The observer needs its own copy of the topology because a
+/// [`RoundView`] carries only node-indexed flags; pass the same
+/// topology the network runs on. Emission accounting (beeps sent,
+/// bits, messages) matches the engine ledger row for row; perception
+/// events stay 0 here (engine-only, see the module docs). One
+/// [`on_round`](Observer::on_round) call accounts one round, so drive
+/// it once per round *before* the corresponding step — observing the
+/// final view too (as [`observe_run`] does) adds one extra row.
+#[derive(Debug, Clone)]
+pub struct ComplexityObserver {
+    topology: Topology,
+    ledger: ComplexityLedger,
+}
+
+impl ComplexityObserver {
+    /// Creates an observer counting over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        ComplexityObserver {
+            topology,
+            ledger: ComplexityLedger::new(),
+        }
+    }
+
+    /// Returns the accumulated counters.
+    pub fn ledger(&self) -> &ComplexityLedger {
+        &self.ledger
+    }
+
+    /// Unwraps the accumulated counters.
+    pub fn into_ledger(self) -> ComplexityLedger {
+        self.ledger
+    }
+}
+
+impl<P: BeepingProtocol> Observer<P> for ComplexityObserver {
+    fn on_round(&mut self, view: &RoundView<'_, P>) {
+        // `view.beeps` is `B_t`, already crash-masked by the engine.
+        let (emitters, messages) = fanout_mask(&self.topology, view.beeps);
+        let sample = RoundSample {
+            emitters,
+            heard: 0,
+            bits: emitters,
+            messages,
+        };
+        self.ledger
+            .record(sample, view.states.len(), std::mem::size_of::<P::State>());
+    }
+}
+
 /// Combines two observers into one (build trees of `ObserverSet` for
 /// more).
 #[derive(Debug, Clone, Default)]
@@ -381,6 +465,37 @@ mod tests {
         assert_eq!(trace.beeps_at(0), &[false, true]);
         assert_eq!(trace.states_at(1), &[(0, 1), (0, 1)]);
         assert_eq!(trace.all_states().len(), 4);
+    }
+
+    #[test]
+    fn complexity_observer_matches_engine_ledger() {
+        // Drive observer and engine instrumentation over the same
+        // execution: one on_round call per step, sampled pre-step so
+        // both see the same B_t.
+        let topology: Topology = generators::grid(3, 3).into();
+        let mut net = Network::new(Countdown, topology.clone(), 0);
+        net.enable_instrumentation(None);
+        let mut obs = ComplexityObserver::new(topology);
+        for _ in 0..12 {
+            obs.on_round(&net.view());
+            net.step();
+        }
+        let engine = net.complexity_ledger().expect("instrumentation on");
+        let observed = obs.ledger();
+        assert_eq!(observed.steps(), engine.steps());
+        assert_eq!(observed.beeps_sent(), engine.beeps_sent());
+        assert_eq!(observed.bits(), engine.bits());
+        assert_eq!(observed.messages(), engine.messages());
+        assert_eq!(observed.nodes(), engine.nodes());
+        assert_eq!(
+            observed.state_bytes_per_node(),
+            engine.state_bytes_per_node()
+        );
+        assert!(observed.beeps_sent() > 0, "countdown protocol beeps");
+        // Perception is engine-only (see module docs).
+        assert_eq!(observed.beeps_heard(), 0);
+        assert!(engine.beeps_heard() > 0);
+        let _ = obs.clone().into_ledger();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! network can never split into disagreeing slot phases.
 
 use crate::fault::FaultLayer;
+use crate::instrument::RoundSample;
 use crate::network::BeepingModel;
 use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
@@ -74,6 +75,21 @@ where
     fn advance(&mut self, topology: &Topology, states: &mut [P::State], faults: &mut FaultLayer) {
         self.inner.advance(topology, states, faults);
         self.round += 1;
+    }
+
+    // Complexity accounting delegates to the wrapped beeping model —
+    // slot multiplexing changes what the bits mean, not how many cross
+    // the channel.
+    fn emission_sample(&self, topology: &Topology, faults: &FaultLayer) -> Option<RoundSample> {
+        self.inner.emission_sample(topology, faults)
+    }
+
+    fn perceived_count(&self, faults: &FaultLayer) -> Option<u64> {
+        self.inner.perceived_count(faults)
+    }
+
+    fn refresh_sampler_caches(&mut self, topology: &Topology) {
+        self.inner.refresh_sampler_caches(topology);
     }
 }
 

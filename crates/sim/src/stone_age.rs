@@ -54,6 +54,7 @@
 
 use crate::activation::{ActivationEngine, ActivationLeaderModel, ActivationModel};
 use crate::fault::FaultLayer;
+use crate::instrument::{bits_per_symbol, fanout, RoundSample};
 use crate::tick::{LeaderModel, TickEngine, TickModel};
 use crate::{BeepingProtocol, LeaderElection, NodeCtx, Topology};
 use bfw_graph::NodeId;
@@ -242,6 +243,26 @@ impl<P: StoneAgeProtocol> TickModel for StoneAgeModel<P> {
             *symbol = self.protocol.displayed_symbol(state);
         }
     }
+
+    // Unlike the beeping model, `symbols` always mirrors the states even
+    // for crashed nodes (crash visibility is enforced at observation
+    // time), so alive-ness is re-checked here. A transmission is any
+    // alive node displaying a non-quiescent symbol; each carries
+    // ⌈log₂ |Σ|⌉ bits. The per-symbol observation scratch is reused
+    // across nodes within `advance`, so per-node perception events are
+    // not recoverable post-hoc: `perceived_count` stays at its `None`
+    // default and the ledger's `beeps_heard` column reads 0 for
+    // stone-age runs.
+    fn emission_sample(&self, topology: &Topology, faults: &FaultLayer) -> Option<RoundSample> {
+        let (emitters, messages) =
+            fanout(topology, |i| self.symbols[i] != 0 && !faults.is_crashed(i));
+        Some(RoundSample {
+            emitters,
+            heard: 0,
+            bits: emitters * bits_per_symbol(self.protocol.alphabet_size()),
+            messages,
+        })
+    }
 }
 
 impl<P: StoneAgeLeaderElection> LeaderModel for StoneAgeModel<P> {
@@ -429,6 +450,39 @@ impl<P: StoneAgeProtocol> ActivationModel for AsyncStoneAgeModel<P> {
             .protocol
             .transition(&states[u], &self.observed, faults.rng(u));
         self.symbols[u] = self.protocol.displayed_symbol(&states[u]);
+    }
+
+    // In the asynchronous (pull-style) model the activated node reads
+    // each alive neighbor's display: every such read is one message.
+    // The node itself is the only possible transmitter of the
+    // activation — it counts as an emitter if it displays a
+    // non-quiescent symbol, carrying ⌈log₂ |Σ|⌉ bits.
+    fn activation_sample(
+        &self,
+        topology: &Topology,
+        u: usize,
+        faults: &FaultLayer,
+    ) -> Option<RoundSample> {
+        let mut alive_neighbors = 0u64;
+        topology.for_each_neighbor(NodeId::new(u), |v| {
+            if !faults.is_crashed(v.index()) {
+                alive_neighbors += 1;
+            }
+        });
+        let emitters = u64::from(self.symbols[u] != 0);
+        Some(RoundSample {
+            emitters,
+            heard: 0,
+            bits: emitters * bits_per_symbol(self.protocol.alphabet_size()),
+            messages: alive_neighbors,
+        })
+    }
+
+    // The observation scratch still holds the activated node's
+    // post-noise view when this is called (immediately after
+    // `activate`): a perception event is any non-quiescent symbol seen.
+    fn perceived_after(&self, _u: usize) -> Option<u64> {
+        Some(u64::from(self.observed.iter().skip(1).any(|&c| c > 0)))
     }
 }
 

@@ -21,6 +21,7 @@
 //! the pinned traces). Zero-probability noise channels draw nothing.
 
 use crate::fault::FaultLayer;
+use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
 use crate::{NodeCtx, Topology};
 use bfw_graph::{NodeId, TopologyDelta};
 
@@ -60,6 +61,34 @@ pub trait TickModel {
     /// channels in `faults`), transition every alive node using its RNG
     /// stream, and refresh the emission caches.
     fn advance(&mut self, topology: &Topology, states: &mut [Self::State], faults: &mut FaultLayer);
+
+    /// Samples what the *pending* emission caches would transmit this
+    /// round (called by an instrumented engine immediately before
+    /// [`advance`](Self::advance); see [`crate::instrument`] for the
+    /// accounting conventions). Must only read caches the model already
+    /// maintains — never draw from an RNG stream. The default (`None`)
+    /// opts a model out of complexity accounting; the engine then
+    /// records an all-zero sample.
+    fn emission_sample(&self, _topology: &Topology, _faults: &FaultLayer) -> Option<RoundSample> {
+        None
+    }
+
+    /// Counts the nodes that perceived a non-quiescent signal in the
+    /// round [`advance`](Self::advance) just executed (post-noise).
+    /// Same passivity contract as
+    /// [`emission_sample`](Self::emission_sample); the default (`None`)
+    /// leaves the ledger's heard counter at the sample's value.
+    fn perceived_count(&self, _faults: &FaultLayer) -> Option<u64> {
+        None
+    }
+
+    /// Rebuilds any topology-derived caches the sampler keeps (e.g. the
+    /// beeping model's per-node degree cache for message accounting).
+    /// The engine calls this when instrumentation is switched on, and
+    /// after every topology mutation **while instrumentation is on** —
+    /// never on the uninstrumented path, so churn stays `O(deg)` per
+    /// edge when nobody is counting. The default is a no-op.
+    fn refresh_sampler_caches(&mut self, _topology: &Topology) {}
 }
 
 /// A [`TickModel`] whose protocol designates a leader subset of its
@@ -83,6 +112,7 @@ pub struct TickEngine<M: TickModel> {
     pub(crate) states: Vec<M::State>,
     pub(crate) faults: FaultLayer,
     pub(crate) round: u64,
+    pub(crate) instr: Instrumentation,
 }
 
 impl<M: TickModel> TickEngine<M> {
@@ -110,6 +140,7 @@ impl<M: TickModel> TickEngine<M> {
             states,
             faults: FaultLayer::new(n, seed),
             round: 0,
+            instr: Instrumentation::off(),
         }
     }
 
@@ -159,8 +190,22 @@ impl<M: TickModel> TickEngine<M> {
 
     /// Advances one synchronous round.
     pub fn step(&mut self) {
-        self.model
-            .advance(&self.topology, &mut self.states, &mut self.faults);
+        if self.instr.is_on() {
+            let mut sample = self
+                .model
+                .emission_sample(&self.topology, &self.faults)
+                .unwrap_or_default();
+            self.model
+                .advance(&self.topology, &mut self.states, &mut self.faults);
+            if let Some(heard) = self.model.perceived_count(&self.faults) {
+                sample.heard = heard;
+            }
+            self.instr
+                .record_step(sample, self.states.len(), std::mem::size_of::<M::State>());
+        } else {
+            self.model
+                .advance(&self.topology, &mut self.states, &mut self.faults);
+        }
         self.round += 1;
     }
 
@@ -189,6 +234,9 @@ impl<M: TickModel> TickEngine<M> {
             "topology mutation must preserve the node count"
         );
         self.topology = topology;
+        if self.instr.is_on() {
+            self.model.refresh_sampler_caches(&self.topology);
+        }
     }
 
     /// Applies a batch of edge mutations to the topology in `O(deg)`
@@ -204,6 +252,9 @@ impl<M: TickModel> TickEngine<M> {
     /// (see [`bfw_graph::OverlayGraph::apply`]).
     pub fn apply_topology_delta(&mut self, delta: &TopologyDelta) {
         self.topology.apply_delta(delta);
+        if self.instr.is_on() {
+            self.model.refresh_sampler_caches(&self.topology);
+        }
     }
 
     /// Crashes node `u`: from now on it emits nothing, ignores its
@@ -325,6 +376,41 @@ impl<M: TickModel> TickEngine<M> {
         for (i, s) in self.states.iter().enumerate() {
             self.model.refresh_node(i, s, self.faults.is_crashed(i));
         }
+    }
+
+    /// Turns complexity accounting on: from the next
+    /// [`step`](Self::step) the engine accumulates a
+    /// [`ComplexityLedger`], and — when `recorder_capacity` is given —
+    /// retains the last that many [`TraceEvent`](crate::TraceEvent)s in
+    /// a [`FlightRecorder`]. Instrumentation is purely passive (no RNG
+    /// draws, no reordering), so enabling it never changes an
+    /// execution; disabled engines pay one branch per step.
+    pub fn enable_instrumentation(&mut self, recorder_capacity: Option<usize>) {
+        self.instr.enable(recorder_capacity);
+        self.model.refresh_sampler_caches(&self.topology);
+    }
+
+    /// Returns `true` if complexity accounting is on.
+    pub fn instrumentation_enabled(&self) -> bool {
+        self.instr.is_on()
+    }
+
+    /// Returns the accumulated complexity counters, if instrumentation
+    /// is on.
+    pub fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        self.instr.ledger()
+    }
+
+    /// Returns the flight recorder, if one was attached.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.instr.recorder()
+    }
+
+    /// Records an event into the flight recorder, stamped with the
+    /// current round (no-op unless a recorder is attached).
+    pub fn record_trace_event(&mut self, kind: &str, detail: impl Into<String>) {
+        let round = self.round;
+        self.instr.record_event(round, kind, detail);
     }
 }
 

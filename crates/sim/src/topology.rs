@@ -92,6 +92,27 @@ impl Topology {
         }
     }
 
+    /// Returns the degree of `u` in `O(1)` (CSR offset arithmetic, or
+    /// `n - 1` for the clique). This is the instrumentation hot path:
+    /// message accounting sums emitter degrees every instrumented
+    /// round, and iterating neighbors just to count them would dominate
+    /// the round itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        match self {
+            Topology::Graph(g) => g.degree(u),
+            Topology::Clique(n) => {
+                assert!(u.index() < *n, "node {u} out of range of clique({n})");
+                n - 1
+            }
+            Topology::Overlay(ov) => ov.degree(u),
+        }
+    }
+
     /// Calls `f` for every neighbor of `u`, in ascending node order.
     ///
     /// This is the one neighbor-iteration seam shared by the runtimes:

@@ -11,7 +11,10 @@
 //! * [`Histogram`] — distribution shapes,
 //! * [`Table`] — Markdown / CSV rendering of the paper-style result
 //!   tables (hand-rolled so the workspace needs no serialization
-//!   dependencies).
+//!   dependencies),
+//! * [`JsonValue`] — a minimal JSON parser/renderer closing the loop on
+//!   the hand-rolled JSON reports (complexity ledgers, flight-recorder
+//!   dumps), so tests can assert they round-trip.
 //!
 //! # Example
 //!
@@ -28,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod json;
 mod regression;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
+pub use json::{JsonError, JsonValue};
 pub use regression::{linear_fit, loglog_fit, LinearFit};
 pub use summary::Summary;
 pub use table::Table;
