@@ -1,0 +1,92 @@
+//! Kernel-throughput floor: the bit-parallel BFW kernel must beat the
+//! generic per-node engine by at least 20× on `cycle:100000`.
+//!
+//! The bitplane kernel's entire reason to exist is throughput — the two
+//! kernels are byte-identical at a fixed seed (the
+//! `bit_kernel_equivalence` workspace tests pin it), so a speedup
+//! regression is the only way it can silently rot. This bench times
+//! both kernels on the same workload and **asserts** the ratio stays
+//! above a deliberately conservative floor, the `instrument_overhead`
+//! budget pattern in reverse: locally the ratio sits far higher; 20× is
+//! the line CI defends.
+//!
+//! Plain `Instant` timing (no criterion): the loops are long enough
+//! that statistical machinery would add more noise than it removes.
+//! The generic engine times fewer rounds than the bit engine (it is
+//! exactly what's slow here); both report rounds/second, which is what
+//! the ratio compares.
+
+use bfw_core::{Bfw, BitNetwork};
+use bfw_graph::generators;
+use bfw_sim::Network;
+use std::time::Instant;
+
+const N: usize = 100_000;
+const GENERIC_ROUNDS: u64 = 40;
+const BIT_ROUNDS: u64 = 4_000;
+const WARMUP: u64 = 16;
+const SEED: u64 = 7;
+/// The floor CI defends; the measured ratio is printed for the curious.
+const FLOOR: f64 = 20.0;
+
+/// Times `rounds` of the generic engine after warmup; returns
+/// (rounds/second, leaders remaining — a side effect the optimizer
+/// cannot drop).
+fn generic_rps() -> (f64, usize) {
+    let mut net = Network::new(Bfw::new(0.5), generators::cycle(N).into(), SEED);
+    net.run(WARMUP);
+    let start = Instant::now();
+    net.run(GENERIC_ROUNDS);
+    (
+        GENERIC_ROUNDS as f64 / start.elapsed().as_secs_f64(),
+        net.leader_count(),
+    )
+}
+
+/// Times `rounds` of the bit kernel after the same warmup at the same
+/// seed.
+fn bit_rps() -> (f64, usize) {
+    let mut net = BitNetwork::new(Bfw::new(0.5), generators::cycle(N).into(), SEED);
+    net.run(WARMUP);
+    let start = Instant::now();
+    net.run(BIT_ROUNDS);
+    (
+        BIT_ROUNDS as f64 / start.elapsed().as_secs_f64(),
+        net.leader_count(),
+    )
+}
+
+fn main() {
+    // Warm-up pass so neither variant pays first-touch costs.
+    let _ = bit_rps();
+
+    // Interleave several passes of each, alternating which kernel goes
+    // first so slow drift on a shared machine cancels, and keep the
+    // maximum rounds/second: the least noisy estimator for a
+    // throughput loop.
+    let mut generic = 0.0f64;
+    let mut bit = 0.0f64;
+    for pass in 0..5 {
+        if pass % 2 == 0 {
+            let (g, _) = generic_rps();
+            let (b, _) = bit_rps();
+            generic = generic.max(g);
+            bit = bit.max(b);
+        } else {
+            let (b, _) = bit_rps();
+            let (g, _) = generic_rps();
+            generic = generic.max(g);
+            bit = bit.max(b);
+        }
+    }
+
+    let ratio = bit / generic;
+    println!(
+        "tick_scale: cycle:{N} — generic {generic:.0} rounds/s, bit {bit:.0} rounds/s, \
+         speedup {ratio:.1}x"
+    );
+    assert!(
+        ratio >= FLOOR,
+        "bit-kernel speedup {ratio:.1}x fell below the {FLOOR}x floor"
+    );
+}

@@ -24,7 +24,8 @@ use crate::{ExpConfig, ExperimentResult, GraphSpec};
 use bfw_core::Bfw;
 use bfw_graph::{generators, Graph, NodeId};
 use bfw_scenario::{
-    run_bfw_scenario, ProtocolKind, Recovery, RuntimeKind, ScenarioEvent, ScenarioSpec, Timeline,
+    run_bfw_scenario, KernelKind, ProtocolKind, Recovery, RuntimeKind, ScenarioEvent, ScenarioSpec,
+    Timeline,
 };
 use bfw_sim::stone_age::{AsyncStoneAgeNetwork, BeepingAsStoneAge};
 use bfw_sim::{run_trials_batched, Network};
@@ -84,6 +85,7 @@ fn spec_for(
         // The sweep itself uses the uniform scheduler; the weighted and
         // replay schedulers are exercised by the workspace tests.
         scheduler: None,
+        kernel: KernelKind::default(),
         timeline: timeline_for(class, n, horizon),
         trace: None,
     }

@@ -16,7 +16,7 @@
 //! cycle / star / random topologies.
 
 use crate::{ExpConfig, ExperimentResult, GraphSpec};
-use bfw_scenario::{run_bfw_scenario, ScenarioSpec, Timeline};
+use bfw_scenario::{run_bfw_scenario, KernelKind, ScenarioSpec, Timeline};
 use bfw_scenario::{Recovery, ScenarioEvent};
 use bfw_sim::run_trials_batched;
 use bfw_stats::{Summary, Table};
@@ -55,6 +55,7 @@ fn scenario_for(spec: &GraphSpec, horizon: u64, n: usize) -> ScenarioSpec {
         grace: None,
         runtime: Default::default(),
         scheduler: None,
+        kernel: KernelKind::default(),
         timeline: churn_timeline(n, horizon),
         trace: None,
     }

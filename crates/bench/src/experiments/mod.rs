@@ -22,6 +22,7 @@ pub mod termination;
 pub mod thm2_d;
 pub mod thm2_n;
 pub mod thm3;
+pub mod tick_scale;
 
 use crate::{ExpConfig, ExperimentResult};
 
@@ -50,6 +51,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("recovery", recovery::run),
         ("async-faults", async_faults::run),
         ("complexity", complexity::run),
+        ("tick-scale", tick_scale::run),
     ]
 }
 
@@ -64,6 +66,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
     }
 }

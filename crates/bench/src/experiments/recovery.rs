@@ -31,7 +31,7 @@
 
 use crate::{ExpConfig, ExperimentResult, GraphSpec};
 use bfw_graph::NodeId;
-use bfw_scenario::{run_bfw_scenario, ProtocolKind, Recovery, ScenarioSpec, Timeline};
+use bfw_scenario::{run_bfw_scenario, KernelKind, ProtocolKind, Recovery, ScenarioSpec, Timeline};
 use bfw_scenario::{InjectKind, ScenarioEvent};
 use bfw_sim::run_trials_batched;
 use bfw_stats::{Summary, Table};
@@ -146,6 +146,7 @@ fn scenario_for(
         grace: None,
         runtime: Default::default(),
         scheduler: None,
+        kernel: KernelKind::default(),
         timeline,
         trace: None,
     }

@@ -99,6 +99,9 @@ pub enum Command {
         /// Flight-recorder capacity (`--trace-last N`; overrides the
         /// spec's `[trace] last`, default 256).
         trace_last: Option<usize>,
+        /// Execution-kernel override (`--kernel auto|generic|bit`;
+        /// overrides the spec's `kernel` key).
+        kernel: Option<bfw_scenario::KernelKind>,
     },
     /// `bfw help`
     Help,
@@ -117,6 +120,7 @@ usage:
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
   bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
   bfw scenario run FILE [--seed S] [--rounds N] [--trace FILE] [--trace-last N]
+                        [--kernel auto|generic|bit]
   bfw help
 
 experiment flags:
@@ -133,6 +137,8 @@ scenario run flags:
   --seed S        overrides the spec's seed      --rounds N  overrides the horizon
   --trace FILE    writes the complexity + flight-recorder JSON report to FILE
   --trace-last N  keeps the last N trace events (default 256)
+  --kernel K      execution kernel: auto (default; bitplane fast path for plain
+                  sync BFW at n >= 4096), generic, or bit — never changes outcomes
   (a [trace] section in the spec enables the same; CLI flags win)
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
@@ -335,6 +341,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut rounds = None;
     let mut trace = None;
     let mut trace_last = None;
+    let mut kernel = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -347,6 +354,18 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
                     return Err("--trace-last must be at least 1".to_owned());
                 }
                 trace_last = Some(last as usize);
+            }
+            "--kernel" => {
+                kernel = Some(match take_value("--kernel", &mut it)?.as_str() {
+                    "auto" => bfw_scenario::KernelKind::Auto,
+                    "generic" => bfw_scenario::KernelKind::Generic,
+                    "bit" => bfw_scenario::KernelKind::Bit,
+                    other => {
+                        return Err(format!(
+                            "--kernel: unknown kernel '{other}' (valid: auto, generic, bit)"
+                        ))
+                    }
+                });
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("scenario run: unknown flag {flag}"))
@@ -362,6 +381,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         rounds,
         trace,
         trace_last,
+        kernel,
     })
 }
 
@@ -438,7 +458,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             rounds,
             trace,
             trace_last,
-        } => run_scenario(&file, seed, rounds, trace, trace_last),
+            kernel,
+        } => run_scenario(&file, seed, rounds, trace, trace_last, kernel),
         Command::Experiment {
             names,
             quick,
@@ -492,11 +513,15 @@ fn run_scenario(
     rounds: Option<u64>,
     trace_file: Option<String>,
     trace_last: Option<usize>,
+    kernel: Option<bfw_scenario::KernelKind>,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let mut spec = bfw_scenario::ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
     if let Some(rounds) = rounds {
         spec.rounds = rounds;
+    }
+    if let Some(kernel) = kernel {
+        spec.kernel = kernel;
     }
     let seed = seed.unwrap_or(spec.seed);
     let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
@@ -518,6 +543,16 @@ fn run_scenario(
     match spec.runtime {
         bfw_scenario::RuntimeKind::Sync => {
             let _ = writeln!(out, "runtime:           sync");
+            // The kernel line only exists where a kernel choice exists
+            // (plain sync BFW); it is stripped by the CI equivalence
+            // smoke, and never affects the result block.
+            if spec.protocol == bfw_scenario::ProtocolKind::Bfw {
+                let _ = writeln!(
+                    out,
+                    "kernel:            {}",
+                    bfw_scenario::resolved_kernel(&spec, graph.node_count())
+                );
+            }
         }
         bfw_scenario::RuntimeKind::Async => {
             let _ = writeln!(
@@ -893,6 +928,7 @@ mod tests {
                 rounds: Some(500),
                 trace: None,
                 trace_last: None,
+                kernel: None,
             }
         );
         assert!(parse(&argv("scenario")).unwrap_err().contains("run FILE"));
@@ -908,6 +944,75 @@ mod tests {
         assert!(parse(&argv("scenario run a.toml --bogus"))
             .unwrap_err()
             .contains("unknown flag"));
+    }
+
+    #[test]
+    fn parse_scenario_kernel_flag() {
+        for (name, kind) in [
+            ("auto", bfw_scenario::KernelKind::Auto),
+            ("generic", bfw_scenario::KernelKind::Generic),
+            ("bit", bfw_scenario::KernelKind::Bit),
+        ] {
+            assert_eq!(
+                parse(&argv(&format!("scenario run a.toml --kernel {name}"))).unwrap(),
+                Command::Scenario {
+                    file: "a.toml".into(),
+                    seed: None,
+                    rounds: None,
+                    trace: None,
+                    trace_last: None,
+                    kernel: Some(kind),
+                }
+            );
+        }
+        assert!(parse(&argv("scenario run a.toml --kernel fast"))
+            .unwrap_err()
+            .contains("unknown kernel 'fast'"));
+        assert!(parse(&argv("scenario run a.toml --kernel"))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn execute_scenario_kernels_agree_byte_for_byte() {
+        // The acceptance-criteria property at CLI level: apart from the
+        // kernel header line, the two kernels' outputs are identical.
+        let dir = std::env::temp_dir().join("bfw_cli_kernel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kernels.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"kernels\"\ngraph = \"cycle:64\"\nrounds = 4000\n\
+             stability = 20\n\n[[event]]\nat = 1500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 1600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = |kernel| {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(42),
+                rounds: None,
+                trace: None,
+                trace_last: None,
+                kernel: Some(kernel),
+            })
+            .unwrap()
+        };
+        let generic = run(bfw_scenario::KernelKind::Generic);
+        let bit = run(bfw_scenario::KernelKind::Bit);
+        assert!(generic.contains("kernel:            generic"), "{generic}");
+        assert!(bit.contains("kernel:            bit"), "{bit}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("kernel:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&generic), strip(&bit));
+        // Auto resolves to generic at this size and says so.
+        let auto = run(bfw_scenario::KernelKind::Auto);
+        assert!(auto.contains("kernel:            generic"), "{auto}");
+        assert_eq!(strip(&auto), strip(&bit));
     }
 
     #[test]
@@ -929,6 +1034,7 @@ mod tests {
                 rounds: None,
                 trace: None,
                 trace_last: None,
+                kernel: None,
             })
             .unwrap()
         };
@@ -963,6 +1069,7 @@ mod tests {
             rounds: None,
             trace: None,
             trace_last: None,
+            kernel: None,
         })
         .unwrap();
         assert!(out.contains("protocol:          bfw+recovery"), "{out}");
@@ -978,6 +1085,7 @@ mod tests {
             rounds: None,
             trace: None,
             trace_last: None,
+            kernel: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
@@ -992,6 +1100,7 @@ mod tests {
             rounds: None,
             trace: None,
             trace_last: None,
+            kernel: None,
         })
         .unwrap_err();
         assert!(err.contains("graph"), "{err}");
@@ -1038,6 +1147,7 @@ mod tests {
                 rounds: None,
                 trace: None,
                 trace_last: None,
+                kernel: None,
             })
             .unwrap()
         };
@@ -1065,6 +1175,7 @@ mod tests {
             rounds: None,
             trace: None,
             trace_last: None,
+            kernel: None,
         })
         .unwrap();
         assert!(out.contains("runtime:           sync\n"), "{out}");
@@ -1098,6 +1209,7 @@ mod tests {
                 rounds: None,
                 trace: Some("out.json".into()),
                 trace_last: Some(64),
+                kernel: None,
             }
         );
         assert!(parse(&argv("scenario run a.toml --trace"))
@@ -1151,6 +1263,7 @@ mod tests {
                 rounds: None,
                 trace,
                 trace_last: None,
+                kernel: None,
             })
             .unwrap()
         };
@@ -1199,6 +1312,7 @@ mod tests {
             rounds: None,
             trace: None,
             trace_last: None,
+            kernel: None,
         })
         .unwrap();
         assert!(out.contains("complexity: steps=500"), "{out}");

@@ -43,6 +43,7 @@
 //! | module | paper section |
 //! |--------|---------------|
 //! | [`state`] | Figure 1 (the six states and `δ⊥`/`δ⊤`) |
+//! | [`bit`] | Figure 1 as word-wide plane algebra (the bit-parallel kernel) |
 //! | [`protocol`] | Section 1.2 (algorithm), Theorem 3 variant, ablations |
 //! | [`flow`] | Section 3 (Definition 5, Lemma 7, Corollary 8) |
 //! | [`invariants`] | Claim 6, Lemma 9, Lemma 11, Lemma 12 as runtime checks |
@@ -56,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod bit;
 pub mod flow;
 pub mod invariants;
 pub mod protocol;
@@ -65,6 +67,7 @@ pub mod termination;
 pub mod theory;
 pub mod viz;
 
+pub use bit::{run_bfw_trials_bitsliced, BfwLaneEngine, BitNetwork, LaneOutcome};
 pub use flow::{edge_flow, path_flow, random_walk_path, FlowAuditor};
 pub use invariants::{InvariantChecker, InvariantReport};
 pub use protocol::{Bfw, BfwNoFreeze, InitialConfig, NoFreezeState};

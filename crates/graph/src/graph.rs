@@ -237,6 +237,34 @@ impl Graph {
     pub fn adjacency_len(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// Returns `Some(d)` if every node has degree exactly `d` (the graph
+    /// is `d`-regular), `None` otherwise or when the graph has no nodes.
+    ///
+    /// Regularity unlocks fixed-stride layouts downstream: the
+    /// instrumentation sampler charges `emitters × d` messages without a
+    /// degree pass, and the word-packed adjacency view
+    /// ([`WordGraph`](crate::WordGraph)) stores its neighbor schedule as
+    /// a flat `n × d` array with no per-row offsets.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfw_graph::generators;
+    /// assert_eq!(generators::cycle(8).uniform_degree(), Some(2));
+    /// assert_eq!(generators::path(8).uniform_degree(), None);
+    /// ```
+    pub fn uniform_degree(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let d = self.offsets[1];
+        self.offsets
+            .windows(2)
+            .all(|w| w[1] - w[0] == d)
+            .then_some(d)
+    }
 }
 
 impl std::fmt::Debug for Graph {

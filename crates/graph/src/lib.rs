@@ -39,6 +39,7 @@ mod graph;
 pub mod io;
 mod node;
 mod overlay;
+mod wordgraph;
 
 pub use builder::GraphBuilder;
 pub use dynamic::DynamicGraph;
@@ -46,3 +47,4 @@ pub use error::GraphError;
 pub use graph::{Edges, Graph, Nodes};
 pub use node::NodeId;
 pub use overlay::{OverlayGraph, OverlayNeighbors, TopologyDelta};
+pub use wordgraph::{words_for, WordGraph};

@@ -1,0 +1,462 @@
+//! Word-packed adjacency view for bit-parallel beep propagation.
+//!
+//! The beeping model's whole communication step is `heard(v) = OR over
+//! N(v) of beeps(u)` — a boolean sparse matrix–vector product. When node
+//! flags live in `u64` bitsets (one bit per node), that product runs
+//! word-wide: 64 nodes per instruction instead of one. [`WordGraph`] is
+//! the adjacency structure specialised for that product, built once from
+//! a [`Graph`] and then immutable.
+//!
+//! Two execution plans are chosen at build time:
+//!
+//! * **Rotations** — when every directed edge `u → v` falls into a small
+//!   number of *shift classes* `d = (v − u) mod n` (cycles have 2, tori
+//!   6, hypercubes `log n`), propagation is a handful of `n`-bit ring
+//!   rotations of the emission bitset, each `OR`ed into the result. A
+//!   class that does not cover every node (e.g. the row-wrap edges of a
+//!   torus) carries a source mask. This is `O(classes · n / 64)` with
+//!   perfect memory locality.
+//! * **Gather** — the general fallback: a blocked CSR push that scans the
+//!   emission words, skips zero words (63 idle nodes cost one branch),
+//!   and scatters each emitter's neighbor list into the result bitset.
+//!   On regular graphs the neighbor schedule is a flat `n × d` array
+//!   with a fixed stride — no per-row offsets (see
+//!   [`Graph::uniform_degree`]).
+//!
+//! Invariant shared with all callers: in the last word of an `n`-bit
+//! bitset, bits `>= n` are zero. [`WordGraph::propagate_or`] preserves
+//! it and relies on it.
+
+use crate::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// Number of `u64` words needed for an `n`-bit node bitset.
+#[inline]
+pub fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Above this many distinct shift classes the rotation plan stops paying
+/// for itself and construction falls back to the blocked CSR gather.
+/// Cycles need 2, tori 6, hypercubes `2 log n` (12 covers n = 64); a
+/// random-regular graph blows past the cap immediately.
+const MAX_SHIFT_CLASSES: usize = 12;
+
+/// One shift class of the rotation plan: every directed edge `u → v`
+/// with `(v − u) mod n == shift`.
+#[derive(Debug, Clone)]
+struct Rotation {
+    /// Ring-rotation amount, `1..n`.
+    shift: usize,
+    /// Bitset of source nodes that have an out-edge in this class, or
+    /// `None` when all `n` nodes do (the mask load is skipped).
+    mask: Option<Vec<u64>>,
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    Rotations(Vec<Rotation>),
+    Gather {
+        /// Flat concatenated neighbor lists.
+        neighbors: Vec<u32>,
+        /// `offsets[u]..offsets[u+1]` indexes `neighbors`; `None` on
+        /// regular graphs, where row `u` is `u*stride..(u+1)*stride`.
+        offsets: Option<Vec<usize>>,
+        /// Fixed row stride when `offsets` is `None` (the uniform
+        /// degree); unused otherwise.
+        stride: usize,
+    },
+}
+
+/// A word-packed adjacency view of a [`Graph`], optimised for the
+/// bit-parallel product `heard |= A · beeps` over `u64` bitsets.
+///
+/// # Example
+///
+/// ```
+/// use bfw_graph::{generators, WordGraph};
+///
+/// let g = generators::cycle(100);
+/// let wg = WordGraph::build(&g);
+/// let mut emit = vec![0u64; wg.words()];
+/// emit[0] = 1; // node 0 beeps
+/// let mut heard = emit.clone(); // nodes hear themselves
+/// wg.propagate_or(&emit, &mut heard);
+/// // Neighbors 1 and 99 now hear the beep.
+/// assert_eq!(heard[0] & 0b11, 0b11);
+/// assert_eq!(heard[1] >> 35 & 1, 1); // bit 99
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordGraph {
+    n: usize,
+    words: usize,
+    plan: Plan,
+}
+
+impl WordGraph {
+    /// Builds the view, choosing the rotation plan when the directed
+    /// edges fall into at most 12 shift classes and the blocked CSR
+    /// gather otherwise.
+    pub fn build(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let words = words_for(n);
+        let plan = classify_shifts(graph)
+            .map(|classes| Plan::Rotations(build_rotations(graph, classes)))
+            .unwrap_or_else(|| build_gather(graph));
+        WordGraph { n, words, plan }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of `u64` words per node bitset, `ceil(n / 64)`.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// `true` when the rotation plan was selected (cycles, tori, …).
+    pub fn uses_rotations(&self) -> bool {
+        matches!(self.plan, Plan::Rotations(_))
+    }
+
+    /// `true` when the gather plan runs with a fixed row stride (regular
+    /// graph, no per-row offsets).
+    pub fn uses_fixed_stride(&self) -> bool {
+        matches!(
+            self.plan,
+            Plan::Gather { offsets: None, .. } if self.n > 0
+        )
+    }
+
+    /// ORs every emitter's neighborhood into `dst`:
+    /// `dst[v] |= OR over u in N(v) of src[u]` for all `v`, bitset-wise.
+    ///
+    /// `src` and `dst` are `n`-bit bitsets (`self.words()` words each)
+    /// with bits `>= n` clear in the last word; the call preserves that
+    /// invariant. Self-hearing is the caller's job (copy `src` into
+    /// `dst` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` has the wrong length.
+    pub fn propagate_or(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.words, "src has wrong word count");
+        assert_eq!(dst.len(), self.words, "dst has wrong word count");
+        match &self.plan {
+            Plan::Rotations(rotations) => {
+                for rot in rotations {
+                    rotate_or_into(dst, src, rot.mask.as_deref(), rot.shift, self.n);
+                }
+            }
+            Plan::Gather {
+                neighbors,
+                offsets,
+                stride,
+            } => {
+                for (wi, &word) in src.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let u = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let row = match offsets {
+                            Some(offs) => &neighbors[offs[u]..offs[u + 1]],
+                            None => &neighbors[u * stride..(u + 1) * stride],
+                        };
+                        for &v in row {
+                            dst[(v as usize) >> 6] |= 1u64 << (v & 63);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classifies every directed edge by its shift `(v − u) mod n`.
+/// Returns the sorted distinct shifts, or `None` as soon as more than
+/// [`MAX_SHIFT_CLASSES`] appear (the scan bails out early).
+fn classify_shifts(graph: &Graph) -> Option<Vec<usize>> {
+    let n = graph.node_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return Some(Vec::new());
+    }
+    let mut shifts = BTreeMap::new();
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            let d = (v.index() + n - u.index()) % n;
+            shifts.insert(d, ());
+            if shifts.len() > MAX_SHIFT_CLASSES {
+                return None;
+            }
+        }
+    }
+    Some(shifts.into_keys().collect())
+}
+
+fn build_rotations(graph: &Graph, classes: Vec<usize>) -> Vec<Rotation> {
+    let n = graph.node_count();
+    let words = words_for(n);
+    classes
+        .into_iter()
+        .map(|shift| {
+            let mut mask = vec![0u64; words];
+            let mut covered = 0usize;
+            for u in graph.nodes() {
+                let target = (u.index() + shift) % n;
+                if graph.has_edge(u, NodeId::new(target)) {
+                    mask[u.index() >> 6] |= 1u64 << (u.index() & 63);
+                    covered += 1;
+                }
+            }
+            Rotation {
+                shift,
+                mask: (covered < n).then_some(mask),
+            }
+        })
+        .collect()
+}
+
+fn build_gather(graph: &Graph) -> Plan {
+    let flat: Vec<u32> = graph
+        .nodes()
+        .flat_map(|u| graph.neighbors(u).iter().map(|v| v.index() as u32))
+        .collect();
+    match graph.uniform_degree() {
+        Some(stride) => Plan::Gather {
+            neighbors: flat,
+            offsets: None,
+            stride,
+        },
+        None => {
+            let n = graph.node_count();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0usize;
+            offsets.push(0);
+            for u in graph.nodes() {
+                acc += graph.degree(u);
+                offsets.push(acc);
+            }
+            Plan::Gather {
+                neighbors: flat,
+                offsets: Some(offsets),
+                stride: 0,
+            }
+        }
+    }
+}
+
+/// ORs the `n`-bit ring rotation of `src` (optionally masked) by
+/// `shift` bits into `dst`: bit `i` of the masked source lands on bit
+/// `(i + shift) mod n`.
+///
+/// Decomposes into a word-level left shift by `shift` (bits that stay
+/// below `n`) plus a word-level right shift by `n − shift` (bits that
+/// wrap); both are plain two-word funnel shifts. Relies on bits `>= n`
+/// of `src`'s last word being zero and leaves `dst`'s clear.
+fn rotate_or_into(dst: &mut [u64], src: &[u64], mask: Option<&[u64]>, shift: usize, n: usize) {
+    debug_assert!(shift > 0 && shift < n);
+    let words = dst.len();
+    let read = |w: usize| -> u64 {
+        match mask {
+            Some(m) => src[w] & m[w],
+            None => src[w],
+        }
+    };
+    // Bits >= n of the last word must stay clear after the left shift.
+    let tail_bits = n - 64 * (words - 1);
+    let tail_mask = if tail_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+
+    // Part 1: bits i in 0..n-shift go to i+shift (word-level shl).
+    let (q, r) = (shift / 64, (shift % 64) as u32);
+    for w in (q..words).rev() {
+        let lo = read(w - q);
+        let out = if r == 0 {
+            lo
+        } else {
+            let carry = if w > q {
+                read(w - q - 1) >> (64 - r)
+            } else {
+                0
+            };
+            (lo << r) | carry
+        };
+        dst[w] |= if w == words - 1 { out & tail_mask } else { out };
+    }
+
+    // Part 2: bits i in n-shift..n wrap to i-(n-shift) (word-level shr).
+    let e = n - shift;
+    let (qe, re) = (e / 64, (e % 64) as u32);
+    for (w, d) in dst.iter_mut().enumerate().take(words.saturating_sub(qe)) {
+        let hi = read(w + qe);
+        let out = if re == 0 {
+            hi
+        } else {
+            let carry = if w + qe + 1 < words {
+                read(w + qe + 1) << (64 - re)
+            } else {
+                0
+            };
+            (hi >> re) | carry
+        };
+        *d |= out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Reference propagation straight off the CSR lists.
+    fn naive(graph: &Graph, emit: &[bool]) -> Vec<bool> {
+        let mut heard = emit.to_vec();
+        for u in graph.nodes() {
+            if emit[u.index()] {
+                for &v in graph.neighbors(u) {
+                    heard[v.index()] = true;
+                }
+            }
+        }
+        heard
+    }
+
+    fn pack(flags: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; words_for(flags.len())];
+        for (i, &b) in flags.iter().enumerate() {
+            if b {
+                words[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
+        words
+    }
+
+    fn unpack(words: &[u64], n: usize) -> Vec<bool> {
+        (0..n).map(|i| words[i >> 6] >> (i & 63) & 1 == 1).collect()
+    }
+
+    fn check_against_naive(graph: &Graph, seed: u64) {
+        let n = graph.node_count();
+        let wg = WordGraph::build(graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for density in [0.0, 0.02, 0.5, 1.0] {
+            let emit: Vec<bool> = (0..n).map(|_| rng.random_bool(density)).collect();
+            let words = pack(&emit);
+            let mut heard = words.clone();
+            wg.propagate_or(&words, &mut heard);
+            assert_eq!(unpack(&heard, n), naive(graph, &emit), "n={n}");
+            if !n.is_multiple_of(64) && n > 0 {
+                assert_eq!(
+                    heard[wg.words() - 1] >> (n % 64),
+                    0,
+                    "bits >= n must stay clear"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_uses_rotations_and_matches_naive() {
+        for n in [3, 5, 63, 64, 65, 127, 128, 129, 1000] {
+            let g = generators::cycle(n);
+            let wg = WordGraph::build(&g);
+            assert!(wg.uses_rotations(), "cycle({n})");
+            check_against_naive(&g, 7 + n as u64);
+        }
+    }
+
+    #[test]
+    fn torus_uses_rotations_and_matches_naive() {
+        for (r, c) in [(3, 3), (4, 5), (8, 8), (5, 13)] {
+            let g = generators::torus(r, c);
+            let wg = WordGraph::build(&g);
+            assert!(wg.uses_rotations(), "torus({r},{c})");
+            check_against_naive(&g, (r * 31 + c) as u64);
+        }
+    }
+
+    #[test]
+    fn path_uses_masked_rotations() {
+        let g = generators::path(130);
+        let wg = WordGraph::build(&g);
+        assert!(wg.uses_rotations());
+        check_against_naive(&g, 11);
+    }
+
+    #[test]
+    fn random_regular_uses_fixed_stride_gather() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = generators::random_regular(96, 4, &mut rng);
+        assert_eq!(g.uniform_degree(), Some(4));
+        let wg = WordGraph::build(&g);
+        assert!(!wg.uses_rotations());
+        assert!(wg.uses_fixed_stride());
+        check_against_naive(&g, 13);
+    }
+
+    #[test]
+    fn irregular_graph_uses_offset_gather() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let g = generators::erdos_renyi(80, 0.08, &mut rng);
+        if g.uniform_degree().is_none() {
+            let wg = WordGraph::build(&g);
+            assert!(!wg.uses_fixed_stride());
+            check_against_naive(&g, 17);
+        }
+    }
+
+    #[test]
+    fn star_matches_naive() {
+        // Hub degree n-1: shift classes exceed the cap, offsets differ
+        // wildly — the stress case for the gather plan.
+        let g = generators::star(100);
+        let wg = WordGraph::build(&g);
+        assert!(!wg.uses_rotations());
+        check_against_naive(&g, 23);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        for n in [0, 1] {
+            let g = Graph::from_edges(n, []).unwrap();
+            let wg = WordGraph::build(&g);
+            assert_eq!(wg.words(), words_for(n));
+            let src = vec![if n == 0 { 0 } else { 1 }; wg.words()];
+            let mut dst = src.clone();
+            wg.propagate_or(&src, &mut dst);
+            assert_eq!(dst, src);
+        }
+    }
+
+    #[test]
+    fn single_edge_two_nodes() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        check_against_naive(&g, 29);
+    }
+
+    #[test]
+    fn hypercube_fits_rotation_cap() {
+        let g = generators::hypercube(5); // 32 nodes, 10 shift classes
+        let wg = WordGraph::build(&g);
+        assert!(wg.uses_rotations());
+        check_against_naive(&g, 31);
+    }
+
+    #[test]
+    fn uniform_degree_detection() {
+        assert_eq!(generators::cycle(9).uniform_degree(), Some(2));
+        assert_eq!(generators::complete(5).uniform_degree(), Some(4));
+        assert_eq!(generators::path(9).uniform_degree(), None);
+        assert_eq!(Graph::from_edges(0, []).unwrap().uniform_degree(), None);
+        assert_eq!(Graph::from_edges(3, []).unwrap().uniform_degree(), Some(0));
+    }
+}

@@ -1,11 +1,11 @@
 //! BFW-specific wiring: injectors and the one-call scenario runner.
 
 use crate::{
-    Engine, InjectKind, Injector, ProtocolKind, RuntimeKind, ScenarioEvent, ScenarioOutcome,
-    ScenarioSpec, ScenarioTrace, SpecError,
+    Engine, InjectKind, Injector, KernelKind, ProtocolKind, RuntimeKind, ScenarioEvent,
+    ScenarioOutcome, ScenarioSpec, ScenarioTrace, SpecError,
 };
 use bfw_core::{
-    adversarial, Bfw, BfwState, RecoveringNetwork, RecoveringProtocol, RecoveryConfig,
+    adversarial, Bfw, BfwState, BitNetwork, RecoveringNetwork, RecoveringProtocol, RecoveryConfig,
     RecoveryState,
 };
 use bfw_graph::{algo, Graph};
@@ -116,6 +116,33 @@ pub fn scenario_recovery_config(
     Ok(config)
 }
 
+/// Node-count threshold above which `kernel = "auto"` picks the
+/// bit-parallel kernel for plain synchronous BFW. Below it the generic
+/// engine's per-node loop is already fast enough that kernel choice is
+/// a wash; above it the bitplane path wins by word-level parallelism.
+const AUTO_BIT_THRESHOLD: usize = 4096;
+
+/// Resolves a spec's `kernel` key against a concrete node count:
+/// explicit choices pass through; `auto` picks [`KernelKind::Bit`] for
+/// plain synchronous BFW on graphs of at least 4096 nodes and
+/// [`KernelKind::Generic`] otherwise. The resolution never changes
+/// outcomes — the kernels are byte-identical at a fixed seed.
+pub fn resolved_kernel(spec: &ScenarioSpec, n: usize) -> KernelKind {
+    match spec.kernel {
+        KernelKind::Auto => {
+            if spec.protocol == ProtocolKind::Bfw
+                && spec.runtime == RuntimeKind::Sync
+                && n >= AUTO_BIT_THRESHOLD
+            {
+                KernelKind::Bit
+            } else {
+                KernelKind::Generic
+            }
+        }
+        explicit => explicit,
+    }
+}
+
 /// Runs a parsed [`ScenarioSpec`] on `graph`, seeding both the protocol
 /// execution and the scenario stream from `seed`.
 ///
@@ -185,6 +212,23 @@ pub fn run_bfw_scenario_traced(
              recovery layer)",
         ));
     }
+    // Mirror the parser's kernel invariants too: an explicit bit kernel
+    // on a stack it cannot execute must fail loudly, never silently run
+    // the generic path.
+    if spec.kernel == KernelKind::Bit {
+        if spec.protocol == ProtocolKind::BfwRecovery {
+            return Err(SpecError::new(
+                "kernel = \"bit\" cannot execute protocol = \"bfw+recovery\": the bitplane \
+                 kernel packs the six plain BFW states (did you mean kernel = \"generic\"?)",
+            ));
+        }
+        if spec.runtime == RuntimeKind::Async {
+            return Err(SpecError::new(
+                "kernel = \"bit\" requires synchronous rounds (did you mean runtime = \
+                 \"sync\"?)",
+            ));
+        }
+    }
     if spec.runtime == RuntimeKind::Async {
         if spec.protocol == ProtocolKind::BfwRecovery {
             return Err(SpecError::new(
@@ -214,20 +258,37 @@ pub fn run_bfw_scenario_traced(
     }
     Ok(match spec.protocol {
         ProtocolKind::Bfw => {
-            let mut host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
-            if let Some(capacity) = trace {
-                host.enable_instrumentation(Some(capacity));
+            if resolved_kernel(spec, graph.node_count()) == KernelKind::Bit {
+                let mut host = BitNetwork::new(Bfw::new(spec.p), graph.clone().into(), seed);
+                if let Some(capacity) = trace {
+                    host.enable_instrumentation(Some(capacity));
+                }
+                Engine::new(
+                    host,
+                    graph,
+                    &spec.timeline,
+                    spec.rounds,
+                    seed,
+                    spec.stability,
+                )
+                .with_injector(bfw_injector())
+                .run_traced()
+            } else {
+                let mut host = Network::new(Bfw::new(spec.p), graph.clone().into(), seed);
+                if let Some(capacity) = trace {
+                    host.enable_instrumentation(Some(capacity));
+                }
+                Engine::new(
+                    host,
+                    graph,
+                    &spec.timeline,
+                    spec.rounds,
+                    seed,
+                    spec.stability,
+                )
+                .with_injector(bfw_injector())
+                .run_traced()
             }
-            Engine::new(
-                host,
-                graph,
-                &spec.timeline,
-                spec.rounds,
-                seed,
-                spec.stability,
-            )
-            .with_injector(bfw_injector())
-            .run_traced()
         }
         ProtocolKind::BfwRecovery => {
             let config = scenario_recovery_config(spec, graph)?;
@@ -530,6 +591,100 @@ kind = "recover-all"
         // Determinism extends to the trace artifacts themselves.
         let (_, again) = run_bfw_scenario_traced(&spec, &g, 42, Some(256)).unwrap();
         assert_eq!(trace, again.unwrap());
+    }
+
+    #[test]
+    fn kernel_resolution_is_size_and_stack_aware() {
+        let spec = ScenarioSpec::parse(CHURN).unwrap();
+        assert_eq!(spec.kernel, KernelKind::Auto);
+        assert_eq!(resolved_kernel(&spec, 12), KernelKind::Generic);
+        assert_eq!(resolved_kernel(&spec, 4095), KernelKind::Generic);
+        assert_eq!(resolved_kernel(&spec, 4096), KernelKind::Bit);
+        assert_eq!(resolved_kernel(&spec, 1_000_000), KernelKind::Bit);
+
+        // Explicit choices pass through regardless of size.
+        let bit = ScenarioSpec {
+            kernel: KernelKind::Bit,
+            ..spec.clone()
+        };
+        assert_eq!(resolved_kernel(&bit, 12), KernelKind::Bit);
+        let generic = ScenarioSpec {
+            kernel: KernelKind::Generic,
+            ..spec.clone()
+        };
+        assert_eq!(resolved_kernel(&generic, 1_000_000), KernelKind::Generic);
+
+        // Auto never picks bit on stacks that cannot run it.
+        let recovery = ScenarioSpec {
+            protocol: ProtocolKind::BfwRecovery,
+            ..spec.clone()
+        };
+        assert_eq!(resolved_kernel(&recovery, 1_000_000), KernelKind::Generic);
+        let asynch = ScenarioSpec {
+            runtime: RuntimeKind::Async,
+            ..spec
+        };
+        assert_eq!(resolved_kernel(&asynch, 1_000_000), KernelKind::Generic);
+    }
+
+    #[test]
+    fn bit_kernel_scenario_outcomes_match_generic() {
+        // The full scenario stack — churn timeline, injectors, recovery
+        // windows — run on both kernels must be byte-identical.
+        let base = ScenarioSpec::parse(CHURN).unwrap();
+        let g = generators::cycle(12);
+        for seed in [7u64, 42] {
+            let generic = run_bfw_scenario(
+                &ScenarioSpec {
+                    kernel: KernelKind::Generic,
+                    ..base.clone()
+                },
+                &g,
+                seed,
+            )
+            .unwrap();
+            let bit = run_bfw_scenario(
+                &ScenarioSpec {
+                    kernel: KernelKind::Bit,
+                    ..base.clone()
+                },
+                &g,
+                seed,
+            )
+            .unwrap();
+            assert_eq!(generic, bit, "seed {seed}");
+            assert_eq!(generic.to_text(), bit.to_text(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bit_kernel_trace_does_not_perturb_outcomes() {
+        let spec = ScenarioSpec {
+            kernel: KernelKind::Bit,
+            ..ScenarioSpec::parse(CHURN).unwrap()
+        };
+        let g = generators::cycle(12);
+        let plain = run_bfw_scenario(&spec, &g, 42).unwrap();
+        let (traced, trace) = run_bfw_scenario_traced(&spec, &g, 42, Some(64)).unwrap();
+        assert_eq!(plain, traced);
+        let trace = trace.expect("instrumentation was on");
+        assert!(trace.ledger.steps() > 0);
+        assert!(trace.ledger.messages() > 0);
+    }
+
+    #[test]
+    fn explicit_bit_kernel_rejects_incompatible_stacks_programmatically() {
+        let mut spec = ScenarioSpec::parse(CHURN).unwrap();
+        spec.kernel = KernelKind::Bit;
+        spec.protocol = ProtocolKind::BfwRecovery;
+        let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+        assert!(err.to_string().contains("bitplane"), "{err}");
+
+        let mut spec = ScenarioSpec::parse(CHURN).unwrap();
+        spec.kernel = KernelKind::Bit;
+        spec.runtime = RuntimeKind::Async;
+        let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+        assert!(err.to_string().contains("synchronous rounds"), "{err}");
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use bfw_graph::{Graph, NodeId, TopologyDelta};
 use bfw_sim::{
-    ActivationEngine, ActivationLeaderModel, ComplexityLedger, FlightRecorder, LeaderModel,
-    TickEngine,
+    ActivationEngine, ActivationLeaderModel, BitEngine, BitModel, ComplexityLedger, FlightRecorder,
+    LeaderModel, TickEngine,
 };
 
 /// A runtime the scenario engine can perturb mid-run.
@@ -170,6 +170,73 @@ impl<M: LeaderModel> DynamicHost for TickEngine<M> {
 
     fn record_trace_event(&mut self, kind: &str, detail: String) {
         TickEngine::record_trace_event(self, kind, detail);
+    }
+}
+
+impl<M: BitModel> DynamicHost for BitEngine<M> {
+    type State = M::State;
+
+    fn node_count(&self) -> usize {
+        BitEngine::node_count(self)
+    }
+
+    fn round(&self) -> u64 {
+        BitEngine::round(self)
+    }
+
+    fn step(&mut self) {
+        BitEngine::step(self);
+    }
+
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        BitEngine::apply_topology_delta(self, delta);
+    }
+
+    fn crash(&mut self, u: NodeId) {
+        BitEngine::crash_node(self, u);
+    }
+
+    fn recover(&mut self, u: NodeId) {
+        BitEngine::recover_node(self, u);
+    }
+
+    fn is_crashed(&self, u: NodeId) -> bool {
+        BitEngine::is_crashed(self, u)
+    }
+
+    fn set_perception_noise(&mut self, false_negative: f64, false_positive: f64) -> bool {
+        // Same shared fault layer as the generic engines: always
+        // supported, and drawn from the same per-node streams.
+        BitEngine::set_noise(self, false_negative, false_positive);
+        true
+    }
+
+    fn set_states(&mut self, states: Vec<M::State>) {
+        BitEngine::set_states(self, states);
+    }
+
+    fn leaders(&self) -> Vec<NodeId> {
+        BitEngine::leaders(self)
+    }
+
+    fn topology_snapshot(&self) -> Option<Graph> {
+        Some(self.topology().to_graph())
+    }
+
+    fn instrumentation_enabled(&self) -> bool {
+        BitEngine::instrumentation_enabled(self)
+    }
+
+    fn complexity_ledger(&self) -> Option<&ComplexityLedger> {
+        BitEngine::complexity_ledger(self)
+    }
+
+    fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        BitEngine::flight_recorder(self)
+    }
+
+    fn record_trace_event(&mut self, kind: &str, detail: String) {
+        BitEngine::record_trace_event(self, kind, detail);
     }
 }
 

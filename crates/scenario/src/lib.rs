@@ -68,14 +68,14 @@ pub mod toml_mini;
 mod trace;
 
 pub use bfw_run::{
-    bfw_injector, recovering_bfw_injector, run_bfw_scenario, run_bfw_scenario_traced,
-    scenario_recovery_config,
+    bfw_injector, recovering_bfw_injector, resolved_kernel, run_bfw_scenario,
+    run_bfw_scenario_traced, scenario_recovery_config,
 };
 pub use bfw_sim::Scheduler;
 pub use engine::{Engine, Injector, ScenarioOutcome};
 pub use event::{InjectKind, ScenarioEvent};
 pub use host::DynamicHost;
 pub use metrics::{ElectionMonitor, Recovery};
-pub use spec::{ProtocolKind, RuntimeKind, ScenarioSpec, SpecError, TraceSpec};
+pub use spec::{KernelKind, ProtocolKind, RuntimeKind, ScenarioSpec, SpecError, TraceSpec};
 pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};
 pub use trace::ScenarioTrace;

@@ -64,6 +64,15 @@
 //! slot multiplexing, so `runtime = "async"` with
 //! `protocol = "bfw+recovery"` is a hard error.
 //!
+//! The optional `kernel` key (`"auto"` | `"generic"` | `"bit"`,
+//! default `"auto"`) picks the execution kernel for synchronous BFW
+//! rounds: the generic per-node `TickEngine` or the bitplane
+//! `BitEngine` fast path. `"auto"` selects the bit kernel for plain
+//! synchronous BFW on large graphs; the choice never changes outcomes
+//! (the kernels are byte-identical at a fixed seed). An explicit
+//! `kernel = "bit"` with `protocol = "bfw+recovery"` or
+//! `runtime = "async"` is a hard error.
+//!
 //! With `protocol = "bfw+recovery"` the optional `[scenario]` keys
 //! `heartbeat`, `timeout` and `grace` override the recovery layer's
 //! diameter-derived timing (heartbeat period and detection timeout in
@@ -117,6 +126,8 @@ pub struct ScenarioSpec {
     /// `bfw_sim::Scheduler` directly — the spec names map 1:1 onto the
     /// engine's schedulers.
     pub scheduler: Option<Scheduler>,
+    /// Which execution kernel runs the rounds (`kernel` key).
+    pub kernel: KernelKind,
     /// The declarative event schedule.
     pub timeline: Timeline,
     /// Complexity-instrumentation request (`[trace]` section), `None`
@@ -163,6 +174,36 @@ impl fmt::Display for RuntimeKind {
         f.write_str(match self {
             RuntimeKind::Sync => "sync",
             RuntimeKind::Async => "async",
+        })
+    }
+}
+
+/// The execution kernel a scenario's rounds run on (`kernel` key, or
+/// the CLI's `--kernel` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Pick automatically (the default): the bit-parallel kernel for
+    /// plain synchronous BFW at large `n`, the generic engine
+    /// otherwise. The choice never changes outcomes — the two kernels
+    /// are byte-identical at a fixed seed (see the
+    /// `bit_kernel_equivalence` workspace tests).
+    #[default]
+    Auto,
+    /// The generic per-node [`bfw_sim::TickEngine`] path.
+    Generic,
+    /// The bitplane [`bfw_sim::BitEngine`] fast path. Only plain
+    /// synchronous BFW supports it; requesting it with
+    /// `protocol = "bfw+recovery"` or `runtime = "async"` is a hard
+    /// error.
+    Bit,
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelKind::Auto => "auto",
+            KernelKind::Generic => "generic",
+            KernelKind::Bit => "bit",
         })
     }
 }
@@ -271,6 +312,7 @@ impl ScenarioSpec {
             grace: None,
             runtime: RuntimeKind::Sync,
             scheduler: None,
+            kernel: KernelKind::Auto,
             timeline: Timeline::new(),
             trace: None,
         };
@@ -335,6 +377,22 @@ impl ScenarioSpec {
                 "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
                  scheduler)",
             ));
+        }
+        if spec.kernel == KernelKind::Bit {
+            if spec.protocol == ProtocolKind::BfwRecovery {
+                return Err(err(
+                    "kernel = \"bit\" cannot execute protocol = \"bfw+recovery\": the bitplane \
+                     kernel packs the six plain BFW states; the recovery layer's epoch-tagged \
+                     states do not fit (did you mean kernel = \"generic\"?)",
+                ));
+            }
+            if spec.runtime == RuntimeKind::Async {
+                return Err(err(
+                    "kernel = \"bit\" requires synchronous rounds: the bitplane kernel advances \
+                     whole words per round, which has no meaning under activation-based \
+                     scheduling (did you mean runtime = \"sync\"?)",
+                ));
+            }
         }
         Ok(spec)
     }
@@ -407,6 +465,23 @@ impl ScenarioSpec {
                         }
                     });
                 }
+                "kernel" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| err("kernel must be a string"))?;
+                    self.kernel = match name {
+                        "auto" => KernelKind::Auto,
+                        "generic" => KernelKind::Generic,
+                        "bit" => KernelKind::Bit,
+                        other => {
+                            let hint = did_you_mean(other, &["auto", "generic", "bit"]);
+                            return Err(err(format!(
+                                "unknown kernel '{other}'{hint}; valid: \"auto\", \"generic\", \
+                                 \"bit\""
+                            )));
+                        }
+                    };
+                }
                 "heartbeat" => self.heartbeat = Some(read_u32(value, "heartbeat")?),
                 "timeout" => self.timeout = Some(read_u32(value, "timeout")?),
                 "grace" => self.grace = Some(read_u32(value, "grace")?),
@@ -464,6 +539,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "protocol",
     "runtime",
     "scheduler",
+    "kernel",
     "heartbeat",
     "timeout",
     "grace",
@@ -844,6 +920,64 @@ rounds = 200
         let spec =
             ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nruntime = \"sync\"").unwrap();
         assert_eq!(spec.runtime, RuntimeKind::Sync);
+    }
+
+    #[test]
+    fn kernel_key_round_trips() {
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.kernel, KernelKind::Auto);
+        assert_eq!(KernelKind::Auto.to_string(), "auto");
+
+        for (name, kind) in [
+            ("auto", KernelKind::Auto),
+            ("generic", KernelKind::Generic),
+            ("bit", KernelKind::Bit),
+        ] {
+            let spec = ScenarioSpec::parse(&format!(
+                "[scenario]\ngraph = \"path:4\"\nkernel = \"{name}\""
+            ))
+            .unwrap();
+            assert_eq!(spec.kernel, kind);
+            assert_eq!(spec.kernel.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn bit_kernel_rejects_incompatible_stacks() {
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nkernel = \"bit\"\nprotocol = \"bfw+recovery\"",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("epoch-tagged states"), "{e}");
+        assert!(
+            e.to_string().contains("did you mean kernel = \"generic\"?"),
+            "{e}"
+        );
+
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nkernel = \"bit\"\nruntime = \"async\"",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("requires synchronous rounds"), "{e}");
+
+        // Auto never errors: it resolves to generic for these stacks.
+        let spec =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw+recovery\"")
+                .unwrap();
+        assert_eq!(spec.kernel, KernelKind::Auto);
+    }
+
+    #[test]
+    fn unknown_kernel_value_gets_hint() {
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nkernel = \"bits\"").unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unknown kernel 'bits' (did you mean 'bit'?)"),
+            "{e}"
+        );
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nkernl = \"bit\"").unwrap_err();
+        assert!(e.to_string().contains("did you mean 'kernel'?"), "{e}");
     }
 
     #[test]

@@ -27,6 +27,10 @@ use rand_chacha::ChaCha8Rng;
 pub struct FaultLayer {
     crashed: Vec<bool>,
     alive: usize,
+    /// `crashed` as a `u64` bitset with the polarity flipped (bit set =
+    /// alive), maintained in lockstep for the bit-parallel kernel.
+    /// Bits `>= n` of the last word are always clear.
+    alive_words: Vec<u64>,
     rngs: Vec<ChaCha8Rng>,
     false_negative: f64,
     false_positive: f64,
@@ -51,10 +55,17 @@ impl FaultLayer {
             .map(|_| ChaCha8Rng::from_rng(&mut master))
             .collect::<Vec<_>>();
         let scheduler = ChaCha8Rng::from_rng(&mut master);
+        let mut alive_words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = alive_words.last_mut() {
+            if !n.is_multiple_of(64) {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
         (
             FaultLayer {
                 crashed: vec![false; n],
                 alive: n,
+                alive_words,
                 rngs,
                 false_negative: 0.0,
                 false_positive: 0.0,
@@ -78,6 +89,7 @@ impl FaultLayer {
     pub(crate) fn crash(&mut self, i: usize) {
         if !std::mem::replace(&mut self.crashed[i], true) {
             self.alive -= 1;
+            self.alive_words[i >> 6] &= !(1u64 << (i & 63));
         }
     }
 
@@ -87,8 +99,16 @@ impl FaultLayer {
         let was_crashed = std::mem::replace(&mut self.crashed[i], false);
         if was_crashed {
             self.alive += 1;
+            self.alive_words[i >> 6] |= 1u64 << (i & 63);
         }
         was_crashed
+    }
+
+    /// Returns the alive nodes as a `u64` bitset (bit set = not
+    /// crashed), `ceil(n / 64)` words, bits `>= n` clear.
+    #[inline]
+    pub(crate) fn alive_words(&self) -> &[u64] {
+        &self.alive_words
     }
 
     /// Returns the number of non-crashed nodes, maintained in `O(1)`
@@ -122,6 +142,31 @@ impl FaultLayer {
             !(self.false_negative > 0.0 && self.rngs[i].random_bool(self.false_negative))
         } else {
             self.false_positive > 0.0 && self.rngs[i].random_bool(self.false_positive)
+        }
+    }
+
+    /// Word-wide counterpart of [`filter_signal`](Self::filter_signal):
+    /// passes every *listening, alive* node's perceived bit through the
+    /// noise channels, in node-index order.
+    ///
+    /// Candidates are exactly the nodes the generic
+    /// [`BeepingModel`](crate::BeepingModel) noise loop visits — not
+    /// beeping (`emit` bit clear) and not crashed — and each candidate
+    /// makes the same lazy draws from the same per-node stream, so the
+    /// RNG streams stay bit-identical to the generic path.
+    pub(crate) fn filter_heard_words(&mut self, emit: &[u64], heard: &mut [u64]) {
+        for w in 0..heard.len() {
+            let mut cand = self.alive_words[w] & !emit[w];
+            while cand != 0 {
+                let b = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let bit = 1u64 << b;
+                if self.filter_signal(w * 64 + b, heard[w] & bit != 0) {
+                    heard[w] |= bit;
+                } else {
+                    heard[w] &= !bit;
+                }
+            }
         }
     }
 
@@ -225,5 +270,58 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1)")]
     fn noise_probabilities_validated() {
         FaultLayer::new(1, 0).set_noise(1.0, 0.0);
+    }
+
+    #[test]
+    fn alive_words_track_crashes() {
+        let mut f = FaultLayer::new(70, 0);
+        assert_eq!(f.alive_words(), &[u64::MAX, (1 << 6) - 1]);
+        f.crash(0);
+        f.crash(65);
+        assert_eq!(f.alive_words(), &[u64::MAX - 1, 0b11_1101]);
+        f.recover(65);
+        assert_eq!(f.alive_words(), &[u64::MAX - 1, 0b11_1111]);
+    }
+
+    #[test]
+    fn filter_heard_words_matches_scalar_loop() {
+        // The word-wide path must visit the same candidates and make the
+        // same draws as the generic per-node loop.
+        let n = 100;
+        let mut scalar = FaultLayer::new(n, 5);
+        let mut wordy = FaultLayer::new(n, 5);
+        scalar.set_noise(0.3, 0.2);
+        wordy.set_noise(0.3, 0.2);
+        scalar.crash(7);
+        wordy.crash(7);
+
+        let emit_flags: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+        let mut heard_flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let mut emit = vec![0u64; 2];
+        let mut heard = vec![0u64; 2];
+        for i in 0..n {
+            emit[i >> 6] |= u64::from(emit_flags[i]) << (i & 63);
+            heard[i >> 6] |= u64::from(heard_flags[i]) << (i & 63);
+        }
+
+        wordy.filter_heard_words(&emit, &mut heard);
+        for i in 0..n {
+            if emit_flags[i] || scalar.is_crashed(i) {
+                continue;
+            }
+            heard_flags[i] = scalar.filter_signal(i, heard_flags[i]);
+        }
+        for i in 0..n {
+            assert_eq!(
+                heard[i >> 6] >> (i & 63) & 1 == 1,
+                heard_flags[i],
+                "node {i}"
+            );
+        }
+        // Streams advanced identically.
+        use rand::RngCore as _;
+        for i in 0..n {
+            assert_eq!(scalar.rng(i).next_u64(), wordy.rng(i).next_u64(), "rng {i}");
+        }
     }
 }

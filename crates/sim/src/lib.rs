@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod bitkernel;
 mod error;
 mod fault;
 pub mod instrument;
@@ -65,10 +66,13 @@ mod tick;
 mod topology;
 
 pub use activation::{ActivationEngine, ActivationLeaderModel, ActivationModel, Scheduler};
+pub use bitkernel::{bernoulli_words, BitEngine, BitModel, PlaneWord};
 pub use error::SimError;
 pub use fault::FaultLayer;
 pub use instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample, TraceEvent};
-pub use monte_carlo::{run_trials, run_trials_batched, run_trials_sequential};
+pub use monte_carlo::{
+    run_trials, run_trials_batched, run_trials_bitsliced, run_trials_sequential,
+};
 pub use network::{BeepingModel, Network, RoundView};
 pub use observers::{
     observe_run, BeepCounter, ComplexityObserver, ConvergenceDetector, Observer, ObserverSet,

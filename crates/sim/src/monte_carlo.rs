@@ -176,6 +176,106 @@ where
         .collect()
 }
 
+/// Runs `trials` independent trials in **64-lane bitsliced groups**
+/// across `threads` worker threads and returns the results in trial
+/// order.
+///
+/// This is the lane-parallel sibling of [`run_trials_batched`] for
+/// bit-packed executions (see `bfw_core::bit`): instead of one engine
+/// per trial, the closure runs up to 64 trials *simultaneously* in the
+/// bit positions of its words. `f(group_seed, lanes)` executes one
+/// group — lane `k` is trial `group_start + k` — and must return
+/// exactly `lanes` results, in lane order.
+///
+/// Seeding: the group starting at trial index `s` receives
+/// `base_seed + s`, so a sweep's first group matches `run_trials`'
+/// first trial seed. Lane executions draw from per-node streams carved
+/// out of the *group* seed, a different stream discipline from the
+/// scalar runners — lane trials agree with `run_trials` trials in
+/// distribution, not draw-for-draw (the mapping is documented on
+/// [`bernoulli_words`](crate::bernoulli_words)). Results are
+/// deterministic: the same inputs produce the same output vector
+/// regardless of `threads` or interleaving.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, if `f` returns the wrong number of
+/// results, or if `f` panics in any worker.
+///
+/// # Example
+///
+/// ```
+/// use bfw_sim::run_trials_bitsliced;
+///
+/// // 100 trials = groups of 64 + 36, seeds 900 and 964.
+/// let out = run_trials_bitsliced(100, 4, 900, |seed, lanes| {
+///     (0..lanes).map(|k| seed + k as u64).collect()
+/// });
+/// assert_eq!(out.len(), 100);
+/// assert_eq!(out[63], 963);
+/// assert_eq!(out[64], 964);
+/// ```
+pub fn run_trials_bitsliced<R, F>(trials: usize, threads: usize, base_seed: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64, usize) -> Vec<R> + Sync,
+{
+    assert!(threads > 0, "at least one worker thread is required");
+    if trials == 0 {
+        return Vec::new();
+    }
+    let groups = trials.div_ceil(64);
+    let run_group = |g: usize| {
+        let start = g * 64;
+        let lanes = 64.min(trials - start);
+        let results = f(base_seed + start as u64, lanes);
+        assert_eq!(
+            results.len(),
+            lanes,
+            "bitsliced group must return one result per lane"
+        );
+        results
+    };
+    let threads = threads.min(groups);
+    if threads == 1 {
+        return (0..groups).flat_map(run_group).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let run_group = &run_group;
+    let mut buckets: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(groups / threads + 1);
+                    loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        if g >= groups {
+                            return local;
+                        }
+                        local.push((g, run_group(g)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
+    for (g, group) in buckets.drain(..).flatten() {
+        for (k, r) in group.into_iter().enumerate() {
+            let i = g * 64 + k;
+            debug_assert!(results[i].is_none(), "trial {i} produced twice");
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every trial index is claimed exactly once"))
+        .collect()
+}
+
 /// Sequential reference implementation of [`run_trials`] (same seeding,
 /// same output order).
 pub fn run_trials_sequential<R, F>(trials: usize, base_seed: u64, f: F) -> Vec<R>
@@ -271,5 +371,38 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn batched_zero_chunk_panics() {
         let _ = run_trials_batched(1, 1, 0, 0, |s, _: &mut ()| s);
+    }
+
+    #[test]
+    fn bitsliced_is_thread_count_invariant() {
+        let f = |seed: u64, lanes: usize| {
+            (0..lanes)
+                .map(|k| seed.wrapping_mul(31).wrapping_add(k as u64))
+                .collect::<Vec<_>>()
+        };
+        let one = run_trials_bitsliced(200, 1, 5, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_trials_bitsliced(200, threads, 5, f), one, "{threads}");
+        }
+        assert_eq!(one.len(), 200);
+        // Group seeds step by 64: trial 64 is lane 0 of the group
+        // seeded base + 64.
+        assert_eq!(one[64], (5 + 64u64).wrapping_mul(31));
+    }
+
+    #[test]
+    fn bitsliced_zero_trials_and_partial_group() {
+        let out: Vec<u64> = run_trials_bitsliced(0, 4, 0, |s, l| vec![s; l]);
+        assert!(out.is_empty());
+        let out = run_trials_bitsliced(65, 4, 10, |s, l| vec![s; l]);
+        assert_eq!(out.len(), 65);
+        assert_eq!(out[63], 10);
+        assert_eq!(out[64], 74);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per lane")]
+    fn bitsliced_validates_lane_count() {
+        let _ = run_trials_bitsliced(10, 1, 0, |_s, _l| vec![0u64; 3]);
     }
 }

@@ -174,6 +174,17 @@ impl<P: BeepingProtocol> TickModel for BeepingModel<P> {
             Topology::Clique(n) => {
                 self.uniform_degree = Some((*n as u64).saturating_sub(1));
             }
+            Topology::Graph(g) => {
+                // Static CSR graphs answer regularity in one offsets
+                // scan (shared with the word-packed adjacency view);
+                // only irregular ones pay for the dense degree cache.
+                match g.uniform_degree() {
+                    Some(d) => self.uniform_degree = Some(d as u64),
+                    None => {
+                        self.degrees.extend(g.nodes().map(|u| g.degree(u) as u32));
+                    }
+                }
+            }
             graph_backed => {
                 let n = topology.node_count();
                 self.degrees.reserve(n);

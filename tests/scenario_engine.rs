@@ -241,6 +241,7 @@ fn heal_wipeout_spec(n: usize, protocol: ProtocolKind) -> ScenarioSpec {
         grace: None,
         runtime: Default::default(),
         scheduler: None,
+        kernel: Default::default(),
         trace: None,
         timeline: Timeline::new()
             .at(
@@ -545,6 +546,7 @@ fn async_host_drives_the_full_fault_vocabulary() {
         grace: None,
         runtime: bfw_scenario::RuntimeKind::Async,
         scheduler: Some(bfw_sim::Scheduler::Replay),
+        kernel: Default::default(),
         trace: None,
         timeline: Timeline::new()
             .at(1_000, ScenarioEvent::CrashNode(NodeId::new(3)))
