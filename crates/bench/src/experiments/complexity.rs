@@ -161,14 +161,12 @@ fn render_json(rows: &[Row], cfg: &ExpConfig) -> String {
     json
 }
 
-/// Writes `BENCH_complexity.json` at the workspace root (next to
-/// `BENCH_churn.json`; the CI smoke step asserts it is emitted).
-fn write_report(json: &str) -> std::path::PathBuf {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench has a workspace root");
-    let path = root.join("BENCH_complexity.json");
+/// Writes `BENCH_complexity.json` into [`ExpConfig::report_root`] —
+/// the workspace root by default (next to `BENCH_churn.json`; the CI
+/// smoke step asserts it is emitted), a scratch directory under test so
+/// `cargo test` never rewrites the tracked artifact.
+fn write_report(json: &str, cfg: &ExpConfig) -> std::path::PathBuf {
+    let path = cfg.report_root().join("BENCH_complexity.json");
     std::fs::write(&path, json).expect("BENCH_complexity.json must be writable");
     path
 }
@@ -214,7 +212,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
     }
 
     let json = render_json(&rows, cfg);
-    let path = write_report(&json);
+    let path = write_report(&json, cfg);
 
     let mut notes = vec![format!("wrote {}", path.display())];
     // The headline: on the largest cycle, compare BFW's channel usage
@@ -267,8 +265,14 @@ mod tests {
 
     #[test]
     fn quick_run_produces_faceoff_and_json() {
+        // Keep the tracked workspace-root BENCH_complexity.json
+        // untouched: write into a scratch directory instead.
+        let scratch =
+            std::env::temp_dir().join(format!("bfw-complexity-{}", std::process::id()));
+        std::fs::create_dir_all(&scratch).unwrap();
         let mut cfg = ExpConfig::quick();
         cfg.trials = 1;
+        cfg.report_dir = Some(scratch.clone());
         let result = run(&cfg);
         let table = &result.tables[0].1;
         // 5 workloads x 4 protocols.
@@ -286,11 +290,7 @@ mod tests {
         assert_ne!(knockout_clique[3], "n/a (clique-only)");
 
         // The JSON report exists, parses, and is versioned.
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .unwrap();
-        let json = std::fs::read_to_string(root.join("BENCH_complexity.json")).unwrap();
+        let json = std::fs::read_to_string(scratch.join("BENCH_complexity.json")).unwrap();
         let value = JsonValue::parse(&json).unwrap();
         assert_eq!(
             value.get("version").and_then(JsonValue::as_number),
@@ -301,6 +301,7 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.get("rounds") == Some(&JsonValue::Null)));
+        let _ = std::fs::remove_dir_all(&scratch);
     }
 
     #[test]

@@ -155,14 +155,13 @@ fn render_json(rows: &[Row], cfg: &ExpConfig) -> String {
     json
 }
 
-/// Writes `BENCH_tick.json` at the workspace root (next to
-/// `BENCH_churn.json`; the CI smoke step asserts it is emitted).
-fn write_report(json: &str) -> std::path::PathBuf {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench has a workspace root");
-    let path = root.join("BENCH_tick.json");
+/// Writes `BENCH_tick.json` into [`ExpConfig::report_root`] — the
+/// workspace root by default (next to `BENCH_churn.json`; the CI smoke
+/// step asserts it is emitted), a scratch directory under test so the
+/// committed release-build timings are never clobbered by a quick
+/// debug-build run.
+fn write_report(json: &str, cfg: &ExpConfig) -> std::path::PathBuf {
+    let path = cfg.report_root().join("BENCH_tick.json");
     std::fs::write(&path, json).expect("BENCH_tick.json must be writable");
     path
 }
@@ -195,7 +194,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
     }
 
     let json = render_json(&rows, cfg);
-    let path = write_report(&json);
+    let path = write_report(&json, cfg);
 
     let mut notes = vec![format!("wrote {}", path.display())];
     if let Some(headline) = rows.iter().rfind(|r| r.graph.starts_with("cycle")) {
@@ -232,7 +231,13 @@ mod tests {
 
     #[test]
     fn quick_run_produces_sweep_and_json() {
-        let cfg = ExpConfig::quick();
+        // Redirect the report into a scratch directory: the tracked
+        // workspace-root BENCH_tick.json holds release-build timings
+        // and must not be overwritten by this debug-build quick run.
+        let scratch = std::env::temp_dir().join(format!("bfw-tick-scale-{}", std::process::id()));
+        std::fs::create_dir_all(&scratch).unwrap();
+        let mut cfg = ExpConfig::quick();
+        cfg.report_dir = Some(scratch.clone());
         let result = run(&cfg);
         assert_eq!(result.id, "E20-tick-scale");
         let table = &result.tables[0].1;
@@ -243,11 +248,7 @@ mod tests {
         assert!(md.contains("random-regular:1000:4"), "{md}");
 
         // The JSON report exists, parses, and is versioned.
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .unwrap();
-        let json = std::fs::read_to_string(root.join("BENCH_tick.json")).unwrap();
+        let json = std::fs::read_to_string(scratch.join("BENCH_tick.json")).unwrap();
         let value = JsonValue::parse(&json).unwrap();
         assert_eq!(
             value.get("version").and_then(JsonValue::as_number),
@@ -264,6 +265,7 @@ mod tests {
                     >= 0.0
             );
         }
+        let _ = std::fs::remove_dir_all(&scratch);
     }
 
     #[test]

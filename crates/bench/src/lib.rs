@@ -35,7 +35,7 @@ pub use workloads::{GraphSpec, WorkloadError};
 use bfw_stats::Table;
 
 /// Shared experiment configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpConfig {
     /// Monte-Carlo trials per configuration point.
     pub trials: usize,
@@ -49,6 +49,13 @@ pub struct ExpConfig {
     /// support it (E17) add perception-noise rows on top of their
     /// noise-free tables.
     pub noise: bool,
+    /// Where report-emitting experiments (E19/E20) write their
+    /// `BENCH_*.json`. `None` means the workspace root — the tracked
+    /// location the CI smoke steps assert on. Tests point this at a
+    /// scratch directory so `cargo test` never clobbers the committed
+    /// artifacts (the tick-scale report holds wall-clock timings from a
+    /// release build; a quick debug-build rewrite would destroy them).
+    pub report_dir: Option<std::path::PathBuf>,
 }
 
 impl ExpConfig {
@@ -60,6 +67,7 @@ impl ExpConfig {
             seed: 0xBF_2025,
             quick: false,
             noise: false,
+            report_dir: None,
         }
     }
 
@@ -71,7 +79,21 @@ impl ExpConfig {
             seed: 0xBF_2025,
             quick: true,
             noise: false,
+            report_dir: None,
         }
+    }
+
+    /// Resolves the directory `BENCH_*.json` reports land in:
+    /// [`report_dir`](ExpConfig::report_dir) when set, otherwise the
+    /// workspace root (next to `BENCH_churn.json`).
+    pub fn report_root(&self) -> std::path::PathBuf {
+        self.report_dir.clone().unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench has a workspace root")
+                .to_path_buf()
+        })
     }
 }
 
