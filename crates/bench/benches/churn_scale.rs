@@ -9,8 +9,8 @@
 //! graph under per-round churn.
 
 use bfw_bench::experiments::churn_scale::{measure_event_cost, workloads, EventStrategy};
+use bfw_stats::JsonValue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::fmt::Write as _;
 use std::hint::black_box;
 
 /// Events per measured run. Kept moderate: the rebuild strategy costs
@@ -46,30 +46,36 @@ fn bench_event_strategies(c: &mut Criterion) {
     write_report(&report);
 }
 
-/// Writes `BENCH_churn.json` at the workspace root (no serde in the
-/// offline vendor set — the JSON is assembled by hand, keys in a fixed
-/// order so re-runs diff cleanly).
+/// Writes `BENCH_churn.json` at the workspace root as a
+/// `bfw/bench-report` document (see `bfw_bench::report`), so
+/// `bfw report validate` and the parse–render–parse fixpoint tests
+/// cover it like every other tracked artifact.
 fn write_report(report: &[(String, f64, f64)]) {
-    let mut json = String::from("{\n  \"events_per_run\": ");
-    let _ = write!(json, "{EVENTS},\n  \"seed\": {SEED},\n  \"workloads\": [\n");
-    for (i, (name, delta_ns, rebuild_ns)) in report.iter().enumerate() {
+    let rows = report.iter().map(|(name, delta_ns, rebuild_ns)| {
         let speedup = rebuild_ns / delta_ns.max(1.0);
-        let _ = write!(
-            json,
-            "    {{\"graph\": \"{name}\", \"delta_ns_per_event\": {delta_ns:.0}, \
-             \"rebuild_ns_per_event\": {rebuild_ns:.0}, \"speedup\": {speedup:.1}}}"
-        );
-        json.push_str(if i + 1 < report.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+        JsonValue::object([
+            ("graph", JsonValue::from(name.as_str())),
+            ("delta_ns_per_event", JsonValue::from(delta_ns.round())),
+            ("rebuild_ns_per_event", JsonValue::from(rebuild_ns.round())),
+            ("speedup", JsonValue::from((speedup * 10.0).round() / 10.0)),
+        ])
+    });
+    let value = bfw_bench::report::bench_report(
+        "churn-scale",
+        false,
+        SEED,
+        [("events_per_run", JsonValue::from(EVENTS))],
+        rows,
+    );
     // CARGO_MANIFEST_DIR is crates/bench; the report lives at the
-    // workspace root next to README.md.
+    // workspace root next to README.md — the same default
+    // ExpConfig::report_root resolves to.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/bench has a workspace root");
-    let path = root.join("BENCH_churn.json");
-    std::fs::write(&path, json).expect("BENCH_churn.json must be writable");
+        .expect("crates/bench has a workspace root")
+        .to_path_buf();
+    let path = bfw_bench::report::write_bench_report(root, "BENCH_churn.json", &value);
     println!("wrote {}", path.display());
 }
 

@@ -30,7 +30,6 @@ use bfw_baselines::ComplexityStats;
 use bfw_core::{RecoveringNetwork, RecoveringProtocol, RecoveryConfig};
 use bfw_graph::{algo, Graph};
 use bfw_stats::Table;
-use std::fmt::Write as _;
 
 /// Round budget per cell — generous: every stack converges far below
 /// it on these sizes.
@@ -128,47 +127,36 @@ fn measure(spec: &GraphSpec, graph: &Graph, diameter: u32, seed: u64) -> Vec<Row
     ]
 }
 
-/// Hand-rolled versioned JSON (no serde in the offline vendor set),
-/// keys in a fixed order so re-runs diff cleanly. Parse it back with
-/// `bfw_stats::JsonValue`.
-fn render_json(rows: &[Row], cfg: &ExpConfig) -> String {
-    let mut json = String::from("{\n  \"version\": 1,\n");
-    let _ = write!(
-        json,
-        "  \"quick\": {},\n  \"seed\": {},\n  \"rows\": [\n",
-        cfg.quick, cfg.seed
-    );
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"graph\": \"{}\", \"diameter\": {}, \"protocol\": \"{}\", ",
-            row.graph, row.diameter, row.protocol
-        );
-        match &row.outcome {
-            Some((rounds, c)) => {
-                let _ = write!(
-                    json,
-                    "\"rounds\": {rounds}, \"beeps_sent\": {}, \"beeps_heard\": {}, \
-                     \"bits\": {}, \"messages\": {}, \"state_bytes\": {}}}",
-                    c.beeps_sent, c.beeps_heard, c.bits, c.messages, c.state_bytes
-                );
+/// Assembles the `bfw/bench-report` document (see [`crate::report`]);
+/// key-sorted deterministic rendering means re-runs diff cleanly, and
+/// `bfw report validate` checks it back.
+fn render_report(rows: &[Row], cfg: &ExpConfig) -> bfw_stats::JsonValue {
+    use bfw_stats::JsonValue;
+    crate::report::bench_report(
+        "E19-complexity",
+        cfg.quick,
+        cfg.seed,
+        [],
+        rows.iter().map(|row| {
+            let mut fields = vec![
+                ("graph", JsonValue::from(row.graph.as_str())),
+                ("diameter", JsonValue::from(row.diameter)),
+                ("protocol", JsonValue::from(row.protocol)),
+            ];
+            match &row.outcome {
+                Some((rounds, c)) => fields.extend([
+                    ("rounds", JsonValue::from(*rounds)),
+                    ("beeps_sent", JsonValue::from(c.beeps_sent)),
+                    ("beeps_heard", JsonValue::from(c.beeps_heard)),
+                    ("bits", JsonValue::from(c.bits)),
+                    ("messages", JsonValue::from(c.messages)),
+                    ("state_bytes", JsonValue::from(c.state_bytes)),
+                ]),
+                None => fields.push(("rounds", JsonValue::Null)),
             }
-            None => json.push_str("\"rounds\": null}"),
-        }
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    json
-}
-
-/// Writes `BENCH_complexity.json` into [`ExpConfig::report_root`] —
-/// the workspace root by default (next to `BENCH_churn.json`; the CI
-/// smoke step asserts it is emitted), a scratch directory under test so
-/// `cargo test` never rewrites the tracked artifact.
-fn write_report(json: &str, cfg: &ExpConfig) -> std::path::PathBuf {
-    let path = cfg.report_root().join("BENCH_complexity.json");
-    std::fs::write(&path, json).expect("BENCH_complexity.json must be writable");
-    path
+            JsonValue::object(fields)
+        }),
+    )
 }
 
 /// Runs the experiment.
@@ -211,8 +199,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
         table.push_row(full);
     }
 
-    let json = render_json(&rows, cfg);
-    let path = write_report(&json, cfg);
+    let report = render_report(&rows, cfg);
+    let path =
+        crate::report::write_bench_report(cfg.report_root(), "BENCH_complexity.json", &report);
 
     let mut notes = vec![format!("wrote {}", path.display())];
     // The headline: on the largest cycle, compare BFW's channel usage
@@ -267,8 +256,7 @@ mod tests {
     fn quick_run_produces_faceoff_and_json() {
         // Keep the tracked workspace-root BENCH_complexity.json
         // untouched: write into a scratch directory instead.
-        let scratch =
-            std::env::temp_dir().join(format!("bfw-complexity-{}", std::process::id()));
+        let scratch = std::env::temp_dir().join(format!("bfw-complexity-{}", std::process::id()));
         std::fs::create_dir_all(&scratch).unwrap();
         let mut cfg = ExpConfig::quick();
         cfg.trials = 1;
@@ -289,12 +277,19 @@ mod tests {
             .unwrap();
         assert_ne!(knockout_clique[3], "n/a (clique-only)");
 
-        // The JSON report exists, parses, and is versioned.
+        // The JSON report exists, carries the envelope, and validates.
         let json = std::fs::read_to_string(scratch.join("BENCH_complexity.json")).unwrap();
+        let summary = crate::report::validate_bench_report(&json).unwrap();
+        assert_eq!(summary.experiment, "E19-complexity");
+        assert_eq!(summary.rows, 20);
         let value = JsonValue::parse(&json).unwrap();
         assert_eq!(
             value.get("version").and_then(JsonValue::as_number),
             Some(1.0)
+        );
+        assert_eq!(
+            value.get("format").and_then(JsonValue::as_str),
+            Some("bfw/bench-report")
         );
         let rows = value.get("rows").and_then(JsonValue::as_array).unwrap();
         assert_eq!(rows.len(), 20);

@@ -30,7 +30,6 @@ use bfw_sim::Network;
 use bfw_stats::Table;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One measured row of the throughput sweep.
@@ -124,46 +123,37 @@ fn measure(name: &str, graph: &Graph, seed: u64) -> Row {
     }
 }
 
-/// Hand-rolled versioned JSON (no serde in the offline vendor set),
-/// keys in a fixed order so re-runs diff cleanly. Parse it back with
-/// `bfw_stats::JsonValue`.
-fn render_json(rows: &[Row], cfg: &ExpConfig) -> String {
-    let mut json = String::from("{\n  \"version\": 1,\n");
-    let _ = write!(
-        json,
-        "  \"quick\": {},\n  \"seed\": {},\n  \"rows\": [\n",
-        cfg.quick, cfg.seed
-    );
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"graph\": \"{}\", \"n\": {}, \"generic_rounds\": {}, \
-             \"generic_rps\": {:.1}, \"bit_rounds\": {}, \"bit_rps\": {:.1}, \
-             \"bit_seconds\": {:.4}, \"speedup\": {:.1}}}",
-            row.graph,
-            row.n,
-            row.generic_rounds,
-            row.generic_rps,
-            row.bit_rounds,
-            row.bit_rps,
-            row.bit_seconds,
-            row.speedup
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    json
+/// Rounds a measured float to `decimals` places so the report renders
+/// compact, stable spellings (the renderer prints the shortest exact
+/// form of the rounded value).
+fn rounded(x: f64, decimals: u32) -> f64 {
+    let scale = 10f64.powi(decimals as i32);
+    (x * scale).round() / scale
 }
 
-/// Writes `BENCH_tick.json` into [`ExpConfig::report_root`] — the
-/// workspace root by default (next to `BENCH_churn.json`; the CI smoke
-/// step asserts it is emitted), a scratch directory under test so the
-/// committed release-build timings are never clobbered by a quick
-/// debug-build run.
-fn write_report(json: &str, cfg: &ExpConfig) -> std::path::PathBuf {
-    let path = cfg.report_root().join("BENCH_tick.json");
-    std::fs::write(&path, json).expect("BENCH_tick.json must be writable");
-    path
+/// Assembles the `bfw/bench-report` document (see [`crate::report`]);
+/// key-sorted deterministic rendering means re-runs diff cleanly, and
+/// `bfw report validate` checks it back.
+fn render_report(rows: &[Row], cfg: &ExpConfig) -> bfw_stats::JsonValue {
+    use bfw_stats::JsonValue;
+    crate::report::bench_report(
+        "E20-tick-scale",
+        cfg.quick,
+        cfg.seed,
+        [],
+        rows.iter().map(|row| {
+            JsonValue::object([
+                ("graph", JsonValue::from(row.graph.as_str())),
+                ("n", JsonValue::from(row.n)),
+                ("generic_rounds", JsonValue::from(row.generic_rounds)),
+                ("generic_rps", JsonValue::from(rounded(row.generic_rps, 1))),
+                ("bit_rounds", JsonValue::from(row.bit_rounds)),
+                ("bit_rps", JsonValue::from(rounded(row.bit_rps, 1))),
+                ("bit_seconds", JsonValue::from(rounded(row.bit_seconds, 4))),
+                ("speedup", JsonValue::from(rounded(row.speedup, 1))),
+            ])
+        }),
+    )
 }
 
 /// Runs the experiment.
@@ -193,8 +183,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentResult {
         ]);
     }
 
-    let json = render_json(&rows, cfg);
-    let path = write_report(&json, cfg);
+    let report = render_report(&rows, cfg);
+    let path = crate::report::write_bench_report(cfg.report_root(), "BENCH_tick.json", &report);
 
     let mut notes = vec![format!("wrote {}", path.display())];
     if let Some(headline) = rows.iter().rfind(|r| r.graph.starts_with("cycle")) {
@@ -247,12 +237,19 @@ mod tests {
         assert!(md.contains("cycle:1000"), "{md}");
         assert!(md.contains("random-regular:1000:4"), "{md}");
 
-        // The JSON report exists, parses, and is versioned.
+        // The JSON report exists, carries the envelope, and validates.
         let json = std::fs::read_to_string(scratch.join("BENCH_tick.json")).unwrap();
+        let summary = crate::report::validate_bench_report(&json).unwrap();
+        assert_eq!(summary.experiment, "E20-tick-scale");
+        assert_eq!(summary.rows, 3);
         let value = JsonValue::parse(&json).unwrap();
         assert_eq!(
             value.get("version").and_then(JsonValue::as_number),
             Some(1.0)
+        );
+        assert_eq!(
+            value.get("format").and_then(JsonValue::as_str),
+            Some("bfw/bench-report")
         );
         let rows = value.get("rows").and_then(JsonValue::as_array).unwrap();
         assert_eq!(rows.len(), 3);

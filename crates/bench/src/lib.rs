@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 mod runner;
 mod workloads;
 

@@ -1,0 +1,158 @@
+//! Shared `bfw/bench-report` assembly, writing and validation.
+//!
+//! Every committed `BENCH_*.json` artifact (E19's complexity faceoff,
+//! E20's tick-scale timings, the churn-scale Criterion report) is one
+//! schema: the common envelope, the experiment id, the run
+//! configuration that produced it, and a flat `rows` array —
+//!
+//! ```json
+//! {
+//!   "format": "bfw/bench-report",
+//!   "version": 1,
+//!   "experiment": "E19-complexity",
+//!   "quick": true,
+//!   "seed": 12525605,
+//!   "rows": [ ... ]
+//! }
+//! ```
+//!
+//! Experiments add extra top-level fields (e.g. churn's
+//! `events_per_run`) between `seed` and `rows`. Row layout is
+//! per-experiment; [`validate_bench_report`] checks the shared
+//! structure, which is what `bfw report validate` runs over the tracked
+//! artifacts.
+
+use bfw_stats::{Doc, Envelope, JsonValue, SchemaError};
+use std::path::PathBuf;
+
+/// Assembles a `bfw/bench-report` document.
+pub fn bench_report(
+    experiment: &str,
+    quick: bool,
+    seed: u64,
+    extra: impl IntoIterator<Item = (&'static str, JsonValue)>,
+    rows: impl IntoIterator<Item = JsonValue>,
+) -> JsonValue {
+    let mut fields: Vec<(String, JsonValue)> = Envelope::entries("bench-report").into();
+    fields.push(("experiment".to_owned(), JsonValue::from(experiment)));
+    fields.push(("quick".to_owned(), JsonValue::from(quick)));
+    fields.push(("seed".to_owned(), JsonValue::from(seed)));
+    for (key, value) in extra {
+        fields.push((key.to_owned(), value));
+    }
+    fields.push(("rows".to_owned(), JsonValue::array(rows)));
+    JsonValue::object(fields)
+}
+
+/// Renders a report (pretty, deterministic) and writes it as
+/// `file_name` under `root` (see [`ExpConfig::report_root`]); returns
+/// the path written.
+///
+/// [`ExpConfig::report_root`]: crate::ExpConfig::report_root
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench report the harness
+/// cannot commit is a broken run.
+pub fn write_bench_report(root: PathBuf, file_name: &str, report: &JsonValue) -> PathBuf {
+    let path = root.join(file_name);
+    std::fs::write(&path, report.render_pretty())
+        .unwrap_or_else(|e| panic!("{file_name} must be writable: {e}"));
+    path
+}
+
+/// What [`validate_bench_report`] reports about a well-formed document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSummary {
+    /// Experiment id (e.g. `"E20-tick-scale"`).
+    pub experiment: String,
+    /// Number of result rows.
+    pub rows: usize,
+}
+
+/// Validates the shared `bfw/bench-report` structure: envelope,
+/// `experiment` string, `quick` flag, `seed`, and a `rows` array of
+/// objects.
+///
+/// # Errors
+///
+/// A [`SchemaError`] naming the first offending path.
+pub fn validate_bench_report(text: &str) -> Result<BenchSummary, SchemaError> {
+    let value = JsonValue::parse(text).map_err(|e| SchemaError::root(e.to_string()))?;
+    let doc = Doc::root(&value);
+    Envelope::expect(&doc, "bench-report")?;
+    let experiment = doc.field("experiment")?.str()?.to_owned();
+    doc.field("quick")?.bool()?;
+    doc.field("seed")?.u64()?;
+    let rows = doc.field("rows")?.items()?;
+    for row in &rows {
+        if row.value().as_object().is_none() {
+            return Err(row.error("expected a row object"));
+        }
+    }
+    Ok(BenchSummary {
+        experiment,
+        rows: rows.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_assembles_validates_and_round_trips() {
+        let report = bench_report(
+            "E99-test",
+            true,
+            42,
+            [("events_per_run", JsonValue::from(1024u64))],
+            [
+                JsonValue::object([("graph", JsonValue::from("cycle:16"))]),
+                JsonValue::object([("graph", JsonValue::from("torus:4x4"))]),
+            ],
+        );
+        let text = report.render_pretty();
+        let summary = validate_bench_report(&text).unwrap();
+        assert_eq!(
+            summary,
+            BenchSummary {
+                experiment: "E99-test".to_owned(),
+                rows: 2,
+            }
+        );
+        // Parse–render–parse fixpoint.
+        assert_eq!(JsonValue::parse(&text).unwrap(), report);
+        assert_eq!(
+            report.get("format").and_then(JsonValue::as_str),
+            Some("bfw/bench-report")
+        );
+    }
+
+    #[test]
+    fn validation_rejects_with_pointers() {
+        let cases = [
+            (r#"{"experiment": "x"}"#, ""),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "experiment": "x", "quick": true, "seed": 1, "rows": []}"#,
+                "",
+            ),
+            (
+                r#"{"format": "bfw/bench-report", "version": 1, "quick": true, "seed": 1, "rows": []}"#,
+                "",
+            ),
+            (
+                r#"{"format": "bfw/bench-report", "version": 1, "experiment": "x", "quick": true, "seed": 1, "rows": [{"a": 1}, 3]}"#,
+                "/rows/1",
+            ),
+            (
+                r#"{"format": "bfw/bench-report", "version": 1, "experiment": "x", "quick": "yes", "seed": 1, "rows": []}"#,
+                "/quick",
+            ),
+        ];
+        for (text, pointer) in cases {
+            let err = validate_bench_report(text).unwrap_err();
+            assert_eq!(err.pointer(), pointer, "{text} -> {err}");
+        }
+    }
+}

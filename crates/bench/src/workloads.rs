@@ -47,6 +47,10 @@ pub enum GraphSpec {
     ErdosRenyi(usize, u32, u64),
     /// `barbell:k:bridge`
     Barbell(usize, usize),
+    /// `ba:n:m:seed` — Barabási–Albert preferential attachment.
+    Ba(usize, usize, u64),
+    /// `plaw:n:gamma(milli):seed` — power-law configuration model.
+    PowerLaw(usize, u32, u64),
 }
 
 impl GraphSpec {
@@ -77,6 +81,56 @@ impl GraphSpec {
                     .expect("could not sample a connected G(n, p); increase p")
             }
             GraphSpec::Barbell(k, b) => generators::barbell(k, b),
+            GraphSpec::Ba(n, m, seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                generators::preferential_attachment(n, m, &mut rng)
+            }
+            GraphSpec::PowerLaw(n, gamma_milli, seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                generators::power_law_configuration(n, f64::from(gamma_milli) / 1000.0, &mut rng)
+            }
+        }
+    }
+
+    /// The generator provenance tag exported alongside the topology in
+    /// `bfw/graph` documents (family name, parameters in the spec
+    /// string's units, seed for randomized families).
+    pub fn provenance(&self) -> bfw_graph::io::Provenance {
+        use bfw_graph::io::Provenance;
+        match *self {
+            GraphSpec::Path(n) => Provenance::new("path", [("n", n as u64)], None),
+            GraphSpec::Cycle(n) => Provenance::new("cycle", [("n", n as u64)], None),
+            GraphSpec::Clique(n) => Provenance::new("clique", [("n", n as u64)], None),
+            GraphSpec::Star(n) => Provenance::new("star", [("n", n as u64)], None),
+            GraphSpec::Grid(r, c) => {
+                Provenance::new("grid", [("rows", r as u64), ("cols", c as u64)], None)
+            }
+            GraphSpec::Torus(r, c) => {
+                Provenance::new("torus", [("rows", r as u64), ("cols", c as u64)], None)
+            }
+            GraphSpec::Hypercube(d) => Provenance::new("hypercube", [("dim", u64::from(d))], None),
+            GraphSpec::Tree(a, d) => {
+                Provenance::new("tree", [("arity", a as u64), ("depth", u64::from(d))], None)
+            }
+            GraphSpec::RandomTree(n, seed) => {
+                Provenance::new("randtree", [("n", n as u64)], Some(seed))
+            }
+            GraphSpec::ErdosRenyi(n, p_milli, seed) => Provenance::new(
+                "er",
+                [("n", n as u64), ("p_milli", u64::from(p_milli))],
+                Some(seed),
+            ),
+            GraphSpec::Barbell(k, b) => {
+                Provenance::new("barbell", [("k", k as u64), ("bridge", b as u64)], None)
+            }
+            GraphSpec::Ba(n, m, seed) => {
+                Provenance::new("ba", [("n", n as u64), ("m", m as u64)], Some(seed))
+            }
+            GraphSpec::PowerLaw(n, gamma_milli, seed) => Provenance::new(
+                "plaw",
+                [("n", n as u64), ("gamma_milli", u64::from(gamma_milli))],
+                Some(seed),
+            ),
         }
     }
 
@@ -148,6 +202,8 @@ impl fmt::Display for GraphSpec {
             GraphSpec::RandomTree(n, s) => write!(f, "randtree:{n}:{s}"),
             GraphSpec::ErdosRenyi(n, p, s) => write!(f, "er:{n}:{p}:{s}"),
             GraphSpec::Barbell(k, b) => write!(f, "barbell:{k}:{b}"),
+            GraphSpec::Ba(n, m, s) => write!(f, "ba:{n}:{m}:{s}"),
+            GraphSpec::PowerLaw(n, g, s) => write!(f, "plaw:{n}:{g}:{s}"),
         }
     }
 }
@@ -257,6 +313,18 @@ impl FromStr for GraphSpec {
                 expect_args(2)?;
                 Ok(GraphSpec::Barbell(usize_arg(0)?, usize_arg(1)?))
             }
+            "ba" => {
+                expect_args(3)?;
+                Ok(GraphSpec::Ba(usize_arg(0)?, usize_arg(1)?, u64_arg(2)?))
+            }
+            "plaw" => {
+                expect_args(3)?;
+                Ok(GraphSpec::PowerLaw(
+                    usize_arg(0)?,
+                    usize_arg(1)? as u32,
+                    u64_arg(2)?,
+                ))
+            }
             other => Err(WorkloadError::new(format!("unknown graph kind '{other}'"))),
         }
     }
@@ -280,6 +348,8 @@ mod tests {
             "randtree:20:7",
             "er:16:300:7",
             "barbell:4:2",
+            "ba:32:2:7",
+            "plaw:32:2500:7",
         ] {
             let spec: GraphSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(spec.to_string(), s);
@@ -326,5 +396,44 @@ mod tests {
         assert_eq!(a, b);
         let c = GraphSpec::RandomTree(30, 6).build();
         assert_ne!(a, c);
+        assert_eq!(
+            GraphSpec::Ba(30, 2, 5).build(),
+            GraphSpec::Ba(30, 2, 5).build()
+        );
+        assert_eq!(
+            GraphSpec::PowerLaw(30, 2500, 5).build(),
+            GraphSpec::PowerLaw(30, 2500, 5).build()
+        );
+    }
+
+    #[test]
+    fn provenance_names_each_family() {
+        use bfw_graph::io::Provenance;
+        let p = GraphSpec::Ba(64, 3, 7).provenance();
+        assert_eq!(p, Provenance::new("ba", [("n", 64u64), ("m", 3)], Some(7)));
+        let p = GraphSpec::Torus(8, 8).provenance();
+        assert_eq!(p.family, "torus");
+        assert_eq!(p.params(), [("cols".to_owned(), 8), ("rows".to_owned(), 8)]);
+        assert_eq!(p.seed, None);
+        // Every spec string's provenance family matches its spec kind.
+        for s in [
+            "path:10",
+            "cycle:12",
+            "clique:8",
+            "star:9",
+            "grid:3x4",
+            "torus:3x5",
+            "hypercube:4",
+            "tree:2:3",
+            "randtree:20:7",
+            "er:16:300:7",
+            "barbell:4:2",
+            "ba:32:2:7",
+            "plaw:32:2500:7",
+        ] {
+            let spec: GraphSpec = s.parse().unwrap();
+            let family = spec.provenance().family;
+            assert!(s.starts_with(&format!("{family}:")), "{s} vs {family}");
+        }
     }
 }

@@ -8,13 +8,17 @@
 //!   execution (see [`bfw_core::viz`]);
 //! * `bfw graph <spec>` — print topology facts (n, m, diameter, degree
 //!   stats);
+//! * `bfw graph export|import|validate` — move graphs through the
+//!   versioned `bfw/graph` interchange document (see [`bfw_graph::io`]);
 //! * `bfw experiment <name> ...` — run one of the paper-reproduction
 //!   experiments (same registry as the `experiments` binary);
 //! * `bfw scenario run <file>` — run a TOML fault-injection scenario
-//!   (crashes, churn, partitions, noise bursts; see [`bfw_scenario`]).
+//!   (crashes, churn, partitions, noise bursts; see [`bfw_scenario`]);
+//! * `bfw report validate|diff` — check or structurally compare any
+//!   `bfw/*` report document (bench reports, scenario reports, graphs).
 //!
 //! Graph specs use the compact [`GraphSpec`] syntax, e.g. `path:64`,
-//! `grid:8x8`, `er:100:120:7`.
+//! `grid:8x8`, `er:100:120:7`, `ba:1000:3:7`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +62,37 @@ pub enum Command {
     Graph {
         /// Workload to describe.
         spec: GraphSpec,
+    },
+    /// `bfw graph export`
+    GraphExport {
+        /// Workload to export.
+        spec: GraphSpec,
+        /// Write the document here instead of stdout.
+        out: Option<String>,
+    },
+    /// `bfw graph import`
+    GraphImport {
+        /// `bfw/graph` JSON file to read.
+        file: String,
+        /// Re-export the canonical document here.
+        out: Option<String>,
+    },
+    /// `bfw graph validate`
+    GraphValidate {
+        /// `bfw/graph` JSON file to check (`None` = stdin).
+        file: Option<String>,
+    },
+    /// `bfw report validate`
+    ReportValidate {
+        /// Report files to check (dispatched by their `format` field).
+        files: Vec<String>,
+    },
+    /// `bfw report diff`
+    ReportDiff {
+        /// Left document.
+        left: String,
+        /// Right document.
+        right: String,
     },
     /// `bfw invariants`
     Invariants {
@@ -117,10 +152,15 @@ usage:
   bfw run --graph SPEC [--p P | --known-d] [--seed S] [--max-rounds N] [--stability N]
   bfw trace --graph SPEC [--p P] [--seed S] [--rounds N] [--duel]
   bfw graph SPEC
+  bfw graph export SPEC [--out FILE]
+  bfw graph import FILE [--out FILE]
+  bfw graph validate [FILE]
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
   bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
   bfw scenario run FILE [--seed S] [--rounds N] [--trace FILE] [--trace-last N]
                         [--kernel auto|generic|bit]
+  bfw report validate FILE [FILE ...]
+  bfw report diff LEFT RIGHT
   bfw help
 
 experiment flags:
@@ -143,6 +183,13 @@ scenario run flags:
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
+             ba:N:M:SEED plaw:N:GAMMA_MILLI:SEED
+             (scenario TOML `graph = \"...\"` accepts the same syntax)
+interchange: every artifact is one versioned JSON envelope, format bfw/KIND
+             (graph, scenario-report, bench-report); `bfw graph export` emits
+             canonical bfw/graph documents with generator provenance,
+             `bfw report validate` checks any of them, `bfw report diff`
+             prints a structured bfw/report-diff with JSON-pointer paths
 scenarios:   TOML spec; `protocol = \"bfw+recovery\"` runs the self-healing stack,
              `runtime = \"async\"` runs activation-based scheduling (scheduler:
              uniform | weighted | replay; timeline positions in activations)
@@ -165,17 +212,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => parse_run(rest),
         "trace" => parse_trace(rest),
-        "graph" => {
-            let [spec] = rest else {
-                return Err("graph takes exactly one SPEC argument".to_owned());
-            };
-            Ok(Command::Graph {
-                spec: spec.parse().map_err(|e| format!("{e}"))?,
-            })
-        }
+        "graph" => parse_graph(rest),
         "invariants" => parse_invariants(rest),
         "experiment" => parse_experiment(rest),
         "scenario" => parse_scenario(rest),
+        "report" => parse_report(rest),
         other => Err(format!("unknown command '{other}'; try 'bfw help'")),
     }
 }
@@ -385,6 +426,103 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     })
 }
 
+/// The `bfw graph` verbs (beyond the legacy one-SPEC describe form).
+const GRAPH_VERBS: &[&str] = &["export", "import", "validate"];
+
+fn parse_graph(args: &[String]) -> Result<Command, String> {
+    let Some((first, rest)) = args.split_first() else {
+        return Err("graph needs a SPEC or a subcommand (export | import | validate)".to_owned());
+    };
+    match first.as_str() {
+        "export" => {
+            let (positional, out) = parse_out_flag("graph export", rest)?;
+            let [spec] = positional.as_slice() else {
+                return Err("graph export takes exactly one SPEC argument".to_owned());
+            };
+            Ok(Command::GraphExport {
+                spec: spec.parse().map_err(|e| format!("{e}"))?,
+                out,
+            })
+        }
+        "import" => {
+            let (positional, out) = parse_out_flag("graph import", rest)?;
+            let [file] = positional.as_slice() else {
+                return Err("graph import takes exactly one FILE argument".to_owned());
+            };
+            Ok(Command::GraphImport {
+                file: (*file).clone(),
+                out,
+            })
+        }
+        "validate" => match rest {
+            [] => Ok(Command::GraphValidate { file: None }),
+            [file] if file.as_str() == "-" => Ok(Command::GraphValidate { file: None }),
+            [file] => Ok(Command::GraphValidate {
+                file: Some(file.clone()),
+            }),
+            _ => Err("graph validate takes at most one FILE argument (default: stdin)".to_owned()),
+        },
+        spec if rest.is_empty() => Ok(Command::Graph {
+            spec: spec.parse().map_err(|e| {
+                // A misspelled verb lands here as a bogus graph spec:
+                // hint at the verbs alongside the spec error.
+                format!("{e}{}", did_you_mean(spec, GRAPH_VERBS))
+            })?,
+        }),
+        other => Err(format!(
+            "unknown graph subcommand '{other}'{}; valid: export, import, validate (or one SPEC)",
+            did_you_mean(other, GRAPH_VERBS)
+        )),
+    }
+}
+
+/// Splits `--out FILE` from the positional arguments of a graph verb.
+fn parse_out_flag(ctx: &str, args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut positional = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(take_value("--out", &mut it)?.to_owned()),
+            flag if flag.starts_with("--") => return Err(format!("{ctx}: unknown flag {flag}")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, out))
+}
+
+/// The `bfw report` verbs.
+const REPORT_VERBS: &[&str] = &["validate", "diff"];
+
+fn parse_report(args: &[String]) -> Result<Command, String> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Err("report needs a subcommand (validate | diff)".to_owned());
+    };
+    match verb.as_str() {
+        "validate" => {
+            if rest.is_empty() {
+                return Err("report validate needs at least one FILE".to_owned());
+            }
+            Ok(Command::ReportValidate {
+                files: rest.to_vec(),
+            })
+        }
+        "diff" => {
+            let [left, right] = rest else {
+                return Err("report diff takes exactly two FILE arguments".to_owned());
+            };
+            Ok(Command::ReportDiff {
+                left: left.clone(),
+                right: right.clone(),
+            })
+        }
+        other => Err(format!(
+            "unknown report subcommand '{other}'{}; valid: validate, diff",
+            did_you_mean(other, REPORT_VERBS)
+        )),
+    }
+}
+
 fn parse_int(s: &str, flag: &str) -> Result<u64, String> {
     s.parse()
         .map_err(|_| format!("{flag} needs an integer, got '{s}'"))
@@ -432,6 +570,11 @@ pub fn execute(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(usage()),
         Command::Graph { spec } => Ok(describe_graph(&spec)),
+        Command::GraphExport { spec, out } => graph_export(&spec, out.as_deref()),
+        Command::GraphImport { file, out } => graph_import(&file, out.as_deref()),
+        Command::GraphValidate { file } => graph_validate(file.as_deref()),
+        Command::ReportValidate { files } => report_validate(&files),
+        Command::ReportDiff { left, right } => report_diff(&left, &right),
         Command::Run {
             spec,
             p,
@@ -536,56 +679,177 @@ fn run_scenario(
     let (outcome, scenario_trace) =
         bfw_scenario::run_bfw_scenario_traced(&spec, &graph, seed, tracing.then_some(capacity))
             .map_err(|e| e.to_string())?;
-    let mut out = String::new();
-    let _ = writeln!(out, "scenario:          {}", spec.name);
-    let _ = writeln!(out, "graph:             {workload}");
-    let _ = writeln!(out, "protocol:          {}", spec.protocol);
-    match spec.runtime {
-        bfw_scenario::RuntimeKind::Sync => {
-            let _ = writeln!(out, "runtime:           sync");
-            // The kernel line only exists where a kernel choice exists
-            // (plain sync BFW); it is stripped by the CI equivalence
-            // smoke, and never affects the result block.
-            if spec.protocol == bfw_scenario::ProtocolKind::Bfw {
-                let _ = writeln!(
-                    out,
-                    "kernel:            {}",
-                    bfw_scenario::resolved_kernel(&spec, graph.node_count())
-                );
-            }
-        }
-        bfw_scenario::RuntimeKind::Async => {
-            let _ = writeln!(
-                out,
-                "runtime:           async (scheduler: {}; timeline positions in activations)",
-                spec.scheduler.unwrap_or_default()
-            );
-        }
-    }
-    let _ = writeln!(out, "p:                 {}", spec.p);
-    let _ = writeln!(out, "seed:              {seed}");
-    let _ = writeln!(out, "stability window:  {}", spec.stability);
-    out.push_str(&outcome.to_text());
-    if let Some(mean) = outcome.mean_latency() {
-        let _ = writeln!(out, "mean re-election latency: {mean:.1} rounds");
-    }
-    // Trace reporting is strictly appended *after* the pinned result
-    // block: a traced run's output starts with the untraced output,
-    // byte for byte — including the blank separator line, so the
-    // property survives the binary's final `println!` newline and can
-    // be checked on captured files with `cmp`.
-    if let Some(trace) = scenario_trace {
-        let _ = writeln!(out, "\n{}", trace.summary_line());
-        if let Some(table) = trace.recovery_table(&outcome) {
-            let _ = writeln!(out, "\nrecoveries (channel cost):\n{}", table.to_markdown());
-        }
+    // One structure, two views (see bfw_scenario::RunReport): the
+    // pinned stdout block and the versioned bfw/scenario-report JSON
+    // document cannot drift apart. Trace reporting is strictly
+    // appended *after* the pinned result block, so a traced run's
+    // output starts with the untraced output, byte for byte.
+    let report = bfw_scenario::RunReport::new(
+        &spec,
+        workload.to_string(),
+        graph.node_count(),
+        seed,
+        outcome,
+        scenario_trace,
+    );
+    let mut out = report.to_text();
+    if report.trace.is_some() {
         if let Some(path) = destination {
-            let json = trace.to_json(&spec.name);
+            let json = report.to_json_value().render_pretty();
             std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
             let _ = writeln!(out, "wrote trace report to {path}");
         }
     }
     Ok(out)
+}
+
+/// `bfw graph export`: builds the workload and emits the canonical
+/// `bfw/graph` document with generator provenance. Stdout output has no
+/// trailing newline (the binary's `println!` adds exactly one), and
+/// `--out` writes the same bytes plus that newline — so a piped export
+/// and an exported file are byte-identical, which the CI round-trip
+/// smoke checks with `cmp`.
+fn graph_export(spec: &GraphSpec, out: Option<&str>) -> Result<String, String> {
+    let doc = bfw_graph::io::GraphDoc {
+        graph: spec.build(),
+        provenance: Some(spec.provenance()),
+        delta: None,
+    };
+    let text = bfw_graph::io::export_json(&doc);
+    match out {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {path} ({} nodes, {} edges)",
+                doc.graph.node_count(),
+                doc.graph.edge_count()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `bfw graph import`: parses a `bfw/graph` document, reports what it
+/// holds, and — with `--out` — re-exports the canonical form (a
+/// normalizing round-trip: import ∘ export is the identity on
+/// canonical documents).
+fn graph_import(file: &str, out: Option<&str>) -> Result<String, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let doc = bfw_graph::io::import_json(&text).map_err(|e| format!("{file}: {e}"))?;
+    let mut report = format!(
+        "imported {file}: {} nodes, {} edges",
+        doc.graph.node_count(),
+        doc.graph.edge_count()
+    );
+    if let Some(p) = &doc.provenance {
+        let _ = write!(report, ", family {}", p.family);
+    }
+    if let Some(delta) = &doc.delta {
+        let _ = write!(report, ", overlay of {} edit(s)", delta.len());
+    }
+    if let Some(path) = out {
+        let canonical = bfw_graph::io::export_json(&doc);
+        std::fs::write(path, format!("{canonical}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = write!(report, "\nwrote {path}");
+    }
+    Ok(report)
+}
+
+/// `bfw graph validate`: checks a `bfw/graph` document from a file or
+/// stdin and reports its summary, or fails with the schema error's
+/// JSON-pointer path.
+fn graph_validate(file: Option<&str>) -> Result<String, String> {
+    let (text, source) = match file {
+        Some(path) => (
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+            path.to_owned(),
+        ),
+        None => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            (text, "<stdin>".to_owned())
+        }
+    };
+    let summary = bfw_graph::io::validate_json(&text).map_err(|e| format!("{source}: {e}"))?;
+    Ok(format!(
+        "{source}: ok — bfw/graph, {} nodes, {} edges{}",
+        summary.nodes,
+        summary.edges,
+        summary
+            .family
+            .map(|f| format!(", family {f}"))
+            .unwrap_or_default()
+    ))
+}
+
+/// `bfw report validate`: dispatches each file on its envelope
+/// `format` field to the matching schema validator and prints one
+/// summary line per file. The first invalid file fails the command.
+fn report_validate(files: &[String]) -> Result<String, String> {
+    let mut out = String::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let value =
+            bfw_stats::JsonValue::parse(&text).map_err(|e| format!("{file}: not JSON: {e}"))?;
+        let format = value
+            .get("format")
+            .and_then(bfw_stats::JsonValue::as_str)
+            .ok_or_else(|| format!("{file}: missing \"format\" envelope field"))?;
+        let line = match format {
+            "bfw/graph" => {
+                let s = bfw_graph::io::validate_json(&text).map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/graph, {} nodes, {} edges",
+                    s.nodes, s.edges
+                )
+            }
+            "bfw/bench-report" => {
+                let s = bfw_bench::report::validate_bench_report(&text)
+                    .map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/bench-report, {} ({} rows)",
+                    s.experiment, s.rows
+                )
+            }
+            "bfw/scenario-report" => {
+                let s =
+                    bfw_scenario::validate_run_report(&text).map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/scenario-report, \"{}\" ({} rounds{})",
+                    s.scenario,
+                    s.rounds_run,
+                    if s.traced { ", traced" } else { "" }
+                )
+            }
+            other => {
+                let known = &["bfw/graph", "bfw/bench-report", "bfw/scenario-report"];
+                return Err(format!(
+                    "{file}: unknown format \"{other}\"{}; valid: {}",
+                    did_you_mean(other, known),
+                    known.join(", ")
+                ));
+            }
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out.truncate(out.trim_end_matches('\n').len());
+    Ok(out)
+}
+
+/// `bfw report diff`: structural comparison of two JSON documents,
+/// printed as a `bfw/report-diff` document — one entry per differing
+/// JSON-pointer path, with the left/right values (`null` = absent).
+fn report_diff(left: &str, right: &str) -> Result<String, String> {
+    let read = |path: &str| -> Result<bfw_stats::JsonValue, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        bfw_stats::JsonValue::parse(&text).map_err(|e| format!("{path}: not JSON: {e}"))
+    };
+    let entries = bfw_stats::diff(&read(left)?, &read(right)?);
+    let rendered = bfw_stats::diff_to_json(&entries).render_pretty();
+    Ok(rendered.trim_end_matches('\n').to_owned())
 }
 
 fn describe_graph(spec: &GraphSpec) -> String {
@@ -816,6 +1080,9 @@ mod tests {
             .unwrap_err()
             .contains("needs a value"));
         assert!(parse(&argv("graph a b"))
+            .unwrap_err()
+            .contains("unknown graph subcommand"));
+        assert!(parse(&argv("graph export a b"))
             .unwrap_err()
             .contains("exactly one"));
         assert!(parse(&argv("experiment --bogus"))
@@ -1275,24 +1542,319 @@ mod tests {
         assert!(traced.contains("complexity: steps=6000"), "{traced}");
         assert!(traced.contains("recoveries (channel cost):"), "{traced}");
         assert!(traced.contains("wrote trace report to"), "{traced}");
-        // The report on disk is versioned, parseable JSON.
+        // The report on disk is the full versioned scenario-report
+        // document — config + result + trace, one envelope.
         let json = std::fs::read_to_string(&json_path).unwrap();
+        let summary = bfw_scenario::validate_run_report(&json).unwrap();
+        assert_eq!(summary.scenario, "traced");
+        assert!(summary.traced);
         let value = bfw_stats::JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            value.get("format").and_then(bfw_stats::JsonValue::as_str),
+            Some("bfw/scenario-report")
+        );
         assert_eq!(
             value
                 .get("version")
                 .and_then(bfw_stats::JsonValue::as_number),
             Some(1.0)
         );
-        assert_eq!(
-            value.get("scenario").and_then(bfw_stats::JsonValue::as_str),
-            Some("traced")
-        );
         assert!(value
-            .get("flight_recorder")
-            .unwrap()
-            .get("events")
+            .get("trace")
+            .and_then(|t| t.get("flight_recorder"))
+            .and_then(|r| r.get("events"))
             .is_some());
+    }
+
+    #[test]
+    fn parse_graph_and_report_verbs() {
+        assert_eq!(
+            parse(&argv("graph export cycle:8 --out g.json")).unwrap(),
+            Command::GraphExport {
+                spec: GraphSpec::Cycle(8),
+                out: Some("g.json".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("graph import g.json")).unwrap(),
+            Command::GraphImport {
+                file: "g.json".into(),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("graph validate g.json")).unwrap(),
+            Command::GraphValidate {
+                file: Some("g.json".into()),
+            }
+        );
+        // No file (or "-") means stdin — the piped CI round-trip form.
+        assert_eq!(
+            parse(&argv("graph validate")).unwrap(),
+            Command::GraphValidate { file: None }
+        );
+        assert_eq!(
+            parse(&argv("graph validate -")).unwrap(),
+            Command::GraphValidate { file: None }
+        );
+        assert_eq!(
+            parse(&argv("report validate a.json b.json")).unwrap(),
+            Command::ReportValidate {
+                files: vec!["a.json".into(), "b.json".into()],
+            }
+        );
+        assert_eq!(
+            parse(&argv("report diff a.json b.json")).unwrap(),
+            Command::ReportDiff {
+                left: "a.json".into(),
+                right: "b.json".into(),
+            }
+        );
+        // The legacy one-SPEC describe form still parses.
+        assert_eq!(
+            parse(&argv("graph cycle:8")).unwrap(),
+            Command::Graph {
+                spec: GraphSpec::Cycle(8),
+            }
+        );
+    }
+
+    #[test]
+    fn graph_and_report_verbs_get_hints() {
+        let err = parse(&argv("graph exprot cycle:8")).unwrap_err();
+        assert!(err.contains("did you mean 'export'?"), "{err}");
+        let err = parse(&argv("report vaildate a.json")).unwrap_err();
+        assert!(err.contains("did you mean 'validate'?"), "{err}");
+        assert!(parse(&argv("report")).unwrap_err().contains("subcommand"));
+        assert!(parse(&argv("report diff a.json"))
+            .unwrap_err()
+            .contains("exactly two"));
+        assert!(parse(&argv("report validate"))
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(parse(&argv("graph export cycle:8 --bogus x"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn graph_export_import_validate_round_trip() {
+        let dir = std::env::temp_dir().join("bfw_cli_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let exported = dir.join("ba.json");
+        let reexported = dir.join("ba2.json");
+        let out = execute(Command::GraphExport {
+            spec: "ba:64:2:7".parse().unwrap(),
+            out: Some(exported.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("64 nodes"), "{out}");
+
+        // Validate reports the provenance family.
+        let out = execute(Command::GraphValidate {
+            file: Some(exported.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("ok — bfw/graph, 64 nodes"), "{out}");
+        assert!(out.contains("family ba"), "{out}");
+
+        // Import → re-export is the identity on canonical documents.
+        let out = execute(Command::GraphImport {
+            file: exported.to_string_lossy().into_owned(),
+            out: Some(reexported.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("imported"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&exported).unwrap(),
+            std::fs::read_to_string(&reexported).unwrap()
+        );
+
+        // Stdout export + the binary's println newline would equal the
+        // --out file: the export text itself has no trailing newline.
+        let text = execute(Command::GraphExport {
+            spec: "ba:64:2:7".parse().unwrap(),
+            out: None,
+        })
+        .unwrap();
+        assert_eq!(
+            format!("{text}\n"),
+            std::fs::read_to_string(&exported).unwrap()
+        );
+
+        // Validation failures carry JSON-pointer paths.
+        let broken = dir.join("broken.json");
+        std::fs::write(
+            &broken,
+            r#"{"format": "bfw/graph", "version": 1, "nodes": 2, "edges": [[0, 5]]}"#,
+        )
+        .unwrap();
+        let err = execute(Command::GraphValidate {
+            file: Some(broken.to_string_lossy().into_owned()),
+        })
+        .unwrap_err();
+        assert!(err.contains("/edges/0"), "{err}");
+    }
+
+    #[test]
+    fn report_validate_dispatches_on_format() {
+        let dir = std::env::temp_dir().join("bfw_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A scenario report, produced through the CLI pipeline.
+        let toml = dir.join("mini.toml");
+        std::fs::write(
+            &toml,
+            "[scenario]\nname = \"mini\"\ngraph = \"cycle:8\"\nrounds = 2000\nstability = 20\n\n\
+             [[event]]\nat = 500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let scenario_report = dir.join("run.json");
+        execute(Command::Scenario {
+            file: toml.to_string_lossy().into_owned(),
+            seed: Some(42),
+            rounds: None,
+            trace: Some(scenario_report.to_string_lossy().into_owned()),
+            trace_last: None,
+            kernel: None,
+        })
+        .unwrap();
+
+        // A graph document and a bench report.
+        let graph_doc = dir.join("graph.json");
+        execute(Command::GraphExport {
+            spec: GraphSpec::Cycle(8),
+            out: Some(graph_doc.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let bench = dir.join("bench.json");
+        let report = bfw_bench::report::bench_report(
+            "E99-test",
+            true,
+            7,
+            [],
+            [bfw_stats::JsonValue::object([(
+                "graph",
+                bfw_stats::JsonValue::from("cycle:8"),
+            )])],
+        );
+        std::fs::write(&bench, report.render_pretty()).unwrap();
+
+        let out = execute(Command::ReportValidate {
+            files: vec![
+                scenario_report.to_string_lossy().into_owned(),
+                graph_doc.to_string_lossy().into_owned(),
+                bench.to_string_lossy().into_owned(),
+            ],
+        })
+        .unwrap();
+        assert!(out.contains("bfw/scenario-report, \"mini\""), "{out}");
+        assert!(out.contains("bfw/graph, 8 nodes"), "{out}");
+        assert!(out.contains("bfw/bench-report, E99-test (1 rows)"), "{out}");
+
+        // Unknown formats are rejected with a hint.
+        let alien = dir.join("alien.json");
+        std::fs::write(&alien, r#"{"format": "bfw/grpah", "version": 1}"#).unwrap();
+        let err = execute(Command::ReportValidate {
+            files: vec![alien.to_string_lossy().into_owned()],
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+        assert!(err.contains("did you mean 'bfw/graph'?"), "{err}");
+    }
+
+    #[test]
+    fn report_diff_is_structured_and_empty_on_identity() {
+        let dir = std::env::temp_dir().join("bfw_cli_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let toml = dir.join("mini.toml");
+        std::fs::write(
+            &toml,
+            "[scenario]\nname = \"mini\"\ngraph = \"cycle:8\"\nrounds = 2000\nstability = 20\n\n\
+             [[event]]\nat = 500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = |seed: u64, path: &std::path::Path| {
+            execute(Command::Scenario {
+                file: toml.to_string_lossy().into_owned(),
+                seed: Some(seed),
+                rounds: None,
+                trace: Some(path.to_string_lossy().into_owned()),
+                trace_last: None,
+                kernel: None,
+            })
+            .unwrap();
+        };
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        let c = dir.join("c.json");
+        run(42, &a);
+        run(43, &b);
+        run(42, &c);
+
+        // Different seeds: a structured, non-empty diff naming the
+        // config seed among its JSON-pointer paths.
+        let out = execute(Command::ReportDiff {
+            left: a.to_string_lossy().into_owned(),
+            right: b.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        let value = bfw_stats::JsonValue::parse(&out).unwrap();
+        assert_eq!(
+            value.get("format").and_then(bfw_stats::JsonValue::as_str),
+            Some("bfw/report-diff")
+        );
+        let entries = value
+            .get("entries")
+            .and_then(bfw_stats::JsonValue::as_array)
+            .unwrap();
+        assert!(!entries.is_empty(), "{out}");
+        assert!(entries.iter().any(|e| {
+            e.get("pointer").and_then(bfw_stats::JsonValue::as_str) == Some("/config/seed")
+        }));
+
+        // Same seed: byte-identical reports, zero entries.
+        let out = execute(Command::ReportDiff {
+            left: a.to_string_lossy().into_owned(),
+            right: c.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        let value = bfw_stats::JsonValue::parse(&out).unwrap();
+        assert_eq!(
+            value
+                .get("entries")
+                .and_then(bfw_stats::JsonValue::as_array)
+                .map(<[bfw_stats::JsonValue]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn scenario_toml_accepts_generator_families() {
+        // The scenario `graph` key resolves through GraphSpec, so the
+        // provenance-tagged generator families (ba, plaw) work in TOML.
+        let dir = std::env::temp_dir().join("bfw_cli_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ba_mini.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"ba mini\"\ngraph = \"ba:32:2:7\"\nrounds = 2000\n\
+             stability = 20\n",
+        )
+        .unwrap();
+        let out = execute(Command::Scenario {
+            file: path.to_string_lossy().into_owned(),
+            seed: Some(3),
+            rounds: None,
+            trace: None,
+            trace_last: None,
+            kernel: None,
+        })
+        .unwrap();
+        assert!(out.contains("graph:             ba:32:2:7"), "{out}");
+        assert!(out.contains("rounds run:        2000"), "{out}");
     }
 
     #[test]

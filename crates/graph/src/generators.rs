@@ -318,6 +318,136 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
     panic!("no simple {d}-regular pairing on {n} nodes found (retry budget exhausted)");
 }
 
+/// Returns a Barabási–Albert preferential-attachment graph: a star on
+/// `m + 1` seed nodes, then each new node attaches to `m` distinct
+/// existing nodes chosen with probability proportional to degree (the
+/// classic repeated-endpoints trick: sampling uniformly from the list
+/// of all edge endpoints *is* degree-proportional sampling).
+///
+/// Connected by construction (every node attaches to earlier nodes),
+/// with the heavy-tailed degree distribution the scale-free scenario
+/// workloads need; `m + (n − m − 1)·m` edges in total.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "preferential attachment requires m >= 1");
+    assert!(n > m, "preferential attachment requires n > m");
+    // Seed: a star on m + 1 nodes, so every early node has nonzero
+    // degree and the first preferential choice is well-defined.
+    let mut edges: Vec<(u32, u32)> = (1..=m).map(|v| (0u32, v as u32)).collect();
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for &(u, v) in &edges {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for u in (m + 1)..n {
+        chosen.clear();
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &v in &chosen {
+            edges.push((v, u as u32));
+            endpoints.push(v);
+            endpoints.push(u as u32);
+        }
+    }
+    Graph::from_edges(n, edges).expect("attachment edges are valid by construction")
+}
+
+/// Returns a connected graph with an (approximately) power-law degree
+/// sequence via the *erased* configuration model: degrees are sampled
+/// from `P(d) ∝ d^(−gamma)` truncated to `2..=⌊√n⌋`, stubs are shuffled
+/// and paired, self-loops and duplicate pairings are erased, and any
+/// disconnected components are deterministically bridged (smallest
+/// node of each component to the smallest node of the first).
+///
+/// Erasure and bridging perturb the realized degree sequence slightly —
+/// the standard trade-off for a simple *and* connected sample, which is
+/// what the leader-election workloads require.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `gamma` is not finite and `> 1`.
+pub fn power_law_configuration<R: Rng + ?Sized>(n: usize, gamma: f64, rng: &mut R) -> Graph {
+    assert!(n >= 3, "power-law graph requires at least three nodes");
+    assert!(
+        gamma.is_finite() && gamma > 1.0,
+        "power-law exponent must be finite and > 1"
+    );
+    let d_max = ((n as f64).sqrt() as usize).max(2);
+    let weights: Vec<f64> = (2..=d_max).map(|d| (d as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut degrees: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut x = rng.random::<f64>() * total;
+        let mut sampled = d_max;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                sampled = i + 2;
+                break;
+            }
+            x -= *w;
+        }
+        degrees.push(sampled);
+    }
+    // The stub count must be even to pair up.
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] += 1;
+    }
+
+    let mut stubs: Vec<u32> = degrees
+        .iter()
+        .enumerate()
+        .flat_map(|(u, &d)| std::iter::repeat_n(u as u32, d))
+        .collect();
+    // Fisher–Yates shuffle, then pair consecutive stubs, erasing
+    // self-loops and (after sorting) duplicate edges.
+    for i in (1..stubs.len()).rev() {
+        stubs.swap(i, rng.random_range(0..i + 1));
+    }
+    let mut edges: Vec<(u32, u32)> = stubs
+        .chunks_exact(2)
+        .filter(|pair| pair[0] != pair[1])
+        .map(|pair| (pair[0].min(pair[1]), pair[0].max(pair[1])))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Bridge components: union-find over the kept edges, then connect
+    // each later component's smallest node to the first component's
+    // smallest node (cross-component, so never a duplicate edge).
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    for &(u, v) in &edges {
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    let anchor = find(&mut parent, 0);
+    for u in 1..n {
+        let root = find(&mut parent, u);
+        if root != anchor {
+            edges.push((anchor.min(u) as u32, anchor.max(u) as u32));
+            parent[root] = anchor;
+        }
+    }
+    Graph::from_edges(n, edges).expect("erased pairing is simple by construction")
+}
+
 /// Returns a random geometric graph: `n` points uniform in the unit
 /// square, an edge between points at Euclidean distance `<= radius`.
 ///
@@ -617,6 +747,66 @@ mod tests {
         // sqrt(2) covers the whole unit square.
         let all = random_geometric(10, 1.5, &mut rng);
         assert_eq!(all.edge_count(), 45);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = preferential_attachment(200, 3, &mut rng);
+        assert_eq!(g.node_count(), 200);
+        // Star seed: m edges; each of the n - m - 1 later nodes adds m.
+        assert_eq!(g.edge_count(), 3 * (200 - 3));
+        assert!(algo::is_connected(&g));
+        // Preferential attachment concentrates degree: the hubs end up
+        // far above the attachment count m.
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        assert!(max_deg > 12, "expected a hub, max degree {max_deg}");
+        // Late joiners keep degree m.
+        let min_deg = g.nodes().map(|u| g.degree(u)).min().unwrap();
+        assert_eq!(min_deg, 3);
+    }
+
+    #[test]
+    fn preferential_attachment_is_seed_deterministic() {
+        let a = preferential_attachment(64, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = preferential_attachment(64, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        let c = preferential_attachment(64, 2, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn preferential_attachment_needs_room() {
+        let _ = preferential_attachment(3, 3, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn power_law_configuration_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = power_law_configuration(500, 2.5, &mut rng);
+        assert_eq!(g.node_count(), 500);
+        assert!(algo::is_connected(&g));
+        assert!(g.edge_count() >= 499);
+        // Heavy tail: the max degree should clearly dominate the mode
+        // (degrees are sampled from 2..=⌊√500⌋ = 22 with weight d^−2.5).
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        assert!(max_deg >= 6, "expected a heavy tail, max degree {max_deg}");
+    }
+
+    #[test]
+    fn power_law_configuration_is_seed_deterministic() {
+        let a = power_law_configuration(120, 2.2, &mut ChaCha8Rng::seed_from_u64(4));
+        let b = power_law_configuration(120, 2.2, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_law_configuration_small_n() {
+        // n = 3 forces d_max = 2: a near-regular sample, still valid.
+        let g = power_law_configuration(3, 3.0, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(g.node_count(), 3);
+        assert!(algo::is_connected(&g));
     }
 
     #[test]

@@ -1,6 +1,47 @@
-//! Plain-text edge-list serialization.
+//! Graph serialization: the versioned JSON interchange format and a
+//! plain-text edge list.
 //!
-//! Format:
+//! # JSON interchange (`bfw/graph`)
+//!
+//! The primary format, shared with every other `bfw/*` artifact (see
+//! [`bfw_stats::Envelope`]):
+//!
+//! ```json
+//! {
+//!   "format": "bfw/graph",
+//!   "version": 1,
+//!   "nodes": 4,
+//!   "edges": [
+//!     [0, 1],
+//!     [1, 2]
+//!   ],
+//!   "provenance": {"family": "cycle", "params": {"n": 4}, "seed": null},
+//!   "overlay": {"added": [[0, 2]], "removed": [[0, 1]]}
+//! }
+//! ```
+//!
+//! `provenance` names the generator the graph came from (family, sorted
+//! integer params — real-valued parameters are encoded in milli-units,
+//! as in the spec strings — and the seed for randomized families);
+//! `overlay` carries an optional batch of pending topology edits
+//! ([`TopologyDelta`]). Both are `null` when absent. [`export_json`] is
+//! canonical — edges in the CSR's sorted order, one per line — so
+//! `export → import → export` is the byte identity, which the CI
+//! round-trip smoke asserts with `cmp`.
+//!
+//! ```
+//! use bfw_graph::{generators, io};
+//!
+//! let doc = io::GraphDoc::plain(generators::cycle(4));
+//! let text = io::export_json(&doc);
+//! let back = io::import_json(&text).unwrap();
+//! assert_eq!(back.graph, doc.graph);
+//! assert_eq!(io::export_json(&back), text);
+//! ```
+//!
+//! # Edge list
+//!
+//! The minimal line-oriented format kept for hand-written fixtures:
 //!
 //! ```text
 //! # optional comments
@@ -25,8 +66,292 @@
 //! # Ok::<(), bfw_graph::GraphError>(())
 //! ```
 
-use crate::{Graph, GraphError};
+use crate::{Graph, GraphError, NodeId, TopologyDelta};
+use bfw_stats::{Doc, Envelope, FromJson, JsonValue, SchemaError, ToJson, SCHEMA_VERSION};
 use std::fmt::Write as _;
+
+/// Generator provenance carried inside an exported graph: which family
+/// produced it, with which parameters and seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Generator family name (e.g. `"cycle"`, `"ba"`, `"plaw"`).
+    pub family: String,
+    /// Named integer parameters, kept key-sorted so exports are
+    /// canonical. Real-valued parameters are encoded in milli-units
+    /// (`p_milli`, `gamma_milli`), matching the workload spec strings.
+    params: Vec<(String, u64)>,
+    /// RNG seed for randomized families; `None` for deterministic ones.
+    /// Stored as a JSON number, so exact only up to 2⁵³ — every seed
+    /// the workspace uses is far below that.
+    pub seed: Option<u64>,
+}
+
+impl Provenance {
+    /// Builds a provenance tag; parameters are sorted by name.
+    pub fn new(
+        family: impl Into<String>,
+        params: impl IntoIterator<Item = (impl Into<String>, u64)>,
+        seed: Option<u64>,
+    ) -> Provenance {
+        let mut params: Vec<(String, u64)> =
+            params.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        params.sort();
+        Provenance {
+            family: family.into(),
+            params,
+            seed,
+        }
+    }
+
+    /// The key-sorted parameters.
+    pub fn params(&self) -> &[(String, u64)] {
+        &self.params
+    }
+}
+
+impl ToJson for Provenance {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("family", JsonValue::from(self.family.as_str())),
+            (
+                "params",
+                JsonValue::object(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), JsonValue::from(*v))),
+                ),
+            ),
+            ("seed", JsonValue::from(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for Provenance {
+    fn from_json_value(doc: &Doc<'_>) -> Result<Self, SchemaError> {
+        let family = doc.field("family")?.str()?.to_owned();
+        let params_doc = doc.field("params")?;
+        let map = params_doc
+            .value()
+            .as_object()
+            .ok_or_else(|| params_doc.error("expected an object"))?;
+        let mut params = Vec::with_capacity(map.len());
+        for key in map.keys() {
+            params.push((key.clone(), params_doc.field(key)?.u64()?));
+        }
+        let seed = match doc.opt_field("seed")? {
+            Some(s) => Some(s.u64()?),
+            None => None,
+        };
+        Ok(Provenance {
+            family,
+            params,
+            seed,
+        })
+    }
+}
+
+/// A graph document: the topology plus optional generator provenance
+/// and an optional pending edit overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDoc {
+    /// The topology.
+    pub graph: Graph,
+    /// Where the topology came from, if known.
+    pub provenance: Option<Provenance>,
+    /// Pending topology edits, if any.
+    pub delta: Option<TopologyDelta>,
+}
+
+impl GraphDoc {
+    /// Wraps a bare graph (no provenance, no overlay).
+    pub fn plain(graph: Graph) -> GraphDoc {
+        GraphDoc {
+            graph,
+            provenance: None,
+            delta: None,
+        }
+    }
+}
+
+fn delta_to_json(delta: &TopologyDelta) -> JsonValue {
+    let pairs = |edges: &[(NodeId, NodeId)]| {
+        JsonValue::array(edges.iter().map(|(u, v)| {
+            JsonValue::array([JsonValue::from(u.index()), JsonValue::from(v.index())])
+        }))
+    };
+    JsonValue::object([
+        ("added", pairs(delta.added())),
+        ("removed", pairs(delta.removed())),
+    ])
+}
+
+impl ToJson for GraphDoc {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = Envelope::entries("graph").into();
+        fields.push(("nodes".to_owned(), JsonValue::from(self.graph.node_count())));
+        fields.push((
+            "edges".to_owned(),
+            JsonValue::array(self.graph.edges().map(|(u, v)| {
+                JsonValue::array([JsonValue::from(u.index()), JsonValue::from(v.index())])
+            })),
+        ));
+        fields.push((
+            "provenance".to_owned(),
+            self.provenance
+                .as_ref()
+                .map_or(JsonValue::Null, ToJson::to_json_value),
+        ));
+        fields.push((
+            "overlay".to_owned(),
+            self.delta.as_ref().map_or(JsonValue::Null, delta_to_json),
+        ));
+        JsonValue::object(fields)
+    }
+}
+
+/// Reads one `[u, v]` pair, checking both ends fit a node index below
+/// `nodes`.
+fn edge_pair(doc: &Doc<'_>, nodes: usize) -> Result<(u32, u32), SchemaError> {
+    let items = doc.items()?;
+    let [u, v] = items.as_slice() else {
+        return Err(doc.error(format!(
+            "expected an edge pair [u, v], got {} items",
+            items.len()
+        )));
+    };
+    let read = |end: &Doc<'_>| -> Result<u32, SchemaError> {
+        let x = end.u64()?;
+        if x < nodes as u64 {
+            Ok(x as u32)
+        } else {
+            Err(end.error(format!("node {x} out of range (graph has {nodes} nodes)")))
+        }
+    };
+    Ok((read(u)?, read(v)?))
+}
+
+impl FromJson for GraphDoc {
+    fn from_json_value(doc: &Doc<'_>) -> Result<Self, SchemaError> {
+        Envelope::expect(doc, "graph")?;
+        let nodes_doc = doc.field("nodes")?;
+        let nodes = nodes_doc.u64()?;
+        if nodes == 0 || nodes > u32::MAX as u64 {
+            return Err(nodes_doc.error("node count must be in 1..=u32::MAX"));
+        }
+        let nodes = nodes as usize;
+
+        let edges_doc = doc.field("edges")?;
+        let mut edges = Vec::new();
+        for item in edges_doc.items()? {
+            edges.push(edge_pair(&item, nodes)?);
+        }
+        let graph = Graph::from_edges(nodes, edges).map_err(|e| edges_doc.error(e.to_string()))?;
+
+        let provenance = match doc.opt_field("provenance")? {
+            Some(p) => Some(Provenance::from_json_value(&p)?),
+            None => None,
+        };
+
+        let delta = match doc.opt_field("overlay")? {
+            Some(ov) => {
+                let mut delta = TopologyDelta::new();
+                for item in ov.field("added")?.items()? {
+                    let (u, v) = edge_pair(&item, nodes)?;
+                    delta.add_edge(NodeId::new(u as usize), NodeId::new(v as usize));
+                }
+                for item in ov.field("removed")?.items()? {
+                    let (u, v) = edge_pair(&item, nodes)?;
+                    delta.remove_edge(NodeId::new(u as usize), NodeId::new(v as usize));
+                }
+                Some(delta)
+            }
+            None => None,
+        };
+
+        Ok(GraphDoc {
+            graph,
+            provenance,
+            delta,
+        })
+    }
+}
+
+/// Serializes a graph document in canonical `bfw/graph` form: fixed key
+/// order, edges one per line in the CSR's sorted `(u, v)` order, **no
+/// trailing newline** (so `bfw graph export | …` pipes and `--out`
+/// files land byte-identical once the shell's newline is accounted
+/// for).
+///
+/// Canonical means `export_json(&import_json(&export_json(d))?)` equals
+/// `export_json(d)` byte for byte — streams directly into one `String`,
+/// so a 10⁶-node topology exports without building an intermediate
+/// [`JsonValue`].
+pub fn export_json(doc: &GraphDoc) -> String {
+    let g = &doc.graph;
+    let mut out = String::with_capacity(96 + 16 * g.edge_count());
+    out.push_str("{\n  \"format\": \"bfw/graph\",\n");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"nodes\": {},", g.node_count());
+    if g.edge_count() == 0 {
+        out.push_str("  \"edges\": [],\n");
+    } else {
+        out.push_str("  \"edges\": [\n");
+        let mut first = true;
+        for (u, v) in g.edges() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(out, "    [{}, {}]", u.index(), v.index());
+        }
+        out.push_str("\n  ],\n");
+    }
+    let provenance = doc
+        .provenance
+        .as_ref()
+        .map_or(JsonValue::Null, ToJson::to_json_value);
+    let _ = writeln!(out, "  \"provenance\": {},", provenance.render());
+    let overlay = doc.delta.as_ref().map_or(JsonValue::Null, delta_to_json);
+    let _ = write!(out, "  \"overlay\": {}\n}}", overlay.render());
+    out
+}
+
+/// Parses and fully validates a `bfw/graph` document.
+///
+/// # Errors
+///
+/// A [`SchemaError`] carrying the JSON-pointer path of the first
+/// offense (malformed JSON reports at the document root).
+pub fn import_json(text: &str) -> Result<GraphDoc, SchemaError> {
+    let value = JsonValue::parse(text).map_err(|e| SchemaError::root(e.to_string()))?;
+    GraphDoc::from_json_value(&Doc::root(&value))
+}
+
+/// What [`validate_json`] reports about a well-formed document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Generator family, when provenance is present.
+    pub family: Option<String>,
+}
+
+/// Validates a `bfw/graph` document (envelope, structure, and full
+/// graph construction — self-loops, duplicate edges, range checks).
+///
+/// # Errors
+///
+/// A [`SchemaError`] naming the first offending path.
+pub fn validate_json(text: &str) -> Result<GraphSummary, SchemaError> {
+    let doc = import_json(text)?;
+    Ok(GraphSummary {
+        nodes: doc.graph.node_count(),
+        edges: doc.graph.edge_count(),
+        family: doc.provenance.map(|p| p.family),
+    })
+}
 
 /// Serializes a graph as an edge-list document (see module docs).
 pub fn to_edge_list(g: &Graph) -> String {
@@ -184,5 +509,132 @@ mod tests {
     fn single_node_round_trip() {
         let g = Graph::from_edges(1, []).unwrap();
         assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn json_export_is_byte_identical_after_round_trip() {
+        let mut delta = TopologyDelta::new();
+        delta.remove_edge(NodeId::new(0), NodeId::new(1));
+        delta.add_edge(NodeId::new(2), NodeId::new(0));
+        let doc = GraphDoc {
+            graph: generators::cycle(5),
+            provenance: Some(Provenance::new("cycle", [("n", 5u64)], None)),
+            delta: Some(delta),
+        };
+        let text = export_json(&doc);
+        let back = import_json(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(export_json(&back), text);
+        // Canonical export parses to the same value ToJson builds.
+        assert_eq!(
+            bfw_stats::JsonValue::parse(&text).unwrap(),
+            doc.to_json_value()
+        );
+    }
+
+    #[test]
+    fn json_export_bytes_are_pinned() {
+        let doc = GraphDoc {
+            graph: generators::path(3),
+            provenance: Some(Provenance::new("path", [("n", 3u64)], Some(7))),
+            delta: None,
+        };
+        assert_eq!(
+            export_json(&doc),
+            "{\n  \"format\": \"bfw/graph\",\n  \"version\": 1,\n  \"nodes\": 3,\n  \"edges\": [\n    [0, 1],\n    [1, 2]\n  ],\n  \"provenance\": {\"family\":\"path\",\"params\":{\"n\":3},\"seed\":7},\n  \"overlay\": null\n}"
+        );
+        assert!(!export_json(&doc).ends_with('\n'));
+    }
+
+    #[test]
+    fn json_round_trips_every_family() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for g in [
+            generators::path(1),
+            generators::cycle(9),
+            generators::complete(5),
+            generators::torus(3, 4),
+            generators::hypercube(3),
+            generators::preferential_attachment(40, 2, &mut rng),
+            generators::power_law_configuration(40, 2.5, &mut rng),
+        ] {
+            let doc = GraphDoc::plain(g);
+            let text = export_json(&doc);
+            let back = import_json(&text).unwrap();
+            assert_eq!(back, doc);
+            assert_eq!(export_json(&back), text);
+        }
+    }
+
+    #[test]
+    fn json_validate_reports_summary() {
+        let doc = GraphDoc {
+            graph: generators::star(6),
+            provenance: Some(Provenance::new("star", [("n", 6u64)], None)),
+            delta: None,
+        };
+        let summary = validate_json(&export_json(&doc)).unwrap();
+        assert_eq!(
+            summary,
+            GraphSummary {
+                nodes: 6,
+                edges: 5,
+                family: Some("star".to_owned()),
+            }
+        );
+    }
+
+    #[test]
+    fn json_import_rejects_with_pointer_paths() {
+        let cases = [
+            (r#"{"format": "bfw/graph", "version": 1, "nodes": 3}"#, ""),
+            (
+                r#"{"format": "bfw/scenario-report", "version": 1, "nodes": 3, "edges": []}"#,
+                "",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 3, "edges": [[0]]}"#,
+                "/edges/0",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 3, "edges": [[0, 5]]}"#,
+                "/edges/0/1",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 3, "edges": [[1, 1]]}"#,
+                "/edges",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 3, "edges": [[0, 1], [1, 0]]}"#,
+                "/edges",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 0, "edges": []}"#,
+                "/nodes",
+            ),
+            (
+                r#"{"format": "bfw/graph", "version": 1, "nodes": 3, "edges": [], "overlay": {"added": [[0, "x"]], "removed": []}}"#,
+                "/overlay/added/0/1",
+            ),
+        ];
+        for (text, pointer) in cases {
+            let err = import_json(text).unwrap_err();
+            assert_eq!(err.pointer(), pointer, "{text} -> {err}");
+        }
+        // Malformed JSON reports at the root with the parser's message.
+        let err = import_json("{not json").unwrap_err();
+        assert_eq!(err.pointer(), "");
+        assert!(err.message().contains("json:"), "{err}");
+    }
+
+    #[test]
+    fn json_import_accepts_missing_optional_fields() {
+        // provenance/overlay may be absent entirely, not just null.
+        let text = r#"{"format": "bfw/graph", "version": 1, "nodes": 2, "edges": [[0, 1]]}"#;
+        let doc = import_json(text).unwrap();
+        assert!(doc.provenance.is_none());
+        assert!(doc.delta.is_none());
+        assert_eq!(doc.graph.edge_count(), 1);
     }
 }

@@ -11,9 +11,12 @@
 //! * [`GraphBuilder`] — incremental construction,
 //! * [`generators`] — the graph families used throughout the experiments
 //!   (paths, cycles, cliques, stars, grids, tori, hypercubes, trees,
-//!   Erdős–Rényi, random geometric, barbells, …),
+//!   Erdős–Rényi, preferential attachment, power-law configuration,
+//!   random geometric, barbells, …),
 //! * [`algo`] — BFS, diameter, connectivity and distance oracles,
-//! * [`io`] — a plain-text edge-list format.
+//! * [`io`] — the versioned `bfw/graph` JSON interchange format
+//!   (topology + generator provenance + overlay deltas) plus a
+//!   plain-text edge list.
 //!
 //! # Example
 //!

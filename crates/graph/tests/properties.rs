@@ -153,6 +153,54 @@ proptest! {
         prop_assert_eq!(via_from, b.build());
     }
 
+    /// `export → import → validate` is the identity on every generator
+    /// family, provenance and overlay included, and the canonical
+    /// export is a byte fixpoint.
+    #[test]
+    fn json_export_import_identity_on_every_family(
+        family in 0usize..10,
+        n in 4usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Provenance seeds live in JSON numbers: exact up to 2^53.
+        let seed = seed & ((1 << 53) - 1);
+        let (graph, provenance) = match family {
+            0 => (generators::path(n), io::Provenance::new("path", [("n", n as u64)], None)),
+            1 => (generators::cycle(n), io::Provenance::new("cycle", [("n", n as u64)], None)),
+            2 => (generators::complete(n), io::Provenance::new("clique", [("n", n as u64)], None)),
+            3 => (generators::star(n), io::Provenance::new("star", [("n", n as u64)], None)),
+            4 => (generators::grid(3, n), io::Provenance::new("grid", [("rows", 3), ("cols", n as u64)], None)),
+            5 => (generators::torus(3, n.max(3)), io::Provenance::new("torus", [("rows", 3), ("cols", n.max(3) as u64)], None)),
+            6 => (generators::random_tree(n, &mut rng), io::Provenance::new("random-tree", [("n", n as u64)], Some(seed))),
+            7 => (generators::erdos_renyi(n, 0.3, &mut rng), io::Provenance::new("er", [("n", n as u64), ("p_milli", 300)], Some(seed))),
+            8 => (generators::preferential_attachment(n, 2, &mut rng), io::Provenance::new("ba", [("n", n as u64), ("m", 2)], Some(seed))),
+            _ => (generators::power_law_configuration(n, 2.5, &mut rng), io::Provenance::new("plaw", [("n", n as u64), ("gamma_milli", 2500)], Some(seed))),
+        };
+        // Exercise the overlay arm too: record one removal of an
+        // existing edge and one (possibly re-)addition.
+        let mut delta = TopologyDelta::new();
+        if let Some((u, v)) = graph.edges().next() {
+            delta.remove_edge(u, v);
+            delta.add_edge(u, v);
+        }
+        let doc = io::GraphDoc {
+            graph,
+            provenance: Some(provenance),
+            delta: if delta.is_empty() { None } else { Some(delta) },
+        };
+        let text = io::export_json(&doc);
+        let back = io::import_json(&text).expect("canonical export must import");
+        prop_assert_eq!(&back, &doc);
+        // Byte fixpoint: re-export is identical.
+        prop_assert_eq!(io::export_json(&back), text);
+        // And validate agrees with the document.
+        let summary = io::validate_json(&text).expect("canonical export must validate");
+        prop_assert_eq!(summary.nodes, doc.graph.node_count());
+        prop_assert_eq!(summary.edges, doc.graph.edge_count());
+        prop_assert_eq!(summary.family, doc.provenance.map(|p| p.family));
+    }
+
     /// Any sequence of valid add/remove deltas applied to an overlay,
     /// followed by compaction, equals a fresh CSR build of the final
     /// edge set: same sorted neighbors, same degrees, same edge count.

@@ -25,6 +25,10 @@
 //!   unique-stable-leader) and **leader flaps** via [`ElectionMonitor`];
 //! * [`ScenarioSpec`] — a small TOML format (`bfw scenario run
 //!   <file>` in the CLI) parsed by an in-crate TOML-subset parser;
+//! * [`RunReport`] — one structure, two views of a completed run: the
+//!   pinned stdout block ([`RunReport::to_text`]) and the versioned
+//!   `bfw/scenario-report` interchange document
+//!   ([`RunReport::to_json_value`], checked by [`validate_run_report`]);
 //! * [`run_bfw_scenario`] — the one-call BFW runner used by the CLI,
 //!   the `churn` bench experiment and the `churn_storm` example.
 //!
@@ -62,6 +66,7 @@ mod engine;
 mod event;
 mod host;
 mod metrics;
+mod report;
 mod spec;
 mod timeline;
 pub mod toml_mini;
@@ -76,6 +81,7 @@ pub use engine::{Engine, Injector, ScenarioOutcome};
 pub use event::{InjectKind, ScenarioEvent};
 pub use host::DynamicHost;
 pub use metrics::{ElectionMonitor, Recovery};
+pub use report::{validate_run_report, RunReport, RunSummary};
 pub use spec::{KernelKind, ProtocolKind, RuntimeKind, ScenarioSpec, SpecError, TraceSpec};
 pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};
 pub use trace::ScenarioTrace;

@@ -1,6 +1,6 @@
 //! Post-run trace artifacts: the complexity ledger, the flight
-//! recorder, and per-recovery channel costs, bundled into a versioned
-//! JSON report.
+//! recorder, and per-recovery channel costs — the `trace` block of the
+//! versioned `bfw/scenario-report` document (see [`crate::RunReport`]).
 //!
 //! A [`ScenarioTrace`] is produced by
 //! [`Engine::run_traced`](crate::Engine::run_traced) when the host's
@@ -11,10 +11,8 @@
 //! `trace_does_not_perturb_outcomes` tests).
 
 use crate::ScenarioOutcome;
-use bfw_sim::instrument::escape_json;
 use bfw_sim::{ComplexityLedger, FlightRecorder};
-use bfw_stats::Table;
-use std::fmt::Write as _;
+use bfw_stats::{JsonValue, Table};
 
 /// Everything a traced scenario run measured beyond its
 /// [`ScenarioOutcome`](crate::ScenarioOutcome).
@@ -35,34 +33,31 @@ pub struct ScenarioTrace {
 }
 
 impl ScenarioTrace {
-    /// Renders the versioned JSON report (`"version": 1`): the ledger,
-    /// the flight-recorder dump (or `null`), the per-recovery costs,
-    /// and the scenario name the caller passes in. Parse it back with
-    /// `bfw_stats::JsonValue` — the CI smoke test asserts the
-    /// round-trip.
-    pub fn to_json(&self, scenario_name: &str) -> String {
-        let mut out = String::new();
-        let _ = write!(
-            out,
-            "{{\"version\": 1, \"scenario\": \"{}\", \"ledger\": {}",
-            escape_json(scenario_name),
-            self.ledger.to_json()
-        );
-        match &self.recorder {
-            Some(recorder) => {
-                let _ = write!(out, ", \"flight_recorder\": {}", recorder.to_json());
-            }
-            None => out.push_str(", \"flight_recorder\": null"),
-        }
-        out.push_str(", \"recovery_costs\": [");
-        for (i, &(bits, messages)) in self.recovery_costs.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "{{\"bits\": {bits}, \"messages\": {messages}}}");
-        }
-        out.push_str("]}");
-        out
+    /// The trace as a [`JsonValue`] — the `trace` block of the
+    /// `bfw/scenario-report` document (see [`crate::RunReport`]): the
+    /// ledger, the flight-recorder dump (or `null`), and the
+    /// per-recovery channel costs. The instrumentation types render
+    /// their own JSON strings (no serde in the vendor set); parsing
+    /// them back here keeps one JSON model end to end.
+    pub fn to_json_value(&self) -> JsonValue {
+        let ledger = JsonValue::parse(&self.ledger.to_json())
+            .expect("ComplexityLedger::to_json emits valid JSON");
+        let recorder = match &self.recorder {
+            Some(recorder) => JsonValue::parse(&recorder.to_json())
+                .expect("FlightRecorder::to_json emits valid JSON"),
+            None => JsonValue::Null,
+        };
+        let costs = JsonValue::array(self.recovery_costs.iter().map(|&(bits, messages)| {
+            JsonValue::object([
+                ("bits", JsonValue::from(bits)),
+                ("messages", JsonValue::from(messages)),
+            ])
+        }));
+        JsonValue::object([
+            ("ledger", ledger),
+            ("flight_recorder", recorder),
+            ("recovery_costs", costs),
+        ])
     }
 
     /// The [`ElectionMonitor`](crate::ElectionMonitor) report with
@@ -145,16 +140,7 @@ mod tests {
     #[test]
     fn json_report_is_versioned_and_round_trips() {
         let trace = sample_trace();
-        let json = trace.to_json("ring \"churn\"");
-        let value = JsonValue::parse(&json).expect("report must parse");
-        assert_eq!(
-            value.get("version").and_then(JsonValue::as_number),
-            Some(1.0)
-        );
-        assert_eq!(
-            value.get("scenario").and_then(JsonValue::as_str),
-            Some("ring \"churn\"")
-        );
+        let value = trace.to_json_value();
         let ledger = value.get("ledger").unwrap();
         assert_eq!(ledger.get("bits").and_then(JsonValue::as_number), Some(3.0));
         let events = value
@@ -182,7 +168,7 @@ mod tests {
             recorder: None,
             ..sample_trace()
         };
-        let value = JsonValue::parse(&trace.to_json("x")).unwrap();
+        let value = trace.to_json_value();
         assert_eq!(value.get("flight_recorder"), Some(&JsonValue::Null));
     }
 

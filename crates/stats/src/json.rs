@@ -70,10 +70,21 @@ impl JsonValue {
     }
 
     /// Renders the value as compact JSON (object keys sorted, floats
-    /// via Rust's shortest round-trip formatting).
+    /// in `render_number`'s deterministic shortest round-trip form).
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out);
+        out
+    }
+
+    /// Renders the value as indented JSON (two spaces per level, object
+    /// keys sorted, one `": "` after each key). Deterministic like
+    /// [`render`](JsonValue::render) — the form the committed
+    /// `BENCH_*.json` reports use so re-runs diff line by line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out.push('\n');
         out
     }
 
@@ -81,13 +92,7 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Number(x) => {
-                if x.fract() == 0.0 && x.abs() < 9e15 {
-                    let _ = fmt::Write::write_fmt(out, format_args!("{}", *x as i64));
-                } else {
-                    let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
-                }
-            }
+            JsonValue::Number(x) => render_number(*x, out),
             JsonValue::String(s) => render_string(s, out),
             JsonValue::Array(items) => {
                 out.push('[');
@@ -111,6 +116,61 @@ impl JsonValue {
                 }
                 out.push('}');
             }
+        }
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        let indent = |out: &mut String, depth: usize| {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                // Scalar-only arrays stay inline (`[0, 1]`); arrays of
+                // containers get one element per line.
+                if items
+                    .iter()
+                    .all(|v| !matches!(v, JsonValue::Array(_) | JsonValue::Object(_)))
+                {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.render_into(out);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        indent(out, depth + 1);
+                        item.render_pretty_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    indent(out, depth);
+                    out.push(']');
+                }
+            }
+            JsonValue::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
         }
     }
 
@@ -145,6 +205,108 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Returns the boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the key-sorted entries, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs (keys end up sorted,
+    /// as always).
+    pub fn object<K: Into<String>>(entries: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Number(x)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(x: u64) -> Self {
+        JsonValue::Number(x as f64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(x: u32) -> Self {
+        JsonValue::Number(f64::from(x))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Number(x as f64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(x: i64) -> Self {
+        JsonValue::Number(x as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+/// Renders one JSON number deterministically:
+///
+/// * integer-valued doubles below 2⁵³ print as plain integers;
+/// * every other finite value uses Rust's shortest round-trip
+///   formatting (implemented in `core`, identical on every platform;
+///   the renderer unit tests pin the bytes), which may use exponent
+///   notation — valid JSON, and `parse(render(x)) == x` exactly;
+/// * non-finite values (`NaN`, `±∞`) have no JSON representation and
+///   render as `null`.
+fn render_number(x: f64, out: &mut String) {
+    // 2^53: largest range where every integer is exactly representable.
+    const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < MAX_EXACT_INT {
+        let _ = fmt::Write::write_fmt(out, format_args!("{}", x as i64));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{x:?}"));
+    }
 }
 
 fn render_string(s: &str, out: &mut String) {
@@ -156,6 +318,8 @@ fn render_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
                 let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
             }
@@ -405,6 +569,104 @@ mod tests {
         }
         let err = JsonValue::parse("[1, }").unwrap_err();
         assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
+    fn number_rendering_is_pinned_byte_for_byte() {
+        // The interchange layer's determinism contract: one number, one
+        // spelling, on every platform. Each case pins the exact bytes.
+        for (x, expect) in [
+            (0.0, "0"),
+            (-0.0, "0"),
+            (42.0, "42"),
+            (-7.0, "-7"),
+            (0.5, "0.5"),
+            (-3.25, "-3.25"),
+            (0.1, "0.1"),
+            (1.0 / 3.0, "0.3333333333333333"),
+            (89937.9, "89937.9"),
+            // Shortest round-trip may use exponent notation — valid
+            // JSON (the old `{}` Display would have printed 1e300 as a
+            // 300-digit integer).
+            (1e300, "1e300"),
+            (5e-324, "5e-324"),
+            (1.5e16, "1.5e16"),
+            // Integer-valued but above 2^53: exponent form, still exact.
+            (1e16, "1e16"),
+            (9e15, "9000000000000000"),
+            (f64::MAX, "1.7976931348623157e308"),
+        ] {
+            assert_eq!(JsonValue::Number(x).render(), expect, "{x}");
+            // And the spelling round-trips to the same bits.
+            assert_eq!(
+                JsonValue::parse(expect).unwrap(),
+                JsonValue::Number(x),
+                "{expect}"
+            );
+        }
+        // JSON has no NaN/Infinity: rendered as null, never as an
+        // unparseable bare token.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(JsonValue::Number(x).render(), "null", "{x}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_are_pinned_byte_for_byte() {
+        for (s, expect) in [
+            ("plain", r#""plain""#),
+            ("quote\"back\\slash", r#""quote\"back\\slash""#),
+            ("nl\ncr\rtab\t", r#""nl\ncr\rtab\t""#),
+            // \b and \f have shortcut escapes; other controls take the
+            // \uXXXX form.
+            ("\u{8}\u{c}", r#""\b\f""#),
+            ("\u{0}\u{1}\u{1f}", r#""\u0000\u0001\u001f""#),
+            // Non-ASCII passes through as raw UTF-8.
+            ("héllo ⚡", "\"héllo ⚡\""),
+        ] {
+            assert_eq!(JsonValue::String(s.to_owned()).render(), expect, "{s:?}");
+            assert_eq!(
+                JsonValue::parse(expect).unwrap(),
+                JsonValue::String(s.to_owned()),
+                "{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pretty_rendering_is_pinned_and_reparses() {
+        let value = JsonValue::parse(
+            r#"{"rows": [{"n": 1, "ok": true}, {"n": 2, "ok": false}], "tags": [1, 2, 3], "empty": [], "none": null}"#,
+        )
+        .unwrap();
+        let pretty = value.render_pretty();
+        assert_eq!(
+            pretty,
+            "{\n  \"empty\": [],\n  \"none\": null,\n  \"rows\": [\n    {\n      \"n\": 1,\n      \"ok\": true\n    },\n    {\n      \"n\": 2,\n      \"ok\": false\n    }\n  ],\n  \"tags\": [1, 2, 3]\n}\n"
+        );
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn builders_and_from_impls() {
+        let v = JsonValue::object([
+            ("n", JsonValue::from(3usize)),
+            ("name", JsonValue::from("x")),
+            ("seed", JsonValue::from(Some(7u64))),
+            ("none", JsonValue::from(None::<u64>)),
+            ("items", JsonValue::array([JsonValue::from(true)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"items":[true],"n":3,"name":"x","none":null,"seed":7}"#
+        );
+        assert_eq!(v.get("n").and_then(JsonValue::as_number), Some(3.0));
+        assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(
+            v.get("items").unwrap().as_array().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.as_object().unwrap().len(), 5);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   dependencies),
 //! * [`JsonValue`] — a minimal JSON parser/renderer closing the loop on
 //!   the hand-rolled JSON reports (complexity ledgers, flight-recorder
-//!   dumps), so tests can assert they round-trip.
+//!   dumps), so tests can assert they round-trip,
+//! * [`Envelope`] / [`Doc`] / [`SchemaError`] / [`ToJson`] /
+//!   [`FromJson`] — the versioned interchange seam
+//!   (`{"format": "bfw/<kind>", "version": 1}`) every shipped JSON
+//!   artifact opens with, plus [`diff`] for structural report diffs.
 //!
 //! # Example
 //!
@@ -33,11 +37,15 @@
 mod histogram;
 mod json;
 mod regression;
+mod schema;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use regression::{linear_fit, loglog_fit, LinearFit};
+pub use schema::{
+    diff, diff_to_json, DiffEntry, Doc, Envelope, FromJson, SchemaError, ToJson, SCHEMA_VERSION,
+};
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,88 @@
+//! Workspace-level interchange checks: every tracked `BENCH_*.json`
+//! artifact is a valid, canonically-rendered `bfw/bench-report`
+//! document, and the `bfw/graph` format round-trips byte-identically
+//! at scale.
+//!
+//! The tracked artifacts are committed from release runs; these tests
+//! only *read* them (regeneration stays a release-binary affair — see
+//! the CI smoke steps).
+
+use bfw_graph::generators;
+use bfw_graph::io::{export_json, import_json, GraphDoc, Provenance};
+use bfw_stats::JsonValue;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+
+/// The committed bench artifacts at the workspace root.
+const TRACKED_REPORTS: &[&str] = &[
+    "BENCH_churn.json",
+    "BENCH_complexity.json",
+    "BENCH_tick.json",
+];
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn tracked_bench_reports_validate_and_are_canonical() {
+    for name in TRACKED_REPORTS {
+        let path = workspace_root().join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name} must be tracked at the workspace root: {e}"));
+
+        // Schema-valid with a non-empty row set.
+        let summary = bfw_bench::report::validate_bench_report(&text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!summary.experiment.is_empty(), "{name}");
+        assert!(summary.rows > 0, "{name}: no rows");
+
+        // Parse → render → parse fixpoint, and the committed bytes ARE
+        // the canonical rendering (so regenerating diffs cleanly).
+        let value = JsonValue::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rendered = value.render_pretty();
+        assert_eq!(
+            JsonValue::parse(&rendered).unwrap(),
+            value,
+            "{name}: parse–render–parse is not a fixpoint"
+        );
+        assert_eq!(rendered, text, "{name}: committed bytes are not canonical");
+    }
+}
+
+#[test]
+fn hundred_thousand_node_graph_round_trips_byte_identically() {
+    let n = 100_000;
+    let doc = GraphDoc {
+        graph: generators::cycle(n),
+        provenance: Some(Provenance::new("cycle", [("n", n as u64)], None)),
+        delta: None,
+    };
+    let exported = export_json(&doc);
+    let imported = import_json(&exported).expect("canonical export imports");
+    assert_eq!(imported, doc);
+    assert_eq!(
+        export_json(&imported),
+        exported,
+        "re-export must be a byte fixpoint"
+    );
+}
+
+#[test]
+fn generator_family_documents_round_trip_with_provenance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let doc = GraphDoc {
+        graph: generators::preferential_attachment(5_000, 3, &mut rng),
+        provenance: Some(Provenance::new("ba", [("n", 5_000), ("m", 3)], Some(7))),
+        delta: None,
+    };
+    let exported = export_json(&doc);
+    let imported = import_json(&exported).expect("ba export imports");
+    assert_eq!(imported, doc);
+    assert_eq!(export_json(&imported), exported);
+    // The document validates and reports its family.
+    let summary = bfw_graph::io::validate_json(&exported).unwrap();
+    assert_eq!(summary.nodes, 5_000);
+    assert_eq!(summary.family.as_deref(), Some("ba"));
+}
