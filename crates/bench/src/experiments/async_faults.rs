@@ -86,6 +86,7 @@ fn spec_for(
         // replay schedulers are exercised by the workspace tests.
         scheduler: None,
         kernel: KernelKind::default(),
+        threads: None,
         timeline: timeline_for(class, n, horizon),
         trace: None,
     }

@@ -56,6 +56,7 @@ fn scenario_for(spec: &GraphSpec, horizon: u64, n: usize) -> ScenarioSpec {
         runtime: Default::default(),
         scheduler: None,
         kernel: KernelKind::default(),
+        threads: None,
         timeline: churn_timeline(n, horizon),
         trace: None,
     }

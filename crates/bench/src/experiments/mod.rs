@@ -15,6 +15,7 @@ pub mod decay;
 pub mod flow_audit;
 pub mod noise;
 pub mod p_sweep;
+pub mod parallel_scale;
 pub mod recovery;
 pub mod sec5_walk;
 pub mod table1;
@@ -52,6 +53,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("async-faults", async_faults::run),
         ("complexity", complexity::run),
         ("tick-scale", tick_scale::run),
+        ("parallel-scale", parallel_scale::run),
     ]
 }
 
@@ -66,6 +68,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
     }
 }

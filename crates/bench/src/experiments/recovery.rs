@@ -147,6 +147,7 @@ fn scenario_for(
         runtime: Default::default(),
         scheduler: None,
         kernel: KernelKind::default(),
+        threads: None,
         timeline,
         trace: None,
     }

@@ -6,11 +6,12 @@
 //! nodes per word operation and both are byte-identical at a fixed seed
 //! (the `bit_kernel_equivalence` workspace tests pin it). This
 //! experiment measures what the equivalence buys: rounds/second for
-//! each kernel across `n ∈ {10³ … 10⁶}` on the cycle, the torus and a
+//! each kernel across `n ∈ {10³ … 10⁷}` on the cycle, the torus and a
 //! random 4-regular graph, and the wall-clock seconds of the timed
 //! bit-kernel segment at each size — the headline being the `n = 10⁶`
 //! cycle completing in single-digit seconds where the generic engine
-//! needs minutes.
+//! needs minutes, with the `n = 10⁷` rows pinning that the kernel
+//! keeps its word-parallel throughput at ten-million-node scale.
 //!
 //! Timing methodology (the `instrument_overhead` bench's): build both
 //! engines at the same seed, warm each up, then time a fixed block of
@@ -50,7 +51,7 @@ fn sizes(quick: bool) -> Vec<usize> {
     if quick {
         vec![1_000]
     } else {
-        vec![1_000, 10_000, 100_000, 1_000_000]
+        vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]
     }
 }
 
@@ -101,6 +102,10 @@ fn measure(name: &str, graph: &Graph, seed: u64) -> Row {
     let start = Instant::now();
     generic.run(g_rounds);
     let g_secs = start.elapsed().as_secs_f64();
+    // Free the generic engine's per-node RNG streams before carving
+    // the bit engine's: at n = 10⁷ each set is gigabyte-scale, and
+    // only one engine is ever timed at once.
+    drop(generic);
 
     let mut bit = BitNetwork::new(Bfw::new(0.5), graph.clone().into(), seed);
     bit.run(warmup);
@@ -272,8 +277,10 @@ mod tests {
         assert_eq!(generic_rounds(1_000_000), 20);
         assert_eq!(bit_rounds(1_000), 100_000);
         assert_eq!(bit_rounds(1_000_000), 1_000);
+        assert_eq!(generic_rounds(10_000_000), 20);
+        assert_eq!(bit_rounds(10_000_000), 1_000);
         // The bit segment always times more rounds than the generic one.
-        for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        for n in [1_000usize, 10_000, 100_000, 1_000_000, 10_000_000] {
             assert!(bit_rounds(n) > generic_rounds(n), "n={n}");
         }
     }

@@ -51,6 +51,9 @@ pub enum GraphSpec {
     Ba(usize, usize, u64),
     /// `plaw:n:gamma(milli):seed` — power-law configuration model.
     PowerLaw(usize, u32, u64),
+    /// `geo:n:radius(milli):seed` — unit-disk geometric graph,
+    /// bridged to connectivity.
+    Geo(usize, u32, u64),
 }
 
 impl GraphSpec {
@@ -88,6 +91,14 @@ impl GraphSpec {
             GraphSpec::PowerLaw(n, gamma_milli, seed) => {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 generators::power_law_configuration(n, f64::from(gamma_milli) / 1000.0, &mut rng)
+            }
+            GraphSpec::Geo(n, radius_milli, seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                generators::random_geometric_connected(
+                    n,
+                    f64::from(radius_milli) / 1000.0,
+                    &mut rng,
+                )
             }
         }
     }
@@ -129,6 +140,11 @@ impl GraphSpec {
             GraphSpec::PowerLaw(n, gamma_milli, seed) => Provenance::new(
                 "plaw",
                 [("n", n as u64), ("gamma_milli", u64::from(gamma_milli))],
+                Some(seed),
+            ),
+            GraphSpec::Geo(n, radius_milli, seed) => Provenance::new(
+                "geo",
+                [("n", n as u64), ("radius_milli", u64::from(radius_milli))],
                 Some(seed),
             ),
         }
@@ -204,6 +220,7 @@ impl fmt::Display for GraphSpec {
             GraphSpec::Barbell(k, b) => write!(f, "barbell:{k}:{b}"),
             GraphSpec::Ba(n, m, s) => write!(f, "ba:{n}:{m}:{s}"),
             GraphSpec::PowerLaw(n, g, s) => write!(f, "plaw:{n}:{g}:{s}"),
+            GraphSpec::Geo(n, r, s) => write!(f, "geo:{n}:{r}:{s}"),
         }
     }
 }
@@ -325,6 +342,14 @@ impl FromStr for GraphSpec {
                     u64_arg(2)?,
                 ))
             }
+            "geo" => {
+                expect_args(3)?;
+                Ok(GraphSpec::Geo(
+                    usize_arg(0)?,
+                    usize_arg(1)? as u32,
+                    u64_arg(2)?,
+                ))
+            }
             other => Err(WorkloadError::new(format!("unknown graph kind '{other}'"))),
         }
     }
@@ -350,6 +375,7 @@ mod tests {
             "barbell:4:2",
             "ba:32:2:7",
             "plaw:32:2500:7",
+            "geo:64:250:7",
         ] {
             let spec: GraphSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(spec.to_string(), s);
@@ -404,6 +430,14 @@ mod tests {
             GraphSpec::PowerLaw(30, 2500, 5).build(),
             GraphSpec::PowerLaw(30, 2500, 5).build()
         );
+        assert_eq!(
+            GraphSpec::Geo(30, 250, 5).build(),
+            GraphSpec::Geo(30, 250, 5).build()
+        );
+        assert_ne!(
+            GraphSpec::Geo(30, 250, 5).build(),
+            GraphSpec::Geo(30, 250, 6).build()
+        );
     }
 
     #[test]
@@ -430,6 +464,7 @@ mod tests {
             "barbell:4:2",
             "ba:32:2:7",
             "plaw:32:2500:7",
+            "geo:64:250:7",
         ] {
             let spec: GraphSpec = s.parse().unwrap();
             let family = spec.provenance().family;

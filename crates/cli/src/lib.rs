@@ -94,6 +94,14 @@ pub enum Command {
         /// Right document.
         right: String,
     },
+    /// `bfw report history`
+    ReportHistory {
+        /// `bfw/bench-report` files to fold, oldest first.
+        files: Vec<String>,
+        /// Write the `bfw/bench-history` document here instead of
+        /// stdout.
+        out: Option<String>,
+    },
     /// `bfw invariants`
     Invariants {
         /// Workload to audit.
@@ -137,6 +145,11 @@ pub enum Command {
         /// Execution-kernel override (`--kernel auto|generic|bit`;
         /// overrides the spec's `kernel` key).
         kernel: Option<bfw_scenario::KernelKind>,
+        /// Worker-thread override for the bit kernel's word-sharded
+        /// step (`--threads N`; overrides the spec's `threads` key;
+        /// `None` = the spec's value, else available parallelism
+        /// capped). Never changes outcomes.
+        threads: Option<usize>,
     },
     /// `bfw help`
     Help,
@@ -158,9 +171,10 @@ usage:
   bfw invariants --graph SPEC [--p P] [--seed S] [--rounds N]
   bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
   bfw scenario run FILE [--seed S] [--rounds N] [--trace FILE] [--trace-last N]
-                        [--kernel auto|generic|bit]
+                        [--kernel auto|generic|bit] [--threads N]
   bfw report validate FILE [FILE ...]
   bfw report diff LEFT RIGHT
+  bfw report history FILE [FILE ...] [--out FILE]
   bfw help
 
 experiment flags:
@@ -179,17 +193,22 @@ scenario run flags:
   --trace-last N  keeps the last N trace events (default 256)
   --kernel K      execution kernel: auto (default; bitplane fast path for plain
                   sync BFW at n >= 4096), generic, or bit — never changes outcomes
+  --threads N     worker threads for the bit kernel's word-sharded step (default:
+                  spec's `threads`, else host parallelism capped at 8) — the
+                  sharded step is byte-identical at every thread count
   (a [trace] section in the spec enables the same; CLI flags win)
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
-             ba:N:M:SEED plaw:N:GAMMA_MILLI:SEED
+             ba:N:M:SEED plaw:N:GAMMA_MILLI:SEED geo:N:RADIUS_MILLI:SEED
              (scenario TOML `graph = \"...\"` accepts the same syntax)
 interchange: every artifact is one versioned JSON envelope, format bfw/KIND
-             (graph, scenario-report, bench-report); `bfw graph export` emits
-             canonical bfw/graph documents with generator provenance,
-             `bfw report validate` checks any of them, `bfw report diff`
-             prints a structured bfw/report-diff with JSON-pointer paths
+             (graph, scenario-report, bench-report, bench-history); `bfw graph
+             export` emits canonical bfw/graph documents with generator
+             provenance, `bfw report validate` checks any of them, `bfw report
+             diff` prints a structured bfw/report-diff with JSON-pointer paths,
+             `bfw report history` folds successive bench reports of one
+             experiment into a bfw/bench-history trajectory
 scenarios:   TOML spec; `protocol = \"bfw+recovery\"` runs the self-healing stack,
              `runtime = \"async\"` runs activation-based scheduling (scheduler:
              uniform | weighted | replay; timeline positions in activations)
@@ -383,10 +402,18 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut trace = None;
     let mut trace_last = None;
     let mut kernel = None;
+    let mut threads = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            "--threads" => {
+                let t = parse_int(take_value("--threads", &mut it)?, "--threads")?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                threads = Some(t as usize);
+            }
             "--rounds" => rounds = Some(parse_int(take_value("--rounds", &mut it)?, "--rounds")?),
             "--trace" => trace = Some(take_value("--trace", &mut it)?.to_owned()),
             "--trace-last" => {
@@ -423,6 +450,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         trace,
         trace_last,
         kernel,
+        threads,
     })
 }
 
@@ -492,11 +520,11 @@ fn parse_out_flag(ctx: &str, args: &[String]) -> Result<(Vec<String>, Option<Str
 }
 
 /// The `bfw report` verbs.
-const REPORT_VERBS: &[&str] = &["validate", "diff"];
+const REPORT_VERBS: &[&str] = &["validate", "diff", "history"];
 
 fn parse_report(args: &[String]) -> Result<Command, String> {
     let Some((verb, rest)) = args.split_first() else {
-        return Err("report needs a subcommand (validate | diff)".to_owned());
+        return Err("report needs a subcommand (validate | diff | history)".to_owned());
     };
     match verb.as_str() {
         "validate" => {
@@ -516,8 +544,18 @@ fn parse_report(args: &[String]) -> Result<Command, String> {
                 right: right.clone(),
             })
         }
+        "history" => {
+            let (files, out) = parse_out_flag("report history", rest)?;
+            if files.is_empty() {
+                return Err(
+                    "report history needs at least one bfw/bench-report FILE (oldest first)"
+                        .to_owned(),
+                );
+            }
+            Ok(Command::ReportHistory { files, out })
+        }
         other => Err(format!(
-            "unknown report subcommand '{other}'{}; valid: validate, diff",
+            "unknown report subcommand '{other}'{}; valid: validate, diff, history",
             did_you_mean(other, REPORT_VERBS)
         )),
     }
@@ -575,6 +613,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
         Command::GraphValidate { file } => graph_validate(file.as_deref()),
         Command::ReportValidate { files } => report_validate(&files),
         Command::ReportDiff { left, right } => report_diff(&left, &right),
+        Command::ReportHistory { files, out } => report_history(&files, out.as_deref()),
         Command::Run {
             spec,
             p,
@@ -602,7 +641,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             trace,
             trace_last,
             kernel,
-        } => run_scenario(&file, seed, rounds, trace, trace_last, kernel),
+            threads,
+        } => run_scenario(&file, seed, rounds, trace, trace_last, kernel, threads),
         Command::Experiment {
             names,
             quick,
@@ -657,6 +697,7 @@ fn run_scenario(
     trace_file: Option<String>,
     trace_last: Option<usize>,
     kernel: Option<bfw_scenario::KernelKind>,
+    threads: Option<usize>,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let mut spec = bfw_scenario::ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
@@ -665,6 +706,9 @@ fn run_scenario(
     }
     if let Some(kernel) = kernel {
         spec.kernel = kernel;
+    }
+    if let Some(threads) = threads {
+        spec.threads = Some(threads);
     }
     let seed = seed.unwrap_or(spec.seed);
     let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
@@ -824,8 +868,21 @@ fn report_validate(files: &[String]) -> Result<String, String> {
                     if s.traced { ", traced" } else { "" }
                 )
             }
+            "bfw/bench-history" => {
+                let s = bfw_bench::report::validate_bench_history(&text)
+                    .map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/bench-history, {} ({} points, {} changed paths)",
+                    s.experiment, s.points, s.changes
+                )
+            }
             other => {
-                let known = &["bfw/graph", "bfw/bench-report", "bfw/scenario-report"];
+                let known = &[
+                    "bfw/graph",
+                    "bfw/bench-report",
+                    "bfw/scenario-report",
+                    "bfw/bench-history",
+                ];
                 return Err(format!(
                     "{file}: unknown format \"{other}\"{}; valid: {}",
                     did_you_mean(other, known),
@@ -850,6 +907,34 @@ fn report_diff(left: &str, right: &str) -> Result<String, String> {
     let entries = bfw_stats::diff(&read(left)?, &read(right)?);
     let rendered = bfw_stats::diff_to_json(&entries).render_pretty();
     Ok(rendered.trim_end_matches('\n').to_owned())
+}
+
+/// `bfw report history`: folds a chronological sequence of
+/// `bfw/bench-report` documents (same experiment) into one
+/// `bfw/bench-history` document — the input reports verbatim as
+/// `points`, plus a precomputed diff per consecutive pair as `deltas`.
+fn report_history(files: &[String], out: Option<&str>) -> Result<String, String> {
+    let mut reports = Vec::with_capacity(files.len());
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let value =
+            bfw_stats::JsonValue::parse(&text).map_err(|e| format!("{file}: not JSON: {e}"))?;
+        reports.push(value);
+    }
+    let history = bfw_bench::report::bench_history(&reports).map_err(|e| e.to_string())?;
+    let rendered = history.render_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let summary = bfw_bench::report::validate_bench_history(&rendered)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "wrote {path} — bfw/bench-history, {} ({} points, {} changed paths)",
+                summary.experiment, summary.points, summary.changes
+            ))
+        }
+        None => Ok(rendered.trim_end_matches('\n').to_owned()),
+    }
 }
 
 fn describe_graph(spec: &GraphSpec) -> String {
@@ -1196,6 +1281,7 @@ mod tests {
                 trace: None,
                 trace_last: None,
                 kernel: None,
+                threads: None,
             }
         );
         assert!(parse(&argv("scenario")).unwrap_err().contains("run FILE"));
@@ -1229,6 +1315,7 @@ mod tests {
                     trace: None,
                     trace_last: None,
                     kernel: Some(kind),
+                    threads: None,
                 }
             );
         }
@@ -1238,6 +1325,31 @@ mod tests {
         assert!(parse(&argv("scenario run a.toml --kernel"))
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn parse_scenario_threads_flag() {
+        assert_eq!(
+            parse(&argv("scenario run a.toml --threads 4")).unwrap(),
+            Command::Scenario {
+                file: "a.toml".into(),
+                seed: None,
+                rounds: None,
+                trace: None,
+                trace_last: None,
+                kernel: None,
+                threads: Some(4),
+            }
+        );
+        assert!(parse(&argv("scenario run a.toml --threads 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("scenario run a.toml --threads"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&argv("scenario run a.toml --threads four"))
+            .unwrap_err()
+            .contains("integer"));
     }
 
     #[test]
@@ -1262,6 +1374,7 @@ mod tests {
                 trace: None,
                 trace_last: None,
                 kernel: Some(kernel),
+                threads: None,
             })
             .unwrap()
         };
@@ -1280,6 +1393,52 @@ mod tests {
         let auto = run(bfw_scenario::KernelKind::Auto);
         assert!(auto.contains("kernel:            generic"), "{auto}");
         assert_eq!(strip(&auto), strip(&bit));
+    }
+
+    #[test]
+    fn execute_scenario_thread_counts_agree_byte_for_byte() {
+        // The tentpole property at CLI level: apart from the threads
+        // header line, `--threads N` never changes a byte of output.
+        let dir = std::env::temp_dir().join("bfw_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("threads.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"threads\"\ngraph = \"cycle:96\"\nrounds = 4000\n\
+             stability = 20\nkernel = \"bit\"\n\n\
+             [[event]]\nat = 1000\nkind = \"noise-burst\"\nfn = 0.01\nfp = 0.01\nrounds = 200\n\n\
+             [[event]]\nat = 1500\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 1600\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = |threads: Option<usize>| {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(42),
+                rounds: None,
+                trace: None,
+                trace_last: None,
+                kernel: None,
+                threads,
+            })
+            .unwrap()
+        };
+        let serial = run(None);
+        assert!(!serial.contains("threads:"), "{serial}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("threads:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for t in [1usize, 2, 7] {
+            let sharded = run(Some(t));
+            assert!(
+                sharded.contains(&format!("threads:           {t}")),
+                "{sharded}"
+            );
+            assert_eq!(strip(&serial), strip(&sharded), "threads={t}");
+        }
     }
 
     #[test]
@@ -1302,6 +1461,7 @@ mod tests {
                 trace: None,
                 trace_last: None,
                 kernel: None,
+                threads: None,
             })
             .unwrap()
         };
@@ -1337,6 +1497,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("protocol:          bfw+recovery"), "{out}");
@@ -1353,6 +1514,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
@@ -1368,6 +1530,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap_err();
         assert!(err.contains("graph"), "{err}");
@@ -1415,6 +1578,7 @@ mod tests {
                 trace: None,
                 trace_last: None,
                 kernel: None,
+                threads: None,
             })
             .unwrap()
         };
@@ -1443,6 +1607,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("runtime:           sync\n"), "{out}");
@@ -1477,6 +1642,7 @@ mod tests {
                 trace: Some("out.json".into()),
                 trace_last: Some(64),
                 kernel: None,
+                threads: None,
             }
         );
         assert!(parse(&argv("scenario run a.toml --trace"))
@@ -1531,6 +1697,7 @@ mod tests {
                 trace,
                 trace_last: None,
                 kernel: None,
+                threads: None,
             })
             .unwrap()
         };
@@ -1610,6 +1777,20 @@ mod tests {
                 right: "b.json".into(),
             }
         );
+        assert_eq!(
+            parse(&argv("report history a.json b.json --out h.json")).unwrap(),
+            Command::ReportHistory {
+                files: vec!["a.json".into(), "b.json".into()],
+                out: Some("h.json".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("report history a.json")).unwrap(),
+            Command::ReportHistory {
+                files: vec!["a.json".into()],
+                out: None,
+            }
+        );
         // The legacy one-SPEC describe form still parses.
         assert_eq!(
             parse(&argv("graph cycle:8")).unwrap(),
@@ -1632,6 +1813,12 @@ mod tests {
         assert!(parse(&argv("report validate"))
             .unwrap_err()
             .contains("at least one"));
+        assert!(parse(&argv("report history"))
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(parse(&argv("report history a.json --bogus"))
+            .unwrap_err()
+            .contains("unknown flag"));
         assert!(parse(&argv("graph export cycle:8 --bogus x"))
             .unwrap_err()
             .contains("unknown flag"));
@@ -1718,6 +1905,7 @@ mod tests {
             trace: Some(scenario_report.to_string_lossy().into_owned()),
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap();
 
@@ -1784,6 +1972,7 @@ mod tests {
                 trace: Some(path.to_string_lossy().into_owned()),
                 trace_last: None,
                 kernel: None,
+                threads: None,
             })
             .unwrap();
         };
@@ -1832,6 +2021,93 @@ mod tests {
     }
 
     #[test]
+    fn report_history_folds_reports_and_validates_back() {
+        use bfw_stats::JsonValue;
+        let dir = std::env::temp_dir().join("bfw_cli_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |seed: u64, rps: f64| {
+            bfw_bench::report::bench_report(
+                "E-demo",
+                true,
+                seed,
+                [],
+                [JsonValue::object([
+                    ("graph", JsonValue::from("cycle:8")),
+                    ("rps", JsonValue::from(rps)),
+                ])],
+            )
+            .render_pretty()
+        };
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, mk(1, 100.0)).unwrap();
+        std::fs::write(&b, mk(1, 150.0)).unwrap();
+
+        // Without --out: the folded document prints to stdout.
+        let out = execute(Command::ReportHistory {
+            files: vec![
+                a.to_string_lossy().into_owned(),
+                b.to_string_lossy().into_owned(),
+            ],
+            out: None,
+        })
+        .unwrap();
+        let value = JsonValue::parse(&out).unwrap();
+        assert_eq!(
+            value.get("format").and_then(JsonValue::as_str),
+            Some("bfw/bench-history")
+        );
+        assert_eq!(
+            value.get("experiment").and_then(JsonValue::as_str),
+            Some("E-demo")
+        );
+        assert_eq!(
+            value
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+
+        // With --out: the file lands on disk and `report validate`
+        // dispatches on its envelope.
+        let h = dir.join("history.json");
+        let out = execute(Command::ReportHistory {
+            files: vec![
+                a.to_string_lossy().into_owned(),
+                b.to_string_lossy().into_owned(),
+            ],
+            out: Some(h.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("2 points"), "{out}");
+        let out = execute(Command::ReportValidate {
+            files: vec![h.to_string_lossy().into_owned()],
+        })
+        .unwrap();
+        assert!(out.contains("bfw/bench-history"), "{out}");
+        assert!(out.contains("E-demo"), "{out}");
+
+        // Mixed experiments refuse to fold.
+        let c = dir.join("c.json");
+        std::fs::write(
+            &c,
+            bfw_bench::report::bench_report("E-other", true, 1, [], []).render_pretty(),
+        )
+        .unwrap();
+        let err = execute(Command::ReportHistory {
+            files: vec![
+                a.to_string_lossy().into_owned(),
+                c.to_string_lossy().into_owned(),
+            ],
+            out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("different experiments"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn scenario_toml_accepts_generator_families() {
         // The scenario `graph` key resolves through GraphSpec, so the
         // provenance-tagged generator families (ba, plaw) work in TOML.
@@ -1851,6 +2127,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("graph:             ba:32:2:7"), "{out}");
@@ -1875,6 +2152,7 @@ mod tests {
             trace: None,
             trace_last: None,
             kernel: None,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("complexity: steps=500"), "{out}");

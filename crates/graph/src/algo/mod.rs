@@ -10,6 +10,7 @@ mod connectivity;
 mod degree;
 mod diameter;
 mod distance;
+mod rcm;
 mod union_find;
 
 pub use bfs::{bfs_distances, distance, eccentricity, UNREACHABLE};
@@ -17,4 +18,5 @@ pub use connectivity::{connected_components, is_connected, ComponentLabels};
 pub use degree::{degree_stats, DegreeStats};
 pub use diameter::{diameter, diameter_two_sweep_lower_bound, radius};
 pub use distance::DistanceMatrix;
+pub use rcm::{bandwidth, reverse_cuthill_mckee};
 pub use union_find::UnionFind;

@@ -1,0 +1,136 @@
+//! Reverse Cuthill–McKee bandwidth-reducing node ordering.
+//!
+//! The bit-parallel propagation kernel ([`crate::WordGraph`]) touches
+//! one cache line per *word distance* between an edge's endpoint words.
+//! Relabeling nodes so that neighbors get nearby labels shrinks those
+//! distances: a BFS layering visited in degree order (Cuthill–McKee),
+//! reversed, is the classic cheap heuristic that turns an irregular
+//! sparse adjacency into a near-banded one.
+
+use crate::{Graph, NodeId};
+
+/// Computes a Reverse Cuthill–McKee permutation of `g`.
+///
+/// Returns `perm` with `perm[u] = `new label of node `u`. The ordering
+/// is fully deterministic: each component is rooted at its unvisited
+/// node of minimum `(degree, id)`, and BFS frontiers are expanded in
+/// ascending `(degree, id)` neighbor order before the whole visit
+/// sequence is reversed.
+///
+/// Disconnected graphs are handled component by component; isolated
+/// nodes end up first in the reversed order, which is harmless for the
+/// bandwidth objective.
+pub fn reverse_cuthill_mckee(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Roots tried in ascending (degree, id): stable across runs.
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_by_key(|&u| (g.degree(NodeId::new(u as usize)), u));
+
+    let mut frontier: Vec<u32> = Vec::new();
+    for &root in &by_degree {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        let mut head = order.len();
+        order.push(root);
+        while head < order.len() {
+            let u = order[head] as usize;
+            head += 1;
+            frontier.clear();
+            for &v in g.neighbors(NodeId::new(u)) {
+                let vi = v.index();
+                if !visited[vi] {
+                    visited[vi] = true;
+                    frontier.push(vi as u32);
+                }
+            }
+            frontier.sort_by_key(|&v| (g.degree(NodeId::new(v as usize)), v));
+            order.extend_from_slice(&frontier);
+        }
+    }
+    order.reverse();
+    let mut perm = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as u32;
+    }
+    perm
+}
+
+/// Maximum over all edges `{u, v}` of `|label(u) − label(v)|` under the
+/// identity labeling — the quantity RCM tries to minimise.
+pub fn bandwidth(g: &Graph, perm: Option<&[u32]>) -> usize {
+    let mut bw = 0usize;
+    for u in g.nodes() {
+        for &v in g.neighbors(u) {
+            let (a, b) = match perm {
+                Some(p) => (p[u.index()] as usize, p[v.index()] as usize),
+                None => (u.index(), v.index()),
+            };
+            bw = bw.max(a.abs_diff(b));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn is_permutation(perm: &[u32]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if seen[p as usize] {
+                return false;
+            }
+            seen[p as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = generators::random_regular(200, 4, &mut rng);
+        let p1 = reverse_cuthill_mckee(&g);
+        let p2 = reverse_cuthill_mckee(&g);
+        assert!(is_permutation(&p1));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_scrambled_cycle() {
+        // A cycle with scrambled labels has bandwidth ~n; RCM must
+        // recover a labeling with bandwidth <= 2 (the CM layering of a
+        // cycle interleaves the two arcs).
+        let n = 257usize;
+        let mut scramble: Vec<u32> = (0..n as u32).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        for i in (1..n).rev() {
+            scramble.swap(i, rng.random_range(0..i + 1));
+        }
+        let edges: Vec<(u32, u32)> = (0..n)
+            .map(|i| (scramble[i], scramble[(i + 1) % n]))
+            .collect();
+        let g = Graph::from_edges(n, edges).unwrap();
+        let before = bandwidth(&g, None);
+        let perm = reverse_cuthill_mckee(&g);
+        let after = bandwidth(&g, Some(&perm));
+        assert!(before > n / 2, "scramble should start wide: {before}");
+        assert!(after <= 2, "RCM must band a cycle, got {after}");
+    }
+
+    #[test]
+    fn rcm_handles_empty_and_disconnected() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(reverse_cuthill_mckee(&g).is_empty());
+        let g = Graph::from_edges(5, [(0, 1), (3, 4)]).unwrap();
+        let perm = reverse_cuthill_mckee(&g);
+        assert!(is_permutation(&perm));
+    }
+}

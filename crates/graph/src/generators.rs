@@ -453,6 +453,13 @@ pub fn power_law_configuration<R: Rng + ?Sized>(n: usize, gamma: f64, rng: &mut 
 ///
 /// May be disconnected for small radii.
 ///
+/// Candidate pairs come from a uniform grid of `radius`-sized cells
+/// (each point only checks the 3×3 cell block around it), so
+/// construction is `O(n + edges)` expected instead of all-pairs — the
+/// difference between seconds and hours at `n = 10⁶`. The edge *set*
+/// is exactly the all-pairs one and is emitted in sorted `(u, v)`
+/// order, so the result is independent of the bucketing.
+///
 /// # Panics
 ///
 /// Panics if `n == 0` or `radius` is negative or non-finite.
@@ -466,17 +473,95 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
         .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
         .collect();
     let r2 = radius * radius;
+    // Grid-bucket the unit square at cell size `radius` (clamped so
+    // tiny radii don't explode the grid): any pair within `radius`
+    // lies in the same or an adjacent cell.
+    let side = if radius > 0.0 {
+        ((1.0 / radius) as usize + 1).min(n.isqrt() + 1)
+    } else {
+        1
+    };
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let clamp = |x: f64| ((x * side as f64) as usize).min(side - 1);
+        (clamp(p.0), clamp(p.1))
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); side * side];
+    for (u, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * side + cx].push(u as u32);
+    }
     let mut edges = Vec::new();
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let dx = points[u].0 - points[v].0;
-            let dy = points[u].1 - points[v].1;
-            if dx * dx + dy * dy <= r2 {
-                edges.push((u as u32, v as u32));
+    for (u, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(side - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(side - 1) {
+                for &v in &buckets[ny * side + nx] {
+                    if v as usize <= u {
+                        continue;
+                    }
+                    let q = points[v as usize];
+                    let (dx, dy) = (p.0 - q.0, p.1 - q.1);
+                    if dx * dx + dy * dy <= r2 {
+                        edges.push((u as u32, v));
+                    }
+                }
             }
         }
     }
+    edges.sort_unstable();
     Graph::from_edges(n, edges).expect("geometric edges are valid by construction")
+}
+
+/// Returns a connected random geometric (unit-disk) graph: `n` points
+/// uniform in the unit square, an edge between points at Euclidean
+/// distance `<= radius`, and — when the disk graph is disconnected —
+/// one bridge edge per extra component, from that component's smallest
+/// node to the smallest node of the anchor component.
+///
+/// The beeping model's motivating topology (wireless broadcast): nodes
+/// hear exactly their radio range. The bridging keeps leader-election
+/// workloads well-posed at small radii while changing at most
+/// `components − 1` edges. Point placement draws `2n` values from
+/// `rng` in node order, so the layout is seed-stable.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius` is negative or non-finite.
+pub fn random_geometric_connected<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    let disk = random_geometric(n, radius, rng);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(disk.edge_count());
+    for u in disk.nodes() {
+        for &v in disk.neighbors(u) {
+            if u.index() < v.index() {
+                edges.push((u.index() as u32, v.index() as u32));
+            }
+        }
+    }
+    // Union-find over the disk edges (path-halving find), then bridge
+    // each later component's smallest node to the anchor component's.
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    for &(u, v) in &edges {
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    let anchor = find(&mut parent, 0);
+    for u in 1..n {
+        let root = find(&mut parent, u);
+        if root != anchor {
+            edges.push((anchor.min(u) as u32, anchor.max(u) as u32));
+            parent[root] = anchor;
+        }
+    }
+    Graph::from_edges(n, edges).expect("disk edges plus cross-component bridges stay simple")
 }
 
 /// Returns the barbell graph: two cliques `K_k` joined by a path of
@@ -747,6 +832,58 @@ mod tests {
         // sqrt(2) covers the whole unit square.
         let all = random_geometric(10, 1.5, &mut rng);
         assert_eq!(all.edge_count(), 45);
+    }
+
+    #[test]
+    fn random_geometric_connected_bridges_components() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // radius 0: the disk graph has no edges at all, so every node
+        // becomes its own component and gets bridged to node 0.
+        let star_ish = random_geometric_connected(10, 0.0, &mut rng);
+        assert!(algo::is_connected(&star_ish));
+        assert_eq!(star_ish.edge_count(), 9);
+        // A realistic sparse radius also comes out connected.
+        let g = random_geometric_connected(300, 0.05, &mut rng);
+        assert_eq!(g.node_count(), 300);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn random_geometric_grid_bucketing_matches_all_pairs() {
+        // The grid-bucketed builder claims the exact all-pairs edge
+        // set; re-derive it naively from the same point draws.
+        for (n, radius, seed) in [(50usize, 0.2, 3u64), (400, 0.07, 9), (137, 0.031, 21)] {
+            let g = random_geometric(n, radius, &mut ChaCha8Rng::seed_from_u64(seed));
+            let points: Vec<(f64, f64)> = {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (0..n)
+                    .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+                    .collect()
+            };
+            let mut expected = 0usize;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let (dx, dy) = (points[u].0 - points[v].0, points[u].1 - points[v].1);
+                    let within = dx * dx + dy * dy <= radius * radius;
+                    assert_eq!(
+                        g.has_edge(crate::NodeId::new(u), crate::NodeId::new(v)),
+                        within,
+                        "n={n} radius={radius} edge {u}-{v}"
+                    );
+                    expected += usize::from(within);
+                }
+            }
+            assert_eq!(g.edge_count(), expected);
+        }
+    }
+
+    #[test]
+    fn random_geometric_connected_is_seed_deterministic() {
+        let a = random_geometric_connected(80, 0.1, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_geometric_connected(80, 0.1, &mut ChaCha8Rng::seed_from_u64(7));
+        let c = random_geometric_connected(80, 0.1, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub use error::GraphError;
 pub use graph::{Edges, Graph, Nodes};
 pub use node::NodeId;
 pub use overlay::{OverlayGraph, OverlayNeighbors, TopologyDelta};
-pub use wordgraph::{words_for, WordGraph};
+pub use wordgraph::{words_for, Relabeling, WordGraph};

@@ -16,17 +16,31 @@
 //!   class that does not cover every node (e.g. the row-wrap edges of a
 //!   torus) carries a source mask. This is `O(classes · n / 64)` with
 //!   perfect memory locality.
-//! * **Gather** — the general fallback: a blocked CSR push that scans the
-//!   emission words, skips zero words (63 idle nodes cost one branch),
-//!   and scatters each emitter's neighbor list into the result bitset.
-//!   On regular graphs the neighbor schedule is a flat `n × d` array
-//!   with a fixed stride — no per-row offsets (see
-//!   [`Graph::uniform_degree`]).
+//! * **EdgeStream** — the general fallback: a destination-major pull
+//!   stream. Every directed edge is packed into one `u32`
+//!   (`src_word << 12 | src_bit << 6 | dst_bit`) and bucketed by
+//!   destination word; propagation streams each bucket branch-free,
+//!   accumulating the destination word in a register and storing it
+//!   once. Entries are sorted by source word inside a bucket, so the
+//!   source bitset is read in order.
+//!
+//! Before falling back, the builder computes a **Reverse Cuthill–McKee
+//! relabeling** ([`crate::algo::reverse_cuthill_mckee`]) and retries the
+//! shift classification under the new labels — a structured topology
+//! whose labels were scrambled snaps back to the rotation fast path,
+//! and everything else gets a near-banded edge stream whose source
+//! reads hit hot cache lines. The permutation is recorded in
+//! [`WordGraph::relabeling`]: bitsets handed to [`propagate_or`] live in
+//! the *internal* (relabeled) space, and callers translate node ids at
+//! their public boundary so the relabeling stays externally invisible.
 //!
 //! Invariant shared with all callers: in the last word of an `n`-bit
 //! bitset, bits `>= n` are zero. [`WordGraph::propagate_or`] preserves
 //! it and relies on it.
+//!
+//! [`propagate_or`]: WordGraph::propagate_or
 
+use crate::algo::reverse_cuthill_mckee;
 use crate::{Graph, NodeId};
 use std::collections::BTreeMap;
 
@@ -37,10 +51,14 @@ pub fn words_for(n: usize) -> usize {
 }
 
 /// Above this many distinct shift classes the rotation plan stops paying
-/// for itself and construction falls back to the blocked CSR gather.
-/// Cycles need 2, tori 6, hypercubes `2 log n` (12 covers n = 64); a
+/// for itself and construction falls back to the edge stream. Cycles
+/// need 2, tori 6, hypercubes `2 log n` (12 covers n = 64); a
 /// random-regular graph blows past the cap immediately.
 const MAX_SHIFT_CLASSES: usize = 12;
+
+/// Packed edge-stream entries reserve 20 bits for the source word
+/// index, so the stream plan handles up to `2^26` nodes.
+const MAX_STREAM_NODES: usize = 1 << 26;
 
 /// One shift class of the rotation plan: every directed edge `u → v`
 /// with `(v − u) mod n == shift`.
@@ -56,16 +74,59 @@ struct Rotation {
 #[derive(Debug, Clone)]
 enum Plan {
     Rotations(Vec<Rotation>),
-    Gather {
-        /// Flat concatenated neighbor lists.
-        neighbors: Vec<u32>,
-        /// `offsets[u]..offsets[u+1]` indexes `neighbors`; `None` on
-        /// regular graphs, where row `u` is `u*stride..(u+1)*stride`.
-        offsets: Option<Vec<usize>>,
-        /// Fixed row stride when `offsets` is `None` (the uniform
-        /// degree); unused otherwise.
-        stride: usize,
+    EdgeStream {
+        /// `entries[offsets[w]..offsets[w + 1]]` feed destination word
+        /// `w`; length `words + 1`.
+        offsets: Vec<usize>,
+        /// Packed directed edges, `src_word << 12 | src_bit << 6 |
+        /// dst_bit`, sorted by source word within each bucket.
+        entries: Vec<u32>,
     },
+}
+
+/// A node relabeling attached to a [`WordGraph`]: the plan's bitsets
+/// are indexed by *internal* labels, callers' public ids by *original*
+/// labels.
+#[derive(Debug, Clone)]
+pub struct Relabeling {
+    /// `perm[original] = internal`.
+    perm: Vec<u32>,
+    /// `inv[internal] = original`.
+    inv: Vec<u32>,
+}
+
+impl Relabeling {
+    fn new(perm: Vec<u32>) -> Self {
+        let mut inv = vec![0u32; perm.len()];
+        for (orig, &int) in perm.iter().enumerate() {
+            inv[int as usize] = orig as u32;
+        }
+        Relabeling { perm, inv }
+    }
+
+    /// Internal label of original node `u`.
+    #[inline]
+    pub fn to_internal(&self, u: usize) -> usize {
+        self.perm[u] as usize
+    }
+
+    /// Original label of internal node `i`.
+    #[inline]
+    pub fn to_original(&self, i: usize) -> usize {
+        self.inv[i] as usize
+    }
+
+    /// The forward permutation, `perm[original] = internal`.
+    #[inline]
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// The inverse permutation, `inv[internal] = original`.
+    #[inline]
+    pub fn inv(&self) -> &[u32] {
+        &self.inv
+    }
 }
 
 /// A word-packed adjacency view of a [`Graph`], optimised for the
@@ -91,19 +152,65 @@ pub struct WordGraph {
     n: usize,
     words: usize,
     plan: Plan,
+    relabel: Option<Relabeling>,
 }
 
 impl WordGraph {
-    /// Builds the view, choosing the rotation plan when the directed
-    /// edges fall into at most 12 shift classes and the blocked CSR
-    /// gather otherwise.
+    /// Builds the view: rotation plan when the directed edges fall into
+    /// at most 12 shift classes, otherwise an RCM relabeling is
+    /// computed, the classification retried under the new labels, and
+    /// failing that the (relabeled) edge-stream plan is used. When a
+    /// relabeling is active ([`Self::relabeling`] is `Some`) the bitsets
+    /// passed to [`Self::propagate_or`] are in internal label space.
     pub fn build(graph: &Graph) -> Self {
+        Self::build_inner(graph, true)
+    }
+
+    /// Builds the view without ever relabeling — original labels, edge
+    /// stream fallback as-is. Used to benchmark what the relabeling
+    /// buys; engines should prefer [`Self::build`].
+    pub fn build_no_relabel(graph: &Graph) -> Self {
+        Self::build_inner(graph, false)
+    }
+
+    fn build_inner(graph: &Graph, relabel: bool) -> Self {
         let n = graph.node_count();
         let words = words_for(n);
-        let plan = classify_shifts(graph)
-            .map(|classes| Plan::Rotations(build_rotations(graph, classes)))
-            .unwrap_or_else(|| build_gather(graph));
-        WordGraph { n, words, plan }
+        if let Some(classes) = classify_shifts(graph, None) {
+            let plan = Plan::Rotations(build_rotations(graph, classes, None));
+            return WordGraph {
+                n,
+                words,
+                plan,
+                relabel: None,
+            };
+        }
+        if relabel {
+            let relab = Relabeling::new(reverse_cuthill_mckee(graph));
+            if let Some(classes) = classify_shifts(graph, Some(&relab)) {
+                let plan = Plan::Rotations(build_rotations(graph, classes, Some(&relab)));
+                return WordGraph {
+                    n,
+                    words,
+                    plan,
+                    relabel: Some(relab),
+                };
+            }
+            let plan = build_edge_stream(graph, Some(&relab));
+            return WordGraph {
+                n,
+                words,
+                plan,
+                relabel: Some(relab),
+            };
+        }
+        let plan = build_edge_stream(graph, None);
+        WordGraph {
+            n,
+            words,
+            plan,
+            relabel: None,
+        }
     }
 
     /// Number of nodes `n`.
@@ -123,13 +230,24 @@ impl WordGraph {
         matches!(self.plan, Plan::Rotations(_))
     }
 
-    /// `true` when the gather plan runs with a fixed row stride (regular
-    /// graph, no per-row offsets).
-    pub fn uses_fixed_stride(&self) -> bool {
-        matches!(
-            self.plan,
-            Plan::Gather { offsets: None, .. } if self.n > 0
-        )
+    /// `true` when the destination-major edge-stream plan was selected.
+    pub fn uses_edge_stream(&self) -> bool {
+        matches!(self.plan, Plan::EdgeStream { .. })
+    }
+
+    /// Short name of the selected plan, for reports.
+    pub fn plan_kind(&self) -> &'static str {
+        match self.plan {
+            Plan::Rotations(_) => "rotations",
+            Plan::EdgeStream { .. } => "edge-stream",
+        }
+    }
+
+    /// The active node relabeling, or `None` when the plan runs in
+    /// original labels.
+    #[inline]
+    pub fn relabeling(&self) -> Option<&Relabeling> {
+        self.relabel.as_ref()
     }
 
     /// ORs every emitter's neighborhood into `dst`:
@@ -138,7 +256,8 @@ impl WordGraph {
     /// `src` and `dst` are `n`-bit bitsets (`self.words()` words each)
     /// with bits `>= n` clear in the last word; the call preserves that
     /// invariant. Self-hearing is the caller's job (copy `src` into
-    /// `dst` first).
+    /// `dst` first). When [`Self::relabeling`] is `Some`, both bitsets
+    /// are indexed by internal labels.
     ///
     /// # Panics
     ///
@@ -146,48 +265,60 @@ impl WordGraph {
     pub fn propagate_or(&self, src: &[u64], dst: &mut [u64]) {
         assert_eq!(src.len(), self.words, "src has wrong word count");
         assert_eq!(dst.len(), self.words, "dst has wrong word count");
+        self.propagate_or_range(src, dst, 0);
+    }
+
+    /// Ranged [`Self::propagate_or`]: fills only the destination words
+    /// `lo..lo + dst_chunk.len()` (reading `src` wherever the plan
+    /// needs), writing into `dst_chunk[w - lo]`. Disjoint chunks
+    /// covering `0..words` compose to exactly `propagate_or` — this is
+    /// the word-sharded entry point used by the parallel engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has the wrong length or the chunk overruns the
+    /// word range.
+    pub fn propagate_or_range(&self, src: &[u64], dst_chunk: &mut [u64], lo: usize) {
+        assert_eq!(src.len(), self.words, "src has wrong word count");
+        let hi = lo + dst_chunk.len();
+        assert!(hi <= self.words, "dst chunk overruns word range");
         match &self.plan {
             Plan::Rotations(rotations) => {
                 for rot in rotations {
-                    rotate_or_into(dst, src, rot.mask.as_deref(), rot.shift, self.n);
+                    rotate_or_into(dst_chunk, lo, src, rot.mask.as_deref(), rot.shift, self.n);
                 }
             }
-            Plan::Gather {
-                neighbors,
-                offsets,
-                stride,
-            } => {
-                for (wi, &word) in src.iter().enumerate() {
-                    let mut bits = word;
-                    while bits != 0 {
-                        let u = wi * 64 + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let row = match offsets {
-                            Some(offs) => &neighbors[offs[u]..offs[u + 1]],
-                            None => &neighbors[u * stride..(u + 1) * stride],
-                        };
-                        for &v in row {
-                            dst[(v as usize) >> 6] |= 1u64 << (v & 63);
-                        }
+            Plan::EdgeStream { offsets, entries } => {
+                for w in lo..hi {
+                    let mut acc = dst_chunk[w - lo];
+                    for &e in &entries[offsets[w]..offsets[w + 1]] {
+                        let bit = src[(e >> 12) as usize] >> ((e >> 6) & 63) & 1;
+                        acc |= bit << (e & 63);
                     }
+                    dst_chunk[w - lo] = acc;
                 }
             }
         }
     }
 }
 
-/// Classifies every directed edge by its shift `(v − u) mod n`.
-/// Returns the sorted distinct shifts, or `None` as soon as more than
-/// [`MAX_SHIFT_CLASSES`] appear (the scan bails out early).
-fn classify_shifts(graph: &Graph) -> Option<Vec<usize>> {
+/// Classifies every directed edge by its shift `(v − u) mod n` (labels
+/// mapped through `relab` when given). Returns the sorted distinct
+/// shifts, or `None` as soon as more than [`MAX_SHIFT_CLASSES`] appear
+/// (the scan bails out early).
+fn classify_shifts(graph: &Graph, relab: Option<&Relabeling>) -> Option<Vec<usize>> {
     let n = graph.node_count();
     if n == 0 || graph.edge_count() == 0 {
         return Some(Vec::new());
     }
+    let map = |u: usize| match relab {
+        Some(r) => r.to_internal(u),
+        None => u,
+    };
     let mut shifts = BTreeMap::new();
     for u in graph.nodes() {
         for &v in graph.neighbors(u) {
-            let d = (v.index() + n - u.index()) % n;
+            let d = (map(v.index()) + n - map(u.index())) % n;
             shifts.insert(d, ());
             if shifts.len() > MAX_SHIFT_CLASSES {
                 return None;
@@ -197,7 +328,11 @@ fn classify_shifts(graph: &Graph) -> Option<Vec<usize>> {
     Some(shifts.into_keys().collect())
 }
 
-fn build_rotations(graph: &Graph, classes: Vec<usize>) -> Vec<Rotation> {
+fn build_rotations(
+    graph: &Graph,
+    classes: Vec<usize>,
+    relab: Option<&Relabeling>,
+) -> Vec<Rotation> {
     let n = graph.node_count();
     let words = words_for(n);
     classes
@@ -205,10 +340,14 @@ fn build_rotations(graph: &Graph, classes: Vec<usize>) -> Vec<Rotation> {
         .map(|shift| {
             let mut mask = vec![0u64; words];
             let mut covered = 0usize;
-            for u in graph.nodes() {
-                let target = (u.index() + shift) % n;
-                if graph.has_edge(u, NodeId::new(target)) {
-                    mask[u.index() >> 6] |= 1u64 << (u.index() & 63);
+            for u_int in 0..n {
+                let target_int = (u_int + shift) % n;
+                let (u, target) = match relab {
+                    Some(r) => (r.to_original(u_int), r.to_original(target_int)),
+                    None => (u_int, target_int),
+                };
+                if graph.has_edge(NodeId::new(u), NodeId::new(target)) {
+                    mask[u_int >> 6] |= 1u64 << (u_int & 63);
                     covered += 1;
                 }
             }
@@ -220,46 +359,66 @@ fn build_rotations(graph: &Graph, classes: Vec<usize>) -> Vec<Rotation> {
         .collect()
 }
 
-fn build_gather(graph: &Graph) -> Plan {
-    let flat: Vec<u32> = graph
-        .nodes()
-        .flat_map(|u| graph.neighbors(u).iter().map(|v| v.index() as u32))
-        .collect();
-    match graph.uniform_degree() {
-        Some(stride) => Plan::Gather {
-            neighbors: flat,
-            offsets: None,
-            stride,
-        },
-        None => {
-            let n = graph.node_count();
-            let mut offsets = Vec::with_capacity(n + 1);
-            let mut acc = 0usize;
-            offsets.push(0);
-            for u in graph.nodes() {
-                acc += graph.degree(u);
-                offsets.push(acc);
-            }
-            Plan::Gather {
-                neighbors: flat,
-                offsets: Some(offsets),
-                stride: 0,
-            }
+fn build_edge_stream(graph: &Graph, relab: Option<&Relabeling>) -> Plan {
+    let n = graph.node_count();
+    assert!(
+        n <= MAX_STREAM_NODES,
+        "edge-stream plan packs src words in 20 bits: n = {n} > {MAX_STREAM_NODES}"
+    );
+    let words = words_for(n);
+    let map = |u: usize| match relab {
+        Some(r) => r.to_internal(u),
+        None => u,
+    };
+    // Bucket-count pass, then fill: one packed u32 per directed edge.
+    let mut counts = vec![0usize; words + 1];
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            counts[(map(v.index()) >> 6) + 1] += 1;
         }
     }
+    let mut offsets = counts;
+    for w in 1..offsets.len() {
+        offsets[w] += offsets[w - 1];
+    }
+    let mut entries = vec![0u32; offsets[words]];
+    let mut cursor = offsets.clone();
+    for u in graph.nodes() {
+        let ui = map(u.index());
+        for &v in graph.neighbors(u) {
+            let vi = map(v.index());
+            let slot = &mut cursor[vi >> 6];
+            entries[*slot] = ((ui >> 6) as u32) << 12 | ((ui & 63) as u32) << 6 | (vi & 63) as u32;
+            *slot += 1;
+        }
+    }
+    // Sort each bucket so the source bitset is read in word order.
+    for w in 0..words {
+        entries[offsets[w]..offsets[w + 1]].sort_unstable();
+    }
+    Plan::EdgeStream { offsets, entries }
 }
 
 /// ORs the `n`-bit ring rotation of `src` (optionally masked) by
-/// `shift` bits into `dst`: bit `i` of the masked source lands on bit
-/// `(i + shift) mod n`.
+/// `shift` bits into the destination chunk covering words
+/// `lo..lo + dst_chunk.len()`: bit `i` of the masked source lands on
+/// bit `(i + shift) mod n`.
 ///
 /// Decomposes into a word-level left shift by `shift` (bits that stay
 /// below `n`) plus a word-level right shift by `n − shift` (bits that
 /// wrap); both are plain two-word funnel shifts. Relies on bits `>= n`
-/// of `src`'s last word being zero and leaves `dst`'s clear.
-fn rotate_or_into(dst: &mut [u64], src: &[u64], mask: Option<&[u64]>, shift: usize, n: usize) {
+/// of `src`'s last word being zero and leaves the destination's clear.
+fn rotate_or_into(
+    dst_chunk: &mut [u64],
+    lo: usize,
+    src: &[u64],
+    mask: Option<&[u64]>,
+    shift: usize,
+    n: usize,
+) {
     debug_assert!(shift > 0 && shift < n);
-    let words = dst.len();
+    let words = src.len();
+    let hi = lo + dst_chunk.len();
     let read = |w: usize| -> u64 {
         match mask {
             Some(m) => src[w] & m[w],
@@ -276,37 +435,37 @@ fn rotate_or_into(dst: &mut [u64], src: &[u64], mask: Option<&[u64]>, shift: usi
 
     // Part 1: bits i in 0..n-shift go to i+shift (word-level shl).
     let (q, r) = (shift / 64, (shift % 64) as u32);
-    for w in (q..words).rev() {
-        let lo = read(w - q);
+    for w in (q.max(lo)..hi).rev() {
+        let lo_word = read(w - q);
         let out = if r == 0 {
-            lo
+            lo_word
         } else {
             let carry = if w > q {
                 read(w - q - 1) >> (64 - r)
             } else {
                 0
             };
-            (lo << r) | carry
+            (lo_word << r) | carry
         };
-        dst[w] |= if w == words - 1 { out & tail_mask } else { out };
+        dst_chunk[w - lo] |= if w == words - 1 { out & tail_mask } else { out };
     }
 
     // Part 2: bits i in n-shift..n wrap to i-(n-shift) (word-level shr).
     let e = n - shift;
     let (qe, re) = (e / 64, (e % 64) as u32);
-    for (w, d) in dst.iter_mut().enumerate().take(words.saturating_sub(qe)) {
-        let hi = read(w + qe);
+    for w in lo..hi.min(words.saturating_sub(qe)) {
+        let hi_word = read(w + qe);
         let out = if re == 0 {
-            hi
+            hi_word
         } else {
             let carry = if w + qe + 1 < words {
                 read(w + qe + 1) << (64 - re)
             } else {
                 0
             };
-            (hi >> re) | carry
+            (hi_word >> re) | carry
         };
-        *d |= out;
+        dst_chunk[w - lo] |= out;
     }
 }
 
@@ -330,30 +489,38 @@ mod tests {
         heard
     }
 
-    fn pack(flags: &[bool]) -> Vec<u64> {
-        let mut words = vec![0u64; words_for(flags.len())];
+    /// Packs original-label flags into the plan's (possibly relabeled)
+    /// bitset space.
+    fn pack(flags: &[bool], wg: &WordGraph) -> Vec<u64> {
+        let mut words = vec![0u64; wg.words()];
         for (i, &b) in flags.iter().enumerate() {
             if b {
-                words[i >> 6] |= 1u64 << (i & 63);
+                let j = wg.relabeling().map_or(i, |r| r.to_internal(i));
+                words[j >> 6] |= 1u64 << (j & 63);
             }
         }
         words
     }
 
-    fn unpack(words: &[u64], n: usize) -> Vec<bool> {
-        (0..n).map(|i| words[i >> 6] >> (i & 63) & 1 == 1).collect()
+    /// Unpacks the plan's bitset back to original-label flags.
+    fn unpack(words: &[u64], n: usize, wg: &WordGraph) -> Vec<bool> {
+        (0..n)
+            .map(|i| {
+                let j = wg.relabeling().map_or(i, |r| r.to_internal(i));
+                words[j >> 6] >> (j & 63) & 1 == 1
+            })
+            .collect()
     }
 
-    fn check_against_naive(graph: &Graph, seed: u64) {
+    fn check_one(graph: &Graph, wg: &WordGraph, seed: u64) {
         let n = graph.node_count();
-        let wg = WordGraph::build(graph);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for density in [0.0, 0.02, 0.5, 1.0] {
             let emit: Vec<bool> = (0..n).map(|_| rng.random_bool(density)).collect();
-            let words = pack(&emit);
+            let words = pack(&emit, wg);
             let mut heard = words.clone();
             wg.propagate_or(&words, &mut heard);
-            assert_eq!(unpack(&heard, n), naive(graph, &emit), "n={n}");
+            assert_eq!(unpack(&heard, n, wg), naive(graph, &emit), "n={n}");
             if !n.is_multiple_of(64) && n > 0 {
                 assert_eq!(
                     heard[wg.words() - 1] >> (n % 64),
@@ -361,7 +528,30 @@ mod tests {
                     "bits >= n must stay clear"
                 );
             }
+            // Sharded propagation over uneven chunks must agree with
+            // the whole-range call.
+            for shards in [2usize, 3, 7] {
+                let mut sharded = words.clone();
+                let per = wg.words().div_ceil(shards).max(1);
+                let mut lo = 0;
+                while lo < wg.words() {
+                    let hi = (lo + per).min(wg.words());
+                    let chunk = &mut sharded[lo..hi];
+                    // Reconstruct a read view of the source: chunks only
+                    // write their own range, so src stays `words`.
+                    let mut tmp = chunk.to_vec();
+                    wg.propagate_or_range(&words, &mut tmp, lo);
+                    chunk.copy_from_slice(&tmp);
+                    lo = hi;
+                }
+                assert_eq!(sharded, heard, "shards={shards} n={n}");
+            }
         }
+    }
+
+    fn check_against_naive(graph: &Graph, seed: u64) {
+        check_one(graph, &WordGraph::build(graph), seed);
+        check_one(graph, &WordGraph::build_no_relabel(graph), seed + 1);
     }
 
     #[test]
@@ -370,6 +560,7 @@ mod tests {
             let g = generators::cycle(n);
             let wg = WordGraph::build(&g);
             assert!(wg.uses_rotations(), "cycle({n})");
+            assert!(wg.relabeling().is_none(), "cycle({n}) needs no relabel");
             check_against_naive(&g, 7 + n as u64);
         }
     }
@@ -393,31 +584,54 @@ mod tests {
     }
 
     #[test]
-    fn random_regular_uses_fixed_stride_gather() {
+    fn scrambled_cycle_relabels_back_to_rotations() {
+        // Same cycle as `cycle_uses_rotations…` but with labels sent
+        // through a multiplicative scramble: the original labels blow
+        // the shift-class cap, and RCM must recover a banded order that
+        // re-enables the rotation plan.
+        let n = 257usize;
+        let mut scramble: Vec<u32> = (0..n as u32).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        for i in (1..n).rev() {
+            scramble.swap(i, rng.random_range(0..i + 1));
+        }
+        let edges: Vec<(u32, u32)> = (0..n)
+            .map(|i| (scramble[i], scramble[(i + 1) % n]))
+            .collect();
+        let g = Graph::from_edges(n, edges).unwrap();
+        let wg = WordGraph::build(&g);
+        assert!(wg.relabeling().is_some(), "scramble must trigger RCM");
+        assert!(wg.uses_rotations(), "relabeled cycle must rotate");
+        assert!(WordGraph::build_no_relabel(&g).uses_edge_stream());
+        check_against_naive(&g, 41);
+    }
+
+    #[test]
+    fn random_regular_uses_relabeled_edge_stream() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let g = generators::random_regular(96, 4, &mut rng);
         assert_eq!(g.uniform_degree(), Some(4));
         let wg = WordGraph::build(&g);
         assert!(!wg.uses_rotations());
-        assert!(wg.uses_fixed_stride());
+        assert!(wg.uses_edge_stream());
+        assert!(wg.relabeling().is_some(), "expander still gets RCM order");
+        assert_eq!(wg.plan_kind(), "edge-stream");
         check_against_naive(&g, 13);
     }
 
     #[test]
-    fn irregular_graph_uses_offset_gather() {
+    fn irregular_graph_uses_edge_stream() {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let g = generators::erdos_renyi(80, 0.08, &mut rng);
-        if g.uniform_degree().is_none() {
-            let wg = WordGraph::build(&g);
-            assert!(!wg.uses_fixed_stride());
+        if !WordGraph::build(&g).uses_rotations() {
             check_against_naive(&g, 17);
         }
     }
 
     #[test]
     fn star_matches_naive() {
-        // Hub degree n-1: shift classes exceed the cap, offsets differ
-        // wildly — the stress case for the gather plan.
+        // Hub degree n-1: shift classes exceed the cap even after
+        // relabeling — the stress case for the edge-stream plan.
         let g = generators::star(100);
         let wg = WordGraph::build(&g);
         assert!(!wg.uses_rotations());
@@ -449,6 +663,19 @@ mod tests {
         let wg = WordGraph::build(&g);
         assert!(wg.uses_rotations());
         check_against_naive(&g, 31);
+    }
+
+    #[test]
+    fn relabeling_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_regular(130, 4, &mut rng);
+        let wg = WordGraph::build(&g);
+        let r = wg.relabeling().expect("relabeled");
+        for u in 0..130 {
+            assert_eq!(r.to_original(r.to_internal(u)), u);
+            assert_eq!(r.perm()[u] as usize, r.to_internal(u));
+            assert_eq!(r.inv()[r.to_internal(u)] as usize, u);
+        }
     }
 
     #[test]

@@ -143,6 +143,26 @@ pub fn resolved_kernel(spec: &ScenarioSpec, n: usize) -> KernelKind {
     }
 }
 
+/// Cap on the default worker-thread count for the bit kernel's
+/// word-sharded step. Beyond ~8 shards the per-step scope spawn/join
+/// overhead eats the propagation win on all but the very largest
+/// graphs, so auto-detection stops there; an explicit `threads` key or
+/// `--threads` flag can still ask for more.
+const DEFAULT_THREAD_CAP: usize = 8;
+
+/// Resolves a spec's `threads` key: explicit choices pass through;
+/// unset picks the host's available parallelism capped at
+/// `DEFAULT_THREAD_CAP` (8). The resolution never changes outcomes — the
+/// bit kernel's sharded step is byte-identical at every thread count.
+pub fn resolved_threads(spec: &ScenarioSpec) -> usize {
+    spec.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(DEFAULT_THREAD_CAP)
+    })
+}
+
 /// Runs a parsed [`ScenarioSpec`] on `graph`, seeding both the protocol
 /// execution and the scenario stream from `seed`.
 ///
@@ -229,6 +249,18 @@ pub fn run_bfw_scenario_traced(
             ));
         }
     }
+    // And the parser's threads invariants: only the bit kernel shards
+    // its step, so a thread count on any other stack must fail loudly.
+    if spec.threads.is_some()
+        && (spec.kernel == KernelKind::Generic
+            || spec.runtime == RuntimeKind::Async
+            || spec.protocol == ProtocolKind::BfwRecovery)
+    {
+        return Err(SpecError::new(
+            "threads requires the bit kernel on plain synchronous bfw: only the bitplane \
+             kernel's word-sharded step fans out across worker threads",
+        ));
+    }
     if spec.runtime == RuntimeKind::Async {
         if spec.protocol == ProtocolKind::BfwRecovery {
             return Err(SpecError::new(
@@ -260,6 +292,7 @@ pub fn run_bfw_scenario_traced(
         ProtocolKind::Bfw => {
             if resolved_kernel(spec, graph.node_count()) == KernelKind::Bit {
                 let mut host = BitNetwork::new(Bfw::new(spec.p), graph.clone().into(), seed);
+                host.set_threads(resolved_threads(spec));
                 if let Some(capacity) = trace {
                     host.enable_instrumentation(Some(capacity));
                 }
@@ -685,6 +718,62 @@ kind = "recover-all"
         spec.runtime = RuntimeKind::Async;
         let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
         assert!(err.to_string().contains("synchronous rounds"), "{err}");
+    }
+
+    #[test]
+    fn thread_count_never_changes_scenario_outcomes() {
+        // The tentpole determinism contract at the scenario level: the
+        // bit kernel's word-sharded step is byte-identical at every
+        // thread count, through the full stack — churn timeline,
+        // injectors, faults, report text.
+        let base = ScenarioSpec {
+            kernel: KernelKind::Bit,
+            ..ScenarioSpec::parse(CHURN).unwrap()
+        };
+        let g = generators::cycle(12);
+        for seed in [7u64, 42] {
+            let serial = run_bfw_scenario(&base, &g, seed).unwrap();
+            for threads in [2usize, 7] {
+                let spec = ScenarioSpec {
+                    threads: Some(threads),
+                    ..base.clone()
+                };
+                let sharded = run_bfw_scenario(&spec, &g, seed).unwrap();
+                assert_eq!(serial, sharded, "threads={threads} seed={seed}");
+                assert_eq!(
+                    serial.to_text(),
+                    sharded.to_text(),
+                    "threads={threads} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threads_rejects_non_bit_stacks_programmatically() {
+        for mutate in [
+            (|s: &mut ScenarioSpec| s.kernel = KernelKind::Generic) as fn(&mut ScenarioSpec),
+            |s| s.runtime = RuntimeKind::Async,
+            |s| s.protocol = ProtocolKind::BfwRecovery,
+        ] {
+            let mut spec = ScenarioSpec::parse(CHURN).unwrap();
+            spec.threads = Some(4);
+            mutate(&mut spec);
+            let err = run_bfw_scenario(&spec, &generators::cycle(12), 1).unwrap_err();
+            assert!(err.to_string().contains("threads requires"), "{err}");
+        }
+    }
+
+    #[test]
+    fn resolved_threads_defaults_to_capped_parallelism() {
+        let spec = ScenarioSpec::parse(CHURN).unwrap();
+        let auto = resolved_threads(&spec);
+        assert!((1..=DEFAULT_THREAD_CAP).contains(&auto));
+        let explicit = ScenarioSpec {
+            threads: Some(13),
+            ..spec
+        };
+        assert_eq!(resolved_threads(&explicit), 13, "explicit counts win");
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod toml_mini;
 mod trace;
 
 pub use bfw_run::{
-    bfw_injector, recovering_bfw_injector, resolved_kernel, run_bfw_scenario,
+    bfw_injector, recovering_bfw_injector, resolved_kernel, resolved_threads, run_bfw_scenario,
     run_bfw_scenario_traced, scenario_recovery_config,
 };
 pub use bfw_sim::Scheduler;

@@ -52,6 +52,14 @@ pub struct RunReport {
     /// choice exists (plain synchronous BFW) — which is also when the
     /// text view prints its `kernel:` line.
     pub kernel: Option<KernelKind>,
+    /// Explicitly configured worker-thread count for the bit kernel's
+    /// word-sharded step. `Some` only when the spec set `threads` *and*
+    /// the resolved kernel is the bit kernel — which is also when the
+    /// text view prints its `threads:` line; an unset key keeps the
+    /// pinned stdout byte-identical to what it always was. The count
+    /// never changes the result block (the sharded step is
+    /// byte-identical at every thread count).
+    pub threads: Option<usize>,
     /// BFW beep probability.
     pub p: f64,
     /// The seed the run actually used (CLI override already applied).
@@ -79,6 +87,9 @@ impl RunReport {
     ) -> Self {
         let kernel = (spec.runtime == RuntimeKind::Sync && spec.protocol == ProtocolKind::Bfw)
             .then(|| resolved_kernel(spec, node_count));
+        let threads = (kernel == Some(KernelKind::Bit))
+            .then_some(spec.threads)
+            .flatten();
         RunReport {
             scenario: spec.name.clone(),
             graph,
@@ -86,6 +97,7 @@ impl RunReport {
             runtime: spec.runtime,
             scheduler: spec.scheduler,
             kernel,
+            threads,
             p: spec.p,
             seed,
             stability: spec.stability,
@@ -115,6 +127,13 @@ impl RunReport {
                 // block.
                 if let Some(kernel) = self.kernel {
                     let _ = writeln!(out, "kernel:            {kernel}");
+                }
+                // Likewise the threads line: only for an explicitly
+                // configured count on the bit kernel, also stripped by
+                // the CI equivalence smoke, never affecting the result
+                // block.
+                if let Some(threads) = self.threads {
+                    let _ = writeln!(out, "threads:           {threads}");
                 }
             }
             RuntimeKind::Async => {
@@ -177,6 +196,7 @@ impl RunReport {
                 "kernel",
                 JsonValue::from(self.kernel.map(|k| k.to_string())),
             ),
+            ("threads", JsonValue::from(self.threads.map(|t| t as u64))),
             ("p", JsonValue::from(self.p)),
             ("seed", JsonValue::from(self.seed)),
             ("stability", JsonValue::from(self.stability)),
@@ -260,6 +280,9 @@ pub fn validate_run_report(text: &str) -> Result<RunSummary, SchemaError> {
     }
     if let Some(kernel) = config.opt_field("kernel")? {
         kernel.str()?;
+    }
+    if let Some(threads) = config.opt_field("threads")? {
+        threads.u64()?;
     }
     config.field("p")?.f64()?;
     config.field("seed")?.u64()?;
@@ -423,6 +446,53 @@ mod tests {
             ..report.clone()
         };
         assert!(report.to_text().starts_with(&untraced.to_text()));
+    }
+
+    #[test]
+    fn threads_line_appears_only_when_configured_on_the_bit_kernel() {
+        // Default spec on a small graph: generic kernel, no threads
+        // key — the pinned stdout stays exactly as it always was.
+        let plain = RunReport::new(
+            &spec(""),
+            "cycle:8".to_owned(),
+            8,
+            7,
+            sample_outcome(),
+            None,
+        );
+        assert_eq!(plain.threads, None);
+        assert!(!plain.to_text().contains("threads:"), "{}", plain.to_text());
+
+        // Explicit bit kernel + threads: the line renders, 19-column
+        // aligned like every other header line, and the JSON config
+        // carries the count.
+        let spec = spec("kernel = \"bit\"\nthreads = 4");
+        let report = RunReport::new(&spec, "cycle:8".to_owned(), 8, 7, sample_outcome(), None);
+        assert_eq!(report.threads, Some(4));
+        let text = report.to_text();
+        assert!(text.contains("kernel:            bit"), "{text}");
+        assert!(text.contains("threads:           4"), "{text}");
+        let rendered = report.to_json_value().render_pretty();
+        validate_run_report(&rendered).unwrap();
+        let value = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(
+            value
+                .get("config")
+                .and_then(|c| c.get("threads"))
+                .and_then(JsonValue::as_number),
+            Some(4.0)
+        );
+
+        // A threads key that auto-resolution sends to the generic
+        // kernel (small n, auto) is suppressed, not misreported.
+        let auto = ScenarioSpec {
+            kernel: KernelKind::Auto,
+            threads: Some(4),
+            ..ScenarioSpec::parse("[scenario]\ngraph = \"cycle:8\"").unwrap()
+        };
+        let report = RunReport::new(&auto, "cycle:8".to_owned(), 8, 7, sample_outcome(), None);
+        assert_eq!(report.kernel, Some(KernelKind::Generic));
+        assert_eq!(report.threads, None);
     }
 
     #[test]

@@ -73,6 +73,15 @@
 //! `kernel = "bit"` with `protocol = "bfw+recovery"` or
 //! `runtime = "async"` is a hard error.
 //!
+//! The optional `threads` key (a positive integer) sets the worker
+//! count for the bit kernel's word-sharded parallel step; unset leaves
+//! the runner's default (the host's available parallelism, capped).
+//! The thread count never changes outcomes — the sharded step is
+//! byte-identical to the serial one at a fixed seed. Combining
+//! `threads` with `kernel = "generic"`, `runtime = "async"` or
+//! `protocol = "bfw+recovery"` is a hard error, since only the bit
+//! kernel shards its step.
+//!
 //! With `protocol = "bfw+recovery"` the optional `[scenario]` keys
 //! `heartbeat`, `timeout` and `grace` override the recovery layer's
 //! diameter-derived timing (heartbeat period and detection timeout in
@@ -128,6 +137,14 @@ pub struct ScenarioSpec {
     pub scheduler: Option<Scheduler>,
     /// Which execution kernel runs the rounds (`kernel` key).
     pub kernel: KernelKind,
+    /// Worker-thread count for the bit kernel's word-sharded step
+    /// (`threads` key; `None` = the runner's default, currently the
+    /// host's available parallelism capped at 8). Thread count never
+    /// changes outcomes — the sharded step is byte-identical to the
+    /// serial one at a fixed seed. Only meaningful on the bit kernel:
+    /// combining it with `kernel = "generic"`, `runtime = "async"` or
+    /// `protocol = "bfw+recovery"` is a hard error.
+    pub threads: Option<usize>,
     /// The declarative event schedule.
     pub timeline: Timeline,
     /// Complexity-instrumentation request (`[trace]` section), `None`
@@ -313,6 +330,7 @@ impl ScenarioSpec {
             runtime: RuntimeKind::Sync,
             scheduler: None,
             kernel: KernelKind::Auto,
+            threads: None,
             timeline: Timeline::new(),
             trace: None,
         };
@@ -391,6 +409,29 @@ impl ScenarioSpec {
                     "kernel = \"bit\" requires synchronous rounds: the bitplane kernel advances \
                      whole words per round, which has no meaning under activation-based \
                      scheduling (did you mean runtime = \"sync\"?)",
+                ));
+            }
+        }
+        if spec.threads.is_some() {
+            if spec.kernel == KernelKind::Generic {
+                return Err(err(
+                    "threads requires the bit kernel: the generic engine steps nodes one at a \
+                     time; only the bitplane kernel's word-sharded step fans out across worker \
+                     threads (did you mean kernel = \"bit\"?)",
+                ));
+            }
+            if spec.runtime == RuntimeKind::Async {
+                return Err(err(
+                    "threads requires synchronous rounds: only the bitplane kernel's \
+                     word-sharded step fans out across worker threads, and it has no meaning \
+                     under activation-based scheduling (did you mean runtime = \"sync\"?)",
+                ));
+            }
+            if spec.protocol == ProtocolKind::BfwRecovery {
+                return Err(err(
+                    "threads requires protocol = \"bfw\": the recovery layer runs on the \
+                     generic engine, which steps nodes one at a time (only the bitplane \
+                     kernel's word-sharded step fans out across worker threads)",
                 ));
             }
         }
@@ -482,6 +523,16 @@ impl ScenarioSpec {
                         }
                     };
                 }
+                "threads" => {
+                    let threads = read_u64(value, "threads")?;
+                    if threads == 0 {
+                        return Err(err("threads must be at least 1"));
+                    }
+                    self.threads = Some(
+                        usize::try_from(threads)
+                            .map_err(|_| err(format!("threads: {threads} exceeds usize::MAX")))?,
+                    );
+                }
                 "heartbeat" => self.heartbeat = Some(read_u32(value, "heartbeat")?),
                 "timeout" => self.timeout = Some(read_u32(value, "timeout")?),
                 "grace" => self.grace = Some(read_u32(value, "grace")?),
@@ -540,6 +591,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "runtime",
     "scheduler",
     "kernel",
+    "threads",
     "heartbeat",
     "timeout",
     "grace",
@@ -965,6 +1017,56 @@ rounds = 200
             ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw+recovery\"")
                 .unwrap();
         assert_eq!(spec.kernel, KernelKind::Auto);
+    }
+
+    #[test]
+    fn threads_key_round_trips() {
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"").unwrap();
+        assert_eq!(spec.threads, None);
+
+        let spec =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nkernel = \"bit\"\nthreads = 4")
+                .unwrap();
+        assert_eq!(spec.threads, Some(4));
+
+        // The default (auto) kernel accepts threads too: auto resolves
+        // to the bit kernel whenever the stack allows it.
+        let spec = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nthreads = 2").unwrap();
+        assert_eq!(spec.threads, Some(2));
+        assert_eq!(spec.kernel, KernelKind::Auto);
+    }
+
+    #[test]
+    fn threads_rejects_zero_and_incompatible_stacks() {
+        let e = ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nthreads = 0").unwrap_err();
+        assert!(e.to_string().contains("threads must be at least 1"), "{e}");
+
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nkernel = \"generic\"\nthreads = 4",
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("did you mean kernel = \"bit\"?"),
+            "{e}"
+        );
+
+        let e =
+            ScenarioSpec::parse("[scenario]\ngraph = \"path:4\"\nruntime = \"async\"\nthreads = 4")
+                .unwrap_err();
+        assert!(
+            e.to_string().contains("did you mean runtime = \"sync\"?"),
+            "{e}"
+        );
+
+        let e = ScenarioSpec::parse(
+            "[scenario]\ngraph = \"path:4\"\nprotocol = \"bfw+recovery\"\nthreads = 4",
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("threads requires protocol = \"bfw\""),
+            "{e}"
+        );
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! 1. **Emission** — `emit = beeping & alive`, word-wide.
 //! 2. **Propagation** — `heard = emit | A·emit` via the word-packed
 //!    adjacency view ([`bfw_graph::WordGraph`]): rotation plans on
-//!    shift-structured graphs (cycles, tori), blocked-CSR gather
-//!    elsewhere, an any-beep fill on cliques.
+//!    shift-structured graphs (cycles, tori), a cache-aware relabeled
+//!    edge stream elsewhere, an any-beep fill on cliques. When the
+//!    plan relabels, the engine stores all bitsets in internal order
+//!    and translates node ids at its public boundary.
 //! 3. **Noise** — [`FaultLayer`] filters the heard words (only when a
 //!    channel is active).
 //! 4. **Transition** — the model's boolean plane algebra, one word (64
@@ -37,12 +39,15 @@
 //! different stream discipline and is documented there; it never enters
 //! this engine.
 
-use crate::fault::FaultLayer;
+use crate::fault::{filter_heard_chunk, FaultLayer};
 use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
+use crate::pool::{shard_bounds, ShardPool};
 use crate::{NodeCtx, Topology};
-use bfw_graph::{words_for, NodeId, TopologyDelta, WordGraph};
+use bfw_graph::{words_for, NodeId, Relabeling, TopologyDelta, WordGraph};
 use rand::Rng as _;
 use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
 
 /// One word of 64 node states, decomposed into the three BFW bitplanes.
 ///
@@ -79,7 +84,11 @@ pub struct PlaneWord {
 /// transition with the same heard flag and coin (`coin_mask` tells the
 /// engine which nodes consume a coin — exactly the states whose scalar
 /// transition would draw one, so the lazy per-node RNG draws line up).
-pub trait BitModel {
+///
+/// `Sync` is a supertrait because the word-sharded step shares the
+/// model across worker threads; bit models are stateless plane algebra,
+/// so this costs implementors nothing.
+pub trait BitModel: Sync {
     /// Per-node protocol state (the scalar form).
     type State: Clone + PartialEq + std::fmt::Debug;
 
@@ -137,9 +146,13 @@ pub struct BitEngine<M: BitModel> {
     round: u64,
     instr: Instrumentation,
     /// Sampler caches, maintained only while instrumentation is on —
-    /// the same discipline as the generic beeping model's.
+    /// the same discipline as the generic beeping model's. `degrees` is
+    /// in internal label order when the plan relabels.
     degrees: Vec<u32>,
     uniform_degree: Option<u64>,
+    /// Word-shard fan-out for [`step`](Self::step); one shard (the
+    /// default) runs the serial path untouched.
+    pool: ShardPool,
 }
 
 fn build_plan(topology: &Topology) -> Option<WordGraph> {
@@ -192,11 +205,63 @@ impl<M: BitModel> BitEngine<M> {
             instr: Instrumentation::off(),
             degrees: Vec::new(),
             uniform_degree: None,
+            pool: ShardPool::new(1),
         };
+        // Adopt the plan's internal label order: the fault layer's
+        // storage moves, but node `i` keeps the `i`-th carved stream
+        // (streams never renumber — see `FaultLayer::permute`).
+        if let Some(r) = engine.plan.as_ref().and_then(|p| p.relabeling()) {
+            let perm = r.perm().to_vec();
+            engine.faults.permute(&perm);
+        }
         for (i, s) in states.iter().enumerate() {
             engine.write_state(i, s);
         }
         engine
+    }
+
+    /// The active node relabeling (internal vs original labels), if the
+    /// adjacency plan uses one. All public node-indexed APIs speak
+    /// original labels; only [`Self::planes`] exposes internal order.
+    pub fn relabeling(&self) -> Option<&Relabeling> {
+        self.plan.as_ref().and_then(|p| p.relabeling())
+    }
+
+    /// Internal storage index of original node `i`.
+    #[inline]
+    fn int(&self, i: usize) -> usize {
+        match self.plan.as_ref().and_then(|p| p.relabeling()) {
+            Some(r) => r.to_internal(i),
+            None => i,
+        }
+    }
+
+    /// Original label of internal storage index `j`.
+    #[inline]
+    fn orig(&self, j: usize) -> usize {
+        match self.plan.as_ref().and_then(|p| p.relabeling()) {
+            Some(r) => r.to_original(j),
+            None => j,
+        }
+    }
+
+    /// Sets the number of worker threads for [`Self::step`], clamped to
+    /// the bitset word count (more shards than words cannot help).
+    /// Thread count never changes results: every per-node draw comes
+    /// from that node's own stream, so `threads = 1` and `threads = N`
+    /// are byte-identical (states, RNG positions, ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.pool = ShardPool::new(threads.min(self.words).max(1));
+    }
+
+    /// The effective worker-thread count (after clamping).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Returns the number of nodes.
@@ -220,8 +285,8 @@ impl<M: BitModel> BitEngine<M> {
     ///
     /// Panics if `u` is out of range.
     pub fn state(&self, u: NodeId) -> M::State {
-        let i = u.index();
-        assert!(i < self.n, "node {u} out of range");
+        assert!(u.index() < self.n, "node {u} out of range");
+        let i = self.int(u.index());
         let (w, b) = (i >> 6, i & 63);
         self.model.unpack(
             self.leader[w] >> b & 1 == 1,
@@ -239,12 +304,17 @@ impl<M: BitModel> BitEngine<M> {
     }
 
     /// Borrows the three state planes `(leader, beeping, frozen)`.
+    ///
+    /// Bit order is the engine's *internal* label order — identical to
+    /// original labels unless [`Self::relabeling`] is `Some`.
     pub fn planes(&self) -> (&[u64], &[u64], &[u64]) {
         (&self.leader, &self.beeping, &self.frozen)
     }
 
+    /// Writes the state of *original* node `i`.
     fn write_state(&mut self, i: usize, state: &M::State) {
         let (l, b, f) = self.model.pack(state);
+        let i = self.int(i);
         let (w, bit) = (i >> 6, 1u64 << (i & 63));
         for (plane, set) in [
             (&mut self.leader, l),
@@ -261,6 +331,16 @@ impl<M: BitModel> BitEngine<M> {
 
     /// Advances one synchronous round (see the module docs for the
     /// four word-wide passes and the RNG contract).
+    ///
+    /// With [`Self::set_threads`] above one, the round runs
+    /// word-sharded: emission is computed serially (a cheap word-wide
+    /// `AND`), then every shard propagates, noise-filters, draws coins
+    /// and advances *its own destination word range* concurrently.
+    /// After emission freezes, every remaining pass reads shared state
+    /// only from the immutable `emit` bitset and writes only its own
+    /// words, and every Bernoulli draw comes from the drawing node's
+    /// own ChaCha8 stream — so no barrier is needed inside the region
+    /// and the result is byte-identical to the serial path.
     pub fn step(&mut self) {
         let alive = self.faults.alive_words();
         for (e, (&b, &a)) in self.emit.iter_mut().zip(self.beeping.iter().zip(alive)) {
@@ -269,27 +349,50 @@ impl<M: BitModel> BitEngine<M> {
 
         let mut sample = self.instr.is_on().then(|| self.emission_sample());
 
-        match &self.plan {
-            None => {
-                // Clique: everyone (the generic path fills crashed
-                // nodes too; they are masked out downstream) hears iff
-                // anyone beeps.
-                let fill = if self.emit.iter().any(|&w| w != 0) {
-                    u64::MAX
-                } else {
-                    0
-                };
-                self.heard.fill(fill);
-                if let Some(last) = self.heard.last_mut() {
-                    if !self.n.is_multiple_of(64) {
-                        *last &= (1u64 << (self.n % 64)) - 1;
-                    }
+        if self.plan.is_none() {
+            // Clique: everyone (the generic path fills crashed
+            // nodes too; they are masked out downstream) hears iff
+            // anyone beeps.
+            let fill = if self.emit.iter().any(|&w| w != 0) {
+                u64::MAX
+            } else {
+                0
+            };
+            self.heard.fill(fill);
+            if let Some(last) = self.heard.last_mut() {
+                if !self.n.is_multiple_of(64) {
+                    *last &= (1u64 << (self.n % 64)) - 1;
                 }
             }
-            Some(plan) => {
-                self.heard.copy_from_slice(&self.emit);
-                plan.propagate_or(&self.emit, &mut self.heard);
-            }
+        }
+
+        if self.pool.threads() > 1 {
+            self.step_body_sharded();
+        } else {
+            self.step_body_serial();
+        }
+
+        if let Some(sample) = &mut sample {
+            // Post-noise perception events of alive nodes — the
+            // generic `perceived_count` as a popcount.
+            sample.heard = self
+                .heard
+                .iter()
+                .zip(self.faults.alive_words())
+                .map(|(&h, &a)| u64::from((h & a).count_ones()))
+                .sum();
+            self.instr
+                .record_step(*sample, self.n, std::mem::size_of::<M::State>());
+        }
+        self.round += 1;
+    }
+
+    /// Propagation, noise and transition of one round, serially — the
+    /// reference path the sharded body must match byte for byte.
+    fn step_body_serial(&mut self) {
+        if let Some(plan) = &self.plan {
+            self.heard.copy_from_slice(&self.emit);
+            plan.propagate_or(&self.emit, &mut self.heard);
         }
         if self.faults.has_noise() {
             self.faults.filter_heard_words(&self.emit, &mut self.heard);
@@ -319,20 +422,101 @@ impl<M: BitModel> BitEngine<M> {
             self.beeping[w] = (next.beeping & alive) | (planes.beeping & !alive);
             self.frozen[w] = (next.frozen & alive) | (planes.frozen & !alive);
         }
+    }
 
-        if let Some(sample) = &mut sample {
-            // Post-noise perception events of alive nodes — the
-            // generic `perceived_count` as a popcount.
-            sample.heard = self
-                .heard
-                .iter()
-                .zip(self.faults.alive_words())
-                .map(|(&h, &a)| u64::from((h & a).count_ones()))
-                .sum();
-            self.instr
-                .record_step(*sample, self.n, std::mem::size_of::<M::State>());
+    /// The word-sharded body: shard `k` owns destination words
+    /// `lo..hi` and the RNG streams of nodes `64·lo..64·hi`. Shared
+    /// reads are the frozen `emit` bitset and the alive mask; every
+    /// write (heard, the three planes, the RNG states) is to
+    /// shard-private disjoint slices, handed out via `split_at_mut`
+    /// behind per-shard mutexes (locked once each, uncontended).
+    fn step_body_sharded(&mut self) {
+        struct Shard<'a> {
+            lo: usize,
+            hi: usize,
+            heard: &'a mut [u64],
+            leader: &'a mut [u64],
+            beeping: &'a mut [u64],
+            frozen: &'a mut [u64],
+            rngs: &'a mut [ChaCha8Rng],
         }
-        self.round += 1;
+
+        let pool = self.pool;
+        let bounds = shard_bounds(self.words, pool.threads());
+        debug_assert_eq!(bounds.len(), pool.threads(), "threads are clamped to words");
+        let n = self.n;
+        let p = self.model.coin_probability();
+        let model = &self.model;
+        let plan = self.plan.as_ref();
+        let emit = &self.emit;
+        let (alive_all, fneg, fpos, mut rngs_rest) = self.faults.shard_parts_mut();
+        let noise = fneg > 0.0 || fpos > 0.0;
+
+        let mut heard_rest = &mut self.heard[..];
+        let mut leader_rest = &mut self.leader[..];
+        let mut beeping_rest = &mut self.beeping[..];
+        let mut frozen_rest = &mut self.frozen[..];
+        let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
+            let len = hi - lo;
+            let (heard, hr) = heard_rest.split_at_mut(len);
+            let (leader, lr) = leader_rest.split_at_mut(len);
+            let (beeping, br) = beeping_rest.split_at_mut(len);
+            let (frozen, fr) = frozen_rest.split_at_mut(len);
+            heard_rest = hr;
+            leader_rest = lr;
+            beeping_rest = br;
+            frozen_rest = fr;
+            let nodes = (hi * 64).min(n) - lo * 64;
+            let (rngs, rr) = rngs_rest.split_at_mut(nodes);
+            rngs_rest = rr;
+            shards.push(Mutex::new(Shard {
+                lo,
+                hi,
+                heard,
+                leader,
+                beeping,
+                frozen,
+                rngs,
+            }));
+        }
+
+        let shards = &shards;
+        pool.run(|k| {
+            let mut guard = shards[k].lock().expect("shard lock is uncontended");
+            let t = &mut *guard;
+            let emit_c = &emit[t.lo..t.hi];
+            let alive_c = &alive_all[t.lo..t.hi];
+            if let Some(plan) = plan {
+                t.heard.copy_from_slice(emit_c);
+                plan.propagate_or_range(emit, t.heard, t.lo);
+            }
+            if noise {
+                filter_heard_chunk(t.rngs, alive_c, emit_c, t.heard, fneg, fpos);
+            }
+            for (w, &alive) in alive_c.iter().enumerate() {
+                let planes = PlaneWord {
+                    leader: t.leader[w],
+                    beeping: t.beeping[w],
+                    frozen: t.frozen[w],
+                };
+                let heard = t.heard[w];
+                let mut coin = 0u64;
+                let mut draws = model.coin_mask(planes, heard) & alive;
+                while draws != 0 {
+                    let b = draws.trailing_zeros() as usize;
+                    draws &= draws - 1;
+                    if t.rngs[w * 64 + b].random_bool(p) {
+                        coin |= 1u64 << b;
+                    }
+                }
+                let next = model.advance_word(planes, heard, coin);
+                // Crashed nodes keep their pre-crash state, bit-wise.
+                t.leader[w] = (next.leader & alive) | (planes.leader & !alive);
+                t.beeping[w] = (next.beeping & alive) | (planes.beeping & !alive);
+                t.frozen[w] = (next.frozen & alive) | (planes.frozen & !alive);
+            }
+        });
     }
 
     /// Advances `rounds` rounds.
@@ -391,6 +575,59 @@ impl<M: BitModel> BitEngine<M> {
                 }
             }
         }
+        // The emission sampler walks the emit bitset in internal order,
+        // so the degree cache must live in internal order too.
+        if !self.degrees.is_empty() {
+            if let Some(r) = self.plan.as_ref().and_then(|p| p.relabeling()) {
+                let mut internal = vec![0u32; self.n];
+                for (i, &d) in self.degrees.iter().enumerate() {
+                    internal[r.to_internal(i)] = d;
+                }
+                self.degrees = internal;
+            }
+        }
+    }
+
+    /// Rebuilds the adjacency plan for the current topology and, when
+    /// the old and new plans use different labelings, moves every
+    /// node's planes, crash flag and RNG stream from its old storage
+    /// position to the new one (state follows the node, not the slot).
+    fn rebuild_plan(&mut self) {
+        let old_perm: Option<Vec<u32>> = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.relabeling())
+            .map(|r| r.perm().to_vec());
+        self.plan = build_plan(&self.topology);
+        let new_perm: Option<Vec<u32>> = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.relabeling())
+            .map(|r| r.perm().to_vec());
+        if old_perm.is_none() && new_perm.is_none() {
+            return;
+        }
+        // map[old storage position] = new storage position.
+        let mut map = vec![0u32; self.n];
+        let mut identity = true;
+        for orig in 0..self.n {
+            let old_pos = old_perm.as_ref().map_or(orig, |p| p[orig] as usize);
+            let new_pos = new_perm.as_ref().map_or(orig, |p| p[orig] as usize);
+            map[old_pos] = new_pos as u32;
+            identity &= old_pos == new_pos;
+        }
+        if identity {
+            return;
+        }
+        for plane in [&mut self.leader, &mut self.beeping, &mut self.frozen] {
+            let mut moved = vec![0u64; words_for(self.n)];
+            for (i, &j) in map.iter().enumerate() {
+                let j = j as usize;
+                moved[j >> 6] |= (plane[i >> 6] >> (i & 63) & 1) << (j & 63);
+            }
+            *plane = moved;
+        }
+        self.faults.permute(&map);
     }
 
     /// Replaces the communication topology mid-run (node count must be
@@ -406,7 +643,7 @@ impl<M: BitModel> BitEngine<M> {
             "topology mutation must preserve the node count"
         );
         self.topology = topology;
-        self.plan = build_plan(&self.topology);
+        self.rebuild_plan();
         if self.instr.is_on() {
             self.refresh_sampler_caches();
         }
@@ -422,7 +659,7 @@ impl<M: BitModel> BitEngine<M> {
     /// Panics if the delta removes an absent edge or adds a present one.
     pub fn apply_topology_delta(&mut self, delta: &TopologyDelta) {
         self.topology.apply_delta(delta);
-        self.plan = build_plan(&self.topology);
+        self.rebuild_plan();
         if self.instr.is_on() {
             self.refresh_sampler_caches();
         }
@@ -436,7 +673,8 @@ impl<M: BitModel> BitEngine<M> {
     /// Panics if `u` is out of range.
     pub fn crash_node(&mut self, u: NodeId) {
         assert!(u.index() < self.n, "node {u} out of range");
-        self.faults.crash(u.index());
+        let i = self.int(u.index());
+        self.faults.crash(i);
     }
 
     /// Recovers node `u` with a fresh protocol-initial state (no-op on
@@ -447,7 +685,8 @@ impl<M: BitModel> BitEngine<M> {
     /// Panics if `u` is out of range.
     pub fn recover_node(&mut self, u: NodeId) {
         assert!(u.index() < self.n, "node {u} out of range");
-        if !self.faults.recover(u.index()) {
+        let i = self.int(u.index());
+        if !self.faults.recover(i) {
             return;
         }
         let fresh = self.model.initial_state(NodeCtx {
@@ -463,7 +702,8 @@ impl<M: BitModel> BitEngine<M> {
     ///
     /// Panics if `u` is out of range.
     pub fn is_crashed(&self, u: NodeId) -> bool {
-        self.faults.is_crashed(u.index())
+        assert!(u.index() < self.n, "node {u} out of range");
+        self.faults.is_crashed(self.int(u.index()))
     }
 
     /// Returns the number of non-crashed nodes.
@@ -513,7 +753,8 @@ impl<M: BitModel> BitEngine<M> {
             .sum()
     }
 
-    /// Returns the identifiers of all current (alive) leaders.
+    /// Returns the identifiers of all current (alive) leaders, in
+    /// ascending (original-label) order.
     pub fn leaders(&self) -> Vec<NodeId> {
         let mut out = Vec::new();
         for (w, (&l, &a)) in self
@@ -526,9 +767,10 @@ impl<M: BitModel> BitEngine<M> {
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                out.push(NodeId::new(w * 64 + b));
+                out.push(NodeId::new(self.orig(w * 64 + b)));
             }
         }
+        out.sort_unstable();
         out
     }
 
@@ -549,7 +791,9 @@ impl<M: BitModel> BitEngine<M> {
             if found.is_some() || live.count_ones() > 1 {
                 return None;
             }
-            found = Some(NodeId::new(w * 64 + live.trailing_zeros() as usize));
+            found = Some(NodeId::new(
+                self.orig(w * 64 + live.trailing_zeros() as usize),
+            ));
         }
         found
     }

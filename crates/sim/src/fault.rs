@@ -155,19 +155,63 @@ impl FaultLayer {
     /// makes the same lazy draws from the same per-node stream, so the
     /// RNG streams stay bit-identical to the generic path.
     pub(crate) fn filter_heard_words(&mut self, emit: &[u64], heard: &mut [u64]) {
-        for w in 0..heard.len() {
-            let mut cand = self.alive_words[w] & !emit[w];
-            while cand != 0 {
-                let b = cand.trailing_zeros() as usize;
-                cand &= cand - 1;
-                let bit = 1u64 << b;
-                if self.filter_signal(w * 64 + b, heard[w] & bit != 0) {
-                    heard[w] |= bit;
-                } else {
-                    heard[w] &= !bit;
-                }
+        let fneg = self.false_negative;
+        let fpos = self.false_positive;
+        filter_heard_chunk(
+            &mut self.rngs,
+            &self.alive_words[..heard.len()],
+            emit,
+            heard,
+            fneg,
+            fpos,
+        );
+    }
+
+    /// Reorders the per-node state so that the entry of node `i` moves
+    /// to index `map[i]` — the adoption step when the bit engine's
+    /// adjacency plan relabels nodes. Only *storage positions* move:
+    /// each node keeps the ChaCha8 stream carved for it at construction
+    /// (streams never renumber), its crash flag, and its noise
+    /// channels, so every later draw is byte-identical to the
+    /// unpermuted layout.
+    pub(crate) fn permute(&mut self, map: &[u32]) {
+        let n = self.crashed.len();
+        assert_eq!(map.len(), n, "permutation must cover every node");
+        let mut crashed = vec![false; n];
+        let mut rngs: Vec<Option<ChaCha8Rng>> = vec![None; n];
+        for (i, old) in self.rngs.drain(..).enumerate() {
+            let j = map[i] as usize;
+            crashed[j] = self.crashed[i];
+            debug_assert!(rngs[j].is_none(), "map must be a permutation");
+            rngs[j] = Some(old);
+        }
+        self.crashed = crashed;
+        self.rngs = rngs
+            .into_iter()
+            .map(|r| r.expect("map must be a permutation"))
+            .collect();
+        for w in self.alive_words.iter_mut() {
+            *w = 0;
+        }
+        for (i, &c) in self.crashed.iter().enumerate() {
+            if !c {
+                self.alive_words[i >> 6] |= 1u64 << (i & 63);
             }
         }
+    }
+
+    /// Decomposes the layer into the parts the word-sharded step needs
+    /// concurrently: `(alive_words, false_negative, false_positive,
+    /// rngs)`. The caller splits `rngs` into disjoint per-shard slices
+    /// (`split_at_mut`); each shard then filters noise and draws coins
+    /// for its own node range only.
+    pub(crate) fn shard_parts_mut(&mut self) -> (&[u64], f64, f64, &mut [ChaCha8Rng]) {
+        (
+            &self.alive_words,
+            self.false_negative,
+            self.false_positive,
+            &mut self.rngs,
+        )
     }
 
     /// Returns the false-negative (lost-signal) probability.
@@ -191,6 +235,46 @@ impl FaultLayer {
         );
         self.false_negative = false_negative;
         self.false_positive = false_positive;
+    }
+}
+
+/// Chunk-level noise filter shared by the serial and word-sharded
+/// paths: for every word `w` of the chunk, passes each *listening,
+/// alive* node's heard bit through the two noise channels, drawing
+/// lazily from that node's own stream in index order.
+///
+/// `rngs` holds the streams of exactly the nodes covered by the chunk's
+/// words (node `64w + b` of the chunk draws from `rngs[64w + b]`), so a
+/// caller hands a shard its disjoint `split_at_mut` slice and the draws
+/// land on the same streams at the same positions as the whole-range
+/// call — the sharding is invisible to the RNG state.
+pub(crate) fn filter_heard_chunk(
+    rngs: &mut [ChaCha8Rng],
+    alive: &[u64],
+    emit: &[u64],
+    heard: &mut [u64],
+    false_negative: f64,
+    false_positive: f64,
+) {
+    use rand::Rng as _;
+    for w in 0..heard.len() {
+        let mut cand = alive[w] & !emit[w];
+        while cand != 0 {
+            let b = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            let bit = 1u64 << b;
+            let rng = &mut rngs[w * 64 + b];
+            let kept = if heard[w] & bit != 0 {
+                !(false_negative > 0.0 && rng.random_bool(false_negative))
+            } else {
+                false_positive > 0.0 && rng.random_bool(false_positive)
+            };
+            if kept {
+                heard[w] |= bit;
+            } else {
+                heard[w] &= !bit;
+            }
+        }
     }
 }
 

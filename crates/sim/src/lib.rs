@@ -58,6 +58,7 @@ pub mod message_passing;
 mod monte_carlo;
 mod network;
 mod observers;
+mod pool;
 mod protocol;
 mod recovering;
 mod runner;
@@ -78,6 +79,7 @@ pub use observers::{
     observe_run, BeepCounter, ComplexityObserver, ConvergenceDetector, Observer, ObserverSet,
     StateHistogram, TraceRecorder,
 };
+pub use pool::{shard_bounds, ShardPool};
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
 pub use recovering::{SlotAware, SlotSyncedModel};
 pub use runner::{run_election, ElectionConfig, ElectionOutcome};

@@ -2,11 +2,46 @@
 //!
 //! The paper's guarantees are "with high probability" statements; the
 //! experiments estimate them by running many independent seeded trials.
-//! [`run_trials`] distributes trials across scoped worker threads while
-//! keeping results deterministic: trial `i` always receives seed
-//! `base_seed + i` and lands at index `i` of the output.
+//! [`run_trials`] distributes trials across the workspace's
+//! [`ShardPool`] while keeping results deterministic: trial `i` always
+//! receives seed `base_seed + i` and lands at index `i` of the output.
+//! All three runners share the same fan-out shape — workers claim work
+//! from an atomic counter, collect `(index, result)` pairs locally,
+//! and the pairs are merged in index order after the pool's join.
 
+use crate::pool::ShardPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Claims work-unit indices below `limit` from a shared atomic counter,
+/// runs `body(worker, unit, local)` on each, and deposits every
+/// worker's collected `(trial_index, result)` pairs into its bucket —
+/// the shared fan-out of all three trial runners, on [`ShardPool`].
+fn claim_loop<R: Send>(
+    pool: &ShardPool,
+    limit: usize,
+    body: impl Fn(usize, usize, &mut Vec<(usize, R)>) + Sync,
+) -> Vec<Vec<(usize, R)>> {
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Mutex<Vec<(usize, R)>>> = (0..pool.threads())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    pool.run(|k| {
+        let mut local = Vec::with_capacity(limit / pool.threads() + 1);
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= limit {
+                break;
+            }
+            body(k, i, &mut local);
+        }
+        *buckets[k].lock().expect("bucket lock is per-worker") = local;
+    });
+    buckets
+        .into_iter()
+        .map(|b| b.into_inner().expect("bucket lock is per-worker"))
+        .collect()
+}
 
 /// Runs `trials` independent trials of `f` across `threads` worker
 /// threads and returns the results in trial order.
@@ -46,27 +81,9 @@ where
     if threads == 1 {
         return run_trials_sequential(trials, base_seed, f);
     }
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::with_capacity(trials / threads + 1);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= trials {
-                            return local;
-                        }
-                        local.push((i, f(base_seed + i as u64)));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    let pool = ShardPool::new(threads);
+    let mut buckets = claim_loop(&pool, trials, |_k, i, local| {
+        local.push((i, f(base_seed + i as u64)));
     });
     let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
     for (i, r) in buckets.drain(..).flatten() {
@@ -133,37 +150,23 @@ where
     if trials == 0 {
         return Vec::new();
     }
-    let threads = threads.min(trials.div_ceil(chunk));
+    let chunks = trials.div_ceil(chunk);
+    let threads = threads.min(chunks);
     if threads == 1 {
         let mut scratch = S::default();
         return (0..trials)
             .map(|i| f(base_seed + i as u64, &mut scratch))
             .collect();
     }
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut scratch = S::default();
-                    let mut local = Vec::with_capacity(trials / threads + chunk);
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= trials {
-                            return local;
-                        }
-                        for i in start..(start + chunk).min(trials) {
-                            local.push((i, f(base_seed + i as u64, &mut scratch)));
-                        }
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    let pool = ShardPool::new(threads);
+    let scratches: Vec<Mutex<S>> = (0..threads).map(|_| Mutex::new(S::default())).collect();
+    let scratches = &scratches;
+    let mut buckets = claim_loop(&pool, chunks, |k, c, local| {
+        let scratch = &mut *scratches[k].lock().expect("scratch lock is per-worker");
+        let start = c * chunk;
+        for i in start..(start + chunk).min(trials) {
+            local.push((i, f(base_seed + i as u64, scratch)));
+        }
     });
     let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
     for (i, r) in buckets.drain(..).flatten() {
@@ -240,27 +243,10 @@ where
     if threads == 1 {
         return (0..groups).flat_map(run_group).collect();
     }
-    let next = AtomicUsize::new(0);
+    let pool = ShardPool::new(threads);
     let run_group = &run_group;
-    let mut buckets: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::with_capacity(groups / threads + 1);
-                    loop {
-                        let g = next.fetch_add(1, Ordering::Relaxed);
-                        if g >= groups {
-                            return local;
-                        }
-                        local.push((g, run_group(g)));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    let mut buckets: Vec<Vec<(usize, Vec<R>)>> = claim_loop(&pool, groups, |_k, g, local| {
+        local.push((g, run_group(g)));
     });
     let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
     for (g, group) in buckets.drain(..).flatten() {

@@ -18,6 +18,7 @@ use std::path::Path;
 const TRACKED_REPORTS: &[&str] = &[
     "BENCH_churn.json",
     "BENCH_complexity.json",
+    "BENCH_parallel.json",
     "BENCH_tick.json",
 ];
 

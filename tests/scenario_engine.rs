@@ -242,6 +242,7 @@ fn heal_wipeout_spec(n: usize, protocol: ProtocolKind) -> ScenarioSpec {
         runtime: Default::default(),
         scheduler: None,
         kernel: Default::default(),
+        threads: None,
         trace: None,
         timeline: Timeline::new()
             .at(
@@ -547,6 +548,7 @@ fn async_host_drives_the_full_fault_vocabulary() {
         runtime: bfw_scenario::RuntimeKind::Async,
         scheduler: Some(bfw_sim::Scheduler::Replay),
         kernel: Default::default(),
+        threads: None,
         trace: None,
         timeline: Timeline::new()
             .at(1_000, ScenarioEvent::CrashNode(NodeId::new(3)))
