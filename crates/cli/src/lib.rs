@@ -25,7 +25,7 @@
 
 use bfw_bench::{experiments, ExpConfig, GraphSpec};
 use bfw_core::{theory, viz, Bfw, InitialConfig};
-use bfw_graph::{algo, NodeId};
+use bfw_graph::{algo, Graph, NodeId};
 use bfw_sim::{observe_run, run_election, ElectionConfig, Network, TraceRecorder};
 use std::fmt::Write as _;
 
@@ -151,6 +151,66 @@ pub enum Command {
         /// capped). Never changes outcomes.
         threads: Option<usize>,
     },
+    /// `bfw scenario run --resume-from` — continue a paused run from a
+    /// `bfw/engine-snapshot` document to its horizon.
+    ScenarioResume {
+        /// Path of the snapshot document.
+        snapshot: String,
+        /// Horizon override (`None` = the snapshot's embedded horizon;
+        /// must not be before the snapshot round).
+        rounds: Option<u64>,
+        /// Execution-kernel override (snapshots are kernel-invariant,
+        /// so any kernel resumes any snapshot).
+        kernel: Option<bfw_scenario::KernelKind>,
+        /// Worker-thread override for the bit kernel.
+        threads: Option<usize>,
+    },
+    /// `bfw scenario validate` — static analysis, no execution.
+    ScenarioValidate {
+        /// Path of the TOML scenario file.
+        file: String,
+    },
+    /// `bfw scenario step` — advance N rounds and emit a
+    /// `bfw/engine-snapshot` document.
+    ScenarioStep {
+        /// Path of the TOML scenario file (start fresh); exclusive with
+        /// `resume_from`.
+        file: Option<String>,
+        /// Path of a snapshot document to continue from.
+        resume_from: Option<String>,
+        /// Rounds to advance (clamped to the horizon).
+        rounds: u64,
+        /// Write the snapshot here instead of stdout.
+        out: Option<String>,
+        /// Seed override (file form only; the snapshot pins its seed).
+        seed: Option<u64>,
+        /// Execution-kernel override (never embedded in the snapshot).
+        kernel: Option<bfw_scenario::KernelKind>,
+        /// Worker-thread override (never embedded in the snapshot).
+        threads: Option<usize>,
+    },
+    /// `bfw scenario export` — compiled timeline as a
+    /// `bfw/scenario-spec` document.
+    ScenarioExport {
+        /// Path of the TOML scenario file.
+        file: String,
+        /// Seed override (`None` = the spec's seed).
+        seed: Option<u64>,
+        /// Write the document here instead of stdout.
+        out: Option<String>,
+    },
+    /// `bfw scenario shrink` — minimize a wipeout timeline.
+    ScenarioShrink {
+        /// Path of the TOML scenario file.
+        file: String,
+        /// Seed override (`None` = the spec's seed).
+        seed: Option<u64>,
+        /// One drop pass, no retiming — a few replays instead of a few
+        /// dozen.
+        quick: bool,
+        /// Write the minimized `bfw/scenario-spec` document here.
+        out: Option<String>,
+    },
     /// `bfw help`
     Help,
 }
@@ -172,6 +232,12 @@ usage:
   bfw experiment [NAME ...] [--quick] [--noise] [--trials N] [--seed S]
   bfw scenario run FILE [--seed S] [--rounds N] [--trace FILE] [--trace-last N]
                         [--kernel auto|generic|bit] [--threads N]
+  bfw scenario run --resume-from SNAP [--rounds N] [--kernel K] [--threads N]
+  bfw scenario validate FILE
+  bfw scenario step (FILE | --resume-from SNAP) --rounds N [--out SNAP]
+                        [--seed S] [--kernel K] [--threads N]
+  bfw scenario export FILE [--seed S] [--out FILE]
+  bfw scenario shrink FILE [--seed S] [--quick] [--out FILE]
   bfw report validate FILE [FILE ...]
   bfw report diff LEFT RIGHT
   bfw report history FILE [FILE ...] [--out FILE]
@@ -197,6 +263,18 @@ scenario run flags:
                   spec's `threads`, else host parallelism capped at 8) — the
                   sharded step is byte-identical at every thread count
   (a [trace] section in the spec enables the same; CLI flags win)
+
+scenario lifecycle (plain synchronous/async bfw):
+  validate  static analysis against the graph — spec lint, recovery timing,
+            event targets, horizon consistency — without executing a round
+  step      advance N rounds, dump the paused run as a versioned
+            bfw/engine-snapshot document; snapshots are kernel- and
+            thread-invariant, and `step N; step M` is byte-identical to one
+            N+M-round run at the same seed
+  export    the compiled all-`at` timeline as a bfw/scenario-spec document
+  shrink    minimize a wipeout timeline (drop events, trim the horizon,
+            retime survivors) while the permanently-leaderless outcome still
+            reproduces; --quick settles for one drop pass
 
 graph specs: path:N cycle:N clique:N star:N grid:RxC torus:RxC hypercube:DIM
              tree:ARITY:DEPTH randtree:N:SEED er:N:P_MILLI:SEED barbell:K:BRIDGE
@@ -389,14 +467,56 @@ fn parse_experiment(args: &[String]) -> Result<Command, String> {
     })
 }
 
+/// The `bfw scenario` verbs.
+const SCENARIO_VERBS: &[&str] = &["run", "validate", "step", "export", "shrink"];
+
 fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let Some((sub, rest)) = args.split_first() else {
-        return Err("scenario: expected 'run FILE'".to_owned());
+        return Err(
+            "scenario: expected a subcommand — run FILE | validate FILE | step | export | shrink"
+                .to_owned(),
+        );
     };
-    if sub != "run" {
-        return Err(format!("scenario: unknown subcommand '{sub}' (try 'run')"));
+    match sub.as_str() {
+        "run" => parse_scenario_run(rest),
+        "validate" => match rest {
+            [file] => Ok(Command::ScenarioValidate { file: file.clone() }),
+            _ => Err("scenario validate takes exactly one FILE argument".to_owned()),
+        },
+        "step" => parse_scenario_step(rest),
+        "export" => parse_scenario_export(rest),
+        "shrink" => parse_scenario_shrink(rest),
+        other => Err(format!(
+            "scenario: unknown subcommand '{other}'{}; valid: run, validate, step, export, shrink",
+            did_you_mean(other, SCENARIO_VERBS)
+        )),
     }
+}
+
+fn parse_kernel_value(
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bfw_scenario::KernelKind, String> {
+    match take_value("--kernel", it)?.as_str() {
+        "auto" => Ok(bfw_scenario::KernelKind::Auto),
+        "generic" => Ok(bfw_scenario::KernelKind::Generic),
+        "bit" => Ok(bfw_scenario::KernelKind::Bit),
+        other => Err(format!(
+            "--kernel: unknown kernel '{other}' (valid: auto, generic, bit)"
+        )),
+    }
+}
+
+fn parse_threads_value(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let t = parse_int(take_value("--threads", it)?, "--threads")?;
+    if t == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    Ok(t as usize)
+}
+
+fn parse_scenario_run(rest: &[String]) -> Result<Command, String> {
     let mut file = None;
+    let mut resume_from = None;
     let mut seed = None;
     let mut rounds = None;
     let mut trace = None;
@@ -407,13 +527,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
-            "--threads" => {
-                let t = parse_int(take_value("--threads", &mut it)?, "--threads")?;
-                if t == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
-                threads = Some(t as usize);
-            }
+            "--threads" => threads = Some(parse_threads_value(&mut it)?),
             "--rounds" => rounds = Some(parse_int(take_value("--rounds", &mut it)?, "--rounds")?),
             "--trace" => trace = Some(take_value("--trace", &mut it)?.to_owned()),
             "--trace-last" => {
@@ -423,17 +537,9 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
                 }
                 trace_last = Some(last as usize);
             }
-            "--kernel" => {
-                kernel = Some(match take_value("--kernel", &mut it)?.as_str() {
-                    "auto" => bfw_scenario::KernelKind::Auto,
-                    "generic" => bfw_scenario::KernelKind::Generic,
-                    "bit" => bfw_scenario::KernelKind::Bit,
-                    other => {
-                        return Err(format!(
-                            "--kernel: unknown kernel '{other}' (valid: auto, generic, bit)"
-                        ))
-                    }
-                });
+            "--kernel" => kernel = Some(parse_kernel_value(&mut it)?),
+            "--resume-from" => {
+                resume_from = Some(take_value("--resume-from", &mut it)?.to_owned());
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("scenario run: unknown flag {flag}"))
@@ -441,6 +547,34 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
             path if file.is_none() => file = Some(path.to_owned()),
             extra => return Err(format!("scenario run: unexpected argument '{extra}'")),
         }
+    }
+    if let Some(snapshot) = resume_from {
+        if file.is_some() {
+            return Err(
+                "scenario run: FILE and --resume-from are mutually exclusive (the snapshot \
+                 embeds the spec)"
+                    .to_owned(),
+            );
+        }
+        if seed.is_some() {
+            return Err(
+                "scenario run: --seed cannot be combined with --resume-from (the snapshot \
+                 pins its seed)"
+                    .to_owned(),
+            );
+        }
+        if trace.is_some() || trace_last.is_some() {
+            return Err(
+                "scenario run: --trace/--trace-last cannot be combined with --resume-from"
+                    .to_owned(),
+            );
+        }
+        return Ok(Command::ScenarioResume {
+            snapshot,
+            rounds,
+            kernel,
+            threads,
+        });
     }
     let file = file.ok_or("scenario run: FILE is required")?;
     Ok(Command::Scenario {
@@ -451,6 +585,103 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         trace_last,
         kernel,
         threads,
+    })
+}
+
+fn parse_scenario_step(rest: &[String]) -> Result<Command, String> {
+    let mut file = None;
+    let mut resume_from = None;
+    let mut rounds = None;
+    let mut out = None;
+    let mut seed = None;
+    let mut kernel = None;
+    let mut threads = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rounds" => rounds = Some(parse_int(take_value("--rounds", &mut it)?, "--rounds")?),
+            "--out" => out = Some(take_value("--out", &mut it)?.to_owned()),
+            "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            "--kernel" => kernel = Some(parse_kernel_value(&mut it)?),
+            "--threads" => threads = Some(parse_threads_value(&mut it)?),
+            "--resume-from" => {
+                resume_from = Some(take_value("--resume-from", &mut it)?.to_owned());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("scenario step: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path.to_owned()),
+            extra => return Err(format!("scenario step: unexpected argument '{extra}'")),
+        }
+    }
+    if file.is_some() == resume_from.is_some() {
+        return Err(
+            "scenario step: exactly one of FILE or --resume-from SNAP is required".to_owned(),
+        );
+    }
+    if seed.is_some() && resume_from.is_some() {
+        return Err(
+            "scenario step: --seed cannot be combined with --resume-from (the snapshot pins \
+             its seed)"
+                .to_owned(),
+        );
+    }
+    let rounds = rounds.ok_or("scenario step: --rounds N is required")?;
+    Ok(Command::ScenarioStep {
+        file,
+        resume_from,
+        rounds,
+        out,
+        seed,
+        kernel,
+        threads,
+    })
+}
+
+fn parse_scenario_export(rest: &[String]) -> Result<Command, String> {
+    let mut file = None;
+    let mut seed = None;
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            "--out" => out = Some(take_value("--out", &mut it)?.to_owned()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("scenario export: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path.to_owned()),
+            extra => return Err(format!("scenario export: unexpected argument '{extra}'")),
+        }
+    }
+    let file = file.ok_or("scenario export: FILE is required")?;
+    Ok(Command::ScenarioExport { file, seed, out })
+}
+
+fn parse_scenario_shrink(rest: &[String]) -> Result<Command, String> {
+    let mut file = None;
+    let mut seed = None;
+    let mut quick = false;
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = Some(parse_int(take_value("--seed", &mut it)?, "--seed")?),
+            "--quick" => quick = true,
+            "--out" => out = Some(take_value("--out", &mut it)?.to_owned()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("scenario shrink: unknown flag {flag}"))
+            }
+            path if file.is_none() => file = Some(path.to_owned()),
+            extra => return Err(format!("scenario shrink: unexpected argument '{extra}'")),
+        }
+    }
+    let file = file.ok_or("scenario shrink: FILE is required")?;
+    Ok(Command::ScenarioShrink {
+        file,
+        seed,
+        quick,
+        out,
     })
 }
 
@@ -643,6 +874,37 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             kernel,
             threads,
         } => run_scenario(&file, seed, rounds, trace, trace_last, kernel, threads),
+        Command::ScenarioResume {
+            snapshot,
+            rounds,
+            kernel,
+            threads,
+        } => scenario_resume_run(&snapshot, rounds, kernel, threads),
+        Command::ScenarioValidate { file } => scenario_validate(&file),
+        Command::ScenarioStep {
+            file,
+            resume_from,
+            rounds,
+            out,
+            seed,
+            kernel,
+            threads,
+        } => scenario_step(
+            file.as_deref(),
+            resume_from.as_deref(),
+            rounds,
+            out.as_deref(),
+            seed,
+            kernel,
+            threads,
+        ),
+        Command::ScenarioExport { file, seed, out } => scenario_export(&file, seed, out.as_deref()),
+        Command::ScenarioShrink {
+            file,
+            seed,
+            quick,
+            out,
+        } => scenario_shrink(&file, seed, quick, out.as_deref()),
         Command::Experiment {
             names,
             quick,
@@ -745,6 +1007,185 @@ fn run_scenario(
         }
     }
     Ok(out)
+}
+
+/// Reads and parses a scenario spec, reporting errors under the file's
+/// name.
+fn load_scenario_spec(file: &str) -> Result<bfw_scenario::ScenarioSpec, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    bfw_scenario::ScenarioSpec::parse(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+/// Builds the workload graph a spec names.
+fn build_scenario_graph(spec: &bfw_scenario::ScenarioSpec) -> Result<(GraphSpec, Graph), String> {
+    let workload: GraphSpec = spec.graph.parse().map_err(|e| format!("{e}"))?;
+    let graph = workload.build();
+    Ok((workload, graph))
+}
+
+/// Reads and decodes a `bfw/engine-snapshot` document.
+fn load_snapshot(path: &str) -> Result<bfw_scenario::EngineSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    bfw_scenario::EngineSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `bfw scenario validate`: static analysis of a spec against its
+/// graph — no rounds are executed. Hard misconfigurations fail the
+/// command; legal-but-suspect conditions print as warning lines.
+fn scenario_validate(file: &str) -> Result<String, String> {
+    let spec = load_scenario_spec(file)?;
+    let (_, graph) = build_scenario_graph(&spec)?;
+    let warnings =
+        bfw_scenario::validate_scenario(&spec, &graph).map_err(|e| format!("{file}: {e}"))?;
+    let mut out = format!(
+        "{file}: ok — \"{}\", {} nodes, {} rounds, {} timeline entries",
+        spec.name,
+        graph.node_count(),
+        spec.rounds,
+        spec.timeline.entries().len()
+    );
+    for w in &warnings {
+        let _ = write!(out, "\n  warning: {w}");
+    }
+    Ok(out)
+}
+
+/// One summary line for a written snapshot.
+fn snapshot_summary_line(path: &str, snap: &bfw_scenario::EngineSnapshot) -> String {
+    format!(
+        "wrote {path} — bfw/engine-snapshot, \"{}\" at round {}/{} ({} nodes, {} crashed)",
+        snap.spec.name,
+        snap.round,
+        snap.spec.rounds,
+        snap.graph.node_count(),
+        snap.checkpoint.crashed.iter().filter(|&&c| c).count()
+    )
+}
+
+/// `bfw scenario step`: advance a fresh spec (or a prior snapshot) N
+/// rounds and emit the paused run as a `bfw/engine-snapshot` document.
+/// Kernel/thread flags choose the execution engine only — the emitted
+/// bytes are identical for every choice.
+fn scenario_step(
+    file: Option<&str>,
+    resume_from: Option<&str>,
+    rounds: u64,
+    out: Option<&str>,
+    seed: Option<u64>,
+    kernel: Option<bfw_scenario::KernelKind>,
+    threads: Option<usize>,
+) -> Result<String, String> {
+    let snap = match (file, resume_from) {
+        (Some(file), None) => {
+            let spec = load_scenario_spec(file)?;
+            let seed = seed.unwrap_or(spec.seed);
+            let (_, graph) = build_scenario_graph(&spec)?;
+            bfw_scenario::step_bfw_scenario(&spec, &graph, seed, rounds, kernel, threads)
+                .map_err(|e| e.to_string())?
+        }
+        (None, Some(path)) => {
+            let prior = load_snapshot(path)?;
+            bfw_scenario::resume_step_bfw_scenario(&prior, rounds, kernel, threads)
+                .map_err(|e| e.to_string())?
+        }
+        _ => unreachable!("the parser requires exactly one source"),
+    };
+    let rendered = snap.to_json_value().render_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(snapshot_summary_line(path, &snap))
+        }
+        None => Ok(rendered.trim_end_matches('\n').to_owned()),
+    }
+}
+
+/// `bfw scenario run --resume-from`: drive a snapshot to its horizon
+/// and print the same pinned report block a straight `scenario run` of
+/// the embedded spec would print — byte for byte.
+fn scenario_resume_run(
+    snapshot: &str,
+    rounds: Option<u64>,
+    kernel: Option<bfw_scenario::KernelKind>,
+    threads: Option<usize>,
+) -> Result<String, String> {
+    let mut snap = load_snapshot(snapshot)?;
+    if let Some(r) = rounds {
+        if r < snap.round {
+            return Err(format!(
+                "scenario run: --rounds {r} is before the snapshot round {} (the run cannot \
+                 rewind)",
+                snap.round
+            ));
+        }
+        snap.spec.rounds = r;
+    }
+    // The report header reflects the execution stack, so the overrides
+    // apply to the report's view of the spec exactly as `scenario run`
+    // applies its flags.
+    let mut spec = snap.spec.clone();
+    if let Some(k) = kernel {
+        spec.kernel = k;
+    }
+    if let Some(t) = threads {
+        spec.threads = Some(t);
+    }
+    let (workload, _) = build_scenario_graph(&spec)?;
+    let seed = snap.seed;
+    let node_count = snap.graph.node_count();
+    let outcome =
+        bfw_scenario::resume_run_bfw_scenario(&snap, kernel, threads).map_err(|e| e.to_string())?;
+    let report =
+        bfw_scenario::RunReport::new(&spec, workload.to_string(), node_count, seed, outcome, None);
+    Ok(report.to_text())
+}
+
+/// `bfw scenario export`: the compiled all-`at` timeline as a
+/// canonical `bfw/scenario-spec` document.
+fn scenario_export(file: &str, seed: Option<u64>, out: Option<&str>) -> Result<String, String> {
+    let spec = load_scenario_spec(file)?;
+    let seed = seed.unwrap_or(spec.seed);
+    let rendered = bfw_scenario::spec_to_json(&spec, seed).render_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let summary = bfw_scenario::validate_scenario_spec(&rendered)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "wrote {path} — bfw/scenario-spec, \"{}\" ({} rounds, {} events)",
+                summary.name, summary.rounds, summary.events
+            ))
+        }
+        None => Ok(rendered.trim_end_matches('\n').to_owned()),
+    }
+}
+
+/// `bfw scenario shrink`: minimize a wipeout timeline while the
+/// permanently-leaderless outcome still reproduces at the pinned seed.
+fn scenario_shrink(
+    file: &str,
+    seed: Option<u64>,
+    quick: bool,
+    out: Option<&str>,
+) -> Result<String, String> {
+    let spec = load_scenario_spec(file)?;
+    let seed = seed.unwrap_or(spec.seed);
+    let (_, graph) = build_scenario_graph(&spec)?;
+    let report =
+        bfw_scenario::shrink_wipeout(&spec, &graph, seed, quick).map_err(|e| e.to_string())?;
+    let mut text = report.to_text();
+    if let Some(path) = out {
+        let rendered = bfw_scenario::spec_to_json(&report.spec, seed).render_pretty();
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = write!(
+            text,
+            "wrote {path} — bfw/scenario-spec, \"{}\" ({} events, horizon {})",
+            report.spec.name,
+            report.events.len(),
+            report.horizon
+        );
+    }
+    Ok(text.trim_end_matches('\n').to_owned())
 }
 
 /// `bfw graph export`: builds the workload and emits the canonical
@@ -876,12 +1317,30 @@ fn report_validate(files: &[String]) -> Result<String, String> {
                     s.experiment, s.points, s.changes
                 )
             }
+            "bfw/engine-snapshot" => {
+                let s = bfw_scenario::validate_engine_snapshot(&text)
+                    .map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/engine-snapshot, \"{}\" at round {}/{} ({} nodes, {} crashed)",
+                    s.name, s.round, s.rounds, s.nodes, s.crashed
+                )
+            }
+            "bfw/scenario-spec" => {
+                let s = bfw_scenario::validate_scenario_spec(&text)
+                    .map_err(|e| format!("{file}: {e}"))?;
+                format!(
+                    "{file}: ok — bfw/scenario-spec, \"{}\" ({} rounds, {} events)",
+                    s.name, s.rounds, s.events
+                )
+            }
             other => {
                 let known = &[
                     "bfw/graph",
                     "bfw/bench-report",
                     "bfw/scenario-report",
                     "bfw/bench-history",
+                    "bfw/engine-snapshot",
+                    "bfw/scenario-spec",
                 ];
                 return Err(format!(
                     "{file}: unknown format \"{other}\"{}; valid: {}",
@@ -1534,6 +1993,385 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("graph"), "{err}");
+    }
+
+    #[test]
+    fn parse_scenario_lifecycle_verbs() {
+        assert_eq!(
+            parse(&argv("scenario validate a.toml")).unwrap(),
+            Command::ScenarioValidate {
+                file: "a.toml".into()
+            }
+        );
+        assert!(parse(&argv("scenario validate"))
+            .unwrap_err()
+            .contains("exactly one FILE"));
+        assert_eq!(
+            parse(&argv("scenario step a.toml --rounds 500 --out s.json")).unwrap(),
+            Command::ScenarioStep {
+                file: Some("a.toml".into()),
+                resume_from: None,
+                rounds: 500,
+                out: Some("s.json".into()),
+                seed: None,
+                kernel: None,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("scenario step --resume-from s.json --rounds 500")).unwrap(),
+            Command::ScenarioStep {
+                file: None,
+                resume_from: Some("s.json".into()),
+                rounds: 500,
+                out: None,
+                seed: None,
+                kernel: None,
+                threads: None,
+            }
+        );
+        assert!(parse(&argv("scenario step a.toml"))
+            .unwrap_err()
+            .contains("--rounds N is required"));
+        assert!(parse(&argv("scenario step --rounds 5"))
+            .unwrap_err()
+            .contains("exactly one of FILE or --resume-from"));
+        assert!(parse(&argv(
+            "scenario step a.toml --resume-from s.json --rounds 5"
+        ))
+        .unwrap_err()
+        .contains("exactly one of FILE or --resume-from"));
+        assert!(parse(&argv(
+            "scenario step --resume-from s.json --rounds 5 --seed 3"
+        ))
+        .unwrap_err()
+        .contains("pins its seed"));
+        assert_eq!(
+            parse(&argv(
+                "scenario run --resume-from s.json --rounds 900 --kernel bit"
+            ))
+            .unwrap(),
+            Command::ScenarioResume {
+                snapshot: "s.json".into(),
+                rounds: Some(900),
+                kernel: Some(bfw_scenario::KernelKind::Bit),
+                threads: None,
+            }
+        );
+        assert!(parse(&argv("scenario run a.toml --resume-from s.json"))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&argv("scenario run --resume-from s.json --seed 4"))
+            .unwrap_err()
+            .contains("pins its seed"));
+        assert!(
+            parse(&argv("scenario run --resume-from s.json --trace t.json"))
+                .unwrap_err()
+                .contains("--trace")
+        );
+        assert_eq!(
+            parse(&argv("scenario export a.toml --seed 9 --out spec.json")).unwrap(),
+            Command::ScenarioExport {
+                file: "a.toml".into(),
+                seed: Some(9),
+                out: Some("spec.json".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("scenario shrink a.toml --quick")).unwrap(),
+            Command::ScenarioShrink {
+                file: "a.toml".into(),
+                seed: None,
+                quick: true,
+                out: None,
+            }
+        );
+        // A misspelled verb gets a did-you-mean hint.
+        let err = parse(&argv("scenario vaildate a.toml")).unwrap_err();
+        assert!(err.contains("did you mean 'validate'"), "{err}");
+    }
+
+    /// Satellite regression for the resolved-kernel fix at the CLI
+    /// seam: `--threads N` on an auto-kernel spec below the size
+    /// threshold must engage the bit kernel (it used to resolve generic
+    /// and silently ignore the flag).
+    #[test]
+    fn threads_flag_engages_bit_kernel_below_auto_threshold() {
+        let dir = std::env::temp_dir().join("bfw_cli_auto_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"auto\"\ngraph = \"cycle:64\"\nrounds = 3000\nstability = 20\n\n\
+             [[event]]\nat = 1000\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 1100\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let run = |threads: Option<usize>| {
+            execute(Command::Scenario {
+                file: path.to_string_lossy().into_owned(),
+                seed: Some(42),
+                rounds: None,
+                trace: None,
+                trace_last: None,
+                kernel: None,
+                threads,
+            })
+            .unwrap()
+        };
+        let serial = run(None);
+        assert!(serial.contains("kernel:            generic"), "{serial}");
+        let sharded = run(Some(4));
+        assert!(sharded.contains("kernel:            bit"), "{sharded}");
+        assert!(sharded.contains("threads:           4"), "{sharded}");
+        // And the thread count still never changes the outcome.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("kernel:") && !l.starts_with("threads:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&sharded));
+    }
+
+    #[test]
+    fn execute_scenario_step_resume_matches_straight_run() {
+        // The acceptance-criteria property end to end: step 500, resume
+        // 500, and the final report is byte-identical to one straight
+        // 1000-round run — across kernels and thread counts.
+        let dir = std::env::temp_dir().join("bfw_cli_lifecycle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("steps.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"steps\"\ngraph = \"cycle:32\"\nrounds = 1000\nstability = 20\n\
+             seed = 42\n\n\
+             [[event]]\nat = 300\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 400\nkind = \"recover-all\"\n\n\
+             [[event]]\nrate = 0.002\nkind = \"crash-random\"\n\n\
+             [[event]]\nrate = 0.004\nkind = \"recover-random\"\n",
+        )
+        .unwrap();
+        let file = path.to_string_lossy().into_owned();
+        let straight = execute(Command::Scenario {
+            file: file.clone(),
+            seed: None,
+            rounds: None,
+            trace: None,
+            trace_last: None,
+            kernel: None,
+            threads: None,
+        })
+        .unwrap();
+
+        let snap_a = dir.join("a.json").to_string_lossy().into_owned();
+        let snap_b = dir.join("b.json").to_string_lossy().into_owned();
+        for (kernel, threads) in [
+            (None, None),
+            (Some(bfw_scenario::KernelKind::Generic), None),
+            (Some(bfw_scenario::KernelKind::Bit), Some(1)),
+            (Some(bfw_scenario::KernelKind::Bit), Some(4)),
+        ] {
+            let wrote = execute(Command::ScenarioStep {
+                file: Some(file.clone()),
+                resume_from: None,
+                rounds: 500,
+                out: Some(snap_a.clone()),
+                seed: None,
+                kernel,
+                threads,
+            })
+            .unwrap();
+            assert!(wrote.contains("at round 500/1000"), "{wrote}");
+            let resumed = execute(Command::ScenarioResume {
+                snapshot: snap_a.clone(),
+                rounds: None,
+                kernel,
+                threads: None,
+            })
+            .unwrap();
+            // Stepping in two halves writes the same snapshot as one
+            // step of the full distance...
+            execute(Command::ScenarioStep {
+                file: None,
+                resume_from: Some(snap_a.clone()),
+                rounds: 500,
+                out: Some(snap_b.clone()),
+                seed: None,
+                kernel,
+                threads,
+            })
+            .unwrap();
+            let two_step = std::fs::read_to_string(&snap_b).unwrap();
+            let one_step = {
+                execute(Command::ScenarioStep {
+                    file: Some(file.clone()),
+                    resume_from: None,
+                    rounds: 1000,
+                    out: Some(snap_b.clone()),
+                    seed: None,
+                    kernel: None,
+                    threads: None,
+                })
+                .unwrap();
+                std::fs::read_to_string(&snap_b).unwrap()
+            };
+            assert_eq!(two_step, one_step, "kernel {kernel:?} threads {threads:?}");
+            // ... and resuming reproduces the straight run's report,
+            // byte for byte (modulo the execution-stack header lines,
+            // which reflect the chosen kernel).
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("kernel:") && !l.starts_with("threads:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(
+                strip(&straight),
+                strip(&resumed),
+                "kernel {kernel:?} threads {threads:?}"
+            );
+        }
+
+        // The emitted snapshot validates through `bfw report validate`.
+        execute(Command::ScenarioStep {
+            file: Some(file.clone()),
+            resume_from: None,
+            rounds: 500,
+            out: Some(snap_a.clone()),
+            seed: None,
+            kernel: None,
+            threads: None,
+        })
+        .unwrap();
+        let out = execute(Command::ReportValidate {
+            files: vec![snap_a.clone()],
+        })
+        .unwrap();
+        assert!(out.contains("ok — bfw/engine-snapshot"), "{out}");
+        assert!(out.contains("\"steps\" at round 500/1000"), "{out}");
+
+        // --rounds before the snapshot round is refused.
+        let err = execute(Command::ScenarioResume {
+            snapshot: snap_a,
+            rounds: Some(100),
+            kernel: None,
+            threads: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("before the snapshot round"), "{err}");
+    }
+
+    #[test]
+    fn execute_scenario_validate_reports_errors_and_warnings() {
+        let dir = std::env::temp_dir().join("bfw_cli_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.toml");
+        std::fs::write(
+            &good,
+            "[scenario]\nname = \"good\"\ngraph = \"cycle:12\"\nrounds = 1000\nstability = 20\n\n\
+             [[event]]\nat = 100\nkind = \"crash-leader\"\n\n\
+             [[event]]\nat = 5000\nkind = \"recover-all\"\n",
+        )
+        .unwrap();
+        let out = execute(Command::ScenarioValidate {
+            file: good.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("ok — \"good\", 12 nodes"), "{out}");
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("never applies"), "{out}");
+
+        let broken = dir.join("broken.toml");
+        std::fs::write(
+            &broken,
+            "[scenario]\nname = \"broken\"\ngraph = \"cycle:12\"\nrounds = 1000\n\n\
+             [[event]]\nat = 100\nkind = \"crash\"\nnode = 99\n",
+        )
+        .unwrap();
+        let err = execute(Command::ScenarioValidate {
+            file: broken.to_string_lossy().into_owned(),
+        })
+        .unwrap_err();
+        assert!(err.contains("node 99 out of range"), "{err}");
+    }
+
+    #[test]
+    fn execute_scenario_export_and_report_validate() {
+        let dir = std::env::temp_dir().join("bfw_cli_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"exp\"\ngraph = \"cycle:8\"\nrounds = 500\nstability = 20\n\n\
+             [[event]]\nevery = 100\nkind = \"crash-random\"\n",
+        )
+        .unwrap();
+        let out_path = dir.join("exp.json").to_string_lossy().into_owned();
+        let out = execute(Command::ScenarioExport {
+            file: path.to_string_lossy().into_owned(),
+            seed: Some(7),
+            out: Some(out_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("ok") || out.contains("wrote"), "{out}");
+        let validated = execute(Command::ReportValidate {
+            files: vec![out_path],
+        })
+        .unwrap();
+        assert!(validated.contains("ok — bfw/scenario-spec"), "{validated}");
+        // The periodic schedule compiled to five concrete firings.
+        assert!(validated.contains("5 events"), "{validated}");
+    }
+
+    #[test]
+    fn execute_scenario_shrink_minimizes_a_wipeout() {
+        let dir = std::env::temp_dir().join("bfw_cli_shrink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wipe.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"wipe\"\ngraph = \"cycle:12\"\nrounds = 4000\nstability = 20\n\
+             seed = 7\n\n\
+             [[event]]\nat = 150\nkind = \"crash-random\"\n\n\
+             [[event]]\nat = 250\nkind = \"recover-all\"\n\n\
+             [[event]]\nat = 800\nkind = \"inject-phantom\"\nwaves = 1\n",
+        )
+        .unwrap();
+        let out_path = dir.join("min.json").to_string_lossy().into_owned();
+        let out = execute(Command::ScenarioShrink {
+            file: path.to_string_lossy().into_owned(),
+            seed: None,
+            quick: true,
+            out: Some(out_path.clone()),
+        })
+        .unwrap();
+        assert!(
+            out.contains("wipeout reproduced with 1 of 3 events"),
+            "{out}"
+        );
+        assert!(out.contains("inject("), "{out}");
+        let validated = execute(Command::ReportValidate {
+            files: vec![out_path],
+        })
+        .unwrap();
+        assert!(validated.contains("ok — bfw/scenario-spec"), "{validated}");
+
+        // A scenario that elects and stays stable has nothing to shrink.
+        let stable = dir.join("stable.toml");
+        std::fs::write(
+            &stable,
+            "[scenario]\nname = \"stable\"\ngraph = \"cycle:8\"\nrounds = 5000\nseed = 1\n",
+        )
+        .unwrap();
+        let err = execute(Command::ScenarioShrink {
+            file: stable.to_string_lossy().into_owned(),
+            seed: None,
+            quick: true,
+            out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("does not wipe out"), "{err}");
     }
 
     #[test]

@@ -124,7 +124,10 @@ const AUTO_BIT_THRESHOLD: usize = 4096;
 
 /// Resolves a spec's `kernel` key against a concrete node count:
 /// explicit choices pass through; `auto` picks [`KernelKind::Bit`] for
-/// plain synchronous BFW on graphs of at least 4096 nodes and
+/// plain synchronous BFW on graphs of at least 4096 nodes — **or at any
+/// size when the spec carries an explicit `threads` count**, since only
+/// the bit kernel shards its step and resolving to the generic engine
+/// would silently ignore the requested thread count — and
 /// [`KernelKind::Generic`] otherwise. The resolution never changes
 /// outcomes — the kernels are byte-identical at a fixed seed.
 pub fn resolved_kernel(spec: &ScenarioSpec, n: usize) -> KernelKind {
@@ -132,7 +135,7 @@ pub fn resolved_kernel(spec: &ScenarioSpec, n: usize) -> KernelKind {
         KernelKind::Auto => {
             if spec.protocol == ProtocolKind::Bfw
                 && spec.runtime == RuntimeKind::Sync
-                && n >= AUTO_BIT_THRESHOLD
+                && (n >= AUTO_BIT_THRESHOLD || spec.threads.is_some())
             {
                 KernelKind::Bit
             } else {
@@ -215,52 +218,7 @@ pub fn run_bfw_scenario_traced(
     seed: u64,
     trace: Option<usize>,
 ) -> Result<(ScenarioOutcome, Option<ScenarioTrace>), SpecError> {
-    if spec.runtime == RuntimeKind::Sync && spec.scheduler.is_some() {
-        return Err(SpecError::new(
-            "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
-             scheduler)",
-        ));
-    }
-    // Mirror the parser's recovery-keys invariant for programmatically
-    // built specs: overrides on a stack without a recovery layer would
-    // otherwise be silently dropped.
-    if spec.protocol == ProtocolKind::Bfw
-        && (spec.heartbeat.is_some() || spec.timeout.is_some() || spec.grace.is_some())
-    {
-        return Err(SpecError::new(
-            "heartbeat/timeout/grace require protocol = \"bfw+recovery\" (plain bfw has no \
-             recovery layer)",
-        ));
-    }
-    // Mirror the parser's kernel invariants too: an explicit bit kernel
-    // on a stack it cannot execute must fail loudly, never silently run
-    // the generic path.
-    if spec.kernel == KernelKind::Bit {
-        if spec.protocol == ProtocolKind::BfwRecovery {
-            return Err(SpecError::new(
-                "kernel = \"bit\" cannot execute protocol = \"bfw+recovery\": the bitplane \
-                 kernel packs the six plain BFW states (did you mean kernel = \"generic\"?)",
-            ));
-        }
-        if spec.runtime == RuntimeKind::Async {
-            return Err(SpecError::new(
-                "kernel = \"bit\" requires synchronous rounds (did you mean runtime = \
-                 \"sync\"?)",
-            ));
-        }
-    }
-    // And the parser's threads invariants: only the bit kernel shards
-    // its step, so a thread count on any other stack must fail loudly.
-    if spec.threads.is_some()
-        && (spec.kernel == KernelKind::Generic
-            || spec.runtime == RuntimeKind::Async
-            || spec.protocol == ProtocolKind::BfwRecovery)
-    {
-        return Err(SpecError::new(
-            "threads requires the bit kernel on plain synchronous bfw: only the bitplane \
-             kernel's word-sharded step fans out across worker threads",
-        ));
-    }
+    check_stack_invariants(spec)?;
     if spec.runtime == RuntimeKind::Async {
         if spec.protocol == ProtocolKind::BfwRecovery {
             return Err(SpecError::new(
@@ -342,6 +300,60 @@ pub fn run_bfw_scenario_traced(
             .run_traced()
         }
     })
+}
+
+/// The stack invariants every runner (and the `validate` verb) enforces
+/// before touching a host: combinations the parser rejects in TOML must
+/// fail identically on programmatically built specs instead of silently
+/// running the wrong stack or dropping a key.
+pub(crate) fn check_stack_invariants(spec: &ScenarioSpec) -> Result<(), SpecError> {
+    if spec.runtime == RuntimeKind::Sync && spec.scheduler.is_some() {
+        return Err(SpecError::new(
+            "scheduler requires runtime = \"async\" (synchronous rounds have no activation \
+             scheduler)",
+        ));
+    }
+    // Mirror the parser's recovery-keys invariant for programmatically
+    // built specs: overrides on a stack without a recovery layer would
+    // otherwise be silently dropped.
+    if spec.protocol == ProtocolKind::Bfw
+        && (spec.heartbeat.is_some() || spec.timeout.is_some() || spec.grace.is_some())
+    {
+        return Err(SpecError::new(
+            "heartbeat/timeout/grace require protocol = \"bfw+recovery\" (plain bfw has no \
+             recovery layer)",
+        ));
+    }
+    // Mirror the parser's kernel invariants too: an explicit bit kernel
+    // on a stack it cannot execute must fail loudly, never silently run
+    // the generic path.
+    if spec.kernel == KernelKind::Bit {
+        if spec.protocol == ProtocolKind::BfwRecovery {
+            return Err(SpecError::new(
+                "kernel = \"bit\" cannot execute protocol = \"bfw+recovery\": the bitplane \
+                 kernel packs the six plain BFW states (did you mean kernel = \"generic\"?)",
+            ));
+        }
+        if spec.runtime == RuntimeKind::Async {
+            return Err(SpecError::new(
+                "kernel = \"bit\" requires synchronous rounds (did you mean runtime = \
+                 \"sync\"?)",
+            ));
+        }
+    }
+    // And the parser's threads invariants: only the bit kernel shards
+    // its step, so a thread count on any other stack must fail loudly.
+    if spec.threads.is_some()
+        && (spec.kernel == KernelKind::Generic
+            || spec.runtime == RuntimeKind::Async
+            || spec.protocol == ProtocolKind::BfwRecovery)
+    {
+        return Err(SpecError::new(
+            "threads requires the bit kernel on plain synchronous bfw: only the bitplane \
+             kernel's word-sharded step fans out across worker threads",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The scenario engine: applies a compiled timeline to a running host.
 
 use crate::{
-    DynamicHost, ElectionMonitor, InjectKind, Recovery, ScenarioEvent, ScenarioTrace,
+    DynamicHost, ElectionMonitor, InjectKind, MonitorState, Recovery, ScenarioEvent, ScenarioTrace,
     ScheduledEvent, Timeline,
 };
 use bfw_graph::{DynamicGraph, Graph, NodeId, TopologyDelta};
@@ -40,6 +40,39 @@ pub struct Engine<H: DynamicHost> {
     partition_backlog: Vec<(NodeId, NodeId)>,
     noise_off_at: Option<u64>,
     log: Vec<String>,
+    /// Highest round whose due events have been applied and whose
+    /// leader set has been observed (`None` = no round processed yet).
+    /// [`run_until`](Self::run_until) consults it so a resumed engine
+    /// never re-applies the snapshot round's events or double-feeds its
+    /// leader set to the monitor (which would corrupt the stability
+    /// streak).
+    observed_through: Option<u64>,
+}
+
+/// The engine's own resumable state, beyond what the host carries: the
+/// timeline cursor, the partition backlog, the pending noise-burst
+/// expiry, the scenario RNG stream position, the event log so far, and
+/// the [`MonitorState`]. Captured by [`Engine::cursor`] after a
+/// [`Engine::run_until`], restored by [`Engine::resume`]; together with
+/// a host checkpoint (see `bfw_sim::EngineCheckpoint`) it makes a
+/// mid-run scenario byte-identically resumable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCursor {
+    /// Index of the next compiled timeline event to fire.
+    pub next_event: usize,
+    /// Edges removed by partitions and not yet healed.
+    pub partition_backlog: Vec<(NodeId, NodeId)>,
+    /// Round at which the active noise burst switches off, if any.
+    pub noise_off_at: Option<u64>,
+    /// `(counter, cursor)` position of the scenario ChaCha8 stream.
+    pub rng_position: (u64, usize),
+    /// Event-log lines emitted so far (a resumed run's outcome must
+    /// list the pre-snapshot events too).
+    pub log: Vec<String>,
+    /// The election monitor's full state.
+    pub monitor: MonitorState,
+    /// Highest round already applied and observed (the snapshot round).
+    pub observed_through: Option<u64>,
 }
 
 /// Result of a completed scenario run.
@@ -152,6 +185,64 @@ impl<H: DynamicHost> Engine<H> {
             partition_backlog: Vec::new(),
             noise_off_at: None,
             log: Vec::new(),
+            observed_through: None,
+        }
+    }
+
+    /// Rebuilds an engine mid-run from a snapshot: `host` must already
+    /// be restored to the snapshot's states and fault checkpoint, and
+    /// `graph` must be its **current** topology at the snapshot round
+    /// (not the initial one — topology events may have fired already).
+    /// `timeline`, `horizon` and `scenario_seed` must be the original
+    /// run's; the scenario RNG is re-seeded and fast-forwarded to the
+    /// cursor's stream position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` and `host` disagree on the node count.
+    pub fn resume(
+        host: H,
+        graph: &Graph,
+        timeline: &Timeline,
+        horizon: u64,
+        scenario_seed: u64,
+        cursor: EngineCursor,
+    ) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            host.node_count(),
+            "engine graph must match the host topology"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(scenario_seed ^ 0x5CE9_A210);
+        rng.set_position(cursor.rng_position.0, cursor.rng_position.1);
+        Engine {
+            host,
+            graph: DynamicGraph::from_graph(graph),
+            events: timeline.compile(horizon, scenario_seed),
+            next_event: cursor.next_event,
+            horizon,
+            rng,
+            monitor: ElectionMonitor::from_state(cursor.monitor),
+            injector: None,
+            partition_backlog: cursor.partition_backlog,
+            noise_off_at: cursor.noise_off_at,
+            log: cursor.log,
+            observed_through: cursor.observed_through,
+        }
+    }
+
+    /// Captures the engine's resumable state (see [`EngineCursor`]).
+    /// Meaningful after [`run_until`](Self::run_until); pair it with
+    /// the host's own checkpoint to snapshot a run.
+    pub fn cursor(&self) -> EngineCursor {
+        EngineCursor {
+            next_event: self.next_event,
+            partition_backlog: self.partition_backlog.clone(),
+            noise_off_at: self.noise_off_at,
+            rng_position: self.rng.position(),
+            log: self.log.clone(),
+            monitor: self.monitor.snapshot(),
+            observed_through: self.observed_through,
         }
     }
 
@@ -202,6 +293,51 @@ impl<H: DynamicHost> Engine<H> {
             recovery_costs,
         });
         (outcome, trace)
+    }
+
+    /// Advances the run until the host has completed `target` rounds,
+    /// with `target`'s due events applied and its leader set observed
+    /// (so a snapshot taken here resumes cleanly). On a fresh engine
+    /// this processes rounds `0..=target`; on a resumed engine it picks
+    /// up right after the snapshot round without re-applying it.
+    /// Untraced (lifecycle verbs never instrument); byte-equivalent to
+    /// the [`run`](Self::run) loop over the same rounds.
+    pub fn run_until(&mut self, target: u64) {
+        loop {
+            let round = self.host.round();
+            if self.observed_through != Some(round) {
+                self.apply_due_events(round);
+                let leaders = self.host.leaders();
+                self.monitor.observe(round, &leaders);
+                self.observed_through = Some(round);
+            }
+            if round >= target {
+                break;
+            }
+            self.host.step();
+        }
+    }
+
+    /// Consumes the engine and assembles the outcome of the rounds run
+    /// so far (the tail of every runner). After a
+    /// [`run_until`](Self::run_until) to the horizon, this equals what
+    /// [`run_with_host`](Self::run_with_host) would have produced.
+    pub fn into_outcome(self) -> (ScenarioOutcome, H) {
+        let final_leaders = self.host.leaders();
+        let final_alive = (0..self.host.node_count())
+            .filter(|&i| !self.host.is_crashed(NodeId::new(i)))
+            .count();
+        let outcome = ScenarioOutcome {
+            rounds_run: self.host.round(),
+            event_log: self.log,
+            recoveries: self.monitor.recoveries().to_vec(),
+            pending_disruption: self.monitor.pending_disruption(),
+            leader_flaps: self.monitor.flaps(),
+            final_leaders,
+            final_alive,
+            final_edges: self.graph.edge_count(),
+        };
+        (outcome, self.host)
     }
 
     /// The run loop shared by every public runner. The third component

@@ -65,23 +65,34 @@ mod bfw_run;
 mod engine;
 mod event;
 mod host;
+mod lifecycle;
 mod metrics;
 mod report;
+mod shrink;
 mod spec;
+mod spec_io;
 mod timeline;
 pub mod toml_mini;
 mod trace;
+mod validate;
 
 pub use bfw_run::{
     bfw_injector, recovering_bfw_injector, resolved_kernel, resolved_threads, run_bfw_scenario,
     run_bfw_scenario_traced, scenario_recovery_config,
 };
 pub use bfw_sim::Scheduler;
-pub use engine::{Engine, Injector, ScenarioOutcome};
+pub use engine::{Engine, EngineCursor, Injector, ScenarioOutcome};
 pub use event::{InjectKind, ScenarioEvent};
 pub use host::DynamicHost;
-pub use metrics::{ElectionMonitor, Recovery};
+pub use lifecycle::{
+    resume_run_bfw_scenario, resume_step_bfw_scenario, step_bfw_scenario, validate_engine_snapshot,
+    EngineSnapshot, SnapshotSummary,
+};
+pub use metrics::{ElectionMonitor, MonitorState, Recovery};
 pub use report::{validate_run_report, RunReport, RunSummary};
+pub use shrink::{shrink_wipeout, ShrinkReport};
 pub use spec::{KernelKind, ProtocolKind, RuntimeKind, ScenarioSpec, SpecError, TraceSpec};
+pub use spec_io::{spec_from_json, spec_to_json, validate_scenario_spec, SpecSummary};
 pub use timeline::{Schedule, ScheduledEvent, Timeline, TimelineEntry};
 pub use trace::ScenarioTrace;
+pub use validate::validate_scenario;

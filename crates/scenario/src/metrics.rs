@@ -21,6 +21,30 @@ impl Recovery {
     }
 }
 
+/// The full serializable state of an [`ElectionMonitor`], captured by
+/// [`ElectionMonitor::snapshot`] and restored by
+/// [`ElectionMonitor::from_state`]. Part of the scenario snapshot
+/// format: resuming a run must continue open recovery windows and
+/// stability streaks exactly where the snapshot left them, or the
+/// resumed outcome would diverge from the straight run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorState {
+    /// Stable rounds required before a recovery is recorded.
+    pub stability_window: u64,
+    /// Rounds of disruptions whose recovery windows are still open.
+    pub open_disruptions: Vec<u64>,
+    /// Leader of the stability streak in progress, if any.
+    pub streak_leader: Option<NodeId>,
+    /// Length of the stability streak in progress.
+    pub streak_len: u64,
+    /// Last observed unique leader (for flap counting).
+    pub last_unique: Option<NodeId>,
+    /// Unique-leader identity changes observed so far.
+    pub flaps: u64,
+    /// Completed recoveries so far.
+    pub recoveries: Vec<Recovery>,
+}
+
 /// Tracks leader dynamics across a perturbed run.
 ///
 /// * **Re-election latency** — every disruption opens its *own* window:
@@ -140,6 +164,33 @@ impl ElectionMonitor {
     /// still open, in arrival order.
     pub fn pending_disruptions(&self) -> &[u64] {
         &self.open_disruptions
+    }
+
+    /// Captures the monitor's full state for a scenario snapshot.
+    pub fn snapshot(&self) -> MonitorState {
+        MonitorState {
+            stability_window: self.stability_window,
+            open_disruptions: self.open_disruptions.clone(),
+            streak_leader: self.streak_leader,
+            streak_len: self.streak_len,
+            last_unique: self.last_unique,
+            flaps: self.flaps,
+            recoveries: self.recoveries.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from a captured [`MonitorState`] (the inverse
+    /// of [`snapshot`](Self::snapshot)).
+    pub fn from_state(state: MonitorState) -> Self {
+        ElectionMonitor {
+            stability_window: state.stability_window,
+            open_disruptions: state.open_disruptions,
+            streak_leader: state.streak_leader,
+            streak_len: state.streak_len,
+            last_unique: state.last_unique,
+            flaps: state.flaps,
+            recoveries: state.recoveries,
+        }
     }
 }
 

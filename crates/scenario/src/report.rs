@@ -483,16 +483,18 @@ mod tests {
             Some(4.0)
         );
 
-        // A threads key that auto-resolution sends to the generic
-        // kernel (small n, auto) is suppressed, not misreported.
+        // An explicit threads key under kernel = "auto" forces the bit
+        // kernel even on a small graph (the only kernel that shards its
+        // step), so the report must surface both resolved values
+        // instead of silently misreporting a generic run.
         let auto = ScenarioSpec {
             kernel: KernelKind::Auto,
             threads: Some(4),
             ..ScenarioSpec::parse("[scenario]\ngraph = \"cycle:8\"").unwrap()
         };
         let report = RunReport::new(&auto, "cycle:8".to_owned(), 8, 7, sample_outcome(), None);
-        assert_eq!(report.kernel, Some(KernelKind::Generic));
-        assert_eq!(report.threads, None);
+        assert_eq!(report.kernel, Some(KernelKind::Bit));
+        assert_eq!(report.threads, Some(4));
     }
 
     #[test]

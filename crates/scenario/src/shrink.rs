@@ -1,0 +1,457 @@
+//! `bfw scenario shrink`: minimal reproducers for wipeout timelines.
+//!
+//! A **wipeout** is the failure mode the paper's Section 5 warns about:
+//! a perturbation sequence leaves the network permanently leaderless —
+//! every node sits in a follower state, nobody beeps, and plain BFW has
+//! no transition that ever creates a new leader. The recovery bench
+//! (E15/E17) finds such timelines, but the specs it finds them in carry
+//! decoy events: crashes that rejoined, partitions that healed, noise
+//! bursts that did nothing. The shrinker strips a spec down to the
+//! events that *cause* the wipeout.
+//!
+//! Three greedy passes, in order:
+//!
+//! 1. **drop** — remove one event at a time (last first), keep the
+//!    removal if the wipeout still reproduces; repeated to a fixpoint;
+//! 2. **horizon trim** — binary-search the earliest round at which the
+//!    network is already leaderless. Sound because plain BFW's leader
+//!    set is monotone nonincreasing once no more events fire: leaderless
+//!    at `h` implies leaderless at every `h' ≥ h`;
+//! 3. **retime** (skipped by `quick`) — binary-search each surviving
+//!    event downward toward its predecessor, accepting any earlier
+//!    firing round that still reproduces.
+//!
+//! Every candidate is checked by *replaying* the scenario — there is no
+//! static shortcut for "does this still wipe out". What makes that
+//! affordable is the snapshot layer from [`crate::step_bfw_scenario`]:
+//! the shrinker keeps a ladder of [`EngineSnapshot`]s just below each
+//! event round, and a candidate that only changes the timeline from
+//! round `r` onward resumes from the last snapshot before `r` instead
+//! of re-running from round zero. Candidate outcomes are
+//! kernel-invariant, so replays run on the generic kernel regardless of
+//! what the spec requests; the minimized spec keeps the original
+//! kernel/threads keys.
+//!
+//! [`EngineSnapshot`]: crate::EngineSnapshot
+
+use crate::bfw_run::run_bfw_scenario;
+use crate::lifecycle::{
+    resume_run_bfw_scenario, resume_step_bfw_scenario, step_bfw_scenario, EngineSnapshot,
+};
+use crate::spec_io::normalized_spec;
+use crate::{
+    KernelKind, ProtocolKind, RuntimeKind, ScenarioOutcome, ScenarioSpec, ScheduledEvent,
+    SpecError, Timeline,
+};
+use bfw_graph::Graph;
+
+/// What [`shrink_wipeout`] did to a spec.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// Events in the compiled original timeline.
+    pub original_events: usize,
+    /// Events surviving the shrink.
+    pub events: Vec<ScheduledEvent>,
+    /// The original horizon.
+    pub original_horizon: u64,
+    /// The trimmed horizon: the earliest round at which the network is
+    /// already (and therefore permanently) leaderless.
+    pub horizon: u64,
+    /// Scenario replays spent (snapshot-accelerated resumes and full
+    /// runs both count as one).
+    pub replays: usize,
+    /// The minimized spec: the original configuration with the
+    /// surviving all-`at` timeline and the trimmed horizon. Still wipes
+    /// out at its pinned seed, and exports/validates like any other
+    /// spec.
+    pub spec: ScenarioSpec,
+}
+
+impl ShrinkReport {
+    /// The pinned stdout block for `bfw scenario shrink`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "shrink \"{}\": wipeout reproduced with {} of {} events\n",
+            self.spec.name,
+            self.events.len(),
+            self.original_events
+        ));
+        out.push_str(&format!(
+            "horizon: {} -> {}   replays: {}\n",
+            self.original_horizon, self.horizon, self.replays
+        ));
+        for ev in &self.events {
+            out.push_str(&format!("  @{} {}\n", ev.round, ev.event));
+        }
+        out
+    }
+}
+
+/// `true` when the outcome is a wipeout: alive nodes exist but none of
+/// them is a leader (and in plain BFW none ever will be again).
+fn wipes(outcome: &ScenarioOutcome) -> bool {
+    outcome.final_leaders.is_empty() && outcome.final_alive > 0
+}
+
+/// Rebuilds a runnable spec from an explicit all-`at` event list.
+fn with_events(base: &ScenarioSpec, events: &[ScheduledEvent], rounds: u64) -> ScenarioSpec {
+    let mut timeline = Timeline::new();
+    for ev in events {
+        timeline = timeline.at(ev.round, ev.event.clone());
+    }
+    ScenarioSpec {
+        timeline,
+        rounds,
+        ..base.clone()
+    }
+}
+
+/// Snapshot-accelerated candidate replayer: resumes from the deepest
+/// still-valid ladder snapshot strictly before the first round where
+/// the candidate diverges from the timeline the ladder was built for.
+struct Replayer<'a> {
+    base: &'a ScenarioSpec,
+    graph: &'a Graph,
+    seed: u64,
+    ladder: Vec<EngineSnapshot>,
+    replays: usize,
+}
+
+impl Replayer<'_> {
+    fn outcome(
+        &mut self,
+        events: &[ScheduledEvent],
+        horizon: u64,
+        first_changed: u64,
+    ) -> Result<ScenarioOutcome, SpecError> {
+        self.replays += 1;
+        let candidate = with_events(self.base, events, horizon);
+        let snap = self
+            .ladder
+            .iter()
+            .rev()
+            .find(|s| s.round < first_changed && s.round <= horizon);
+        match snap {
+            Some(snap) => {
+                let mut s = snap.clone();
+                // The prefix up to the snapshot round is shared with the
+                // candidate, so only the spec and the timeline cursor
+                // need rewriting; states, RNG streams and monitor carry
+                // over unchanged.
+                s.cursor.next_event = events.iter().filter(|e| e.round <= s.round).count();
+                s.spec = candidate;
+                resume_run_bfw_scenario(&s, None, None)
+            }
+            None => run_bfw_scenario(&candidate, self.graph, self.seed),
+        }
+    }
+
+    /// Drops ladder entries invalidated by an accepted timeline change
+    /// at `from_round`.
+    fn invalidate(&mut self, from_round: u64) {
+        self.ladder.retain(|s| s.round < from_round);
+    }
+}
+
+/// Shrinks `spec` to a minimal timeline that still wipes the network
+/// out at `seed`. `quick` skips the retime pass and settles for one
+/// drop pass — a few replays instead of a few dozen.
+///
+/// # Errors
+///
+/// A [`SpecError`] if the spec is not plain synchronous BFW (the only
+/// stack with both a snapshot encoding and the monotone-leader-set
+/// argument the horizon trim relies on), or if the full scenario does
+/// not wipe out at `seed` — there is nothing to shrink then.
+pub fn shrink_wipeout(
+    spec: &ScenarioSpec,
+    graph: &Graph,
+    seed: u64,
+    quick: bool,
+) -> Result<ShrinkReport, SpecError> {
+    if spec.protocol != ProtocolKind::Bfw || spec.runtime != RuntimeKind::Sync {
+        return Err(SpecError::new(
+            "scenario shrink supports plain synchronous bfw only: the horizon trim relies on \
+             the monotone leader set of the plain protocol",
+        ));
+    }
+    // Replays run on the generic kernel (outcomes are kernel-invariant);
+    // the original kernel/threads keys are restored on the way out.
+    let mut base = normalized_spec(spec, seed);
+    base.kernel = KernelKind::Generic;
+    base.threads = None;
+
+    let original: Vec<ScheduledEvent> = base.timeline.compile(base.rounds, seed);
+    let original_horizon = base.rounds;
+    let mut replayer = Replayer {
+        base: &base,
+        graph,
+        seed,
+        ladder: Vec::new(),
+        replays: 0,
+    };
+
+    let full = replayer.outcome(&original, original_horizon, 0)?;
+    if !wipes(&full) {
+        return Err(SpecError::new(format!(
+            "scenario \"{}\" does not wipe out at seed {seed} (final leaders: {}); nothing to \
+             shrink",
+            spec.name,
+            full.final_leaders.len()
+        )));
+    }
+
+    // Ladder: one snapshot just below each distinct event round, each
+    // built by resuming the previous one — the whole ladder costs one
+    // pass over the event window, not one run per rung.
+    let mut targets: Vec<u64> = original
+        .iter()
+        .filter(|e| e.round > 0)
+        .map(|e| e.round - 1)
+        .collect();
+    targets.dedup();
+    let mut prev: Option<EngineSnapshot> = None;
+    for target in targets {
+        let snap = match &prev {
+            None => step_bfw_scenario(&base, graph, seed, target, None, None)?,
+            Some(p) => resume_step_bfw_scenario(p, target - p.round, None, None)?,
+        };
+        replayer.ladder.push(snap.clone());
+        prev = Some(snap);
+    }
+
+    // Drop pass: remove events last-first, to a fixpoint (quick: one
+    // pass). Dropping late events first keeps the deep ladder rungs
+    // valid longest.
+    let mut events = original.clone();
+    let mut horizon = original_horizon;
+    loop {
+        let mut dropped = false;
+        let mut k = events.len();
+        while k > 0 {
+            k -= 1;
+            let mut cand = events.clone();
+            let changed = cand.remove(k).round;
+            if wipes(&replayer.outcome(&cand, horizon, changed)?) {
+                events = cand;
+                replayer.invalidate(changed);
+                dropped = true;
+            }
+        }
+        if quick || !dropped {
+            break;
+        }
+    }
+
+    // Horizon trim: earliest round (at or after the last event) that is
+    // already leaderless. The predicate is monotone in the probe round,
+    // so binary search applies.
+    let r_last = events.last().map_or(0, |e| e.round);
+    let mut lo = r_last;
+    let mut hi = horizon;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if wipes(&replayer.outcome(&events, mid, u64::MAX)?) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    horizon = hi;
+
+    if !quick {
+        // Retime pass: pull each event toward its predecessor. The
+        // probe accepts any earlier firing that still reproduces, so
+        // the result is always sound; binary search just finds a good
+        // one in O(log gap) replays.
+        for i in 0..events.len() {
+            let floor = if i == 0 { 0 } else { events[i - 1].round };
+            let mut lo = floor;
+            let mut hi = events[i].round;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = events.clone();
+                cand[i].round = mid;
+                if wipes(&replayer.outcome(&cand, horizon, mid)?) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < events[i].round {
+                events[i].round = hi;
+                replayer.invalidate(hi);
+            }
+        }
+        // Earlier events may allow an earlier horizon.
+        let r_last = events.last().map_or(0, |e| e.round);
+        let mut lo = r_last;
+        let mut hi = horizon;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if wipes(&replayer.outcome(&events, mid, u64::MAX)?) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        horizon = hi;
+    }
+
+    let replays = replayer.replays;
+    let mut minimized = with_events(&base, &events, horizon);
+    minimized.kernel = spec.kernel;
+    minimized.threads = spec.threads;
+    Ok(ShrinkReport {
+        original_events: original.len(),
+        events,
+        original_horizon,
+        horizon,
+        replays,
+        spec: minimized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioEvent;
+    use bfw_graph::generators;
+
+    /// E17's phantom-wave wipeout plus decoy churn that has nothing to
+    /// do with it: the crash rejoins, the noise burst expires.
+    const PHANTOM: &str = r#"
+[scenario]
+name = "phantom wipeout"
+graph = "cycle:12"
+rounds = 4000
+stability = 20
+seed = 7
+
+[[event]]
+at = 150
+kind = "crash-random"
+
+[[event]]
+at = 250
+kind = "recover-all"
+
+[[event]]
+at = 400
+kind = "noise-burst"
+fn = 0.05
+rounds = 50
+
+[[event]]
+at = 800
+kind = "inject-phantom"
+waves = 1
+"#;
+
+    #[test]
+    fn phantom_wipeout_shrinks_to_the_injection() {
+        let spec = ScenarioSpec::parse(PHANTOM).unwrap();
+        let g = generators::cycle(12);
+        let report = shrink_wipeout(&spec, &g, 7, false).unwrap();
+        assert_eq!(report.original_events, 4);
+        // Only the injection causes the wipeout.
+        assert_eq!(report.events.len(), 1, "{}", report.to_text());
+        assert!(matches!(
+            report.events[0].event,
+            ScenarioEvent::InjectState(_)
+        ));
+        assert!(report.horizon < report.original_horizon);
+        // The minimized spec still reproduces.
+        let outcome = run_bfw_scenario(&report.spec, &g, 7).unwrap();
+        assert!(wipes(&outcome), "{}", outcome.to_text());
+        // ... and still passes static validation.
+        crate::validate_scenario(&report.spec, &g).unwrap();
+    }
+
+    #[test]
+    fn quick_mode_still_reproduces() {
+        let spec = ScenarioSpec::parse(PHANTOM).unwrap();
+        let g = generators::cycle(12);
+        let quick = shrink_wipeout(&spec, &g, 7, true).unwrap();
+        assert!(quick.events.len() <= 2, "{}", quick.to_text());
+        let outcome = run_bfw_scenario(&quick.spec, &g, 7).unwrap();
+        assert!(wipes(&outcome));
+        let thorough = shrink_wipeout(&spec, &g, 7, false).unwrap();
+        assert!(thorough.replays >= quick.replays);
+        assert!(thorough.horizon <= quick.horizon);
+    }
+
+    /// E15's crash-the-leader-forever wipeout: the leader crashes and
+    /// never rejoins, so its frozen neighborhood stays leaderless.
+    #[test]
+    fn crash_leader_wipeout_shrinks() {
+        let text = r#"
+[scenario]
+name = "crash wipeout"
+graph = "cycle:8"
+rounds = 6000
+stability = 20
+seed = 3
+
+[[event]]
+at = 50
+kind = "add-edge"
+u = 0
+v = 4
+
+[[event]]
+at = 2500
+kind = "crash-leader"
+
+[[event]]
+at = 2600
+kind = "remove-edge"
+u = 0
+v = 4
+"#;
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let g = generators::cycle(8);
+        let report = shrink_wipeout(&spec, &g, 3, false).unwrap();
+        // The decoy edge churn drops; the crash survives.
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| matches!(e.event, ScenarioEvent::CrashLeader)),
+            "{}",
+            report.to_text()
+        );
+        assert!(report.events.len() < 3);
+        let outcome = run_bfw_scenario(&report.spec, &g, 3).unwrap();
+        assert!(wipes(&outcome));
+    }
+
+    #[test]
+    fn non_wipeout_is_refused() {
+        let text = "[scenario]\ngraph = \"cycle:8\"\nrounds = 5000\nseed = 1";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let err = shrink_wipeout(&spec, &generators::cycle(8), 1, true).unwrap_err();
+        assert!(err.to_string().contains("does not wipe out"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_stacks_are_refused() {
+        let text = "[scenario]\ngraph = \"cycle:8\"\nruntime = \"async\"\nscheduler = \"uniform\"";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let err = shrink_wipeout(&spec, &generators::cycle(8), 1, true).unwrap_err();
+        assert!(err.to_string().contains("plain synchronous bfw"), "{err}");
+    }
+
+    #[test]
+    fn shrunk_spec_round_trips_through_the_interchange_layer() {
+        let spec = ScenarioSpec::parse(PHANTOM).unwrap();
+        let g = generators::cycle(12);
+        let report = shrink_wipeout(&spec, &g, 7, true).unwrap();
+        let rendered = crate::spec_to_json(&report.spec, 7).render_pretty();
+        let back = crate::spec_from_json(&rendered).unwrap();
+        let a = run_bfw_scenario(&report.spec, &g, 7).unwrap();
+        let b = run_bfw_scenario(&back, &g, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

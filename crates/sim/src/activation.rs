@@ -26,6 +26,7 @@
 
 use crate::fault::FaultLayer;
 use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
+use crate::snapshot::{EngineCheckpoint, SchedulerCheckpoint};
 use crate::{NodeCtx, Topology};
 use bfw_graph::{NodeId, TopologyDelta};
 use rand::Rng as _;
@@ -503,6 +504,69 @@ impl<M: ActivationModel> ActivationEngine<M> {
         for (i, s) in self.states.iter().enumerate() {
             self.model.refresh_node(i, s, self.faults.is_crashed(i));
         }
+    }
+
+    /// Captures the engine's checkpoint — activation counter, crash
+    /// mask, noise channels, per-node RNG stream positions *and* the
+    /// scheduler half: the scheduler stream position and replay-sweep
+    /// cursor. The replay permutation itself is not captured — it is a
+    /// pure function of the seed and the installation point, so restore
+    /// re-draws it via [`set_scheduler`](Self::set_scheduler). See
+    /// [`EngineCheckpoint`].
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let n = self.states.len();
+        EngineCheckpoint {
+            steps: self.activations,
+            crashed: self.faults.flags().to_vec(),
+            false_negative: self.faults.false_negative(),
+            false_positive: self.faults.false_positive(),
+            rng_positions: (0..n).map(|i| self.faults.rng_position(i)).collect(),
+            scheduler: Some(SchedulerCheckpoint {
+                rng_position: self.scheduler_rng.position(),
+                replay_cursor: self.replay_cursor,
+            }),
+        }
+    }
+
+    /// Restores a checkpoint taken by [`checkpoint`](Self::checkpoint)
+    /// on an engine built from the same seed. The caller must have
+    /// installed the checkpointed run's scheduler (via
+    /// [`set_scheduler`](Self::set_scheduler)) **before** this call —
+    /// installation re-draws the replay permutation from the scheduler
+    /// stream exactly as the original run did; this method then
+    /// fast-forwards that stream to its checkpointed position (which is
+    /// already past the permutation draws) and restores the sweep
+    /// cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's node count or `states.len()` differs
+    /// from the engine's, or if the checkpoint has no scheduler half.
+    pub fn restore_checkpoint(&mut self, cp: &EngineCheckpoint, states: Vec<M::State>) {
+        let n = self.states.len();
+        assert_eq!(cp.node_count(), n, "checkpoint node count must match");
+        let sched = cp
+            .scheduler
+            .as_ref()
+            .expect("asynchronous checkpoints carry scheduler state");
+        self.faults.set_noise(cp.false_negative, cp.false_positive);
+        for i in 0..n {
+            self.faults
+                .restore_node(i, cp.crashed[i], cp.rng_positions[i]);
+        }
+        self.scheduler_rng
+            .set_position(sched.rng_position.0, sched.rng_position.1);
+        self.replay_cursor = if self.replay_order.is_empty() {
+            assert_eq!(
+                sched.replay_cursor, 0,
+                "a replay cursor needs the replay scheduler installed"
+            );
+            0
+        } else {
+            sched.replay_cursor % self.replay_order.len()
+        };
+        self.set_states(states);
+        self.activations = cp.steps;
     }
 
     /// Turns complexity accounting on: from the next activation the

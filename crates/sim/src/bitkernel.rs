@@ -42,6 +42,7 @@
 use crate::fault::{filter_heard_chunk, FaultLayer};
 use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
 use crate::pool::{shard_bounds, ShardPool};
+use crate::snapshot::EngineCheckpoint;
 use crate::{NodeCtx, Topology};
 use bfw_graph::{words_for, NodeId, Relabeling, TopologyDelta, WordGraph};
 use rand::Rng as _;
@@ -796,6 +797,55 @@ impl<M: BitModel> BitEngine<M> {
             ));
         }
         found
+    }
+
+    /// Captures the engine's checkpoint in **original node-label
+    /// order**, translating out of the plan's internal storage order —
+    /// so a bit-kernel checkpoint is byte-identical to the generic
+    /// engine's at the same round (the kernel-invariance of the
+    /// snapshot format). See [`EngineCheckpoint`].
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let mut crashed = vec![false; self.n];
+        let mut rng_positions = vec![(0u64, 0usize); self.n];
+        for j in 0..self.n {
+            let i = self.orig(j);
+            crashed[i] = self.faults.is_crashed(j);
+            rng_positions[i] = self.faults.rng_position(j);
+        }
+        EngineCheckpoint {
+            steps: self.round,
+            crashed,
+            false_negative: self.faults.false_negative(),
+            false_positive: self.faults.false_positive(),
+            rng_positions,
+            scheduler: None,
+        }
+    }
+
+    /// Restores a checkpoint (taken on *either* kernel) onto an engine
+    /// built from the same seed and the checkpointed topology: crash
+    /// flags and RNG positions are translated into the current plan's
+    /// storage order (streams follow nodes, never slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's node count or `states.len()` differs
+    /// from the engine's, or if the checkpoint carries a scheduler
+    /// half.
+    pub fn restore_checkpoint(&mut self, cp: &EngineCheckpoint, states: Vec<M::State>) {
+        assert_eq!(cp.node_count(), self.n, "checkpoint node count must match");
+        assert!(
+            cp.scheduler.is_none(),
+            "synchronous engines have no scheduler state"
+        );
+        self.faults.set_noise(cp.false_negative, cp.false_positive);
+        for i in 0..self.n {
+            let j = self.int(i);
+            self.faults
+                .restore_node(j, cp.crashed[i], cp.rng_positions[i]);
+        }
+        self.set_states(states);
+        self.round = cp.steps;
     }
 
     /// Turns complexity accounting on (same passive probe as the

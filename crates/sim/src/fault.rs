@@ -124,6 +124,30 @@ impl FaultLayer {
         &mut self.rngs[i]
     }
 
+    /// Returns node `i`'s ChaCha8 stream position (see
+    /// [`rand_chacha::ChaCha8Rng::position`]) — the checkpoint seam:
+    /// streams are re-carved from the run seed on restore, so a
+    /// snapshot needs only positions, never keys.
+    #[inline]
+    pub(crate) fn rng_position(&self, i: usize) -> (u64, usize) {
+        self.rngs[i].position()
+    }
+
+    /// Restores node `i` from a checkpoint: crash flag (alive counts
+    /// and the word bitset stay in lockstep) and RNG stream position.
+    /// The stream key is untouched — the layer must have been carved
+    /// from the same seed as the checkpointed one.
+    pub(crate) fn restore_node(&mut self, i: usize, crashed: bool, rng_position: (u64, usize)) {
+        if crashed != self.crashed[i] {
+            if crashed {
+                self.crash(i);
+            } else {
+                self.recover(i);
+            }
+        }
+        self.rngs[i].set_position(rng_position.0, rng_position.1);
+    }
+
     /// Returns `true` if either noise channel is active.
     #[inline]
     pub fn has_noise(&self) -> bool {

@@ -62,6 +62,7 @@ mod pool;
 mod protocol;
 mod recovering;
 mod runner;
+mod snapshot;
 pub mod stone_age;
 mod tick;
 mod topology;
@@ -83,5 +84,6 @@ pub use pool::{shard_bounds, ShardPool};
 pub use protocol::{BeepingProtocol, LeaderElection, NodeCtx};
 pub use recovering::{SlotAware, SlotSyncedModel};
 pub use runner::{run_election, ElectionConfig, ElectionOutcome};
+pub use snapshot::{EngineCheckpoint, SchedulerCheckpoint};
 pub use tick::{LeaderModel, TickEngine, TickModel};
 pub use topology::Topology;

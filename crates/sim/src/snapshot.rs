@@ -1,0 +1,60 @@
+//! Engine checkpoints: the serialization seam for scenario snapshots.
+//!
+//! A running engine's full replayable state is smaller than it looks.
+//! Topology and node states have public getters already; what was
+//! missing is the part buried in the [`FaultLayer`](crate::FaultLayer)
+//! — the crash mask, the noise channels and each node's ChaCha8 stream
+//! *position* — plus, for the asynchronous engine, the scheduler
+//! stream position and replay-sweep cursor. [`EngineCheckpoint`]
+//! captures exactly that, always in **original node-label order**, so a
+//! checkpoint taken on the bit kernel (which may relabel its storage)
+//! is byte-identical to one taken on the generic kernel at the same
+//! round — the kernel-invariance the scenario snapshot format relies
+//! on.
+//!
+//! Stream *keys* are never captured: they are a pure function of the
+//! run seed (see `FaultLayer::with_scheduler`), so restoring means
+//! re-carving from the seed and fast-forwarding each stream to its
+//! checkpointed `(counter, cursor)` position.
+
+/// The scheduler half of an asynchronous engine's checkpoint: the
+/// scheduler stream position and — under the replay scheduler — the
+/// sweep cursor into the (seed-derived, re-drawn on restore)
+/// permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerCheckpoint {
+    /// `(counter, cursor)` position of the scheduler's ChaCha8 stream.
+    pub rng_position: (u64, usize),
+    /// Next index of the replay sweep (0 unless the replay scheduler is
+    /// installed).
+    pub replay_cursor: usize,
+}
+
+/// Everything an engine needs beyond its (separately captured) node
+/// states and topology to resume a run byte-identically: step counter,
+/// crash mask, noise channels and per-node RNG stream positions, all in
+/// original node-label order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// Rounds (synchronous engines) or activations (asynchronous)
+    /// performed so far.
+    pub steps: u64,
+    /// Crash flags, indexed by original node label.
+    pub crashed: Vec<bool>,
+    /// False-negative (lost-signal) noise probability.
+    pub false_negative: f64,
+    /// False-positive (hallucinated-signal) noise probability.
+    pub false_positive: f64,
+    /// Per-node ChaCha8 `(counter, cursor)` stream positions, indexed
+    /// by original node label.
+    pub rng_positions: Vec<(u64, usize)>,
+    /// Present on asynchronous engines only.
+    pub scheduler: Option<SchedulerCheckpoint>,
+}
+
+impl EngineCheckpoint {
+    /// The node count this checkpoint was taken at.
+    pub fn node_count(&self) -> usize {
+        self.crashed.len()
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::fault::FaultLayer;
 use crate::instrument::{ComplexityLedger, FlightRecorder, Instrumentation, RoundSample};
+use crate::snapshot::EngineCheckpoint;
 use crate::{NodeCtx, Topology};
 use bfw_graph::{NodeId, TopologyDelta};
 
@@ -376,6 +377,52 @@ impl<M: TickModel> TickEngine<M> {
         for (i, s) in self.states.iter().enumerate() {
             self.model.refresh_node(i, s, self.faults.is_crashed(i));
         }
+    }
+
+    /// Captures the engine's checkpoint — round counter, crash mask,
+    /// noise channels and per-node RNG stream positions (see
+    /// [`EngineCheckpoint`]). Node states and topology are captured
+    /// separately through [`states`](Self::states) and
+    /// [`topology`](Self::topology).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let n = self.states.len();
+        EngineCheckpoint {
+            steps: self.round,
+            crashed: self.faults.flags().to_vec(),
+            false_negative: self.faults.false_negative(),
+            false_positive: self.faults.false_positive(),
+            rng_positions: (0..n).map(|i| self.faults.rng_position(i)).collect(),
+            scheduler: None,
+        }
+    }
+
+    /// Restores a checkpoint taken by [`checkpoint`](Self::checkpoint)
+    /// on an engine built from the **same seed** (stream keys are
+    /// re-carved from the seed; only positions are restored). The crash
+    /// mask is installed before `states`, so the model's emission
+    /// caches refresh against the restored flags; the caller installs
+    /// the checkpointed topology separately (before or after — the next
+    /// [`step`](Self::step) reads both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's node count or `states.len()` differs
+    /// from the engine's, or if the checkpoint carries a scheduler half
+    /// (synchronous engines have no scheduler).
+    pub fn restore_checkpoint(&mut self, cp: &EngineCheckpoint, states: Vec<M::State>) {
+        let n = self.states.len();
+        assert_eq!(cp.node_count(), n, "checkpoint node count must match");
+        assert!(
+            cp.scheduler.is_none(),
+            "synchronous engines have no scheduler state"
+        );
+        self.faults.set_noise(cp.false_negative, cp.false_positive);
+        for i in 0..n {
+            self.faults
+                .restore_node(i, cp.crashed[i], cp.rng_positions[i]);
+        }
+        self.set_states(states);
+        self.round = cp.steps;
     }
 
     /// Turns complexity accounting on: from the next

@@ -53,6 +53,35 @@ fn tracked_bench_reports_validate_and_are_canonical() {
 }
 
 #[test]
+fn tracked_heal_report_validates_and_is_canonical() {
+    // The committed scenario artifact: the `[trace]` section of
+    // `examples/scenarios/heal_wipeout.toml` writes it at seed 2, so
+    // `bfw scenario run examples/scenarios/heal_wipeout.toml` must
+    // reproduce it byte-for-byte.
+    let name = "heal_report.json";
+    let path = workspace_root().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} must be tracked at the workspace root: {e}"));
+
+    let summary =
+        bfw_scenario::validate_run_report(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(summary.scenario, "heal wipeout, survived", "{name}");
+    assert!(
+        summary.traced,
+        "{name}: the [trace] section must be present"
+    );
+
+    let value = JsonValue::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let rendered = value.render_pretty();
+    assert_eq!(
+        JsonValue::parse(&rendered).unwrap(),
+        value,
+        "{name}: parse–render–parse is not a fixpoint"
+    );
+    assert_eq!(rendered, text, "{name}: committed bytes are not canonical");
+}
+
+#[test]
 fn hundred_thousand_node_graph_round_trips_byte_identically() {
     let n = 100_000;
     let doc = GraphDoc {

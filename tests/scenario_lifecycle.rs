@@ -1,0 +1,224 @@
+//! Workspace tests for the scenario lifecycle verbs: step/resume
+//! snapshots must be byte-identical across kernels and thread counts,
+//! a stepped-then-resumed run must equal a straight run, the committed
+//! snapshot fixture must stay byte-stable, and the wipeout shrinker
+//! must minimize the shipped corpus classes (E15 crash-leader
+//! no-rejoin, E17 phantom wave).
+
+use bfw_bench::GraphSpec;
+use bfw_graph::Graph;
+use bfw_scenario::{
+    resume_run_bfw_scenario, resume_step_bfw_scenario, run_bfw_scenario, shrink_wipeout,
+    spec_to_json, step_bfw_scenario, validate_engine_snapshot, validate_scenario,
+    validate_scenario_spec, EngineSnapshot, KernelKind, ScenarioSpec,
+};
+
+const RING_CHURN: &str = include_str!("../examples/scenarios/ring_churn.toml");
+const ASYNC_STORM: &str = include_str!("../examples/scenarios/async_storm.toml");
+const WIPEOUT_E17: &str = include_str!("../examples/scenarios/wipeout_e17.toml");
+/// Committed snapshot of `wipeout_e17.toml` stepped to round 600.
+/// Regenerate with:
+/// `bfw scenario step examples/scenarios/wipeout_e17.toml --rounds 600 \
+///    --out tests/fixtures/wipeout_e17_round600.snapshot.json`
+const SNAPSHOT_FIXTURE: &str = include_str!("fixtures/wipeout_e17_round600.snapshot.json");
+
+fn load(toml: &str) -> (ScenarioSpec, Graph) {
+    let spec = ScenarioSpec::parse(toml).expect("shipped scenario must parse");
+    let graph: GraphSpec = spec.graph.parse().unwrap();
+    (spec, graph.build())
+}
+
+fn wipes(outcome: &bfw_scenario::ScenarioOutcome) -> bool {
+    outcome.final_leaders.is_empty() && outcome.final_alive > 0
+}
+
+/// The execution stacks a plain synchronous BFW scenario can run on.
+/// `None` inherits the file's own kernel/threads.
+const STACKS: [(Option<KernelKind>, Option<usize>); 4] = [
+    (None, None),
+    (Some(KernelKind::Generic), None),
+    (Some(KernelKind::Bit), Some(1)),
+    (Some(KernelKind::Bit), Some(4)),
+];
+
+#[test]
+fn step_twice_equals_straight_run_on_every_stack() {
+    let (spec, graph) = load(RING_CHURN);
+    for seed in [42u64, 1007] {
+        let reference = run_bfw_scenario(&spec, &graph, seed).unwrap();
+        let mut final_snapshots = Vec::new();
+        for (kernel, threads) in STACKS {
+            let half = spec.rounds / 2;
+            let a = step_bfw_scenario(&spec, &graph, seed, half, kernel, threads).unwrap();
+            assert_eq!(a.round, half);
+            let b = resume_step_bfw_scenario(&a, spec.rounds - half, kernel, threads).unwrap();
+            assert_eq!(b.round, spec.rounds);
+            let outcome = resume_run_bfw_scenario(&b, kernel, threads).unwrap();
+            assert_eq!(
+                outcome, reference,
+                "stepped run diverged on kernel {kernel:?} threads {threads:?} seed {seed}"
+            );
+            final_snapshots.push(b.to_json_value().render_pretty());
+        }
+        // The snapshot document embeds the FILE's stack, never the
+        // execution override: every stack writes the same bytes.
+        for (i, snap) in final_snapshots.iter().enumerate().skip(1) {
+            assert_eq!(
+                snap, &final_snapshots[0],
+                "snapshot bytes differ between stack 0 and stack {i} at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_run_snapshots_resume_across_kernels() {
+    let (spec, graph) = load(RING_CHURN);
+    let seed = 42;
+    let reference = run_bfw_scenario(&spec, &graph, seed).unwrap();
+    // Snapshot on the bit kernel, resume on the generic one — and the
+    // other way around — through a JSON round-trip, as `bfw scenario
+    // step --out` + `run --resume-from` would.
+    for (snap_stack, resume_stack) in [
+        (
+            (Some(KernelKind::Bit), Some(4)),
+            (Some(KernelKind::Generic), None),
+        ),
+        (
+            (Some(KernelKind::Generic), None),
+            (Some(KernelKind::Bit), Some(4)),
+        ),
+    ] {
+        let snap =
+            step_bfw_scenario(&spec, &graph, seed, 20_000, snap_stack.0, snap_stack.1).unwrap();
+        let text = snap.to_json_value().render_pretty();
+        let decoded = EngineSnapshot::from_json(&text).unwrap();
+        let outcome = resume_run_bfw_scenario(&decoded, resume_stack.0, resume_stack.1).unwrap();
+        assert_eq!(
+            outcome, reference,
+            "cross-kernel resume diverged: snap {snap_stack:?} -> resume {resume_stack:?}"
+        );
+    }
+}
+
+#[test]
+fn async_scenarios_step_and_resume_with_their_scheduler() {
+    let (spec, graph) = load(ASYNC_STORM);
+    for seed in [42u64, 9] {
+        let reference = run_bfw_scenario(&spec, &graph, seed).unwrap();
+        let a = step_bfw_scenario(&spec, &graph, seed, 70_000, None, None).unwrap();
+        // The scheduler half must survive the JSON round-trip, or the
+        // resumed activation order silently drifts.
+        let decoded = EngineSnapshot::from_json(&a.to_json_value().render_pretty()).unwrap();
+        let b = resume_step_bfw_scenario(&decoded, spec.rounds - 70_000, None, None).unwrap();
+        assert_eq!(b.round, spec.rounds);
+        let outcome = resume_run_bfw_scenario(&b, None, None).unwrap();
+        assert_eq!(
+            outcome, reference,
+            "async stepped run diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn pinned_snapshot_fixture_stays_byte_stable() {
+    let (spec, graph) = load(WIPEOUT_E17);
+    let snap = step_bfw_scenario(&spec, &graph, spec.seed, 600, None, None).unwrap();
+    assert_eq!(
+        snap.to_json_value().render_pretty(),
+        SNAPSHOT_FIXTURE,
+        "the engine-snapshot encoding changed; bump the format version or regenerate \
+         tests/fixtures/wipeout_e17_round600.snapshot.json (see the constant's doc comment)"
+    );
+
+    // The committed bytes validate, decode, and resume to the wipeout
+    // the scenario was written to exhibit.
+    let summary = validate_engine_snapshot(SNAPSHOT_FIXTURE).unwrap();
+    assert_eq!(summary.round, 600);
+    assert_eq!(summary.rounds, 1500);
+    assert_eq!(summary.nodes, 12);
+    let decoded = EngineSnapshot::from_json(SNAPSHOT_FIXTURE).unwrap();
+    let outcome = resume_run_bfw_scenario(&decoded, None, None).unwrap();
+    assert!(wipes(&outcome), "{}", outcome.to_text());
+    assert_eq!(outcome, run_bfw_scenario(&spec, &graph, spec.seed).unwrap());
+}
+
+#[test]
+fn shrinker_minimizes_the_e17_phantom_corpus() {
+    let (spec, graph) = load(WIPEOUT_E17);
+    for quick in [false, true] {
+        let report = shrink_wipeout(&spec, &graph, spec.seed, quick).unwrap();
+        assert_eq!(report.original_events, 3);
+        assert_eq!(
+            report.events.len(),
+            1,
+            "decoy churn must be dropped (quick = {quick}):\n{}",
+            report.to_text()
+        );
+        assert!(
+            report.events[0].event.to_string().starts_with("inject"),
+            "{}",
+            report.to_text()
+        );
+        assert!(
+            report.horizon < report.original_horizon,
+            "{}",
+            report.to_text()
+        );
+
+        // The minimized spec still validates, still wipes out, and
+        // round-trips through the interchange layer.
+        validate_scenario(&report.spec, &graph).unwrap();
+        let outcome = run_bfw_scenario(&report.spec, &graph, spec.seed).unwrap();
+        assert!(wipes(&outcome), "{}", outcome.to_text());
+        let doc = spec_to_json(&report.spec, spec.seed).render_pretty();
+        let summary = validate_scenario_spec(&doc).unwrap();
+        assert_eq!(summary.events, 1);
+    }
+}
+
+#[test]
+fn shrinker_minimizes_an_e15_crash_leader_corpus() {
+    // E15: the elected leader crashes and never rejoins — permanent
+    // wipeout under plain BFW — buried in decoy topology churn.
+    let toml = r#"
+[scenario]
+name = "e15 no-rejoin"
+graph = "cycle:8"
+rounds = 4000
+stability = 20
+seed = 3
+
+[[event]]
+at = 100
+kind = "add-edge"
+u = 0
+v = 4
+
+[[event]]
+at = 2500
+kind = "crash-leader"
+
+[[event]]
+at = 2600
+kind = "remove-edge"
+u = 0
+v = 4
+"#;
+    let (spec, graph) = load(toml);
+    let report = shrink_wipeout(&spec, &graph, spec.seed, false).unwrap();
+    assert_eq!(
+        report.events.len(),
+        1,
+        "topology decoys must be dropped:\n{}",
+        report.to_text()
+    );
+    assert_eq!(report.events[0].event.to_string(), "crash-leader");
+    assert!(
+        report.horizon < report.original_horizon,
+        "{}",
+        report.to_text()
+    );
+    let outcome = run_bfw_scenario(&report.spec, &graph, spec.seed).unwrap();
+    assert!(wipes(&outcome), "{}", outcome.to_text());
+}

@@ -44,6 +44,42 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl ChaCha8Rng {
+    /// Returns the stream position as `(counter, cursor)`: the block
+    /// counter of the *next* block to generate and the next unread word
+    /// index within the current block (16 = exhausted). Together with
+    /// the seed this pins the stream exactly, so a generator can be
+    /// checkpointed without serializing its key or block buffer.
+    pub fn position(&self) -> (u64, usize) {
+        (self.counter, self.cursor)
+    }
+
+    /// Rewinds or fast-forwards this generator to a `(counter, cursor)`
+    /// position previously returned by [`position`](Self::position).
+    /// The key is untouched, so this only restores positions of the
+    /// *same* seed's stream; the block buffer is regenerated on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor > 16`, or if `cursor < 16` while `counter` is
+    /// 0 (a mid-block position implies at least one generated block).
+    pub fn set_position(&mut self, counter: u64, cursor: usize) {
+        assert!(cursor <= 16, "cursor must be at most 16 (got {cursor})");
+        if cursor < 16 {
+            assert!(
+                counter > 0,
+                "a mid-block cursor implies at least one generated block"
+            );
+            // `refill` rebuilds the block from `counter` and then
+            // advances it, so start one block back.
+            self.counter = counter - 1;
+            self.refill();
+            self.cursor = cursor;
+        } else {
+            self.counter = counter;
+            self.cursor = 16;
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CHACHA_CONSTANTS);
@@ -147,6 +183,36 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn position_round_trips_at_every_offset() {
+        // Restoring (counter, cursor) must resume the stream exactly,
+        // at fresh, mid-block and block-boundary positions alike.
+        for drawn in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let mut a = ChaCha8Rng::seed_from_u64(11);
+            for _ in 0..drawn {
+                a.next_u32();
+            }
+            let pos = a.position();
+            let expected: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+            let mut b = ChaCha8Rng::seed_from_u64(11);
+            b.set_position(pos.0, pos.1);
+            let resumed: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+            assert_eq!(expected, resumed, "after {drawn} draws: {pos:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_position_is_zero_sixteen() {
+        let rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(rng.position(), (0, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-block cursor")]
+    fn mid_block_position_needs_a_generated_block() {
+        ChaCha8Rng::seed_from_u64(0).set_position(0, 3);
     }
 
     #[test]
